@@ -1,0 +1,66 @@
+//===- BenchUtil.h - Shared helpers for benchmark drivers -------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small shared helpers for the figure-reproduction drivers: command-line
+/// scale/seed parsing and table formatting. (Microbenchmarks use
+/// google-benchmark; the figure drivers are plain executables that print
+/// the same rows/series the paper reports.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_BENCH_BENCHUTIL_H
+#define SEMINAL_BENCH_BENCHUTIL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace seminal {
+namespace bench {
+
+/// Options common to the corpus-driven drivers.
+struct DriverOptions {
+  double Scale = 1.0;
+  uint64_t Seed = 20070611;
+};
+
+/// Parses --scale=<f> and --seed=<n>; exits on malformed input.
+inline DriverOptions parseDriverArgs(int Argc, char **Argv) {
+  DriverOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--scale=", 8) == 0) {
+      Opts.Scale = std::atof(Arg + 8);
+    } else if (std::strncmp(Arg, "--seed=", 7) == 0) {
+      Opts.Seed = std::strtoull(Arg + 7, nullptr, 10);
+    } else if (std::strcmp(Arg, "--help") == 0) {
+      std::printf("usage: %s [--scale=<f>] [--seed=<n>]\n", Argv[0]);
+      std::exit(0);
+    }
+  }
+  return Opts;
+}
+
+/// Prints a horizontal rule.
+inline void rule() {
+  std::printf("---------------------------------------------------------"
+              "---------------\n");
+}
+
+/// Prints a centered-ish section header.
+inline void header(const std::string &Title) {
+  rule();
+  std::printf("%s\n", Title.c_str());
+  rule();
+}
+
+} // namespace bench
+} // namespace seminal
+
+#endif // SEMINAL_BENCH_BENCHUTIL_H

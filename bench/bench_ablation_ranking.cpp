@@ -1,0 +1,97 @@
+//===- bench_ablation_ranking.cpp - Does the ranker matter? ---------------==//
+//
+// The paper claims its simple ranking heuristics "suffice" (Section 2.2)
+// -- constructive > adaptation > removal, small-first (large-first for
+// adaptation), right-bias. This ablation quantifies that: judge quality
+// over the corpus when the *top-ranked* suggestion is replaced by the
+// worst-ranked one, and when kind preferences are ignored (position
+// order). If ranking didn't matter, all three rows would be equal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Ranker.h"
+#include "corpus/Generator.h"
+#include "eval/Runner.h"
+#include "minicaml/Parser.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+enum class Policy { Ranked, Reversed, Unranked };
+
+/// Quality of the suggestion a policy would present first.
+Quality judgeWithPolicy(const CorpusFile &File, Policy P) {
+  ParseResult PR = parseProgram(File.Source);
+  if (!PR.ok())
+    return Quality::Poor;
+  SeminalReport R = runSeminal(*PR.Prog);
+  if (R.Suggestions.empty())
+    return Quality::Poor;
+  switch (P) {
+  case Policy::Ranked:
+    break;
+  case Policy::Reversed:
+    std::reverse(R.Suggestions.begin(), R.Suggestions.end());
+    break;
+  case Policy::Unranked:
+    // Deterministic arbitrary order: sort by description text.
+    std::sort(R.Suggestions.begin(), R.Suggestions.end(),
+              [](const Suggestion &A, const Suggestion &B) {
+                return A.Description < B.Description;
+              });
+    break;
+  }
+  return judgeSeminal(R, File.Truths);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::DriverOptions Opts = bench::parseDriverArgs(Argc, Argv);
+
+  bench::header("Ablation: the ranker's contribution to message quality");
+  CorpusOptions CO;
+  CO.Scale = Opts.Scale;
+  CO.Seed = Opts.Seed;
+  Corpus C = generateCorpus(CO);
+  std::printf("judging the first-presented suggestion on %zu files\n\n",
+              C.Analyzed.size());
+
+  const Policy Policies[] = {Policy::Ranked, Policy::Reversed,
+                             Policy::Unranked};
+  const char *Names[] = {"paper ranking", "reversed ranking",
+                         "alphabetical (no ranking)"};
+
+  std::printf("%-28s %10s %15s %8s\n", "policy", "accurate",
+              "good-location", "poor");
+  bench::rule();
+  for (int P = 0; P < 3; ++P) {
+    unsigned Acc = 0, Good = 0, Poor = 0;
+    for (const CorpusFile &File : C.Analyzed) {
+      switch (judgeWithPolicy(File, Policies[P])) {
+      case Quality::Accurate:
+        ++Acc;
+        break;
+      case Quality::GoodLocation:
+        ++Good;
+        break;
+      case Quality::Poor:
+        ++Poor;
+        break;
+      }
+    }
+    unsigned Total = Acc + Good + Poor;
+    std::printf("%-28s %7.1f%% %12.1f%% %7.1f%%\n", Names[P],
+                100.0 * Acc / Total, 100.0 * Good / Total,
+                100.0 * Poor / Total);
+  }
+  std::printf("\nIf the paper's heuristics were irrelevant the rows would "
+              "match; the drop below quantifies their contribution.\n");
+  return 0;
+}

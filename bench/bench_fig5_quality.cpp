@@ -1,0 +1,91 @@
+//===- bench_fig5_quality.cpp - Reproduces Figure 5 (a) and (b) -----------==//
+//
+// Regenerates the paper's quality evaluation: every analyzed corpus file
+// is judged under three messages (conventional checker, SEMINAL, SEMINAL
+// without triage) and bucketed into the five categories, stacked per
+// programmer (Figure 5a) and per assignment (Figure 5b), followed by the
+// headline statistics of Section 3.2.
+//
+// Paper reference points: ours better 19%, checker better 17%, no worse
+// 83%; triage increases wins by 44% and ties by 19%, helping 16% of
+// files; 9% of files are ties where no approach helps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "corpus/Generator.h"
+#include "eval/Runner.h"
+
+#include <cstdio>
+
+using namespace seminal;
+using namespace seminal::bench;
+
+namespace {
+
+void printCountsRow(const std::string &Label, const CategoryCounts &C) {
+  std::printf("%-14s %5u | %5u %5u %5u %5u %5u |  ours-better %5.1f%%  "
+              "checker-better %5.1f%%\n",
+              Label.c_str(), C.Total, C.Count[1], C.Count[2], C.Count[3],
+              C.Count[4], C.Count[5], C.pct(C.oursBetter()),
+              C.pct(C.checkerBetter()));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions Opts = parseDriverArgs(Argc, Argv);
+
+  header("Figure 5: message quality, SEMINAL vs the conventional checker");
+  std::printf("corpus scale %.2f, seed %llu\n", Opts.Scale,
+              (unsigned long long)Opts.Seed);
+
+  CorpusOptions CO;
+  CO.Scale = Opts.Scale;
+  CO.Seed = Opts.Seed;
+  Corpus C = generateCorpus(CO);
+  std::printf("collected %u files; analyzing %zu equivalence-class "
+              "representatives\n\n",
+              C.TotalCollected, C.Analyzed.size());
+
+  EvalResults R = runEvaluation(C);
+
+  std::printf("categories: (1) tie  (2) tie, triage needed  (3) ours "
+              "better  (4) ours better, triage needed  (5) checker "
+              "better\n\n");
+
+  std::printf("%-14s %5s | %5s %5s %5s %5s %5s |\n", "group", "files",
+              "cat1", "cat2", "cat3", "cat4", "cat5");
+  rule();
+
+  std::printf("Figure 5(a): results separated by programmer\n");
+  for (const auto &KV : R.byProgrammer())
+    printCountsRow("programmer " + std::to_string(KV.first), KV.second);
+
+  std::printf("\nFigure 5(b): results separated by assignment\n");
+  for (const auto &KV : R.byAssignment())
+    printCountsRow("assignment " + std::to_string(KV.first), KV.second);
+
+  CategoryCounts T = R.totals();
+  std::printf("\n");
+  printCountsRow("TOTAL", T);
+
+  header("Section 3.2 headline statistics (paper reference in brackets)");
+  std::printf("ours better (cat 3+4):        %5.1f%%   [paper: 19%%]\n",
+              T.pct(T.oursBetter()));
+  std::printf("checker better (cat 5):       %5.1f%%   [paper: 17%%]\n",
+              T.pct(T.checkerBetter()));
+  std::printf("ours no worse (cat 1-4):      %5.1f%%   [paper: 83%%]\n",
+              T.pct(T.noWorse()));
+  std::printf("triage helped (cat 2+4):      %5.1f%%   [paper: 16%%]\n",
+              T.pct(T.triageHelped()));
+  if (T.Count[3] > 0)
+    std::printf("triage win boost (cat4/cat3): %5.1f%%   [paper: 44%%]\n",
+                100.0 * double(T.Count[4]) / double(T.Count[3]));
+  if (T.Count[1] > 0)
+    std::printf("triage tie boost (cat2/cat1): %5.1f%%   [paper: 19%%]\n",
+                100.0 * double(T.Count[2]) / double(T.Count[1]));
+  std::printf("ties where neither helps:     %5.1f%%   [paper: 9%%]\n",
+              T.pct(T.BothPoorTies));
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- bench_fig7_runtime.cpp - Reproduces Figure 7 ------------------------==//
+//
+// Regenerates the cumulative distribution of tool runtime over the
+// analyzed files under three configurations:
+//
+//   * full tool (bottom curve in the paper),
+//   * the one expensive constructive change -- reparenthesizing nested
+//     match expressions, the paper's acknowledged performance bug --
+//     disabled (middle curve),
+//   * triage disabled (top curve; the paper reports no file over 4 s and
+//     95% under 2 s in this configuration).
+//
+// Absolute times differ from the paper's 2007 hardware + OCaml stack;
+// the *ordering* of the three curves and the tail behavior are the
+// reproduced shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Seminal.h"
+#include "corpus/Generator.h"
+#include "support/Stats.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace seminal;
+using namespace seminal::bench;
+
+namespace {
+
+double timeOne(const std::string &Source, const SeminalOptions &Opts) {
+  // Minimum of two runs: single measurements of millisecond-scale work
+  // are at the mercy of the scheduler.
+  double Best = 1e30;
+  for (int Rep = 0; Rep < 2; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    SeminalReport R = runSeminalOnSource(Source, Opts);
+    (void)R;
+    double Sec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+    if (Sec < Best)
+      Best = Sec;
+  }
+  return Best;
+}
+
+void printCdf(const char *Label, Samples &S) {
+  std::printf("%-28s", Label);
+  for (double Q : {0.25, 0.50, 0.75, 0.90, 0.95, 1.00})
+    std::printf("  %7.2f", S.percentile(Q) * 1000.0);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions Opts = parseDriverArgs(Argc, Argv);
+
+  header("Figure 7: cumulative distribution of tool runtime");
+  CorpusOptions CO;
+  CO.Scale = Opts.Scale;
+  CO.Seed = Opts.Seed;
+  Corpus C = generateCorpus(CO);
+  std::printf("timing %zu analyzed files under 3 configurations\n\n",
+              C.Analyzed.size());
+
+  SeminalOptions Full;
+  SeminalOptions NoReparen;
+  NoReparen.Search.Enum.EnableMatchReparen = false;
+  SeminalOptions NoTriage;
+  NoTriage.Search.EnableTriage = false;
+
+  Samples FullS, NoReparenS, NoTriageS;
+  for (const CorpusFile &F : C.Analyzed) {
+    FullS.add(timeOne(F.Source, Full));
+    NoReparenS.add(timeOne(F.Source, NoReparen));
+    NoTriageS.add(timeOne(F.Source, NoTriage));
+  }
+
+  std::printf("%-28s  %7s  %7s  %7s  %7s  %7s  %7s   (ms)\n", "configuration",
+              "p25", "p50", "p75", "p90", "p95", "max");
+  rule();
+  printCdf("full tool", FullS);
+  printCdf("perf-bug change disabled", NoReparenS);
+  printCdf("triage disabled", NoTriageS);
+
+  rule();
+  // The paper's threshold framing, scaled to our (much faster) stack:
+  // report the fraction of files under the median-derived thresholds.
+  double T1 = FullS.percentile(0.75);
+  std::printf("full tool: 75%% of files within %.2f ms; 90%% within %.2f "
+              "ms  [paper: 75%% < 4 s, 90%% < 30 s]\n",
+              T1 * 1000.0, FullS.percentile(0.90) * 1000.0);
+  std::printf("no-triage max %.2f ms vs full max %.2f ms  [paper: "
+              "no-triage never exceeded 4 s]\n",
+              NoTriageS.max() * 1000.0, FullS.max() * 1000.0);
+  std::printf("curve order (mean ms): no-triage %.2f <= no-perf-bug %.2f "
+              "<= full %.2f\n",
+              NoTriageS.mean() * 1000.0, NoReparenS.mean() * 1000.0,
+              FullS.mean() * 1000.0);
+  return 0;
+}

@@ -1,0 +1,115 @@
+//===- bench_micro.cpp - google-benchmark microbenchmarks ------------------==//
+//
+// Micro-level performance characterization backing Section 3.2's
+// efficiency discussion: how fast one oracle call is (parse once,
+// type-check many), how search cost scales with program size, and the
+// relative cost of the search components. These are the quantities that
+// make "the computational cost of searching should be measured against
+// the speed of the human" concrete on this implementation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Oracle.h"
+#include "core/Seminal.h"
+#include "corpus/Generator.h"
+#include "corpus/Programs.h"
+#include "minicaml/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+/// A well-typed program with N chained declarations.
+std::string chainProgram(int N) {
+  std::ostringstream OS;
+  OS << "let v0 = 1\n";
+  for (int I = 1; I < N; ++I)
+    OS << "let v" << I << " = v" << (I - 1) << " + " << I << "\n";
+  return OS.str();
+}
+
+void BM_Lex(benchmark::State &State) {
+  std::string Source = assignmentTemplates()[1].Source;
+  for (auto _ : State) {
+    ParseResult R = parseProgram(Source);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_Lex);
+
+void BM_TypecheckAssignment(benchmark::State &State) {
+  std::string Source =
+      assignmentTemplates()[size_t(State.range(0))].Source;
+  ParseResult R = parseProgram(Source);
+  for (auto _ : State) {
+    TypecheckResult T = typecheckProgram(*R.Prog);
+    benchmark::DoNotOptimize(T);
+  }
+}
+BENCHMARK(BM_TypecheckAssignment)->DenseRange(0, 4);
+
+void BM_TypecheckScaling(benchmark::State &State) {
+  std::string Source = chainProgram(int(State.range(0)));
+  ParseResult R = parseProgram(Source);
+  for (auto _ : State) {
+    TypecheckResult T = typecheckProgram(*R.Prog);
+    benchmark::DoNotOptimize(T);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_TypecheckScaling)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_SearchFigure2(benchmark::State &State) {
+  std::string Source =
+      "let map2 f aList bList =\n"
+      "  List.map (fun (a, b) -> f a b) (List.combine aList bList)\n"
+      "let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n"
+      "let ans = List.filter (fun x -> x == 0) lst\n";
+  for (auto _ : State) {
+    SeminalReport R = runSeminalOnSource(Source);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_SearchFigure2);
+
+void BM_SearchWithVsWithoutTriage(benchmark::State &State) {
+  std::string Source = "let go y =\n"
+                       "  let a = 3 + true in\n"
+                       "  let b = 4 + \"hi\" in\n"
+                       "  y + 1";
+  SeminalOptions Opts;
+  Opts.Search.EnableTriage = State.range(0) != 0;
+  for (auto _ : State) {
+    SeminalReport R = runSeminalOnSource(Source, Opts);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_SearchWithVsWithoutTriage)->Arg(0)->Arg(1);
+
+void BM_CloneAssignment(benchmark::State &State) {
+  ParseResult R = parseProgram(assignmentTemplates()[3].Source);
+  for (auto _ : State) {
+    Program P = R.Prog->clone();
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_CloneAssignment);
+
+void BM_MutateProgram(benchmark::State &State) {
+  ParseResult R = parseProgram(assignmentTemplates()[0].Source);
+  Rng Rand(1);
+  for (auto _ : State) {
+    auto M = mutateProgram(*R.Prog, 2, Rand);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_MutateProgram);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+//===- cpp_templates.cpp - The C++ template-function prototype ------------==//
+//
+// Uses the mini-C++ half of the library (Section 4): builds the STL
+// client of the paper's Figure 10 with the builder API, prints the
+// gcc-flavored instantiation-chain error wall (Figure 11), runs the
+// search, and applies the winning fix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicpp/CcSearch.h"
+#include "minicpp/CcStl.h"
+
+#include <cstdio>
+
+using namespace seminal;
+using namespace seminal::cpp;
+
+int main() {
+  CcProgram Prog;
+  addMiniStl(Prog);
+
+  // void myFun(vector<long>& inv, vector<long>& outv) {
+  //   transform(inv.begin(), inv.end(), outv.begin(),
+  //             compose1(bind1st(multiplies<long>(), 5), labs));
+  // }
+  auto MyFun = std::make_unique<CcFuncDecl>();
+  MyFun->Name = "myFun";
+  MyFun->Params = {{"inv", ccVector(ccLong())},
+                   {"outv", ccVector(ccLong())}};
+  MyFun->RetType = ccVoid();
+
+  std::vector<CcExprPtr> BindArgs;
+  BindArgs.push_back(ccConstruct("multiplies", {ccLong()}, {}));
+  BindArgs.push_back(ccIntLit(5));
+
+  std::vector<CcExprPtr> ComposeArgs;
+  ComposeArgs.push_back(ccCallNamed("bind1st", std::move(BindArgs)));
+  ComposeArgs.push_back(ccVar("labs")); // should be ptr_fun(labs)
+
+  std::vector<CcExprPtr> TransformArgs;
+  TransformArgs.push_back(ccMethodCall(ccVar("inv"), "begin", {}));
+  TransformArgs.push_back(ccMethodCall(ccVar("inv"), "end", {}));
+  TransformArgs.push_back(ccMethodCall(ccVar("outv"), "begin", {}));
+  TransformArgs.push_back(ccCallNamed("compose1", std::move(ComposeArgs)));
+  MyFun->Body.push_back(
+      ccExprStmt(ccCallNamed("transform", std::move(TransformArgs))));
+  Prog.Funcs.push_back(std::move(MyFun));
+
+  std::printf("The client function:\n%s\n\n",
+              printFunc(*Prog.findFunc("myFun")).c_str());
+
+  CcReport Report = runCppSeminal(Prog);
+  std::printf("The compiler's message (Figure 11 in the paper):\n%s\n\n",
+              Report.Baseline.str().c_str());
+  std::printf("The search-based message:\n%s\n\n",
+              Report.bestMessage().c_str());
+
+  // Apply the winning fix and recompile.
+  if (!Report.Suggestions.empty() &&
+      Report.Suggestions.front().After == "ptr_fun(labs)") {
+    CcFuncDecl *F = Prog.findFunc("myFun");
+    CcExpr *Compose = F->Body[0].E->child(4);
+    std::vector<CcExprPtr> Wrapped;
+    Wrapped.push_back(std::move(Compose->Children[2]));
+    Compose->Children[2] = ccCallNamed("ptr_fun", std::move(Wrapped));
+    CcCheckResult After = checkProgram(Prog);
+    std::printf("After applying the suggestion: %s\n",
+                After.ok() ? "the program type-checks."
+                           : After.str().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- quickstart.cpp - Smallest end-to-end use of the library ------------==//
+//
+// Feed an ill-typed mini-Caml program to the public API, compare the
+// conventional type-checker message with the search-based suggestion,
+// and inspect the ranked alternatives.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Seminal.h"
+
+#include <cstdio>
+
+using namespace seminal;
+
+int main() {
+  // A classic beginner mistake: the function takes curried arguments but
+  // the caller passes one tuple.
+  std::string Source = "let area w h = w * h\n"
+                       "let a = area (3, 4)\n";
+
+  std::printf("Input program:\n%s\n", Source.c_str());
+
+  SeminalReport Report = runSeminalOnSource(Source);
+
+  if (Report.SyntaxError) {
+    std::printf("syntax error: %s\n", Report.SyntaxError->str().c_str());
+    return 1;
+  }
+  if (Report.InputTypechecks) {
+    std::printf("The program already type-checks.\n");
+    return 0;
+  }
+
+  std::printf("Conventional type-checker:\n  %s\n\n",
+              Report.conventionalMessage().c_str());
+  std::printf("Search-based suggestion (%zu oracle calls):\n%s\n\n",
+              Report.OracleCalls, Report.bestMessage().c_str());
+
+  std::printf("All %zu ranked suggestions:\n", Report.Suggestions.size());
+  for (size_t I = 0; I < Report.Suggestions.size(); ++I) {
+    std::printf("--- #%zu ---\n%s\n", I + 1,
+                renderSuggestion(Report.Suggestions[I]).c_str());
+  }
+  return 0;
+}

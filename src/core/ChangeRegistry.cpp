@@ -1,0 +1,22 @@
+//===- ChangeRegistry.cpp - User-extensible constructive changes ----------==//
+
+#include "core/ChangeRegistry.h"
+
+using namespace seminal;
+
+void ChangeRegistry::add(std::string Name, ChangeGenerator Gen) {
+  Entries.push_back(Entry{std::move(Name), std::move(Gen)});
+}
+
+void ChangeRegistry::generate(const caml::Expr &Node,
+                              std::vector<CandidateChange> &Out) const {
+  for (const Entry &E : Entries)
+    E.Gen(Node, Out);
+}
+
+std::vector<std::string> ChangeRegistry::names() const {
+  std::vector<std::string> Names;
+  for (const Entry &E : Entries)
+    Names.push_back(E.Name);
+  return Names;
+}

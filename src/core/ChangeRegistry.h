@@ -1,0 +1,67 @@
+//===- ChangeRegistry.h - User-extensible constructive changes --*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "open framework" the paper sketches twice -- Section 2.2 ("One
+/// could even imagine an open framework where programmers could add
+/// possible changes (especially since it does not threaten compiler
+/// correctness)") and Section 6 (useful for embedded domain-specific
+/// languages that want error messages in their own vocabulary).
+///
+/// A ChangeGenerator inspects a node and may contribute candidate
+/// changes; registered generators run alongside the built-in Figure 3
+/// catalog at every node the searcher examines. Because every candidate
+/// still has to pass the oracle, a bad generator can waste time but can
+/// never produce an unsound suggestion -- the property that makes the
+/// framework safe to open up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_CORE_CHANGEREGISTRY_H
+#define SEMINAL_CORE_CHANGEREGISTRY_H
+
+#include "core/Change.h"
+#include "minicaml/Ast.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace seminal {
+
+/// A pluggable change source: examine \p Node, append candidates.
+using ChangeGenerator =
+    std::function<void(const caml::Expr &Node,
+                       std::vector<CandidateChange> &Out)>;
+
+/// A named collection of user-supplied change generators.
+class ChangeRegistry {
+public:
+  /// Registers \p Gen under \p Name (names are informational; duplicates
+  /// are allowed and all run).
+  void add(std::string Name, ChangeGenerator Gen);
+
+  /// Runs every generator on \p Node, appending to \p Out.
+  void generate(const caml::Expr &Node,
+                std::vector<CandidateChange> &Out) const;
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const;
+
+private:
+  struct Entry {
+    std::string Name;
+    ChangeGenerator Gen;
+  };
+  std::vector<Entry> Entries;
+};
+
+} // namespace seminal
+
+#endif // SEMINAL_CORE_CHANGEREGISTRY_H

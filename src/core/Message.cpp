@@ -1,0 +1,73 @@
+//===- Message.cpp - Rendering suggestions ---------------------------------==//
+
+#include "core/Message.h"
+
+#include "minicaml/Printer.h"
+#include "support/StrUtil.h"
+
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+std::string seminal::renderSuggestion(const Suggestion &S,
+                                      const MessageOptions &Opts) {
+  std::ostringstream OS;
+
+  if (S.ViaTriage) {
+    OS << "Your code has several type errors. If you ignore the "
+          "surrounding code";
+    if (S.TriageRemovals > 0)
+      OS << " (" << S.TriageRemovals << " subexpression(s) set aside)";
+    OS << ", ";
+  }
+
+  if (S.Kind == ChangeKind::PatternFix) {
+    OS << (S.ViaTriage ? "try" : "Try") << " replacing the pattern "
+       << S.PatternBefore << " with " << S.PatternAfter;
+  } else if (!S.Original || !S.Replacement) {
+    // Declaration-header change (toggle rec, curry/tuple parameters).
+    OS << (S.ViaTriage ? "try" : "Try") << " this change: " << S.Description;
+  } else {
+    // Adaptations and removals both present as the paper's "[[...]]
+    // of type T" form (Section 2.3); an adaptation additionally notes
+    // that the expression is fine on its own.
+    bool AsHole = S.Kind == ChangeKind::Adaptation ||
+                  S.Kind == ChangeKind::Removal;
+    OS << (S.ViaTriage ? "try" : "Try") << " replacing\n    "
+       << ellipsize(printExpr(*S.Original), Opts.MaxContextLength)
+       << "\nwith\n    "
+       << (AsHole ? "[[...]]"
+                  : ellipsize(printExpr(*S.Replacement),
+                              Opts.MaxContextLength));
+    if (S.ReplacementType)
+      OS << "\nof type " << *S.ReplacementType;
+    if (S.Kind == ChangeKind::Adaptation)
+      OS << "\n(the expression type-checks on its own; only its context "
+            "rejects it)";
+  }
+
+  if (!S.ContextAfter.empty())
+    OS << "\nwithin context\n    "
+       << ellipsize(S.ContextAfter, Opts.MaxContextLength);
+
+  if (S.LikelyUnboundVariable && S.Original)
+    OS << "\n(note: the variable " << printExpr(*S.Original)
+       << " appears to be unbound; removing it helps but keeping its value "
+          "does not)";
+
+  if (S.ViaTriage)
+    OS << "\n(other type errors remain; this change alone will not make "
+          "the program type-check)";
+
+  return OS.str();
+}
+
+std::string
+seminal::renderConventional(const std::optional<TypeError> &Error) {
+  if (!Error)
+    return "No type errors.";
+  std::ostringstream OS;
+  OS << Error->Span.Begin.str() << ": " << Error->Message;
+  return OS.str();
+}

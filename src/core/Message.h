@@ -1,0 +1,49 @@
+//===- Message.h - Rendering suggestions for programmers --------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders ranked suggestions in the paper's message style:
+///
+///   Try replacing
+///       fun (x, y) -> x + y
+///   with
+///       fun x y -> x + y
+///   of type int -> int -> int
+///   within context
+///       let lst = map2 (fun x y -> x + y) [1; 2; 3] [4; 5; 6]
+///
+/// Triaged suggestions lead with "Your code has several type errors...";
+/// removable-but-not-adaptable variables are reported as likely unbound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_CORE_MESSAGE_H
+#define SEMINAL_CORE_MESSAGE_H
+
+#include "core/Change.h"
+#include "minicaml/Infer.h"
+
+#include <optional>
+#include <string>
+
+namespace seminal {
+
+/// Limits on message size.
+struct MessageOptions {
+  size_t MaxContextLength = 240;
+};
+
+/// Renders one suggestion as a complete message.
+std::string renderSuggestion(const Suggestion &S,
+                             const MessageOptions &Opts = {});
+
+/// Renders the conventional type-checker diagnostic (the baseline the
+/// evaluation compares against), OCaml style with a location.
+std::string renderConventional(const std::optional<caml::TypeError> &Error);
+
+} // namespace seminal
+
+#endif // SEMINAL_CORE_MESSAGE_H

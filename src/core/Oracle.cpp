@@ -1,0 +1,26 @@
+//===- Oracle.cpp - Type-check oracle implementations ----------------------==//
+
+#include "core/Oracle.h"
+
+using namespace seminal;
+using namespace seminal::caml;
+
+Oracle::~Oracle() = default;
+
+bool CamlOracle::typecheckImpl(const Program &Prog) {
+  return typecheckProgram(Prog).ok();
+}
+
+std::optional<std::string> CamlOracle::typeOfNodeImpl(const Program &Prog,
+                                                      const Expr *Node) {
+  TypecheckOptions Opts;
+  Opts.QueryNode = Node;
+  TypecheckResult R = typecheckProgram(Prog, Opts);
+  if (!R.ok())
+    return std::nullopt;
+  return R.QueriedType;
+}
+
+std::optional<TypeError> CamlOracle::conventionalError(const Program &Prog) {
+  return typecheckProgram(Prog).Error;
+}

@@ -1,0 +1,82 @@
+//===- Oracle.h - The type-checker as a black-box oracle --------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central architectural idea of the paper (Figure 1): the searcher
+/// never looks inside the type-checker; it only asks "does this modified
+/// program type-check?". This interface is that boundary. The production
+/// implementation wraps mini-Caml inference; tests substitute mocks to
+/// exercise the searcher against adversarial oracles, and every
+/// implementation counts its calls so the efficiency experiments
+/// (Section 3.2, bench_oracle_calls) can measure search effort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_CORE_ORACLE_H
+#define SEMINAL_CORE_ORACLE_H
+
+#include "minicaml/Ast.h"
+#include "minicaml/Infer.h"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace seminal {
+
+/// Black-box type-check oracle over mini-Caml programs.
+class Oracle {
+public:
+  virtual ~Oracle();
+
+  /// \returns true if \p Prog type-checks. Increments the call counter.
+  bool typechecks(const caml::Program &Prog) {
+    ++Calls;
+    return typecheckImpl(Prog);
+  }
+
+  /// Type-checks \p Prog and, on success, reports the rendered type of
+  /// \p Node (which must be a node inside \p Prog). Used only to decorate
+  /// messages ("of type int -> int -> int"); the search itself never
+  /// consumes type information. Increments the call counter.
+  std::optional<std::string> typeOfNode(const caml::Program &Prog,
+                                        const caml::Expr *Node) {
+    ++Calls;
+    return typeOfNodeImpl(Prog, Node);
+  }
+
+  /// The conventional checker diagnostic for \p Prog (does not count as a
+  /// search call; used to render the baseline message).
+  virtual std::optional<caml::TypeError>
+  conventionalError(const caml::Program &Prog) = 0;
+
+  size_t callCount() const { return Calls; }
+  void resetCallCount() { Calls = 0; }
+
+protected:
+  virtual bool typecheckImpl(const caml::Program &Prog) = 0;
+  virtual std::optional<std::string>
+  typeOfNodeImpl(const caml::Program &Prog, const caml::Expr *Node) = 0;
+
+private:
+  size_t Calls = 0;
+};
+
+/// The production oracle: mini-Caml Hindley-Milner inference.
+class CamlOracle : public Oracle {
+public:
+  std::optional<caml::TypeError>
+  conventionalError(const caml::Program &Prog) override;
+
+protected:
+  bool typecheckImpl(const caml::Program &Prog) override;
+  std::optional<std::string> typeOfNodeImpl(const caml::Program &Prog,
+                                            const caml::Expr *Node) override;
+};
+
+} // namespace seminal
+
+#endif // SEMINAL_CORE_ORACLE_H

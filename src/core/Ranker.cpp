@@ -1,0 +1,76 @@
+//===- Ranker.cpp - Ordering successful changes ----------------------------==//
+
+#include "core/Ranker.h"
+
+#include "minicaml/Printer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+SuggestionScore seminal::scoreSuggestion(const Suggestion &S) {
+  long KindRank = 0;
+  switch (S.Kind) {
+  case ChangeKind::Constructive:
+  case ChangeKind::PatternFix:
+    KindRank = 0;
+    break;
+  case ChangeKind::Adaptation:
+    KindRank = 1;
+    break;
+  case ChangeKind::Removal:
+    KindRank = 2;
+    break;
+  }
+
+  // Triaged suggestions rank below all untriaged ones.
+  long Primary = S.ViaTriage ? 3 + KindRank : KindRank;
+
+  // Among triaged suggestions, prefer fewer removed siblings.
+  long Secondary = S.ViaTriage ? S.TriageRemovals : 0;
+
+  // Size preference: small for constructive/removal, large for adaptation.
+  long Size = S.Kind == ChangeKind::Adaptation ? -long(S.OriginalSize)
+                                               : long(S.OriginalSize);
+
+  // Idiom-specific priority nudge (CandidateChange::Priority).
+  long Priority = S.Priority;
+
+  // Preservation: a change that keeps the original subtree's material
+  // (swapping arguments) reads better than one that deletes part of it
+  // (dropping an argument); wildcard-introducing edits sit in between.
+  long Preservation =
+      S.Kind == ChangeKind::Constructive
+          ? std::labs(long(S.OriginalSize) - long(S.ReplacementSize))
+          : 0;
+
+  // Right-bias tiebreak: prefer deeper-right positions (the paper's
+  // function-application heuristic). Encoded as the negated final step.
+  long RightBias = S.Path.Steps.empty() ? 0 : -long(S.Path.Steps.back());
+
+  return SuggestionScore{Primary, Secondary, Size,
+                         Priority, Preservation, RightBias};
+}
+
+void seminal::rankSuggestions(std::vector<Suggestion> &Suggestions) {
+  std::stable_sort(Suggestions.begin(), Suggestions.end(),
+                   [](const Suggestion &A, const Suggestion &B) {
+                     return scoreSuggestion(A) < scoreSuggestion(B);
+                   });
+
+  // Deduplicate: identical location + identical replacement rendering.
+  std::set<std::string> Seen;
+  std::vector<Suggestion> Unique;
+  for (auto &S : Suggestions) {
+    std::string Key = S.Path.str() + "|" +
+                      (S.Replacement ? printExpr(*S.Replacement) : "") + "|" +
+                      S.PatternAfter + "|" + S.Description;
+    if (!Seen.insert(Key).second)
+      continue;
+    Unique.push_back(std::move(S));
+  }
+  Suggestions = std::move(Unique);
+}

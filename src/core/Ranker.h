@@ -1,0 +1,47 @@
+//===- Ranker.h - Ordering successful changes -------------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ranker of Figure 1, implementing the paper's preferences:
+///
+///   * constructive changes > adaptation > removal (Sections 2.2-2.3);
+///   * triaged suggestions rank below everything untriaged, and among
+///     themselves prefer fewer sibling removals (Section 2.4);
+///   * constructive and removal changes prefer *smaller* expressions
+///     (closer to the leaves); adaptation prefers *larger* ones;
+///   * ties in a function application prefer the expression on the right
+///     (Section 2.1's heuristic).
+///
+/// Scores are lexicographic tuples so tests can assert on the components.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_CORE_RANKER_H
+#define SEMINAL_CORE_RANKER_H
+
+#include "core/Change.h"
+
+#include <array>
+#include <vector>
+
+namespace seminal {
+
+/// Lexicographic score; lower is better. Components: kind (triage-
+/// penalized), triage removals, original size (negated for adaptation),
+/// idiom priority, size-preservation (|orig - replacement|; swaps beat
+/// deletions), and the right-bias tiebreak.
+using SuggestionScore = std::array<long, 6>;
+
+/// Computes the rank score of \p S.
+SuggestionScore scoreSuggestion(const Suggestion &S);
+
+/// Stable-sorts \p Suggestions best-first and drops exact duplicates
+/// (same path, same rendered replacement).
+void rankSuggestions(std::vector<Suggestion> &Suggestions);
+
+} // namespace seminal
+
+#endif // SEMINAL_CORE_RANKER_H

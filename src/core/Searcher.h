@@ -1,0 +1,146 @@
+//===- Searcher.h - Top-down search for type-error messages -----*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The search procedure of Section 2. Given an ill-typed program it:
+///
+///   1. Localizes the error to the first failing top-level declaration by
+///      type-checking increasingly long prefixes (Section 2.1).
+///   2. Descends top-down through that declaration's initializer. At each
+///      node whose replacement by the wildcard `[[...]]` makes the prefix
+///      type-check, it tries adaptation (Section 2.3) and the enumerator's
+///      constructive changes (Section 2.2), then recurses into children.
+///      Nodes none of whose children can be fixed are minimal removal
+///      sites.
+///   3. When a large node's only fix is its own removal -- the signature of
+///      multiple independent errors -- it enters triage mode (Section 2.4):
+///      focus on one child while greedily wildcarding siblings, with
+///      dedicated phases for binding constructs (match: scrutinee, then
+///      patterns, then bodies).
+///
+/// All edits are applied destructively to a working copy and undone after
+/// each oracle call; suggestions capture clones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_CORE_SEARCHER_H
+#define SEMINAL_CORE_SEARCHER_H
+
+#include "core/Change.h"
+#include "core/Enumerator.h"
+#include "core/Oracle.h"
+#include "minicaml/Ast.h"
+
+#include <optional>
+#include <vector>
+
+namespace seminal {
+
+/// Order in which triage greedily wildcards the focused node's siblings
+/// (Section 2.4 -- the paper's example removes rightmost-first and notes
+/// "the details of the algorithm ... are less important"; the ablation
+/// bench exercises both).
+enum class TriageOrder {
+  RightToLeft, ///< The paper's order.
+  LeftToRight,
+};
+
+/// Tuning for one search run.
+struct SearchOptions {
+  /// Enable triage for multiple independent errors (Section 2.4).
+  bool EnableTriage = true;
+
+  /// Sibling-removal order used inside triage.
+  TriageOrder Order = TriageOrder::RightToLeft;
+
+  /// A node must have at least this many AST nodes before a removal-only
+  /// result triggers triage ("a nontrivial number of descendents").
+  unsigned TriageMinSize = 6;
+
+  /// Hard budget on oracle calls; the search stops gracefully when
+  /// exhausted (never triggered by realistic student files, but keeps the
+  /// tool total).
+  size_t MaxOracleCalls = 200000;
+
+  EnumeratorOptions Enum;
+};
+
+/// Everything a search run produces.
+struct SearchOutput {
+  /// True when the input already type-checks (search is bypassed).
+  bool InputTypechecks = false;
+
+  /// Index of the first top-level declaration whose prefix fails.
+  std::optional<unsigned> FailingDecl;
+
+  /// Unranked suggestions (the ranker orders them).
+  std::vector<Suggestion> Suggestions;
+
+  /// True if the oracle-call budget was exhausted mid-search.
+  bool BudgetExhausted = false;
+};
+
+/// Runs the search procedure against \p TheOracle.
+class Searcher {
+public:
+  Searcher(Oracle &TheOracle, const SearchOptions &Opts)
+      : TheOracle(TheOracle), Opts(Opts) {}
+
+  SearchOutput run(const caml::Program &Input);
+
+private:
+  // One oracle query against the working program, honoring the budget.
+  bool oracleSays();
+
+  /// Installs \p Replacement at \p Path, asks the oracle, and restores.
+  /// \p Replacement is handed back (moved out and in).
+  bool testWith(const caml::NodePath &Path, caml::ExprPtr &Replacement);
+
+  /// Regular-mode search rooted at \p Path. \returns true if any
+  /// suggestion was found within this subtree.
+  bool searchExpr(const caml::NodePath &Path);
+
+  /// Runs the enumerator's candidates (with probes and lazy follow-ups)
+  /// at \p Path. \returns true if any non-probe candidate succeeded.
+  bool tryCandidates(const caml::NodePath &Path,
+                     std::vector<CandidateChange> Cands);
+
+  /// Declaration-level changes (toggle rec, curry/tuple params).
+  bool tryDeclChanges(unsigned DeclIndex);
+
+  // Triage (Section 2.4) --------------------------------------------------
+  bool triage(const caml::NodePath &Path);
+  bool triageGeneric(const caml::NodePath &Path);
+  bool triageMatch(const caml::NodePath &Path);
+  bool triageMatchPatterns(const caml::NodePath &Path);
+
+  /// Minimal subpattern whose replacement by `_` fixes arm \p ArmIndex of
+  /// the (bodies-wildcarded) match at \p MatchPath.
+  bool searchPatternFix(const caml::NodePath &MatchPath, unsigned ArmIndex);
+
+  // Suggestion construction -------------------------------------------------
+  void addSuggestion(ChangeKind Kind, const caml::NodePath &Path,
+                     caml::ExprPtr Replacement,
+                     const std::string &Description,
+                     bool LikelyUnbound = false, int Priority = 0);
+
+  Oracle &TheOracle;
+  SearchOptions Opts;
+
+  caml::Program Work;      ///< Prefix clone being edited in place.
+  unsigned FocusDecl = 0;  ///< Declaration under scrutiny.
+  bool OutOfBudget = false;
+
+  // Triage bookkeeping: >0 while searching inside a triage context.
+  int TriageDepth = 0;
+  int TriageRemovalCount = 0;
+
+  std::vector<Suggestion> Suggestions;
+};
+
+} // namespace seminal
+
+#endif // SEMINAL_CORE_SEARCHER_H

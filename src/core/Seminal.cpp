@@ -1,0 +1,56 @@
+//===- Seminal.cpp - Public facade implementation --------------------------==//
+
+#include "core/Seminal.h"
+
+#include "core/Oracle.h"
+#include "core/Ranker.h"
+
+using namespace seminal;
+using namespace seminal::caml;
+
+std::string SeminalReport::bestMessage(const MessageOptions &Opts) const {
+  if (SyntaxError)
+    return "Syntax error: " + SyntaxError->str();
+  if (InputTypechecks)
+    return "No type errors.";
+  if (Suggestions.empty())
+    return "No suggestion found; the conventional message is:\n" +
+           conventionalMessage();
+  return renderSuggestion(Suggestions.front(), Opts);
+}
+
+std::string SeminalReport::conventionalMessage() const {
+  return renderConventional(CheckerError);
+}
+
+SeminalReport seminal::runSeminal(const Program &Prog,
+                                  const SeminalOptions &Opts) {
+  SeminalReport Report;
+
+  CamlOracle TheOracle;
+  Report.CheckerError = TheOracle.conventionalError(Prog);
+
+  Searcher S(TheOracle, Opts.Search);
+  SearchOutput Out = S.run(Prog);
+
+  Report.InputTypechecks = Out.InputTypechecks;
+  Report.FailingDeclIndex = Out.FailingDecl;
+  Report.BudgetExhausted = Out.BudgetExhausted;
+  Report.Suggestions = std::move(Out.Suggestions);
+  rankSuggestions(Report.Suggestions);
+  if (Report.Suggestions.size() > Opts.MaxSuggestions)
+    Report.Suggestions.resize(Opts.MaxSuggestions);
+  Report.OracleCalls = TheOracle.callCount();
+  return Report;
+}
+
+SeminalReport seminal::runSeminalOnSource(const std::string &Source,
+                                          const SeminalOptions &Opts) {
+  ParseResult R = parseProgram(Source);
+  if (!R.ok()) {
+    SeminalReport Report;
+    Report.SyntaxError = R.Error;
+    return Report;
+  }
+  return runSeminal(*R.Prog, Opts);
+}

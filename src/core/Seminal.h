@@ -1,0 +1,85 @@
+//===- Seminal.h - Public facade for the SEMINAL system ---------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-call public API: feed it an ill-typed program (as source text
+/// or a parsed AST) and get back a ranked list of suggestions plus the
+/// conventional checker message for comparison. This wires together the
+/// components of Figure 1: type-checker (oracle), changer (searcher +
+/// enumerator), and ranker.
+///
+/// \code
+///   seminal::SeminalReport R = seminal::runSeminalOnSource(Source);
+///   if (!R.InputTypechecks)
+///     std::cout << R.bestMessage() << "\n";
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_CORE_SEMINAL_H
+#define SEMINAL_CORE_SEMINAL_H
+
+#include "core/Change.h"
+#include "core/Message.h"
+#include "core/Searcher.h"
+#include "minicaml/Infer.h"
+#include "minicaml/Parser.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace seminal {
+
+/// Configuration for one run of the full system.
+struct SeminalOptions {
+  SearchOptions Search;
+  MessageOptions Message;
+  /// Keep at most this many ranked suggestions in the report.
+  size_t MaxSuggestions = 8;
+};
+
+/// Everything a run produces.
+struct SeminalReport {
+  /// The input parses? (Search requires a syntactically valid file.)
+  std::optional<caml::ParseError> SyntaxError;
+
+  /// The input already type-checks (the system is bypassed, Figure 1).
+  bool InputTypechecks = false;
+
+  /// The conventional checker diagnostic for the input (the baseline).
+  std::optional<caml::TypeError> CheckerError;
+
+  /// Index of the first failing top-level declaration.
+  std::optional<unsigned> FailingDeclIndex;
+
+  /// Ranked suggestions, best first.
+  std::vector<Suggestion> Suggestions;
+
+  /// Number of oracle invocations the search performed.
+  size_t OracleCalls = 0;
+
+  /// True if the search stopped on its call budget.
+  bool BudgetExhausted = false;
+
+  /// The top-ranked suggestion rendered as a message, or a fallback.
+  std::string bestMessage(const MessageOptions &Opts = {}) const;
+
+  /// The conventional checker message (baseline presentation).
+  std::string conventionalMessage() const;
+};
+
+/// Runs search-based error-message generation on a parsed program.
+SeminalReport runSeminal(const caml::Program &Prog,
+                         const SeminalOptions &Opts = {});
+
+/// Convenience: parse then run.
+SeminalReport runSeminalOnSource(const std::string &Source,
+                                 const SeminalOptions &Opts = {});
+
+} // namespace seminal
+
+#endif // SEMINAL_CORE_SEMINAL_H

@@ -1,0 +1,73 @@
+//===- Generator.cpp - Synthetic student-corpus generator ------------------==//
+
+#include "corpus/Generator.h"
+
+#include "corpus/Programs.h"
+#include "minicaml/Parser.h"
+#include "minicaml/Printer.h"
+
+#include <cassert>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+const std::vector<ProgrammerProfile> &seminal::programmerProfiles() {
+  // Ten volunteers with visibly different habits: error-proneness and
+  // recompile eagerness both vary, like the per-programmer variation in
+  // the paper's Figure 5(a).
+  static const std::vector<ProgrammerProfile> Profiles = {
+      {1, 0.30, 0.30, 4}, {2, 0.50, 0.55, 5}, {3, 0.40, 0.40, 3},
+      {4, 0.60, 0.60, 5}, {5, 0.35, 0.35, 4}, {6, 0.45, 0.50, 4},
+      {7, 0.25, 0.25, 3}, {8, 0.55, 0.65, 5}, {9, 0.40, 0.45, 4},
+      {10, 0.50, 0.40, 4},
+  };
+  return Profiles;
+}
+
+Corpus seminal::generateCorpus(const CorpusOptions &Opts) {
+  Corpus Result;
+  Rng Root(Opts.Seed);
+
+  // Parse every assignment template once.
+  std::vector<Program> Templates;
+  for (const AssignmentTemplate &A : assignmentTemplates()) {
+    ParseResult R = parseProgram(A.Source);
+    assert(R.ok() && "assignment template must parse");
+    Templates.push_back(std::move(*R.Prog));
+  }
+
+  int NextClassId = 1;
+  for (const ProgrammerProfile &P : programmerProfiles()) {
+    Rng PersonRng = Root.fork();
+    for (size_t A = 0; A < Templates.size(); ++A) {
+      // Programmers improve: later assignments yield fewer episodes.
+      double Experience = 1.0 - 0.12 * double(A);
+      int Episodes = int(double(P.EpisodesPerAssignment) * Opts.Scale *
+                             Experience +
+                         0.5);
+      if (Episodes < 1)
+        Episodes = 1;
+      for (int E = 0; E < Episodes; ++E) {
+        unsigned ErrorCount = 1;
+        if (PersonRng.chance(P.MultiErrorRate))
+          ErrorCount = unsigned(PersonRng.range(2, 3));
+        auto Mutant = mutateProgram(Templates[A], ErrorCount, PersonRng);
+        if (!Mutant)
+          continue; // no failing mutant found; skip this episode
+
+        CorpusFile File;
+        File.Programmer = P.Id;
+        File.Assignment = int(A) + 1;
+        File.ClassId = NextClassId++;
+        File.ClassSize = unsigned(PersonRng.geometric(P.RetryContinueProb));
+        File.Source = printProgram(Mutant->Mutated);
+        File.Truths = std::move(Mutant->Truths);
+
+        Result.ClassSizes.add(int64_t(File.ClassSize));
+        Result.TotalCollected += File.ClassSize;
+        Result.Analyzed.push_back(std::move(File));
+      }
+    }
+  }
+  return Result;
+}

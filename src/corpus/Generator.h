@@ -1,0 +1,79 @@
+//===- Generator.h - Synthetic student-corpus generator ---------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulates the paper's data collection (Section 3.1): 10 volunteer
+/// programmers x 5 assignments, each compile of an ill-typed file saved
+/// with a timestamp. A "problem episode" is one underlying mistake (or a
+/// few independent ones); the programmer recompiles the same broken file
+/// several times before fixing it, producing a time-sequence equivalence
+/// class. The evaluation analyzes one representative per class (the
+/// paper's quotienting), and Figure 6 plots the class-size distribution.
+///
+/// Everything is deterministic given the seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_CORPUS_GENERATOR_H
+#define SEMINAL_CORPUS_GENERATOR_H
+
+#include "corpus/Mutation.h"
+#include "support/Stats.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seminal {
+
+/// Behavioral parameters for one simulated programmer.
+struct ProgrammerProfile {
+  int Id = 0;
+  /// Probability that a problem episode contains 2-3 independent errors
+  /// rather than 1 (drives the triage categories).
+  double MultiErrorRate = 0.3;
+  /// Geometric continuation probability for recompiles of the same
+  /// problem; higher = longer equivalence classes (Figure 6's tail).
+  double RetryContinueProb = 0.45;
+  /// Problem episodes per assignment (before scaling).
+  int EpisodesPerAssignment = 4;
+};
+
+/// The ten simulated volunteers. Rates vary per programmer the way the
+/// paper's per-programmer results vary (Figure 5(a)).
+const std::vector<ProgrammerProfile> &programmerProfiles();
+
+/// One analyzed file: a representative of its equivalence class.
+struct CorpusFile {
+  int Programmer = 0;
+  int Assignment = 0;
+  int ClassId = 0;
+  unsigned ClassSize = 1; ///< How many collected files it represents.
+  std::string Source;     ///< Printed mutated program.
+  std::vector<GroundTruth> Truths;
+};
+
+/// Corpus-generation knobs.
+struct CorpusOptions {
+  uint64_t Seed = 20070611; ///< PLDI 2007's first day.
+  /// Multiplies EpisodesPerAssignment; 1.0 yields a few hundred analyzed
+  /// files, ~5x yields the paper's ~1075.
+  double Scale = 1.0;
+};
+
+/// The generated corpus.
+struct Corpus {
+  std::vector<CorpusFile> Analyzed;
+  Histogram ClassSizes;        ///< Figure 6's distribution.
+  unsigned TotalCollected = 0; ///< Sum of class sizes (the paper's 2122).
+};
+
+/// Generates the corpus. Deterministic in Opts.Seed.
+Corpus generateCorpus(const CorpusOptions &Opts = {});
+
+} // namespace seminal
+
+#endif // SEMINAL_CORPUS_GENERATOR_H

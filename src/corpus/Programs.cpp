@@ -1,0 +1,195 @@
+//===- Programs.cpp - Assignment templates ---------------------------------==//
+
+#include "corpus/Programs.h"
+
+using namespace seminal;
+
+namespace {
+
+const char *Assignment1 = R"caml(
+let rec mymap f xs = match xs with [] -> [] | x :: t -> f x :: mymap f t
+let rec myfilter p xs =
+  match xs with
+    [] -> []
+  | x :: t -> if p x then x :: myfilter p t else myfilter p t
+let rec myfold f acc xs =
+  match xs with [] -> acc | x :: t -> myfold f (f acc x) t
+let rec myappend a b = match a with [] -> b | x :: t -> x :: myappend t b
+let rec myrev xs = match xs with [] -> [] | x :: t -> myappend (myrev t) [x]
+let doubled = mymap (fun x -> x * 2) [1; 2; 3; 4]
+let evens = myfilter (fun x -> x / 2 * 2 = x) [1; 2; 3; 4; 5; 6]
+let total = myfold (fun a b -> a + b) 0 doubled
+let names = ["alice"; "bob"; "carol"]
+let greet name = "hello, " ^ name
+let greetings = mymap greet names
+let banner = myfold (fun a b -> a ^ " " ^ b) "" greetings
+let zipped = List.combine doubled [10; 20; 30; 40]
+let pairsums = mymap (fun (a, b) -> a + b) zipped
+let howmany = List.length pairsums
+let biggest = myfold (fun a b -> if a > b then a else b) 0 pairsums
+)caml";
+
+const char *Assignment2 = R"caml(
+type expr =
+    Num of int
+  | Add of expr * expr
+  | Mul of expr * expr
+  | Neg of expr
+  | Ref of string
+type env = { mutable bindings : (string * int) list }
+let env0 = { bindings = [("x", 3); ("y", 4)] }
+let bindvar env name value = env.bindings <- (name, value) :: env.bindings
+let rec lookup name pairs =
+  match pairs with
+    [] -> raise Not_found
+  | (k, v) :: t -> if k = name then v else lookup name t
+let rec eval e =
+  match e with
+    Num n -> n
+  | Add (a, b) -> eval a + eval b
+  | Mul (a, b) -> eval a * eval b
+  | Neg a -> 0 - eval a
+  | Ref name -> lookup name env0.bindings
+let sample = Add (Num 1, Mul (Num 2, Num 3))
+let answer = eval sample
+let rec show e =
+  match e with
+    Num n -> string_of_int n
+  | Add (a, b) -> "(" ^ show a ^ " + " ^ show b ^ ")"
+  | Mul (a, b) -> "(" ^ show a ^ " * " ^ show b ^ ")"
+  | Neg a -> "-" ^ show a
+  | Ref name -> name
+let rendered = show sample
+let both = (show sample, eval sample)
+let rec size e =
+  match e with
+    Num n -> 1
+  | Add (a, b) -> size a + size b
+  | Mul (a, b) -> size a + size b
+  | Neg a -> 1 + size a
+  | Ref name -> 1
+let complexity = size sample + String.length rendered
+let rec same_shape a b =
+  match a with
+    Num x -> (match b with Num y -> true | Neg q -> false | _ -> false)
+  | Add (p, q) ->
+      (match b with Add (r, s) -> same_shape p r && same_shape q s
+                  | Mul (r, s) -> false
+                  | Neg r -> false
+                  | _ -> false)
+  | Mul (p, q) ->
+      (match b with Mul (r, s) -> same_shape p r && same_shape q s
+                  | Add (r, s) -> false
+                  | _ -> false)
+  | Neg p -> (match b with Neg q -> same_shape p q | Num y -> false
+                         | _ -> false)
+  | Ref n -> (match b with Ref m -> n = m | Num y -> false | _ -> false)
+let shapes_agree = same_shape sample (Add (Num 1, Num 2))
+)caml";
+
+const char *Assignment3 = R"caml(
+type student = { sname : string; mutable score : int; year : int }
+let mk name year = { sname = name; score = 0; year = year }
+let roster = [mk "ada" 1; mk "grace" 2; mk "alan" 1]
+let rec find name students =
+  match students with
+    [] -> None
+  | s :: t -> if s.sname = name then Some s else find name t
+let award points s = s.score <- s.score + points
+let rec award_all points students =
+  match students with
+    [] -> ()
+  | s :: t -> award points s; award_all points t
+let rec total students =
+  match students with [] -> 0 | s :: t -> s.score + total t
+let first_years = List.filter (fun s -> s.year = 1) roster
+let student_names = List.map (fun s -> s.sname) roster
+let labels =
+  List.map (fun s -> s.sname ^ ": " ^ string_of_int s.score) roster
+let summary = String.concat ", " labels
+let counter = ref 0
+let visit s = counter := !counter + 1; s.sname
+let visited = List.map visit roster
+let popularity = !counter + List.length visited
+)caml";
+
+const char *Assignment4 = R"caml(
+type move = Forward of int | Turn of int | Repeat of int * move list
+type state = { mutable px : int; mutable py : int; mutable dir : int }
+let start () = { px = 0; py = 0; dir = 0 }
+let rec run st moves =
+  match moves with
+    [] -> st
+  | Forward n :: rest ->
+      (if st.dir = 0 then st.px <- st.px + n else st.py <- st.py + n);
+      run st rest
+  | Turn d :: rest -> st.dir <- st.dir + d; run st rest
+  | Repeat (n, body) :: rest ->
+      if n = 0 then run st rest
+      else run (run st body) (Repeat (n - 1, body) :: rest)
+let square = Repeat (4, [Forward 10; Turn 90])
+let final = run (start ()) [square; Forward 5]
+let rec count_moves moves =
+  match moves with
+    [] -> 0
+  | Repeat (n, body) :: rest -> n * count_moves body + count_moves rest
+  | _ :: rest -> 1 + count_moves rest
+let depth = count_moves [square]
+let show_state st = "(" ^ string_of_int st.px ^ ", " ^ string_of_int st.py ^ ")"
+let report = show_state final
+let trail = List.map (fun n -> Forward n) [1; 2; 3]
+let longer = trail @ [Turn 90; Forward 7]
+let steps = count_moves longer
+let rec equal_moves a b =
+  match a with
+    Forward n -> (match b with Forward m -> n = m | Turn e -> false
+                             | _ -> false)
+  | Turn d -> (match b with Turn e -> d = e | Forward m -> false
+                          | _ -> false)
+  | Repeat (n, body) ->
+      (match b with
+         Repeat (m, rest) -> n = m && count_moves body = count_moves rest
+       | Forward m -> false
+       | Turn e -> false
+       | _ -> false)
+let same_path = equal_moves square (Repeat (4, trail))
+)caml";
+
+const char *Assignment5 = R"caml(
+let compose f g x = f (g x)
+let twice f = compose f f
+let add1 x = x + 1
+let add2 = twice add1
+let rec ntimes n f x = if n = 0 then x else ntimes (n - 1) f (f x)
+let ten = ntimes 8 add1 2
+let rec tabulate f n =
+  if n = 0 then [] else tabulate f (n - 1) @ [f (n - 1)]
+let squares = tabulate (fun i -> i * i) 6
+let safe_div a b = if b = 0 then None else Some (a / b)
+let rec sum_opts opts =
+  match opts with
+    [] -> 0
+  | Some v :: t -> v + sum_opts t
+  | None :: t -> sum_opts t
+let parts = sum_opts [safe_div 10 2; safe_div 3 0; Some 4]
+let apply_pair (f, x) = f x
+let nine = apply_pair (add1, 8)
+let pipeline = [add1; twice add1; fun x -> x * 3]
+let rec thread x fs = match fs with [] -> x | f :: t -> thread (f x) t
+let threaded = thread 1 pipeline
+let describe n = "value: " ^ string_of_int n
+let captions = List.map describe [ten; nine; threaded]
+)caml";
+
+} // namespace
+
+const std::vector<AssignmentTemplate> &seminal::assignmentTemplates() {
+  static const std::vector<AssignmentTemplate> Templates = {
+      {1, "list utilities", Assignment1},
+      {2, "expression interpreter", Assignment2},
+      {3, "student database", Assignment3},
+      {4, "logo mover", Assignment4},
+      {5, "higher-order functions", Assignment5},
+  };
+  return Templates;
+}

@@ -1,0 +1,39 @@
+//===- Programs.h - Assignment templates for the corpus ---------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Five well-typed mini-Caml "homework assignments" standing in for the
+/// paper's five 100-200 line course assignments (Section 3.1): list
+/// utilities, an arithmetic-expression interpreter, a record-based
+/// student database, a Logo-like mover (the domain of the paper's
+/// Figure 9), and higher-order-function drills. Every template
+/// type-checks (asserted by tests); the corpus generator injects
+/// mutations into them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_CORPUS_PROGRAMS_H
+#define SEMINAL_CORPUS_PROGRAMS_H
+
+#include <string>
+#include <vector>
+
+namespace seminal {
+
+/// One homework assignment.
+struct AssignmentTemplate {
+  int Id;            ///< 1-based assignment number.
+  std::string Title; ///< Human-readable name.
+  std::string Source;
+};
+
+/// The five assignments, in course order (difficulty increases; the
+/// evaluation's Figure 5(b) groups results by this id).
+const std::vector<AssignmentTemplate> &assignmentTemplates();
+
+} // namespace seminal
+
+#endif // SEMINAL_CORPUS_PROGRAMS_H

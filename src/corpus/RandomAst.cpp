@@ -1,0 +1,198 @@
+//===- RandomAst.cpp - Random mini-Caml programs for fuzzing --------------==//
+
+#include "corpus/RandomAst.h"
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+const char *VarPool[] = {"x",  "y",   "z",    "f",        "g",
+                         "xs", "acc", "n",    "List.map", "List.length",
+                         "s",  "fst", "snd",  "ref",      "print_string"};
+
+const char *BinOps[] = {"+",  "-", "*",  "/",  "=",  "<",  ">",
+                        "<=", "^", "@",  "&&", "||", ":="};
+
+std::string randomVar(Rng &R) {
+  return VarPool[size_t(R.range(0, int64_t(std::size(VarPool)) - 1))];
+}
+
+std::string randomLocalVar(Rng &R) {
+  // Names safe to bind (no module paths).
+  static const char *Pool[] = {"a", "b", "c", "p", "q", "r", "w"};
+  return Pool[size_t(R.range(0, int64_t(std::size(Pool)) - 1))];
+}
+
+/// Binding positions (let p = ...) accept simple patterns only: a
+/// top-level cons pattern needs parentheses there, which the printer
+/// does not add, so exclude it from binding sites.
+caml::PatternPtr randomBindingPattern(Rng &R) {
+  caml::PatternPtr P = seminal::randomPattern(R, 1);
+  if (P->kind() == Pattern::Kind::Cons)
+    return makeVarPattern(randomLocalVar(R));
+  return P;
+}
+
+} // namespace
+
+PatternPtr seminal::randomPattern(Rng &R, unsigned MaxDepth) {
+  int Kind = int(R.range(0, MaxDepth == 0 ? 5 : 8));
+  switch (Kind) {
+  case 0:
+    return makeWildPattern();
+  case 1:
+    return makeVarPattern(randomLocalVar(R));
+  case 2:
+    return makeIntPattern(long(R.range(-5, 20)));
+  case 3:
+    return makeBoolPattern(R.chance(0.5));
+  case 4:
+    return makeStringPattern(R.chance(0.5) ? "s" : "t");
+  case 5:
+    return makeUnitPattern();
+  case 6: {
+    std::vector<PatternPtr> Elems;
+    int N = int(R.range(2, 3));
+    for (int I = 0; I < N; ++I)
+      Elems.push_back(randomPattern(R, MaxDepth - 1));
+    return makeTuplePattern(std::move(Elems));
+  }
+  case 7: {
+    std::vector<PatternPtr> Elems;
+    int N = int(R.range(0, 2));
+    for (int I = 0; I < N; ++I)
+      Elems.push_back(randomPattern(R, MaxDepth - 1));
+    return makeListPattern(std::move(Elems));
+  }
+  default:
+    return makeConsPattern(randomPattern(R, MaxDepth - 1),
+                           randomPattern(R, MaxDepth - 1));
+  }
+}
+
+ExprPtr seminal::randomExpr(Rng &R, unsigned MaxDepth) {
+  int Kind = int(R.range(0, MaxDepth == 0 ? 4 : 16));
+  switch (Kind) {
+  case 0:
+    // Non-negative only: a negative literal prints as "-n", which
+    // reparses as unary minus applied to n (as in OCaml's surface
+    // syntax), so it cannot round-trip as a literal.
+    return makeIntLit(long(R.range(0, 99)));
+  case 1:
+    return makeBoolLit(R.chance(0.5));
+  case 2:
+    return makeStringLit(R.chance(0.5) ? "hello" : "w orld\n");
+  case 3:
+    return makeUnitLit();
+  case 4:
+    return makeVar(R.chance(0.7) ? randomLocalVar(R) : randomVar(R));
+  case 5: {
+    std::vector<PatternPtr> Params;
+    int N = int(R.range(1, 3));
+    for (int I = 0; I < N; ++I)
+      Params.push_back(randomPattern(R, 1));
+    return makeFun(std::move(Params), randomExpr(R, MaxDepth - 1));
+  }
+  case 6: {
+    std::vector<ExprPtr> Args;
+    int N = int(R.range(1, 3));
+    for (int I = 0; I < N; ++I)
+      Args.push_back(randomExpr(R, MaxDepth - 1));
+    // A nullary-constructor callee would reparse as constructor
+    // application, a different node; substitute a variable.
+    ExprPtr Callee = randomExpr(R, MaxDepth - 1);
+    if (Callee->kind() == Expr::Kind::Constr)
+      Callee = makeVar(randomLocalVar(R));
+    return makeApp(std::move(Callee), std::move(Args));
+  }
+  case 7: {
+    bool Sugar = R.chance(0.5);
+    std::vector<PatternPtr> Params;
+    PatternPtr Binding;
+    if (Sugar) {
+      Binding = makeVarPattern(randomLocalVar(R));
+      int N = int(R.range(1, 2));
+      for (int I = 0; I < N; ++I)
+        Params.push_back(randomPattern(R, 1));
+    } else {
+      Binding = randomBindingPattern(R);
+    }
+    return makeLet(R.chance(0.3) && Sugar, std::move(Binding),
+                   std::move(Params), randomExpr(R, MaxDepth - 1),
+                   randomExpr(R, MaxDepth - 1));
+  }
+  case 8:
+    return makeIf(randomExpr(R, MaxDepth - 1), randomExpr(R, MaxDepth - 1),
+                  R.chance(0.8) ? randomExpr(R, MaxDepth - 1) : nullptr);
+  case 9: {
+    std::vector<ExprPtr> Elems;
+    int N = int(R.range(2, 3));
+    for (int I = 0; I < N; ++I)
+      Elems.push_back(randomExpr(R, MaxDepth - 1));
+    return makeTuple(std::move(Elems));
+  }
+  case 10: {
+    std::vector<ExprPtr> Elems;
+    int N = int(R.range(0, 3));
+    for (int I = 0; I < N; ++I)
+      Elems.push_back(randomExpr(R, MaxDepth - 1));
+    return makeList(std::move(Elems));
+  }
+  case 11:
+    return makeCons(randomExpr(R, MaxDepth - 1),
+                    randomExpr(R, MaxDepth - 1));
+  case 12: {
+    const char *Op = BinOps[size_t(R.range(0, int64_t(std::size(BinOps)) - 1))];
+    return makeBinOp(Op, randomExpr(R, MaxDepth - 1),
+                     randomExpr(R, MaxDepth - 1));
+  }
+  case 13: {
+    static const char *Ops[] = {"not", "-", "!"};
+    return makeUnaryOp(Ops[size_t(R.range(0, 2))],
+                       randomExpr(R, MaxDepth - 1));
+  }
+  case 14: {
+    std::vector<MatchArm> Arms;
+    int N = int(R.range(1, 3));
+    for (int I = 0; I < N; ++I)
+      Arms.push_back(
+          MatchArm{randomPattern(R, 1), randomExpr(R, MaxDepth - 1)});
+    return makeMatch(randomExpr(R, MaxDepth - 1), std::move(Arms));
+  }
+  case 15:
+    return makeSeq(randomExpr(R, MaxDepth - 1),
+                   randomExpr(R, MaxDepth - 1));
+  default: {
+    if (R.chance(0.5))
+      return makeConstr(R.chance(0.5) ? "Some" : "None",
+                        R.chance(0.5) ? randomExpr(R, MaxDepth - 1)
+                                      : nullptr);
+    return makeRaise(makeConstr(R.chance(0.5) ? "Not_found" : "Foo",
+                                nullptr));
+  }
+  }
+}
+
+Program seminal::randomProgram(Rng &R, unsigned MaxDecls,
+                               unsigned MaxDepth) {
+  Program Prog;
+  unsigned N = unsigned(R.range(1, MaxDecls));
+  for (unsigned I = 0; I < N; ++I) {
+    bool Sugar = R.chance(0.6);
+    std::vector<PatternPtr> Params;
+    PatternPtr Binding;
+    if (Sugar) {
+      Binding = makeVarPattern(randomLocalVar(R));
+      unsigned NumParams = unsigned(R.range(1, 2));
+      for (unsigned J = 0; J < NumParams; ++J)
+        Params.push_back(randomPattern(R, 1));
+    } else {
+      Binding = randomBindingPattern(R);
+    }
+    Prog.Decls.push_back(makeLetDecl(R.chance(0.2) && Sugar,
+                                     std::move(Binding), std::move(Params),
+                                     randomExpr(R, MaxDepth)));
+  }
+  return Prog;
+}

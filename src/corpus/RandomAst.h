@@ -1,0 +1,35 @@
+//===- RandomAst.h - Random mini-Caml programs for fuzzing ------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random mini-Caml ASTs -- deliberately *not* necessarily
+/// well-typed -- for property testing: the printer must round-trip any
+/// tree, the checker must be total (accept or produce a located error,
+/// never crash), and the searcher must stay sound on arbitrary inputs
+/// within its budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_CORPUS_RANDOMAST_H
+#define SEMINAL_CORPUS_RANDOMAST_H
+
+#include "minicaml/Ast.h"
+#include "support/Rng.h"
+
+namespace seminal {
+
+/// A random expression with at most \p MaxDepth nesting levels.
+caml::ExprPtr randomExpr(Rng &R, unsigned MaxDepth);
+
+/// A random pattern with at most \p MaxDepth nesting levels.
+caml::PatternPtr randomPattern(Rng &R, unsigned MaxDepth);
+
+/// A random program of up to \p MaxDecls let declarations.
+caml::Program randomProgram(Rng &R, unsigned MaxDecls, unsigned MaxDepth);
+
+} // namespace seminal
+
+#endif // SEMINAL_CORPUS_RANDOMAST_H

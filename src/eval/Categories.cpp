@@ -1,0 +1,33 @@
+//===- Categories.cpp - The paper's five result buckets --------------------==//
+
+#include "eval/Categories.h"
+
+using namespace seminal;
+
+std::string seminal::categoryName(Category C) {
+  switch (C) {
+  case Category::TieNoTriage:
+    return "tie (no triage needed)";
+  case Category::TieNeedsTriage:
+    return "tie (triage needed)";
+  case Category::OursBetterNoTriage:
+    return "ours better (no triage needed)";
+  case Category::OursBetterNeedsTriage:
+    return "ours better (triage needed)";
+  case Category::CheckerBetter:
+    return "checker better";
+  }
+  return "?";
+}
+
+Category seminal::categorize(Quality Checker, Quality Ours,
+                             Quality OursNoTriage) {
+  if (Checker > Ours)
+    return Category::CheckerBetter;
+  if (Ours > Checker)
+    return OursNoTriage > Checker ? Category::OursBetterNoTriage
+                                  : Category::OursBetterNeedsTriage;
+  // Tie: did we need triage to reach it?
+  return OursNoTriage >= Checker ? Category::TieNoTriage
+                                 : Category::TieNeedsTriage;
+}

@@ -1,0 +1,74 @@
+//===- Categories.h - The paper's five result buckets -----------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.2 places every analyzed file in one of five categories by
+/// comparing three messages (checker, ours-with-triage, ours-without):
+///
+///   1. tie, triage unnecessary        3. ours better, triage unnecessary
+///   2. tie, triage necessary          4. ours better, triage necessary
+///   5. checker better
+///
+/// Figure 5 stacks these per programmer and per assignment; the headline
+/// statistics (ours better 19%, checker better 17%, no worse 83%, triage
+/// helps 16%) are arithmetic over the same buckets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_EVAL_CATEGORIES_H
+#define SEMINAL_EVAL_CATEGORIES_H
+
+#include "eval/Judge.h"
+
+#include <array>
+#include <string>
+
+namespace seminal {
+
+/// The paper's five buckets (1-based, matching the prose).
+enum class Category {
+  TieNoTriage = 1,
+  TieNeedsTriage = 2,
+  OursBetterNoTriage = 3,
+  OursBetterNeedsTriage = 4,
+  CheckerBetter = 5,
+};
+
+std::string categoryName(Category C);
+
+/// Buckets one file from its three judged qualities.
+Category categorize(Quality Checker, Quality Ours, Quality OursNoTriage);
+
+/// Per-group category counts plus the tie-but-both-poor refinement the
+/// paper reports separately (its 9%).
+struct CategoryCounts {
+  std::array<unsigned, 6> Count = {}; ///< Index by int(Category); [0] unused.
+  unsigned BothPoorTies = 0;
+  unsigned Total = 0;
+
+  void add(Category C, bool BothPoor) {
+    ++Count[size_t(C)];
+    ++Total;
+    if (BothPoor &&
+        (C == Category::TieNoTriage || C == Category::TieNeedsTriage))
+      ++BothPoorTies;
+  }
+
+  unsigned oursBetter() const { return Count[3] + Count[4]; }
+  unsigned checkerBetter() const { return Count[5]; }
+  unsigned noWorse() const {
+    return Count[1] + Count[2] + Count[3] + Count[4];
+  }
+  unsigned triageHelped() const { return Count[2] + Count[4]; }
+
+  double pct(unsigned N) const {
+    return Total == 0 ? 0.0 : 100.0 * double(N) / double(Total);
+  }
+};
+
+} // namespace seminal
+
+#endif // SEMINAL_EVAL_CATEGORIES_H

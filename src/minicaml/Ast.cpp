@@ -1,0 +1,710 @@
+//===- Ast.cpp - Mini-Caml abstract syntax implementation -----------------==//
+
+#include "minicaml/Ast.h"
+
+#include "support/StrUtil.h"
+
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+PatternPtr Pattern::clone() const {
+  auto Copy = std::make_unique<Pattern>(TheKind);
+  Copy->Span = Span;
+  Copy->Name = Name;
+  Copy->IntValue = IntValue;
+  Copy->BoolValue = BoolValue;
+  Copy->StringValue = StringValue;
+  for (const auto &Elem : Elems)
+    Copy->Elems.push_back(Elem->clone());
+  if (Head)
+    Copy->Head = Head->clone();
+  if (Tail)
+    Copy->Tail = Tail->clone();
+  if (Arg)
+    Copy->Arg = Arg->clone();
+  return Copy;
+}
+
+bool Pattern::equals(const Pattern &Other) const {
+  if (TheKind != Other.TheKind)
+    return false;
+  switch (TheKind) {
+  case Kind::Wild:
+  case Kind::Unit:
+    return true;
+  case Kind::Var:
+  case Kind::Constr:
+    if (Name != Other.Name)
+      return false;
+    if ((Arg == nullptr) != (Other.Arg == nullptr))
+      return false;
+    return !Arg || Arg->equals(*Other.Arg);
+  case Kind::Int:
+    return IntValue == Other.IntValue;
+  case Kind::Bool:
+    return BoolValue == Other.BoolValue;
+  case Kind::String:
+    return StringValue == Other.StringValue;
+  case Kind::Tuple:
+  case Kind::List: {
+    if (Elems.size() != Other.Elems.size())
+      return false;
+    for (size_t I = 0; I < Elems.size(); ++I)
+      if (!Elems[I]->equals(*Other.Elems[I]))
+        return false;
+    return true;
+  }
+  case Kind::Cons:
+    return Head->equals(*Other.Head) && Tail->equals(*Other.Tail);
+  }
+  return false;
+}
+
+unsigned Pattern::size() const {
+  unsigned N = 1;
+  for (const auto &Elem : Elems)
+    N += Elem->size();
+  if (Head)
+    N += Head->size();
+  if (Tail)
+    N += Tail->size();
+  if (Arg)
+    N += Arg->size();
+  return N;
+}
+
+void Pattern::boundVars(std::vector<std::string> &Out) const {
+  switch (TheKind) {
+  case Kind::Var:
+    Out.push_back(Name);
+    return;
+  case Kind::Tuple:
+  case Kind::List:
+    for (const auto &Elem : Elems)
+      Elem->boundVars(Out);
+    return;
+  case Kind::Cons:
+    Head->boundVars(Out);
+    Tail->boundVars(Out);
+    return;
+  case Kind::Constr:
+    if (Arg)
+      Arg->boundVars(Out);
+    return;
+  default:
+    return;
+  }
+}
+
+std::string Pattern::str() const {
+  switch (TheKind) {
+  case Kind::Wild:
+    return "_";
+  case Kind::Var:
+    return Name;
+  case Kind::Int:
+    return std::to_string(IntValue);
+  case Kind::Bool:
+    return BoolValue ? "true" : "false";
+  case Kind::String:
+    return "\"" + escapeStringLiteral(StringValue) + "\"";
+  case Kind::Unit:
+    return "()";
+  case Kind::Tuple: {
+    std::vector<std::string> Parts;
+    for (const auto &Elem : Elems)
+      Parts.push_back(Elem->str());
+    return "(" + join(Parts, ", ") + ")";
+  }
+  case Kind::List: {
+    std::vector<std::string> Parts;
+    for (const auto &Elem : Elems)
+      Parts.push_back(Elem->str());
+    return "[" + join(Parts, "; ") + "]";
+  }
+  case Kind::Cons: {
+    std::string HeadStr = Head->str();
+    if (Head->kind() == Kind::Cons)
+      HeadStr = "(" + HeadStr + ")";
+    return HeadStr + " :: " + Tail->str();
+  }
+  case Kind::Constr: {
+    if (!Arg)
+      return Name;
+    std::string ArgStr = Arg->str();
+    bool NeedParens = Arg->kind() == Kind::Cons || Arg->kind() == Kind::Constr;
+    if (NeedParens)
+      ArgStr = "(" + ArgStr + ")";
+    return Name + " " + ArgStr;
+  }
+  }
+  return "<pattern>";
+}
+
+PatternPtr caml::makeWildPattern() {
+  return std::make_unique<Pattern>(Pattern::Kind::Wild);
+}
+
+PatternPtr caml::makeVarPattern(const std::string &Name) {
+  auto P = std::make_unique<Pattern>(Pattern::Kind::Var);
+  P->Name = Name;
+  return P;
+}
+
+PatternPtr caml::makeIntPattern(long Value) {
+  auto P = std::make_unique<Pattern>(Pattern::Kind::Int);
+  P->IntValue = Value;
+  return P;
+}
+
+PatternPtr caml::makeBoolPattern(bool Value) {
+  auto P = std::make_unique<Pattern>(Pattern::Kind::Bool);
+  P->BoolValue = Value;
+  return P;
+}
+
+PatternPtr caml::makeStringPattern(const std::string &Value) {
+  auto P = std::make_unique<Pattern>(Pattern::Kind::String);
+  P->StringValue = Value;
+  return P;
+}
+
+PatternPtr caml::makeUnitPattern() {
+  return std::make_unique<Pattern>(Pattern::Kind::Unit);
+}
+
+PatternPtr caml::makeTuplePattern(std::vector<PatternPtr> Elems) {
+  auto P = std::make_unique<Pattern>(Pattern::Kind::Tuple);
+  P->Elems = std::move(Elems);
+  return P;
+}
+
+PatternPtr caml::makeListPattern(std::vector<PatternPtr> Elems) {
+  auto P = std::make_unique<Pattern>(Pattern::Kind::List);
+  P->Elems = std::move(Elems);
+  return P;
+}
+
+PatternPtr caml::makeConsPattern(PatternPtr Head, PatternPtr Tail) {
+  auto P = std::make_unique<Pattern>(Pattern::Kind::Cons);
+  P->Head = std::move(Head);
+  P->Tail = std::move(Tail);
+  return P;
+}
+
+PatternPtr caml::makeConstrPattern(const std::string &Name, PatternPtr Arg) {
+  auto P = std::make_unique<Pattern>(Pattern::Kind::Constr);
+  P->Name = Name;
+  P->Arg = std::move(Arg);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Expr::swapChild(unsigned I, ExprPtr New) {
+  assert(I < Children.size() && "swapChild index out of range");
+  assert(New && "cannot install a null child");
+  ExprPtr Old = std::move(Children[I]);
+  Children[I] = std::move(New);
+  return Old;
+}
+
+ExprPtr Expr::clone() const {
+  auto Copy = std::make_unique<Expr>(TheKind);
+  Copy->Span = Span;
+  Copy->IntValue = IntValue;
+  Copy->BoolValue = BoolValue;
+  Copy->StringValue = StringValue;
+  Copy->Name = Name;
+  Copy->IsRec = IsRec;
+  if (Binding)
+    Copy->Binding = Binding->clone();
+  for (const auto &Param : Params)
+    Copy->Params.push_back(Param->clone());
+  for (const auto &Child : Children)
+    Copy->Children.push_back(Child->clone());
+  for (const auto &Pat : ArmPats)
+    Copy->ArmPats.push_back(Pat->clone());
+  Copy->FieldNames = FieldNames;
+  return Copy;
+}
+
+bool Expr::equals(const Expr &Other) const {
+  if (TheKind != Other.TheKind)
+    return false;
+  if (IntValue != Other.IntValue || BoolValue != Other.BoolValue ||
+      StringValue != Other.StringValue || Name != Other.Name ||
+      IsRec != Other.IsRec || FieldNames != Other.FieldNames)
+    return false;
+  if ((Binding == nullptr) != (Other.Binding == nullptr))
+    return false;
+  if (Binding && !Binding->equals(*Other.Binding))
+    return false;
+  if (Params.size() != Other.Params.size() ||
+      Children.size() != Other.Children.size() ||
+      ArmPats.size() != Other.ArmPats.size())
+    return false;
+  for (size_t I = 0; I < Params.size(); ++I)
+    if (!Params[I]->equals(*Other.Params[I]))
+      return false;
+  for (size_t I = 0; I < ArmPats.size(); ++I)
+    if (!ArmPats[I]->equals(*Other.ArmPats[I]))
+      return false;
+  for (size_t I = 0; I < Children.size(); ++I)
+    if (!Children[I]->equals(*Other.Children[I]))
+      return false;
+  return true;
+}
+
+unsigned Expr::size() const {
+  unsigned N = 1;
+  if (Binding)
+    N += Binding->size();
+  for (const auto &Param : Params)
+    N += Param->size();
+  for (const auto &Pat : ArmPats)
+    N += Pat->size();
+  for (const auto &Child : Children)
+    N += Child->size();
+  return N;
+}
+
+bool Expr::isSyntacticValue() const {
+  switch (TheKind) {
+  case Kind::IntLit:
+  case Kind::BoolLit:
+  case Kind::StringLit:
+  case Kind::UnitLit:
+  case Kind::Var:
+  case Kind::Fun:
+  case Kind::Wildcard:
+    return true;
+  case Kind::Tuple:
+  case Kind::List: {
+    for (const auto &Child : Children)
+      if (!Child->isSyntacticValue())
+        return false;
+    return true;
+  }
+  case Kind::Cons:
+    return Children[0]->isSyntacticValue() && Children[1]->isSyntacticValue();
+  case Kind::Constr: {
+    for (const auto &Child : Children)
+      if (!Child->isSyntacticValue())
+        return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+ExprPtr caml::makeIntLit(long Value) {
+  auto E = std::make_unique<Expr>(Expr::Kind::IntLit);
+  E->IntValue = Value;
+  return E;
+}
+
+ExprPtr caml::makeBoolLit(bool Value) {
+  auto E = std::make_unique<Expr>(Expr::Kind::BoolLit);
+  E->BoolValue = Value;
+  return E;
+}
+
+ExprPtr caml::makeStringLit(const std::string &Value) {
+  auto E = std::make_unique<Expr>(Expr::Kind::StringLit);
+  E->StringValue = Value;
+  return E;
+}
+
+ExprPtr caml::makeUnitLit() {
+  return std::make_unique<Expr>(Expr::Kind::UnitLit);
+}
+
+ExprPtr caml::makeVar(const std::string &Name) {
+  auto E = std::make_unique<Expr>(Expr::Kind::Var);
+  E->Name = Name;
+  return E;
+}
+
+ExprPtr caml::makeFun(std::vector<PatternPtr> Params, ExprPtr Body) {
+  assert(!Params.empty() && "function with no parameters");
+  auto E = std::make_unique<Expr>(Expr::Kind::Fun);
+  E->Params = std::move(Params);
+  E->Children.push_back(std::move(Body));
+  return E;
+}
+
+ExprPtr caml::makeApp(ExprPtr Callee, std::vector<ExprPtr> Args) {
+  assert(!Args.empty() && "application with no arguments");
+  auto E = std::make_unique<Expr>(Expr::Kind::App);
+  E->Children.push_back(std::move(Callee));
+  for (auto &Arg : Args)
+    E->Children.push_back(std::move(Arg));
+  return E;
+}
+
+ExprPtr caml::makeLet(bool IsRec, PatternPtr Binding,
+                      std::vector<PatternPtr> Params, ExprPtr Rhs,
+                      ExprPtr Body) {
+  auto E = std::make_unique<Expr>(Expr::Kind::Let);
+  E->IsRec = IsRec;
+  E->Binding = std::move(Binding);
+  E->Params = std::move(Params);
+  E->Children.push_back(std::move(Rhs));
+  E->Children.push_back(std::move(Body));
+  return E;
+}
+
+ExprPtr caml::makeIf(ExprPtr Cond, ExprPtr Then, ExprPtr Else) {
+  auto E = std::make_unique<Expr>(Expr::Kind::If);
+  E->Children.push_back(std::move(Cond));
+  E->Children.push_back(std::move(Then));
+  if (Else)
+    E->Children.push_back(std::move(Else));
+  return E;
+}
+
+ExprPtr caml::makeTuple(std::vector<ExprPtr> Elems) {
+  assert(Elems.size() >= 2 && "tuple needs at least two elements");
+  auto E = std::make_unique<Expr>(Expr::Kind::Tuple);
+  E->Children = std::move(Elems);
+  return E;
+}
+
+ExprPtr caml::makeList(std::vector<ExprPtr> Elems) {
+  auto E = std::make_unique<Expr>(Expr::Kind::List);
+  E->Children = std::move(Elems);
+  return E;
+}
+
+ExprPtr caml::makeCons(ExprPtr Head, ExprPtr Tail) {
+  auto E = std::make_unique<Expr>(Expr::Kind::Cons);
+  E->Children.push_back(std::move(Head));
+  E->Children.push_back(std::move(Tail));
+  return E;
+}
+
+ExprPtr caml::makeBinOp(const std::string &Op, ExprPtr Lhs, ExprPtr Rhs) {
+  auto E = std::make_unique<Expr>(Expr::Kind::BinOp);
+  E->Name = Op;
+  E->Children.push_back(std::move(Lhs));
+  E->Children.push_back(std::move(Rhs));
+  return E;
+}
+
+ExprPtr caml::makeUnaryOp(const std::string &Op, ExprPtr Operand) {
+  auto E = std::make_unique<Expr>(Expr::Kind::UnaryOp);
+  E->Name = Op;
+  E->Children.push_back(std::move(Operand));
+  return E;
+}
+
+ExprPtr caml::makeMatch(ExprPtr Scrutinee, std::vector<MatchArm> Arms) {
+  assert(!Arms.empty() && "match with no arms");
+  auto E = std::make_unique<Expr>(Expr::Kind::Match);
+  E->Children.push_back(std::move(Scrutinee));
+  for (auto &Arm : Arms) {
+    E->ArmPats.push_back(std::move(Arm.Pat));
+    E->Children.push_back(std::move(Arm.Body));
+  }
+  return E;
+}
+
+ExprPtr caml::makeConstr(const std::string &Name, ExprPtr Arg) {
+  auto E = std::make_unique<Expr>(Expr::Kind::Constr);
+  E->Name = Name;
+  if (Arg)
+    E->Children.push_back(std::move(Arg));
+  return E;
+}
+
+ExprPtr caml::makeSeq(ExprPtr First, ExprPtr Second) {
+  auto E = std::make_unique<Expr>(Expr::Kind::Seq);
+  E->Children.push_back(std::move(First));
+  E->Children.push_back(std::move(Second));
+  return E;
+}
+
+ExprPtr caml::makeRaise(ExprPtr Operand) {
+  auto E = std::make_unique<Expr>(Expr::Kind::Raise);
+  E->Children.push_back(std::move(Operand));
+  return E;
+}
+
+ExprPtr caml::makeFieldAccess(ExprPtr Rec, const std::string &Field) {
+  auto E = std::make_unique<Expr>(Expr::Kind::Field);
+  E->Name = Field;
+  E->Children.push_back(std::move(Rec));
+  return E;
+}
+
+ExprPtr caml::makeSetField(ExprPtr Rec, const std::string &Field,
+                           ExprPtr Value) {
+  auto E = std::make_unique<Expr>(Expr::Kind::SetField);
+  E->Name = Field;
+  E->Children.push_back(std::move(Rec));
+  E->Children.push_back(std::move(Value));
+  return E;
+}
+
+ExprPtr caml::makeRecord(std::vector<RecordField> Fields) {
+  assert(!Fields.empty() && "record literal with no fields");
+  auto E = std::make_unique<Expr>(Expr::Kind::Record);
+  for (auto &Field : Fields) {
+    E->FieldNames.push_back(Field.Name);
+    E->Children.push_back(std::move(Field.Value));
+  }
+  return E;
+}
+
+ExprPtr caml::makeWildcard() {
+  return std::make_unique<Expr>(Expr::Kind::Wildcard);
+}
+
+ExprPtr caml::makeAdapt(ExprPtr Inner) {
+  auto E = std::make_unique<Expr>(Expr::Kind::Adapt);
+  E->Children.push_back(std::move(Inner));
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Type expressions
+//===----------------------------------------------------------------------===//
+
+TypeExprPtr TypeExpr::clone() const {
+  auto Copy = std::make_unique<TypeExpr>();
+  Copy->TheKind = TheKind;
+  Copy->Name = Name;
+  for (const auto &Arg : Args)
+    Copy->Args.push_back(Arg->clone());
+  return Copy;
+}
+
+std::string TypeExpr::str() const {
+  switch (TheKind) {
+  case Kind::Var:
+    return "'" + Name;
+  case Kind::Name: {
+    if (Args.empty())
+      return Name;
+    if (Args.size() == 1) {
+      std::string Arg = Args[0]->str();
+      if (Args[0]->TheKind == Kind::Arrow || Args[0]->TheKind == Kind::Tuple)
+        Arg = "(" + Arg + ")";
+      return Arg + " " + Name;
+    }
+    std::vector<std::string> Parts;
+    for (const auto &Arg : Args)
+      Parts.push_back(Arg->str());
+    return "(" + join(Parts, ", ") + ") " + Name;
+  }
+  case Kind::Arrow: {
+    std::string From = Args[0]->str();
+    if (Args[0]->TheKind == Kind::Arrow)
+      From = "(" + From + ")";
+    return From + " -> " + Args[1]->str();
+  }
+  case Kind::Tuple: {
+    std::vector<std::string> Parts;
+    for (const auto &Arg : Args) {
+      std::string Part = Arg->str();
+      if (Arg->TheKind == Kind::Arrow || Arg->TheKind == Kind::Tuple)
+        Part = "(" + Part + ")";
+      Parts.push_back(Part);
+    }
+    return join(Parts, " * ");
+  }
+  }
+  return "<type>";
+}
+
+TypeExprPtr caml::makeTypeVarExpr(const std::string &Name) {
+  auto T = std::make_unique<TypeExpr>();
+  T->TheKind = TypeExpr::Kind::Var;
+  T->Name = Name;
+  return T;
+}
+
+TypeExprPtr caml::makeTypeNameExpr(const std::string &Name,
+                                   std::vector<TypeExprPtr> Args) {
+  auto T = std::make_unique<TypeExpr>();
+  T->TheKind = TypeExpr::Kind::Name;
+  T->Name = Name;
+  T->Args = std::move(Args);
+  return T;
+}
+
+TypeExprPtr caml::makeArrowTypeExpr(TypeExprPtr From, TypeExprPtr To) {
+  auto T = std::make_unique<TypeExpr>();
+  T->TheKind = TypeExpr::Kind::Arrow;
+  T->Args.push_back(std::move(From));
+  T->Args.push_back(std::move(To));
+  return T;
+}
+
+TypeExprPtr caml::makeTupleTypeExpr(std::vector<TypeExprPtr> Elems) {
+  auto T = std::make_unique<TypeExpr>();
+  T->TheKind = TypeExpr::Kind::Tuple;
+  T->Args = std::move(Elems);
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations and programs
+//===----------------------------------------------------------------------===//
+
+DeclPtr Decl::clone() const {
+  auto Copy = std::make_unique<Decl>(TheKind);
+  Copy->Span = Span;
+  Copy->IsRec = IsRec;
+  if (Binding)
+    Copy->Binding = Binding->clone();
+  for (const auto &Param : Params)
+    Copy->Params.push_back(Param->clone());
+  if (Rhs)
+    Copy->Rhs = Rhs->clone();
+  Copy->TypeName = TypeName;
+  Copy->TypeParams = TypeParams;
+  Copy->IsRecord = IsRecord;
+  for (const auto &Case : Cases) {
+    VariantCase C;
+    C.Name = Case.Name;
+    if (Case.ArgType)
+      C.ArgType = Case.ArgType->clone();
+    Copy->Cases.push_back(std::move(C));
+  }
+  for (const auto &Field : Fields) {
+    RecordFieldDecl F;
+    F.Name = Field.Name;
+    F.IsMutable = Field.IsMutable;
+    if (Field.Type)
+      F.Type = Field.Type->clone();
+    Copy->Fields.push_back(std::move(F));
+  }
+  Copy->ExcName = ExcName;
+  if (ExcArgType)
+    Copy->ExcArgType = ExcArgType->clone();
+  return Copy;
+}
+
+bool Decl::equals(const Decl &Other) const {
+  if (TheKind != Other.TheKind)
+    return false;
+  switch (TheKind) {
+  case Kind::Let: {
+    if (IsRec != Other.IsRec || Params.size() != Other.Params.size())
+      return false;
+    if (!Binding->equals(*Other.Binding))
+      return false;
+    for (size_t I = 0; I < Params.size(); ++I)
+      if (!Params[I]->equals(*Other.Params[I]))
+        return false;
+    return Rhs->equals(*Other.Rhs);
+  }
+  case Kind::Type:
+    // Structural comparison of type declarations is only used by tests on
+    // let-mutations, so name equality suffices.
+    return TypeName == Other.TypeName;
+  case Kind::Exception:
+    return ExcName == Other.ExcName;
+  }
+  return false;
+}
+
+unsigned Decl::size() const {
+  unsigned N = 1;
+  if (Binding)
+    N += Binding->size();
+  for (const auto &Param : Params)
+    N += Param->size();
+  if (Rhs)
+    N += Rhs->size();
+  return N;
+}
+
+DeclPtr caml::makeLetDecl(bool IsRec, PatternPtr Binding,
+                          std::vector<PatternPtr> Params, ExprPtr Rhs) {
+  auto D = std::make_unique<Decl>(Decl::Kind::Let);
+  D->IsRec = IsRec;
+  D->Binding = std::move(Binding);
+  D->Params = std::move(Params);
+  D->Rhs = std::move(Rhs);
+  return D;
+}
+
+Program Program::clone() const {
+  Program Copy;
+  for (const auto &D : Decls)
+    Copy.Decls.push_back(D->clone());
+  return Copy;
+}
+
+bool Program::equals(const Program &Other) const {
+  if (Decls.size() != Other.Decls.size())
+    return false;
+  for (size_t I = 0; I < Decls.size(); ++I)
+    if (!Decls[I]->equals(*Other.Decls[I]))
+      return false;
+  return true;
+}
+
+unsigned Program::size() const {
+  unsigned N = 0;
+  for (const auto &D : Decls)
+    N += D->size();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Node paths
+//===----------------------------------------------------------------------===//
+
+std::string NodePath::str() const {
+  std::ostringstream OS;
+  OS << "decl " << DeclIndex;
+  for (unsigned Step : Steps)
+    OS << "." << Step;
+  return OS.str();
+}
+
+Expr *caml::resolvePath(Program &Prog, const NodePath &Path) {
+  if (Path.DeclIndex >= Prog.Decls.size())
+    return nullptr;
+  Decl *D = Prog.Decls[Path.DeclIndex].get();
+  if (D->kind() != Decl::Kind::Let || !D->Rhs)
+    return nullptr;
+  Expr *Node = D->Rhs.get();
+  for (unsigned Step : Path.Steps) {
+    if (Step >= Node->numChildren())
+      return nullptr;
+    Node = Node->child(Step);
+  }
+  return Node;
+}
+
+ExprPtr caml::replaceAtPath(Program &Prog, const NodePath &Path,
+                            ExprPtr Replacement) {
+  assert(Path.DeclIndex < Prog.Decls.size() && "path decl out of range");
+  Decl *D = Prog.Decls[Path.DeclIndex].get();
+  assert(D->kind() == Decl::Kind::Let && D->Rhs && "path into non-let decl");
+  if (Path.Steps.empty()) {
+    ExprPtr Old = std::move(D->Rhs);
+    D->Rhs = std::move(Replacement);
+    return Old;
+  }
+  Expr *Parent = D->Rhs.get();
+  for (size_t I = 0; I + 1 < Path.Steps.size(); ++I) {
+    assert(Path.Steps[I] < Parent->numChildren() && "path step out of range");
+    Parent = Parent->child(Path.Steps[I]);
+  }
+  return Parent->swapChild(Path.Steps.back(), std::move(Replacement));
+}

@@ -1,0 +1,748 @@
+//===- Eval.cpp - Mini-Caml evaluator implementation -----------------------==//
+
+#include "minicaml/Eval.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+ValuePtr makeValue(Value::Kind K) {
+  auto V = std::make_shared<Value>();
+  V->TheKind = K;
+  return V;
+}
+
+} // namespace
+
+ValuePtr caml::vInt(long N) {
+  ValuePtr V = makeValue(Value::Kind::Int);
+  V->IntValue = N;
+  return V;
+}
+
+ValuePtr caml::vBool(bool B) {
+  ValuePtr V = makeValue(Value::Kind::Bool);
+  V->BoolValue = B;
+  return V;
+}
+
+ValuePtr caml::vString(const std::string &S) {
+  ValuePtr V = makeValue(Value::Kind::String);
+  V->StringValue = S;
+  return V;
+}
+
+ValuePtr caml::vUnit() { return makeValue(Value::Kind::Unit); }
+
+ValuePtr caml::vList(std::vector<ValuePtr> Items) {
+  ValuePtr V = makeValue(Value::Kind::List);
+  V->Items = std::move(Items);
+  return V;
+}
+
+std::string Value::str() const {
+  switch (TheKind) {
+  case Kind::Int:
+    return std::to_string(IntValue);
+  case Kind::Bool:
+    return BoolValue ? "true" : "false";
+  case Kind::String:
+    return "\"" + escapeStringLiteral(StringValue) + "\"";
+  case Kind::Unit:
+    return "()";
+  case Kind::Tuple: {
+    std::vector<std::string> Parts;
+    for (const auto &Item : Items)
+      Parts.push_back(Item->str());
+    return "(" + join(Parts, ", ") + ")";
+  }
+  case Kind::List: {
+    std::vector<std::string> Parts;
+    for (const auto &Item : Items)
+      Parts.push_back(Item->str());
+    return "[" + join(Parts, "; ") + "]";
+  }
+  case Kind::Closure:
+  case Kind::Builtin:
+    return "<fun>";
+  case Kind::Constr: {
+    if (Items.empty())
+      return Name;
+    return Name + " " + Items[0]->str();
+  }
+  case Kind::Record: {
+    std::vector<std::string> Parts;
+    for (size_t I = 0; I < Items.size(); ++I)
+      Parts.push_back(FieldNames[I] + " = " + Items[I]->str());
+    return "{ " + join(Parts, "; ") + " }";
+  }
+  case Kind::Ref:
+    return "ref (" + RefCell->str() + ")";
+  }
+  return "?";
+}
+
+bool Value::equals(const Value &Other) const {
+  if (TheKind != Other.TheKind)
+    return false;
+  switch (TheKind) {
+  case Kind::Int:
+    return IntValue == Other.IntValue;
+  case Kind::Bool:
+    return BoolValue == Other.BoolValue;
+  case Kind::String:
+    return StringValue == Other.StringValue;
+  case Kind::Unit:
+    return true;
+  case Kind::Tuple:
+  case Kind::List: {
+    if (Items.size() != Other.Items.size())
+      return false;
+    for (size_t I = 0; I < Items.size(); ++I)
+      if (!Items[I]->equals(*Other.Items[I]))
+        return false;
+    return true;
+  }
+  case Kind::Constr: {
+    if (Name != Other.Name || Items.size() != Other.Items.size())
+      return false;
+    for (size_t I = 0; I < Items.size(); ++I)
+      if (!Items[I]->equals(*Other.Items[I]))
+        return false;
+    return true;
+  }
+  case Kind::Record: {
+    if (FieldNames != Other.FieldNames)
+      return false;
+    for (size_t I = 0; I < Items.size(); ++I)
+      if (!Items[I]->equals(*Other.Items[I]))
+        return false;
+    return true;
+  }
+  case Kind::Ref:
+    return RefCell->equals(*Other.RefCell);
+  case Kind::Closure:
+  case Kind::Builtin:
+    return false; // functions are incomparable
+  }
+  return false;
+}
+
+ValuePtr EvalResult::find(const std::string &Name) const {
+  for (auto It = Bindings.rbegin(); It != Bindings.rend(); ++It)
+    if (It->first == Name)
+      return It->second;
+  return nullptr;
+}
+
+namespace {
+
+using Env = std::vector<std::pair<std::string, ValuePtr>>;
+
+/// The evaluator. Missteps set ErrorOut and make every operation bail.
+class Evaluator {
+public:
+  Evaluator(size_t Fuel) : Fuel(Fuel) {}
+
+  EvalResult run(const Program &Prog) {
+    Env Environment;
+    for (const auto &D : Prog.Decls) {
+      if (ErrorOut)
+        break;
+      if (D->kind() != Decl::Kind::Let)
+        continue;
+      ValuePtr V = evalBinding(D->IsRec, *D->Binding, D->Params, *D->Rhs,
+                               Environment);
+      if (ErrorOut)
+        break;
+      if (!bindPattern(*D->Binding, V, Environment))
+        fail("match failure in top-level binding");
+    }
+    EvalResult Result;
+    Result.Error = ErrorOut;
+    Result.Output = Output;
+    if (!ErrorOut)
+      Result.Bindings = std::move(Environment);
+    return Result;
+  }
+
+private:
+  void fail(const std::string &Message) {
+    if (!ErrorOut)
+      ErrorOut = Message;
+  }
+
+  bool spend() {
+    if (Fuel == 0) {
+      fail("out of fuel (likely an infinite loop)");
+      return false;
+    }
+    --Fuel;
+    return true;
+  }
+
+  static ValuePtr lookup(const Env &Environment, const std::string &Name) {
+    for (auto It = Environment.rbegin(); It != Environment.rend(); ++It)
+      if (It->first == Name)
+        return It->second;
+    return nullptr;
+  }
+
+  /// Evaluates a let right-hand side, desugaring function parameters
+  /// into a closure; handles recursion by back-patching the closure's
+  /// environment.
+  ValuePtr evalBinding(bool IsRec, const Pattern &Binding,
+                       const std::vector<PatternPtr> &Params,
+                       const Expr &Rhs, Env &Environment) {
+    if (Params.empty()) {
+      // `let rec x = fun ... -> ...` is handled below only for sugar
+      // form; plain recursive values are evaluated non-recursively.
+      return eval(Rhs, Environment);
+    }
+    ValuePtr Fn = makeValue(Value::Kind::Closure);
+    Fn->FnBody = &Rhs;
+    auto Cloned = std::make_shared<std::vector<PatternPtr>>();
+    for (const auto &P : Params)
+      Cloned->push_back(P->clone());
+    Fn->FnParams = std::move(Cloned);
+    auto Captured = std::make_shared<Env>(Environment);
+    Fn->FnEnv = Captured;
+    if (IsRec && Binding.kind() == Pattern::Kind::Var)
+      Captured->emplace_back(Binding.Name, Fn);
+    return Fn;
+  }
+
+  ValuePtr apply(ValuePtr Fn, ValuePtr Arg) {
+    if (ErrorOut || !spend())
+      return vUnit();
+    if (Fn->TheKind == Value::Kind::Builtin)
+      return applyBuiltin(*Fn, std::move(Arg));
+    if (Fn->TheKind != Value::Kind::Closure) {
+      fail("attempt to call a non-function value");
+      return vUnit();
+    }
+    // Accumulate arguments until the arity is reached.
+    auto Next = std::make_shared<Value>(*Fn);
+    Next->Applied.push_back(std::move(Arg));
+    if (Next->Applied.size() < Next->FnParams->size())
+      return Next;
+    Env Local = *Next->FnEnv;
+    for (size_t I = 0; I < Next->FnParams->size(); ++I)
+      if (!bindPattern(*(*Next->FnParams)[I], Next->Applied[I], Local)) {
+        fail("match failure binding a function parameter");
+        return vUnit();
+      }
+    return eval(*Next->FnBody, Local);
+  }
+
+  ValuePtr applyBuiltin(const Value &Fn, ValuePtr Arg);
+
+  bool bindPattern(const Pattern &P, const ValuePtr &V, Env &Environment) {
+    switch (P.kind()) {
+    case Pattern::Kind::Wild:
+      return true;
+    case Pattern::Kind::Var:
+      Environment.emplace_back(P.Name, V);
+      return true;
+    case Pattern::Kind::Int:
+      return V->TheKind == Value::Kind::Int && V->IntValue == P.IntValue;
+    case Pattern::Kind::Bool:
+      return V->TheKind == Value::Kind::Bool && V->BoolValue == P.BoolValue;
+    case Pattern::Kind::String:
+      return V->TheKind == Value::Kind::String &&
+             V->StringValue == P.StringValue;
+    case Pattern::Kind::Unit:
+      return V->TheKind == Value::Kind::Unit;
+    case Pattern::Kind::Tuple: {
+      if (V->TheKind != Value::Kind::Tuple ||
+          V->Items.size() != P.Elems.size())
+        return false;
+      for (size_t I = 0; I < P.Elems.size(); ++I)
+        if (!bindPattern(*P.Elems[I], V->Items[I], Environment))
+          return false;
+      return true;
+    }
+    case Pattern::Kind::List: {
+      if (V->TheKind != Value::Kind::List ||
+          V->Items.size() != P.Elems.size())
+        return false;
+      for (size_t I = 0; I < P.Elems.size(); ++I)
+        if (!bindPattern(*P.Elems[I], V->Items[I], Environment))
+          return false;
+      return true;
+    }
+    case Pattern::Kind::Cons: {
+      if (V->TheKind != Value::Kind::List || V->Items.empty())
+        return false;
+      if (!bindPattern(*P.Head, V->Items.front(), Environment))
+        return false;
+      ValuePtr Tail = vList(std::vector<ValuePtr>(V->Items.begin() + 1,
+                                                  V->Items.end()));
+      return bindPattern(*P.Tail, Tail, Environment);
+    }
+    case Pattern::Kind::Constr: {
+      if (V->TheKind != Value::Kind::Constr || V->Name != P.Name)
+        return false;
+      if (!P.Arg)
+        return V->Items.empty();
+      return !V->Items.empty() &&
+             bindPattern(*P.Arg, V->Items[0], Environment);
+    }
+    }
+    return false;
+  }
+
+  ValuePtr eval(const Expr &E, Env &Environment) {
+    if (ErrorOut || !spend())
+      return vUnit();
+    switch (E.kind()) {
+    case Expr::Kind::IntLit:
+      return vInt(E.IntValue);
+    case Expr::Kind::BoolLit:
+      return vBool(E.BoolValue);
+    case Expr::Kind::StringLit:
+      return vString(E.StringValue);
+    case Expr::Kind::UnitLit:
+    case Expr::Kind::Wildcard:
+      return vUnit();
+    case Expr::Kind::Adapt:
+      return eval(*E.child(0), Environment);
+
+    case Expr::Kind::Var: {
+      if (ValuePtr V = lookup(Environment, E.Name))
+        return V;
+      if (ValuePtr B = builtinValue(E.Name))
+        return B;
+      fail("unbound value at runtime: " + E.Name);
+      return vUnit();
+    }
+
+    case Expr::Kind::Fun: {
+      ValuePtr Fn = makeValue(Value::Kind::Closure);
+      Fn->FnBody = E.child(0);
+      auto Cloned = std::make_shared<std::vector<PatternPtr>>();
+      for (const auto &P : E.Params)
+        Cloned->push_back(P->clone());
+      Fn->FnParams = std::move(Cloned);
+      Fn->FnEnv = std::make_shared<Env>(Environment);
+      return Fn;
+    }
+
+    case Expr::Kind::App: {
+      ValuePtr Fn = eval(*E.child(0), Environment);
+      for (unsigned I = 1; I < E.numChildren() && !ErrorOut; ++I)
+        Fn = apply(std::move(Fn), eval(*E.child(I), Environment));
+      return Fn;
+    }
+
+    case Expr::Kind::Let: {
+      size_t Mark = Environment.size();
+      ValuePtr V = evalBinding(E.IsRec, *E.Binding, E.Params, *E.child(0),
+                               Environment);
+      if (ErrorOut)
+        return vUnit();
+      if (!bindPattern(*E.Binding, V, Environment)) {
+        fail("match failure in let binding");
+        return vUnit();
+      }
+      ValuePtr Result = eval(*E.child(1), Environment);
+      Environment.resize(Mark);
+      return Result;
+    }
+
+    case Expr::Kind::If: {
+      ValuePtr C = eval(*E.child(0), Environment);
+      if (ErrorOut)
+        return vUnit();
+      bool Taken = C->TheKind == Value::Kind::Bool && C->BoolValue;
+      if (Taken)
+        return eval(*E.child(1), Environment);
+      if (E.numChildren() == 3)
+        return eval(*E.child(2), Environment);
+      return vUnit();
+    }
+
+    case Expr::Kind::Tuple: {
+      ValuePtr V = makeValue(Value::Kind::Tuple);
+      for (const auto &Child : E.Children)
+        V->Items.push_back(eval(*Child, Environment));
+      return V;
+    }
+
+    case Expr::Kind::List: {
+      ValuePtr V = makeValue(Value::Kind::List);
+      for (const auto &Child : E.Children)
+        V->Items.push_back(eval(*Child, Environment));
+      return V;
+    }
+
+    case Expr::Kind::Cons: {
+      ValuePtr Head = eval(*E.child(0), Environment);
+      ValuePtr Tail = eval(*E.child(1), Environment);
+      if (ErrorOut)
+        return vUnit();
+      if (Tail->TheKind != Value::Kind::List) {
+        fail("cons onto a non-list value");
+        return vUnit();
+      }
+      ValuePtr V = makeValue(Value::Kind::List);
+      V->Items.push_back(std::move(Head));
+      for (const auto &Item : Tail->Items)
+        V->Items.push_back(Item);
+      return V;
+    }
+
+    case Expr::Kind::BinOp:
+      return evalBinOp(E, Environment);
+
+    case Expr::Kind::UnaryOp: {
+      ValuePtr V = eval(*E.child(0), Environment);
+      if (ErrorOut)
+        return vUnit();
+      if (E.Name == "not")
+        return vBool(!(V->TheKind == Value::Kind::Bool && V->BoolValue));
+      if (E.Name == "-")
+        return vInt(-V->IntValue);
+      if (E.Name == "!") {
+        if (V->TheKind != Value::Kind::Ref) {
+          fail("dereference of a non-ref value");
+          return vUnit();
+        }
+        return V->RefCell;
+      }
+      fail("unknown unary operator " + E.Name);
+      return vUnit();
+    }
+
+    case Expr::Kind::Match: {
+      ValuePtr S = eval(*E.child(0), Environment);
+      for (unsigned I = 1; I < E.numChildren() && !ErrorOut; ++I) {
+        size_t Mark = Environment.size();
+        if (bindPattern(*E.ArmPats[I - 1], S, Environment)) {
+          ValuePtr Result = eval(*E.child(I), Environment);
+          Environment.resize(Mark);
+          return Result;
+        }
+        Environment.resize(Mark);
+      }
+      fail("match failure");
+      return vUnit();
+    }
+
+    case Expr::Kind::Constr: {
+      ValuePtr V = makeValue(Value::Kind::Constr);
+      V->Name = E.Name;
+      if (!E.Children.empty())
+        V->Items.push_back(eval(*E.child(0), Environment));
+      return V;
+    }
+
+    case Expr::Kind::Seq: {
+      eval(*E.child(0), Environment);
+      return eval(*E.child(1), Environment);
+    }
+
+    case Expr::Kind::Raise: {
+      ValuePtr V = eval(*E.child(0), Environment);
+      fail("uncaught exception: " + V->str());
+      return vUnit();
+    }
+
+    case Expr::Kind::Field: {
+      ValuePtr R = eval(*E.child(0), Environment);
+      if (ErrorOut)
+        return vUnit();
+      if (R->TheKind == Value::Kind::Record)
+        for (size_t I = 0; I < R->FieldNames.size(); ++I)
+          if (R->FieldNames[I] == E.Name)
+            return R->Items[I];
+      fail("field access failed: " + E.Name);
+      return vUnit();
+    }
+
+    case Expr::Kind::SetField: {
+      ValuePtr R = eval(*E.child(0), Environment);
+      ValuePtr V = eval(*E.child(1), Environment);
+      if (ErrorOut)
+        return vUnit();
+      if (R->TheKind == Value::Kind::Record)
+        for (size_t I = 0; I < R->FieldNames.size(); ++I)
+          if (R->FieldNames[I] == E.Name) {
+            R->Items[I] = V;
+            return vUnit();
+          }
+      fail("field update failed: " + E.Name);
+      return vUnit();
+    }
+
+    case Expr::Kind::Record: {
+      ValuePtr V = makeValue(Value::Kind::Record);
+      V->FieldNames = E.FieldNames;
+      for (const auto &Child : E.Children)
+        V->Items.push_back(eval(*Child, Environment));
+      return V;
+    }
+    }
+    fail("unevaluable expression");
+    return vUnit();
+  }
+
+  ValuePtr evalBinOp(const Expr &E, Env &Environment) {
+    const std::string &Op = E.Name;
+    // Short-circuit forms first.
+    if (Op == "&&") {
+      ValuePtr L = eval(*E.child(0), Environment);
+      if (ErrorOut || !(L->TheKind == Value::Kind::Bool && L->BoolValue))
+        return vBool(false);
+      ValuePtr R = eval(*E.child(1), Environment);
+      return vBool(R->TheKind == Value::Kind::Bool && R->BoolValue);
+    }
+    if (Op == "||") {
+      ValuePtr L = eval(*E.child(0), Environment);
+      if (!ErrorOut && L->TheKind == Value::Kind::Bool && L->BoolValue)
+        return vBool(true);
+      ValuePtr R = eval(*E.child(1), Environment);
+      return vBool(R->TheKind == Value::Kind::Bool && R->BoolValue);
+    }
+
+    ValuePtr L = eval(*E.child(0), Environment);
+    ValuePtr R = eval(*E.child(1), Environment);
+    if (ErrorOut)
+      return vUnit();
+    if (Op == "+")
+      return vInt(L->IntValue + R->IntValue);
+    if (Op == "-")
+      return vInt(L->IntValue - R->IntValue);
+    if (Op == "*")
+      return vInt(L->IntValue * R->IntValue);
+    if (Op == "/") {
+      if (R->IntValue == 0) {
+        fail("uncaught exception: Division_by_zero");
+        return vUnit();
+      }
+      return vInt(L->IntValue / R->IntValue);
+    }
+    if (Op == "^")
+      return vString(L->StringValue + R->StringValue);
+    if (Op == "@") {
+      ValuePtr V = vList({});
+      for (const auto &Item : L->Items)
+        V->Items.push_back(Item);
+      for (const auto &Item : R->Items)
+        V->Items.push_back(Item);
+      return V;
+    }
+    if (Op == "=" || Op == "==")
+      return vBool(L->equals(*R));
+    if (Op == "<>")
+      return vBool(!L->equals(*R));
+    if (Op == "<")
+      return vBool(L->IntValue < R->IntValue);
+    if (Op == ">")
+      return vBool(L->IntValue > R->IntValue);
+    if (Op == "<=")
+      return vBool(L->IntValue <= R->IntValue);
+    if (Op == ">=")
+      return vBool(L->IntValue >= R->IntValue);
+    if (Op == ":=") {
+      if (L->TheKind != Value::Kind::Ref) {
+        fail("assignment to a non-ref value");
+        return vUnit();
+      }
+      L->RefCell = R;
+      return vUnit();
+    }
+    fail("unknown binary operator " + Op);
+    return vUnit();
+  }
+
+  /// Builtin (stdlib) values; curried builtins carry their name and the
+  /// arguments applied so far.
+  ValuePtr builtinValue(const std::string &Name);
+
+  size_t Fuel;
+  std::optional<std::string> ErrorOut;
+  std::string Output;
+};
+
+/// Names and arities of the executable standard library subset.
+struct BuiltinInfo {
+  const char *Name;
+  unsigned Arity;
+};
+
+const BuiltinInfo Builtins[] = {
+    {"List.map", 2},       {"List.filter", 2},  {"List.length", 1},
+    {"List.rev", 1},       {"List.append", 2},  {"List.combine", 2},
+    {"List.mem", 2},       {"List.nth", 2},     {"List.hd", 1},
+    {"List.tl", 1},        {"List.fold_left", 3},
+    {"string_of_int", 1},  {"String.length", 1},
+    {"print_string", 1},   {"print_int", 1},    {"print_endline", 1},
+    {"ref", 1},            {"fst", 1},          {"snd", 1},
+    {"ignore", 1},         {"failwith", 1},     {"abs", 1},
+    {"max", 2},            {"min", 2},          {"succ", 1},
+    {"compare", 2},        {"String.concat", 2},
+};
+
+ValuePtr Evaluator::builtinValue(const std::string &Name) {
+  for (const BuiltinInfo &B : Builtins)
+    if (Name == B.Name) {
+      ValuePtr V = makeValue(Value::Kind::Builtin);
+      V->Name = Name;
+      V->IntValue = long(B.Arity);
+      return V;
+    }
+  return nullptr;
+}
+
+ValuePtr Evaluator::applyBuiltin(const Value &Fn, ValuePtr Arg) {
+  auto Next = std::make_shared<Value>(Fn);
+  Next->Applied.push_back(std::move(Arg));
+  if (long(Next->Applied.size()) < Next->IntValue)
+    return Next;
+
+  const std::string &Name = Next->Name;
+  auto &A = Next->Applied;
+
+  if (Name == "List.map") {
+    ValuePtr Out = vList({});
+    for (const auto &Item : A[1]->Items)
+      Out->Items.push_back(apply(A[0], Item));
+    return Out;
+  }
+  if (Name == "List.filter") {
+    ValuePtr Out = vList({});
+    for (const auto &Item : A[1]->Items) {
+      ValuePtr Keep = apply(A[0], Item);
+      if (Keep->TheKind == Value::Kind::Bool && Keep->BoolValue)
+        Out->Items.push_back(Item);
+    }
+    return Out;
+  }
+  if (Name == "List.length")
+    return vInt(long(A[0]->Items.size()));
+  if (Name == "List.rev") {
+    ValuePtr Out = vList({});
+    for (auto It = A[0]->Items.rbegin(); It != A[0]->Items.rend(); ++It)
+      Out->Items.push_back(*It);
+    return Out;
+  }
+  if (Name == "List.append") {
+    ValuePtr Out = vList({});
+    for (const auto &Item : A[0]->Items)
+      Out->Items.push_back(Item);
+    for (const auto &Item : A[1]->Items)
+      Out->Items.push_back(Item);
+    return Out;
+  }
+  if (Name == "List.combine") {
+    if (A[0]->Items.size() != A[1]->Items.size()) {
+      fail("uncaught exception: Invalid_argument \"List.combine\"");
+      return vUnit();
+    }
+    ValuePtr Out = vList({});
+    for (size_t I = 0; I < A[0]->Items.size(); ++I) {
+      ValuePtr Pair = makeValue(Value::Kind::Tuple);
+      Pair->Items = {A[0]->Items[I], A[1]->Items[I]};
+      Out->Items.push_back(Pair);
+    }
+    return Out;
+  }
+  if (Name == "List.mem") {
+    for (const auto &Item : A[1]->Items)
+      if (Item->equals(*A[0]))
+        return vBool(true);
+    return vBool(false);
+  }
+  if (Name == "List.nth") {
+    long N = A[1]->IntValue;
+    if (N < 0 || size_t(N) >= A[0]->Items.size()) {
+      fail("uncaught exception: Failure \"nth\"");
+      return vUnit();
+    }
+    return A[0]->Items[size_t(N)];
+  }
+  if (Name == "List.hd") {
+    if (A[0]->Items.empty()) {
+      fail("uncaught exception: Failure \"hd\"");
+      return vUnit();
+    }
+    return A[0]->Items.front();
+  }
+  if (Name == "List.tl") {
+    if (A[0]->Items.empty()) {
+      fail("uncaught exception: Failure \"tl\"");
+      return vUnit();
+    }
+    return vList(std::vector<ValuePtr>(A[0]->Items.begin() + 1,
+                                       A[0]->Items.end()));
+  }
+  if (Name == "List.fold_left") {
+    ValuePtr Acc = A[1];
+    for (const auto &Item : A[2]->Items)
+      Acc = apply(apply(A[0], Acc), Item);
+    return Acc;
+  }
+  if (Name == "string_of_int")
+    return vString(std::to_string(A[0]->IntValue));
+  if (Name == "String.length")
+    return vInt(long(A[0]->StringValue.size()));
+  if (Name == "String.concat") {
+    std::vector<std::string> Parts;
+    for (const auto &Item : A[1]->Items)
+      Parts.push_back(Item->StringValue);
+    return vString(join(Parts, A[0]->StringValue));
+  }
+  if (Name == "print_string" || Name == "print_endline") {
+    Output += A[0]->StringValue;
+    if (Name == "print_endline")
+      Output += "\n";
+    return vUnit();
+  }
+  if (Name == "print_int") {
+    Output += std::to_string(A[0]->IntValue);
+    return vUnit();
+  }
+  if (Name == "ref") {
+    ValuePtr V = makeValue(Value::Kind::Ref);
+    V->RefCell = A[0];
+    return V;
+  }
+  if (Name == "fst")
+    return A[0]->Items.empty() ? vUnit() : A[0]->Items[0];
+  if (Name == "snd")
+    return A[0]->Items.size() < 2 ? vUnit() : A[0]->Items[1];
+  if (Name == "ignore")
+    return vUnit();
+  if (Name == "failwith") {
+    fail("uncaught exception: Failure " + A[0]->str());
+    return vUnit();
+  }
+  if (Name == "abs")
+    return vInt(A[0]->IntValue < 0 ? -A[0]->IntValue : A[0]->IntValue);
+  if (Name == "succ")
+    return vInt(A[0]->IntValue + 1);
+  if (Name == "max")
+    return A[0]->IntValue >= A[1]->IntValue ? A[0] : A[1];
+  if (Name == "min")
+    return A[0]->IntValue <= A[1]->IntValue ? A[0] : A[1];
+  if (Name == "compare")
+    return vInt(A[0]->equals(*A[1]) ? 0
+                                    : (A[0]->IntValue < A[1]->IntValue ? -1
+                                                                       : 1));
+  fail("unimplemented builtin: " + Name);
+  return vUnit();
+}
+
+} // namespace
+
+EvalResult caml::evalProgram(const Program &Prog, size_t Fuel) {
+  Evaluator E(Fuel);
+  return E.run(Prog);
+}

@@ -1,0 +1,107 @@
+//===- Eval.h - Mini-Caml evaluator ------------------------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fuel-limited tree-walking evaluator for mini-Caml. The search
+/// system never runs programs, but a language substrate a downstream
+/// user would adopt needs one -- and it lets the tests demonstrate the
+/// strongest property a suggestion can have: applying the fix yields a
+/// program that type-checks *and computes the intended result*.
+///
+/// Evaluation is strict, left-to-right, with closures capturing their
+/// environment. Errors (unbound names at runtime, match failure,
+/// uncaught exceptions, fuel exhaustion) are reported, never thrown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_MINICAML_EVAL_H
+#define SEMINAL_MINICAML_EVAL_H
+
+#include "minicaml/Ast.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace seminal {
+namespace caml {
+
+/// A runtime value.
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind {
+    Int,
+    Bool,
+    String,
+    Unit,
+    Tuple,
+    List,
+    Closure,
+    Builtin,
+    Constr,
+    Record,
+    Ref,
+  };
+
+  Kind TheKind = Kind::Unit;
+  long IntValue = 0;
+  bool BoolValue = false;
+  std::string StringValue;
+  std::vector<ValuePtr> Items;   ///< Tuple/List elements, Constr payload.
+  std::string Name;              ///< Constructor / builtin name.
+  std::vector<std::string> FieldNames; ///< Record (parallel to Items).
+  ValuePtr RefCell;              ///< Ref contents (mutable).
+
+  // Closure payload. The parameter list is shared between the partial
+  // applications of one closure (Value must stay copyable).
+  const Expr *FnBody = nullptr;
+  std::shared_ptr<const std::vector<PatternPtr>> FnParams;
+  std::shared_ptr<std::vector<std::pair<std::string, ValuePtr>>> FnEnv;
+  /// Already-supplied arguments (partial application).
+  std::vector<ValuePtr> Applied;
+
+  /// Renders the value OCaml-style ("[1; 2]", "(1, \"a\")", "<fun>").
+  std::string str() const;
+
+  /// Structural equality (OCaml's =); functions compare false.
+  bool equals(const Value &Other) const;
+};
+
+ValuePtr vInt(long N);
+ValuePtr vBool(bool B);
+ValuePtr vString(const std::string &S);
+ValuePtr vUnit();
+ValuePtr vList(std::vector<ValuePtr> Items);
+
+/// Result of running a program.
+struct EvalResult {
+  /// Runtime error (match failure, uncaught exception, out of fuel...),
+  /// empty on success.
+  std::optional<std::string> Error;
+  /// Final value of each top-level let binding, by name (later bindings
+  /// shadow earlier ones).
+  std::vector<std::pair<std::string, ValuePtr>> Bindings;
+  /// Everything print_* wrote.
+  std::string Output;
+
+  bool ok() const { return !Error.has_value(); }
+
+  /// The last binding with the given name, or null.
+  ValuePtr find(const std::string &Name) const;
+};
+
+/// Evaluates \p Prog (which should already type-check; the evaluator is
+/// defensive about ill-typed input but reports runtime errors for it).
+/// \p Fuel bounds the number of evaluation steps.
+EvalResult evalProgram(const Program &Prog, size_t Fuel = 1000000);
+
+} // namespace caml
+} // namespace seminal
+
+#endif // SEMINAL_MINICAML_EVAL_H

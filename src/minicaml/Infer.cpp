@@ -1,0 +1,914 @@
+//===- Infer.cpp - Hindley-Milner type inference implementation -----------==//
+
+#include "minicaml/Infer.h"
+
+#include "minicaml/Parser.h"
+#include "minicaml/Stdlib.h"
+#include "minicaml/Types.h"
+#include "minicaml/Unify.h"
+
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+/// Information about one variant/exception constructor. Result and Arg
+/// share generic variables and are instantiated together.
+struct ConstrInfo {
+  std::string TypeName;
+  Type *Result = nullptr;
+  Type *Arg = nullptr; ///< Null for nullary constructors.
+};
+
+/// Information about one record type. All field types share the record's
+/// generic parameter variables.
+struct RecordInfo {
+  Type *RecordType = nullptr;
+  struct Field {
+    std::string Name;
+    Type *Ty = nullptr;
+    bool IsMutable = false;
+  };
+  std::vector<Field> Fields;
+
+  const Field *findField(const std::string &Name) const {
+    for (const auto &F : Fields)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// The whole-program inference context. One instance per oracle call.
+class Inferencer {
+public:
+  explicit Inferencer(const TypecheckOptions &Opts) : Opts(Opts) {
+    loadStdlib();
+  }
+
+  TypecheckResult run(const Program &Prog);
+
+private:
+  // Environment -----------------------------------------------------------
+  size_t envMark() const { return Env.size(); }
+  void envRestore(size_t Mark) { Env.resize(Mark); }
+  void bind(const std::string &Name, Type *T) { Env.emplace_back(Name, T); }
+  Type *lookup(const std::string &Name) const {
+    for (auto It = Env.rbegin(); It != Env.rend(); ++It)
+      if (It->first == Name)
+        return It->second;
+    return nullptr;
+  }
+
+  // Levels and schemes -----------------------------------------------------
+  void enterLevel() { ++CurrentLevel; }
+  void exitLevel() { --CurrentLevel; }
+
+  /// Marks every variable above the current level generic.
+  void generalize(Type *T) {
+    T = prune(T);
+    if (T->isVar()) {
+      if (T->Level > CurrentLevel)
+        T->Level = GenericLevel;
+      return;
+    }
+    for (Type *Arg : T->Args)
+      generalize(Arg);
+  }
+
+  /// Copies \p T replacing generic variables with fresh ones (shared
+  /// through \p Subst so one instantiation is consistent across parts).
+  Type *instantiate(Type *T, std::map<Type *, Type *> &Subst) {
+    T = prune(T);
+    if (T->isVar()) {
+      if (T->Level != GenericLevel)
+        return T;
+      auto It = Subst.find(T);
+      if (It != Subst.end())
+        return It->second;
+      Type *Fresh = Arena.freshVar(CurrentLevel);
+      Subst.emplace(T, Fresh);
+      return Fresh;
+    }
+    if (T->Args.empty())
+      return T;
+    std::vector<Type *> Args;
+    Args.reserve(T->Args.size());
+    for (Type *Arg : T->Args)
+      Args.push_back(instantiate(Arg, Subst));
+    return Arena.con(T->Name, std::move(Args));
+  }
+  Type *instantiate(Type *T) {
+    std::map<Type *, Type *> Subst;
+    return instantiate(T, Subst);
+  }
+
+  // Error reporting ---------------------------------------------------------
+  bool hasError() const { return ErrorOut.has_value(); }
+
+  void reportMismatch(const SourceSpan &Span, Type *Actual, Type *Expected) {
+    if (hasError())
+      return;
+    TypeError E;
+    E.TheKind = TypeError::Kind::Mismatch;
+    E.Span = Span;
+    auto [A, B] = typesToStrings(Actual, Expected);
+    E.ActualType = A;
+    E.ExpectedType = B;
+    E.Message = "This expression has type " + A +
+                " but is here used with type " + B;
+    ErrorOut = std::move(E);
+  }
+
+  void reportPatternMismatch(const SourceSpan &Span, Type *Actual,
+                             Type *Expected) {
+    if (hasError())
+      return;
+    TypeError E;
+    E.TheKind = TypeError::Kind::PatternMismatch;
+    E.Span = Span;
+    auto [A, B] = typesToStrings(Actual, Expected);
+    E.ActualType = A;
+    E.ExpectedType = B;
+    E.Message = "This pattern matches values of type " + A +
+                " but a pattern was expected which matches values of type " +
+                B;
+    ErrorOut = std::move(E);
+  }
+
+  void report(TypeError::Kind K, const SourceSpan &Span,
+              const std::string &Message, const std::string &Name = "") {
+    if (hasError())
+      return;
+    TypeError E;
+    E.TheKind = K;
+    E.Span = Span;
+    E.Message = Message;
+    E.Name = Name;
+    ErrorOut = std::move(E);
+  }
+
+  /// Unifies and converts a failure into a Mismatch at \p Span.
+  bool unifyOrMismatch(const SourceSpan &Span, Type *Actual, Type *Expected) {
+    if (hasError())
+      return false;
+    UnifyResult R = unify(Actual, Expected);
+    if (R.Ok)
+      return true;
+    if (R.OccursCheckFailure) {
+      report(TypeError::Kind::Cyclic, Span,
+             "This expression has a cyclic type");
+      return false;
+    }
+    reportMismatch(Span, Actual, Expected);
+    return false;
+  }
+
+  // Type-expression conversion ---------------------------------------------
+  Type *convertTypeExpr(const TypeExpr &TE,
+                        std::map<std::string, Type *> &VarMap,
+                        bool AutoBindVars, const SourceSpan &Span);
+
+  // Declarations -------------------------------------------------------------
+  void loadStdlib();
+  void processDecl(const Decl &D);
+  void processTypeDecl(const Decl &D);
+  void processExceptionDecl(const Decl &D);
+  void processLetDecl(bool IsRec, const Pattern &Binding,
+                      const std::vector<PatternPtr> &Params, const Expr &Rhs,
+                      const SourceSpan &Span, Type **OutType);
+
+  // Expressions and patterns -------------------------------------------------
+  void checkExpr(const Expr &E, Type *Expected);
+  void checkPattern(const Pattern &P, Type *Expected);
+  Type *binOpType(const std::string &Op);
+  Type *unaryOpType(const std::string &Op);
+
+  // State ---------------------------------------------------------------------
+  const TypecheckOptions &Opts;
+  TypeArena Arena;
+  std::vector<std::pair<std::string, Type *>> Env;
+  std::unordered_map<std::string, int> TypeArity;
+  std::unordered_map<std::string, ConstrInfo> Constructors;
+  std::unordered_map<std::string, std::string> FieldOwner;
+  std::unordered_map<std::string, RecordInfo> Records;
+  int CurrentLevel = 0;
+  std::optional<TypeError> ErrorOut;
+  Type *QueriedTy = nullptr;
+  std::vector<std::pair<std::string, Type *>> TopLevel;
+};
+
+//===----------------------------------------------------------------------===//
+// Setup
+//===----------------------------------------------------------------------===//
+
+void Inferencer::loadStdlib() {
+  TypeArity = {{"int", 0},  {"bool", 0}, {"string", 0}, {"unit", 0},
+               {"exn", 0},  {"list", 1}, {"ref", 1},    {"option", 1},
+  };
+
+  // The option type and its constructors.
+  Type *OptParam = Arena.freshVar(GenericLevel);
+  Type *OptType = Arena.con("option", {OptParam});
+  Constructors["None"] = ConstrInfo{"option", OptType, nullptr};
+  Constructors["Some"] = ConstrInfo{"option", OptType, OptParam};
+
+  for (const StdlibValue &V : stdlibValues()) {
+    std::optional<ParseError> PE;
+    TypeExprPtr TE = parseTypeSignature(V.TypeSig, PE);
+    assert(TE && "malformed stdlib signature");
+    std::map<std::string, Type *> VarMap;
+    Type *T = convertTypeExpr(*TE, VarMap, /*AutoBindVars=*/true,
+                              SourceSpan());
+    assert(T && !hasError() && "stdlib signature failed to convert");
+    // Signature variables are generic by construction (see convert).
+    bind(V.Name, T);
+  }
+
+  for (const StdlibException &E : stdlibExceptions()) {
+    ConstrInfo Info;
+    Info.TypeName = "exn";
+    Info.Result = Arena.exnType();
+    if (!E.ArgTypeSig.empty()) {
+      std::optional<ParseError> PE;
+      TypeExprPtr TE = parseTypeSignature(E.ArgTypeSig, PE);
+      assert(TE && "malformed stdlib exception signature");
+      std::map<std::string, Type *> VarMap;
+      Info.Arg = convertTypeExpr(*TE, VarMap, true, SourceSpan());
+    }
+    Constructors[E.Name] = std::move(Info);
+  }
+}
+
+Type *Inferencer::convertTypeExpr(const TypeExpr &TE,
+                                  std::map<std::string, Type *> &VarMap,
+                                  bool AutoBindVars, const SourceSpan &Span) {
+  if (hasError())
+    return Arena.freshVar(CurrentLevel);
+  switch (TE.TheKind) {
+  case TypeExpr::Kind::Var: {
+    auto It = VarMap.find(TE.Name);
+    if (It != VarMap.end())
+      return It->second;
+    if (!AutoBindVars) {
+      report(TypeError::Kind::Unbound, Span,
+             "Unbound type parameter '" + TE.Name, TE.Name);
+      return Arena.freshVar(CurrentLevel);
+    }
+    Type *Fresh = Arena.freshVar(GenericLevel);
+    VarMap.emplace(TE.Name, Fresh);
+    return Fresh;
+  }
+  case TypeExpr::Kind::Name: {
+    auto It = TypeArity.find(TE.Name);
+    if (It == TypeArity.end()) {
+      report(TypeError::Kind::Unbound, Span,
+             "Unbound type constructor " + TE.Name, TE.Name);
+      return Arena.freshVar(CurrentLevel);
+    }
+    if (int(TE.Args.size()) != It->second) {
+      report(TypeError::Kind::ConstructorArity, Span,
+             "The type constructor " + TE.Name + " expects " +
+                 std::to_string(It->second) + " argument(s)",
+             TE.Name);
+      return Arena.freshVar(CurrentLevel);
+    }
+    std::vector<Type *> Args;
+    for (const auto &Arg : TE.Args)
+      Args.push_back(convertTypeExpr(*Arg, VarMap, AutoBindVars, Span));
+    return Arena.con(TE.Name, std::move(Args));
+  }
+  case TypeExpr::Kind::Arrow: {
+    Type *From = convertTypeExpr(*TE.Args[0], VarMap, AutoBindVars, Span);
+    Type *To = convertTypeExpr(*TE.Args[1], VarMap, AutoBindVars, Span);
+    return Arena.arrow(From, To);
+  }
+  case TypeExpr::Kind::Tuple: {
+    std::vector<Type *> Elems;
+    for (const auto &Arg : TE.Args)
+      Elems.push_back(convertTypeExpr(*Arg, VarMap, AutoBindVars, Span));
+    return Arena.tuple(std::move(Elems));
+  }
+  }
+  return Arena.freshVar(CurrentLevel);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+void Inferencer::processTypeDecl(const Decl &D) {
+  // Register the constructor first so recursive types work.
+  TypeArity[D.TypeName] = int(D.TypeParams.size());
+
+  std::map<std::string, Type *> VarMap;
+  std::vector<Type *> ParamVars;
+  for (const std::string &Param : D.TypeParams) {
+    Type *V = Arena.freshVar(GenericLevel);
+    VarMap.emplace(Param, V);
+    ParamVars.push_back(V);
+  }
+  Type *Self = Arena.con(D.TypeName, ParamVars);
+
+  if (D.IsRecord) {
+    RecordInfo Info;
+    Info.RecordType = Self;
+    for (const RecordFieldDecl &Field : D.Fields) {
+      RecordInfo::Field F;
+      F.Name = Field.Name;
+      F.IsMutable = Field.IsMutable;
+      F.Ty = convertTypeExpr(*Field.Type, VarMap, /*AutoBindVars=*/false,
+                             D.Span);
+      Info.Fields.push_back(F);
+      FieldOwner[Field.Name] = D.TypeName;
+    }
+    Records[D.TypeName] = std::move(Info);
+    return;
+  }
+
+  for (const VariantCase &Case : D.Cases) {
+    ConstrInfo Info;
+    Info.TypeName = D.TypeName;
+    Info.Result = Self;
+    if (Case.ArgType)
+      Info.Arg = convertTypeExpr(*Case.ArgType, VarMap, false, D.Span);
+    Constructors[Case.Name] = std::move(Info);
+  }
+}
+
+void Inferencer::processExceptionDecl(const Decl &D) {
+  ConstrInfo Info;
+  Info.TypeName = "exn";
+  Info.Result = Arena.exnType();
+  if (D.ExcArgType) {
+    std::map<std::string, Type *> VarMap;
+    Info.Arg = convertTypeExpr(*D.ExcArgType, VarMap, false, D.Span);
+  }
+  Constructors[D.ExcName] = std::move(Info);
+}
+
+void Inferencer::processLetDecl(bool IsRec, const Pattern &Binding,
+                                const std::vector<PatternPtr> &Params,
+                                const Expr &Rhs, const SourceSpan &Span,
+                                Type **OutType) {
+  enterLevel();
+  Type *RhsType = nullptr;
+
+  if (!Params.empty()) {
+    // Function sugar: let [rec] f p1 ... pn = rhs.
+    assert(Binding.kind() == Pattern::Kind::Var &&
+           "function sugar requires a variable binding");
+    size_t Mark = envMark();
+    Type *FnVar = nullptr;
+    if (IsRec) {
+      FnVar = Arena.freshVar(CurrentLevel);
+      bind(Binding.Name, FnVar);
+    }
+    std::vector<Type *> ParamTypes;
+    for (const auto &Param : Params) {
+      Type *A = Arena.freshVar(CurrentLevel);
+      checkPattern(*Param, A);
+      ParamTypes.push_back(A);
+    }
+    Type *BodyType = Arena.freshVar(CurrentLevel);
+    Type *FnType = Arena.arrowChain(ParamTypes, BodyType);
+    if (FnVar)
+      unifyOrMismatch(Span, FnVar, FnType);
+    checkExpr(Rhs, BodyType);
+    envRestore(Mark);
+    RhsType = FnType;
+  } else {
+    Type *T = Arena.freshVar(CurrentLevel);
+    size_t Mark = envMark();
+    if (IsRec && Binding.kind() == Pattern::Kind::Var)
+      bind(Binding.Name, T);
+    checkExpr(Rhs, T);
+    envRestore(Mark);
+    RhsType = T;
+  }
+
+  exitLevel();
+  if (hasError()) {
+    *OutType = RhsType;
+    return;
+  }
+
+  // Value restriction: generalize only syntactic values (function sugar
+  // always yields a value).
+  if (!Params.empty() || Rhs.isSyntacticValue())
+    generalize(RhsType);
+  checkPattern(Binding, RhsType);
+  *OutType = RhsType;
+}
+
+void Inferencer::processDecl(const Decl &D) {
+  switch (D.kind()) {
+  case Decl::Kind::Type:
+    processTypeDecl(D);
+    return;
+  case Decl::Kind::Exception:
+    processExceptionDecl(D);
+    return;
+  case Decl::Kind::Let: {
+    Type *T = nullptr;
+    processLetDecl(D.IsRec, *D.Binding, D.Params, *D.Rhs, D.Span, &T);
+    if (D.Binding->kind() == Pattern::Kind::Var && T)
+      TopLevel.emplace_back(D.Binding->Name, T);
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+void Inferencer::checkPattern(const Pattern &P, Type *Expected) {
+  if (hasError())
+    return;
+  switch (P.kind()) {
+  case Pattern::Kind::Wild:
+    return;
+  case Pattern::Kind::Var:
+    bind(P.Name, Expected);
+    return;
+  case Pattern::Kind::Int: {
+    UnifyResult R = unify(Arena.intType(), Expected);
+    if (!R.Ok)
+      reportPatternMismatch(P.Span, Arena.intType(), Expected);
+    return;
+  }
+  case Pattern::Kind::Bool: {
+    UnifyResult R = unify(Arena.boolType(), Expected);
+    if (!R.Ok)
+      reportPatternMismatch(P.Span, Arena.boolType(), Expected);
+    return;
+  }
+  case Pattern::Kind::String: {
+    UnifyResult R = unify(Arena.stringType(), Expected);
+    if (!R.Ok)
+      reportPatternMismatch(P.Span, Arena.stringType(), Expected);
+    return;
+  }
+  case Pattern::Kind::Unit: {
+    UnifyResult R = unify(Arena.unitType(), Expected);
+    if (!R.Ok)
+      reportPatternMismatch(P.Span, Arena.unitType(), Expected);
+    return;
+  }
+  case Pattern::Kind::Tuple: {
+    std::vector<Type *> Elems;
+    for (size_t I = 0; I < P.Elems.size(); ++I)
+      Elems.push_back(Arena.freshVar(CurrentLevel));
+    Type *TupleTy = Arena.tuple(Elems);
+    UnifyResult R = unify(TupleTy, Expected);
+    if (!R.Ok) {
+      reportPatternMismatch(P.Span, TupleTy, Expected);
+      return;
+    }
+    for (size_t I = 0; I < P.Elems.size(); ++I)
+      checkPattern(*P.Elems[I], Elems[I]);
+    return;
+  }
+  case Pattern::Kind::List: {
+    Type *Elem = Arena.freshVar(CurrentLevel);
+    Type *ListTy = Arena.listOf(Elem);
+    UnifyResult R = unify(ListTy, Expected);
+    if (!R.Ok) {
+      reportPatternMismatch(P.Span, ListTy, Expected);
+      return;
+    }
+    for (const auto &E : P.Elems)
+      checkPattern(*E, Elem);
+    return;
+  }
+  case Pattern::Kind::Cons: {
+    Type *Elem = Arena.freshVar(CurrentLevel);
+    Type *ListTy = Arena.listOf(Elem);
+    UnifyResult R = unify(ListTy, Expected);
+    if (!R.Ok) {
+      reportPatternMismatch(P.Span, ListTy, Expected);
+      return;
+    }
+    checkPattern(*P.Head, Elem);
+    checkPattern(*P.Tail, ListTy);
+    return;
+  }
+  case Pattern::Kind::Constr: {
+    auto It = Constructors.find(P.Name);
+    if (It == Constructors.end()) {
+      report(TypeError::Kind::Unbound, P.Span,
+             "Unbound constructor " + P.Name, P.Name);
+      return;
+    }
+    std::map<Type *, Type *> Subst;
+    Type *Result = instantiate(It->second.Result, Subst);
+    Type *Arg =
+        It->second.Arg ? instantiate(It->second.Arg, Subst) : nullptr;
+    if ((P.Arg != nullptr) != (Arg != nullptr)) {
+      report(TypeError::Kind::ConstructorArity, P.Span,
+             "The constructor " + P.Name + " expects " +
+                 (Arg ? "1 argument" : "0 arguments") +
+                 ", but is applied here to " + (P.Arg ? "1" : "0"),
+             P.Name);
+      return;
+    }
+    UnifyResult R = unify(Result, Expected);
+    if (!R.Ok) {
+      reportPatternMismatch(P.Span, Result, Expected);
+      return;
+    }
+    if (P.Arg)
+      checkPattern(*P.Arg, Arg);
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Type *Inferencer::binOpType(const std::string &Op) {
+  if (Op == "+" || Op == "-" || Op == "*" || Op == "/")
+    return Arena.arrowChain({Arena.intType(), Arena.intType()},
+                            Arena.intType());
+  if (Op == "=" || Op == "==" || Op == "<>" || Op == "<" || Op == ">" ||
+      Op == "<=" || Op == ">=") {
+    Type *A = Arena.freshVar(CurrentLevel);
+    return Arena.arrowChain({A, A}, Arena.boolType());
+  }
+  if (Op == "^")
+    return Arena.arrowChain({Arena.stringType(), Arena.stringType()},
+                            Arena.stringType());
+  if (Op == "@") {
+    Type *L = Arena.listOf(Arena.freshVar(CurrentLevel));
+    return Arena.arrowChain({L, L}, L);
+  }
+  if (Op == "&&" || Op == "||")
+    return Arena.arrowChain({Arena.boolType(), Arena.boolType()},
+                            Arena.boolType());
+  if (Op == ":=") {
+    Type *A = Arena.freshVar(CurrentLevel);
+    return Arena.arrowChain({Arena.refOf(A), A}, Arena.unitType());
+  }
+  assert(false && "unknown binary operator");
+  return Arena.freshVar(CurrentLevel);
+}
+
+Type *Inferencer::unaryOpType(const std::string &Op) {
+  if (Op == "not")
+    return Arena.arrow(Arena.boolType(), Arena.boolType());
+  if (Op == "-")
+    return Arena.arrow(Arena.intType(), Arena.intType());
+  if (Op == "!") {
+    Type *A = Arena.freshVar(CurrentLevel);
+    return Arena.arrow(Arena.refOf(A), A);
+  }
+  assert(false && "unknown unary operator");
+  return Arena.freshVar(CurrentLevel);
+}
+
+void Inferencer::checkExpr(const Expr &E, Type *Expected) {
+  if (hasError())
+    return;
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    unifyOrMismatch(E.Span, Arena.intType(), Expected);
+    break;
+  case Expr::Kind::BoolLit:
+    unifyOrMismatch(E.Span, Arena.boolType(), Expected);
+    break;
+  case Expr::Kind::StringLit:
+    unifyOrMismatch(E.Span, Arena.stringType(), Expected);
+    break;
+  case Expr::Kind::UnitLit:
+    unifyOrMismatch(E.Span, Arena.unitType(), Expected);
+    break;
+  case Expr::Kind::Var: {
+    Type *T = lookup(E.Name);
+    if (!T) {
+      report(TypeError::Kind::Unbound, E.Span, "Unbound value " + E.Name,
+             E.Name);
+      break;
+    }
+    unifyOrMismatch(E.Span, instantiate(T), Expected);
+    break;
+  }
+  case Expr::Kind::Wildcard:
+    // [[...]] has every type; nothing to do.
+    break;
+  case Expr::Kind::Adapt: {
+    // adapt e: e must be well-typed on its own, result unconstrained.
+    Type *Inner = Arena.freshVar(CurrentLevel);
+    checkExpr(*E.child(0), Inner);
+    break;
+  }
+  case Expr::Kind::Fun: {
+    size_t Mark = envMark();
+    Type *Cur = Expected;
+    bool Bad = false;
+    std::vector<Type *> ParamTypes;
+    for (const auto &Param : E.Params) {
+      Type *A = Arena.freshVar(CurrentLevel);
+      Type *B = Arena.freshVar(CurrentLevel);
+      UnifyResult R = unify(Cur, Arena.arrow(A, B));
+      if (!R.Ok) {
+        // The function offers more arguments than its context accepts.
+        Type *Offered = Arena.arrow(A, B);
+        reportMismatch(E.Span, Offered, Cur);
+        Bad = true;
+        break;
+      }
+      checkPattern(*Param, A);
+      ParamTypes.push_back(A);
+      Cur = B;
+    }
+    if (!Bad)
+      checkExpr(*E.child(0), Cur);
+    envRestore(Mark);
+    break;
+  }
+  case Expr::Kind::App: {
+    const Expr &Callee = *E.child(0);
+    Type *FT = Arena.freshVar(CurrentLevel);
+    checkExpr(Callee, FT);
+    for (unsigned I = 1; I < E.numChildren() && !hasError(); ++I) {
+      Type *A = Arena.freshVar(CurrentLevel);
+      Type *B = Arena.freshVar(CurrentLevel);
+      UnifyResult R = unify(FT, Arena.arrow(A, B));
+      if (!R.Ok) {
+        if (I == 1) {
+          auto [FS, _] = typesToStrings(FT, FT);
+          report(TypeError::Kind::NotFunction, Callee.Span,
+                 "This expression has type " + FS +
+                     "; it is not a function and cannot be applied");
+        } else {
+          auto [FS, _] = typesToStrings(FT, FT);
+          report(TypeError::Kind::TooManyArgs, E.Span,
+                 "This function is applied to too many arguments; its type "
+                 "is " +
+                     FS);
+        }
+        return;
+      }
+      checkExpr(*E.child(I), A);
+      FT = B;
+    }
+    if (!hasError())
+      unifyOrMismatch(E.Span, FT, Expected);
+    break;
+  }
+  case Expr::Kind::Let: {
+    size_t Mark = envMark();
+    Type *T = nullptr;
+    processLetDecl(E.IsRec, *E.Binding, E.Params, *E.child(0), E.Span, &T);
+    if (!hasError())
+      checkExpr(*E.child(1), Expected);
+    envRestore(Mark);
+    break;
+  }
+  case Expr::Kind::If: {
+    checkExpr(*E.child(0), Arena.boolType());
+    if (E.numChildren() == 2) {
+      // if-without-else requires a unit branch and yields unit.
+      checkExpr(*E.child(1), Arena.unitType());
+      if (!hasError())
+        unifyOrMismatch(E.Span, Arena.unitType(), Expected);
+      break;
+    }
+    checkExpr(*E.child(1), Expected);
+    checkExpr(*E.child(2), Expected);
+    break;
+  }
+  case Expr::Kind::Tuple: {
+    Type *P = prune(Expected);
+    if (P->isCon("*") && P->Args.size() == E.Children.size()) {
+      for (unsigned I = 0; I < E.numChildren(); ++I)
+        checkExpr(*E.child(I), P->Args[I]);
+      break;
+    }
+    std::vector<Type *> Elems;
+    for (unsigned I = 0; I < E.numChildren(); ++I) {
+      Type *T = Arena.freshVar(CurrentLevel);
+      checkExpr(*E.child(I), T);
+      Elems.push_back(T);
+    }
+    if (!hasError())
+      unifyOrMismatch(E.Span, Arena.tuple(std::move(Elems)), Expected);
+    break;
+  }
+  case Expr::Kind::List: {
+    Type *P = prune(Expected);
+    Type *Elem = nullptr;
+    if (P->isCon("list"))
+      Elem = P->Args[0];
+    else {
+      Elem = Arena.freshVar(CurrentLevel);
+      if (!unifyOrMismatch(E.Span, Arena.listOf(Elem), Expected))
+        break;
+    }
+    for (const auto &Child : E.Children)
+      checkExpr(*Child, Elem);
+    break;
+  }
+  case Expr::Kind::Cons: {
+    Type *Elem = Arena.freshVar(CurrentLevel);
+    Type *ListTy = Arena.listOf(Elem);
+    if (!unifyOrMismatch(E.Span, ListTy, Expected))
+      break;
+    checkExpr(*E.child(0), Elem);
+    checkExpr(*E.child(1), ListTy);
+    break;
+  }
+  case Expr::Kind::BinOp: {
+    Type *FT = binOpType(E.Name);
+    // Shape: a -> b -> result. Check both operands against the domains.
+    Type *ArgA = prune(FT)->Args[0];
+    Type *Rest = prune(FT)->Args[1];
+    checkExpr(*E.child(0), ArgA);
+    if (hasError())
+      break;
+    Type *ArgB = prune(Rest)->Args[0];
+    Type *Result = prune(Rest)->Args[1];
+    checkExpr(*E.child(1), ArgB);
+    if (hasError())
+      break;
+    unifyOrMismatch(E.Span, Result, Expected);
+    break;
+  }
+  case Expr::Kind::UnaryOp: {
+    Type *FT = unaryOpType(E.Name);
+    checkExpr(*E.child(0), prune(FT)->Args[0]);
+    if (hasError())
+      break;
+    unifyOrMismatch(E.Span, prune(FT)->Args[1], Expected);
+    break;
+  }
+  case Expr::Kind::Match: {
+    Type *S = Arena.freshVar(CurrentLevel);
+    checkExpr(*E.child(0), S);
+    for (unsigned I = 1; I < E.numChildren() && !hasError(); ++I) {
+      size_t Mark = envMark();
+      checkPattern(*E.ArmPats[I - 1], S);
+      if (!hasError())
+        checkExpr(*E.child(I), Expected);
+      envRestore(Mark);
+    }
+    break;
+  }
+  case Expr::Kind::Constr: {
+    auto It = Constructors.find(E.Name);
+    if (It == Constructors.end()) {
+      report(TypeError::Kind::Unbound, E.Span,
+             "Unbound constructor " + E.Name, E.Name);
+      break;
+    }
+    std::map<Type *, Type *> Subst;
+    Type *Result = instantiate(It->second.Result, Subst);
+    Type *Arg =
+        It->second.Arg ? instantiate(It->second.Arg, Subst) : nullptr;
+    bool HasArg = !E.Children.empty();
+    if (HasArg != (Arg != nullptr)) {
+      report(TypeError::Kind::ConstructorArity, E.Span,
+             "The constructor " + E.Name + " expects " +
+                 (Arg ? "1 argument" : "0 arguments") +
+                 ", but is applied here to " + (HasArg ? "1" : "0"),
+             E.Name);
+      break;
+    }
+    if (HasArg)
+      checkExpr(*E.child(0), Arg);
+    if (!hasError())
+      unifyOrMismatch(E.Span, Result, Expected);
+    break;
+  }
+  case Expr::Kind::Seq: {
+    // OCaml only warns when the left operand is not unit; no constraint.
+    Type *T = Arena.freshVar(CurrentLevel);
+    checkExpr(*E.child(0), T);
+    checkExpr(*E.child(1), Expected);
+    break;
+  }
+  case Expr::Kind::Raise:
+    checkExpr(*E.child(0), Arena.exnType());
+    // `raise e` has type 'a: compatible with any expectation.
+    break;
+  case Expr::Kind::Field: {
+    auto It = FieldOwner.find(E.Name);
+    if (It == FieldOwner.end()) {
+      report(TypeError::Kind::Unbound, E.Span,
+             "Unbound record field " + E.Name, E.Name);
+      break;
+    }
+    const RecordInfo &Info = Records[It->second];
+    std::map<Type *, Type *> Subst;
+    Type *RecTy = instantiate(Info.RecordType, Subst);
+    Type *FieldTy = instantiate(Info.findField(E.Name)->Ty, Subst);
+    checkExpr(*E.child(0), RecTy);
+    if (!hasError())
+      unifyOrMismatch(E.Span, FieldTy, Expected);
+    break;
+  }
+  case Expr::Kind::SetField: {
+    auto It = FieldOwner.find(E.Name);
+    if (It == FieldOwner.end()) {
+      report(TypeError::Kind::Unbound, E.Span,
+             "Unbound record field " + E.Name, E.Name);
+      break;
+    }
+    const RecordInfo &Info = Records[It->second];
+    const RecordInfo::Field *Field = Info.findField(E.Name);
+    if (!Field->IsMutable) {
+      report(TypeError::Kind::NotMutable, E.Span,
+             "The record field " + E.Name + " is not mutable", E.Name);
+      break;
+    }
+    std::map<Type *, Type *> Subst;
+    Type *RecTy = instantiate(Info.RecordType, Subst);
+    Type *FieldTy = instantiate(Field->Ty, Subst);
+    checkExpr(*E.child(0), RecTy);
+    checkExpr(*E.child(1), FieldTy);
+    if (!hasError())
+      unifyOrMismatch(E.Span, Arena.unitType(), Expected);
+    break;
+  }
+  case Expr::Kind::Record: {
+    assert(!E.FieldNames.empty() && "empty record literal");
+    auto OwnerIt = FieldOwner.find(E.FieldNames[0]);
+    if (OwnerIt == FieldOwner.end()) {
+      report(TypeError::Kind::Unbound, E.Span,
+             "Unbound record field " + E.FieldNames[0], E.FieldNames[0]);
+      break;
+    }
+    const RecordInfo &Info = Records[OwnerIt->second];
+    std::map<Type *, Type *> Subst;
+    Type *RecTy = instantiate(Info.RecordType, Subst);
+    // Every given field must belong; every declared field must be given.
+    for (unsigned I = 0; I < E.numChildren() && !hasError(); ++I) {
+      const RecordInfo::Field *Field = Info.findField(E.FieldNames[I]);
+      if (!Field) {
+        report(TypeError::Kind::RecordShape, E.Span,
+               "The record field " + E.FieldNames[I] +
+                   " does not belong to type " + OwnerIt->second,
+               E.FieldNames[I]);
+        break;
+      }
+      checkExpr(*E.child(I), instantiate(Field->Ty, Subst));
+    }
+    if (hasError())
+      break;
+    for (const auto &Field : Info.Fields) {
+      bool Given = false;
+      for (const std::string &Name : E.FieldNames)
+        if (Name == Field.Name)
+          Given = true;
+      if (!Given) {
+        report(TypeError::Kind::RecordShape, E.Span,
+               "Some record fields are undefined: " + Field.Name,
+               Field.Name);
+        return;
+      }
+    }
+    unifyOrMismatch(E.Span, RecTy, Expected);
+    break;
+  }
+  }
+
+  if (&E == Opts.QueryNode && !hasError())
+    QueriedTy = Expected;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+TypecheckResult Inferencer::run(const Program &Prog) {
+  for (const auto &D : Prog.Decls) {
+    processDecl(*D);
+    if (hasError())
+      break;
+  }
+  TypecheckResult Result;
+  Result.Error = std::move(ErrorOut);
+  if (Result.ok()) {
+    for (const auto &[Name, T] : TopLevel)
+      Result.TopLevelTypes.emplace_back(Name, typeToString(T));
+    if (QueriedTy)
+      Result.QueriedType = typeToString(QueriedTy);
+  }
+  Result.TypesAllocated = Arena.numAllocated();
+  return Result;
+}
+
+} // namespace
+
+TypecheckResult caml::typecheckProgram(const Program &Prog,
+                                       const TypecheckOptions &Opts) {
+  Inferencer Inf(Opts);
+  return Inf.run(Prog);
+}

@@ -1,0 +1,62 @@
+//===- Lexer.h - Mini-Caml lexer --------------------------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for mini-Caml. Supports nested (* ... *) comments,
+/// decimal integers, string literals with the usual escapes, and the
+/// operator set listed in Token.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_MINICAML_LEXER_H
+#define SEMINAL_MINICAML_LEXER_H
+
+#include "minicaml/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace seminal {
+namespace caml {
+
+/// Tokenizes a complete source buffer up front (mini-Caml files are small,
+/// and the searcher re-parses nothing -- it works on ASTs).
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes the whole buffer. The result always ends with an Eof token; a
+  /// lexical error yields a single Error token at the offending position
+  /// followed by Eof.
+  std::vector<Token> tokenize();
+
+private:
+  Token next();
+  Token makeToken(Token::Kind K, SourceLoc Start);
+  Token errorToken(SourceLoc Start, const std::string &Message);
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek() const { return atEnd() ? '\0' : Source[Pos]; }
+  char peekAt(size_t Ahead) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  void skipTrivia(bool &Ok, std::string &Error);
+  SourceLoc here() const {
+    return SourceLoc(Line, Col, static_cast<uint32_t>(Pos));
+  }
+
+  std::string Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace caml
+} // namespace seminal
+
+#endif // SEMINAL_MINICAML_LEXER_H

@@ -1,0 +1,280 @@
+//===- Printer.cpp - Mini-Caml pretty printer implementation --------------==//
+
+#include "minicaml/Printer.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+/// Precedence levels, mirroring Parser.cpp. Higher binds tighter.
+enum Prec : int {
+  PrecSeq = 0,
+  PrecKeyword = 1, // fun/if/match/let-in/raise bodies extend right
+  PrecTuple = 2,
+  PrecAssign = 3,
+  PrecOr = 4,
+  PrecAnd = 5,
+  PrecCmp = 6,
+  PrecConcat = 7,
+  PrecCons = 8,
+  PrecAdd = 9,
+  PrecMul = 10,
+  PrecUnary = 11,
+  PrecApp = 12,
+  PrecField = 13,
+  PrecAtom = 14,
+};
+
+int binOpPrec(const std::string &Op) {
+  if (Op == ":=")
+    return PrecAssign;
+  if (Op == "||")
+    return PrecOr;
+  if (Op == "&&")
+    return PrecAnd;
+  if (Op == "=" || Op == "==" || Op == "<>" || Op == "<" || Op == ">" ||
+      Op == "<=" || Op == ">=")
+    return PrecCmp;
+  if (Op == "^" || Op == "@")
+    return PrecConcat;
+  if (Op == "+" || Op == "-")
+    return PrecAdd;
+  if (Op == "*" || Op == "/")
+    return PrecMul;
+  return PrecCmp;
+}
+
+/// Prints \p E; wraps in parentheses if its natural precedence is lower
+/// than \p MinPrec.
+std::string print(const Expr &E, int MinPrec);
+
+std::string maybeParen(const std::string &Text, int Prec, int MinPrec) {
+  if (Prec < MinPrec)
+    return "(" + Text + ")";
+  return Text;
+}
+
+std::string printParams(const std::vector<PatternPtr> &Params) {
+  std::vector<std::string> Parts;
+  for (const auto &Param : Params) {
+    std::string Text = Param->str();
+    // Non-atomic parameter patterns need parens: fun (x, y) -> ...
+    bool Atomic = Param->kind() == Pattern::Kind::Wild ||
+                  Param->kind() == Pattern::Kind::Var ||
+                  Param->kind() == Pattern::Kind::Unit ||
+                  Param->kind() == Pattern::Kind::Int ||
+                  Param->kind() == Pattern::Kind::Bool ||
+                  Param->kind() == Pattern::Kind::String ||
+                  Param->kind() == Pattern::Kind::List ||
+                  Param->kind() == Pattern::Kind::Tuple; // str() adds parens
+  if (!Atomic)
+      Text = "(" + Text + ")";
+    Parts.push_back(Text);
+  }
+  return join(Parts, " ");
+}
+
+std::string print(const Expr &E, int MinPrec) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    if (E.IntValue < 0)
+      return maybeParen(std::to_string(E.IntValue), PrecUnary, MinPrec);
+    return std::to_string(E.IntValue);
+  case Expr::Kind::BoolLit:
+    return E.BoolValue ? "true" : "false";
+  case Expr::Kind::StringLit:
+    return "\"" + escapeStringLiteral(E.StringValue) + "\"";
+  case Expr::Kind::UnitLit:
+    return "()";
+  case Expr::Kind::Var:
+    return E.Name;
+  case Expr::Kind::Wildcard:
+    return "[[...]]";
+  case Expr::Kind::Adapt:
+    return maybeParen("adapt " + print(*E.child(0), PrecField), PrecApp,
+                      MinPrec);
+  case Expr::Kind::Fun: {
+    std::string Text = "fun " + printParams(E.Params) + " -> " +
+                       print(*E.child(0), PrecKeyword);
+    return maybeParen(Text, PrecKeyword, MinPrec);
+  }
+  case Expr::Kind::App: {
+    std::vector<std::string> Parts;
+    Parts.push_back(print(*E.child(0), PrecField));
+    for (unsigned I = 1; I < E.numChildren(); ++I)
+      Parts.push_back(print(*E.child(I), PrecField));
+    return maybeParen(join(Parts, " "), PrecApp, MinPrec);
+  }
+  case Expr::Kind::Let: {
+    std::string Text = "let ";
+    if (E.IsRec)
+      Text += "rec ";
+    Text += E.Binding->str();
+    if (!E.Params.empty())
+      Text += " " + printParams(E.Params);
+    Text += " = " + print(*E.child(0), PrecKeyword);
+    Text += " in " + print(*E.child(1), PrecSeq);
+    return maybeParen(Text, PrecKeyword, MinPrec);
+  }
+  case Expr::Kind::If: {
+    std::string Text = "if " + print(*E.child(0), PrecKeyword) + " then " +
+                       print(*E.child(1), PrecTuple + 1);
+    if (E.numChildren() == 3)
+      Text += " else " + print(*E.child(2), PrecTuple + 1);
+    return maybeParen(Text, PrecKeyword, MinPrec);
+  }
+  case Expr::Kind::Tuple: {
+    std::vector<std::string> Parts;
+    for (const auto &Child : E.Children)
+      Parts.push_back(print(*Child, PrecAssign));
+    // Tuples are always printed with parentheses for readability; OCaml
+    // programmers overwhelmingly write them that way.
+    return "(" + join(Parts, ", ") + ")";
+  }
+  case Expr::Kind::List: {
+    std::vector<std::string> Parts;
+    for (const auto &Child : E.Children)
+      Parts.push_back(print(*Child, PrecTuple));
+    return "[" + join(Parts, "; ") + "]";
+  }
+  case Expr::Kind::Cons: {
+    std::string Text = print(*E.child(0), PrecCons + 1) + " :: " +
+                       print(*E.child(1), PrecCons);
+    return maybeParen(Text, PrecCons, MinPrec);
+  }
+  case Expr::Kind::BinOp: {
+    int Prec = binOpPrec(E.Name);
+    bool RightAssoc = E.Name == ":=" || E.Name == "^" || E.Name == "@";
+    int LhsMin = RightAssoc ? Prec + 1 : Prec;
+    int RhsMin = RightAssoc ? Prec : Prec + 1;
+    std::string Text = print(*E.child(0), LhsMin) + " " + E.Name + " " +
+                       print(*E.child(1), RhsMin);
+    return maybeParen(Text, Prec, MinPrec);
+  }
+  case Expr::Kind::UnaryOp: {
+    std::string Text;
+    if (E.Name == "not")
+      Text = "not " + print(*E.child(0), PrecUnary);
+    else
+      Text = E.Name + print(*E.child(0), PrecUnary);
+    return maybeParen(Text, PrecUnary, MinPrec);
+  }
+  case Expr::Kind::Match: {
+    std::ostringstream OS;
+    OS << "match " << print(*E.child(0), PrecKeyword) << " with ";
+    for (unsigned I = 1; I < E.numChildren(); ++I) {
+      if (I > 1)
+        OS << " | ";
+      // A keyword form (match/fun/let/if) in a non-final arm body would
+      // swallow the remaining arms when re-parsed; parenthesize it.
+      bool LastArm = I + 1 == E.numChildren();
+      OS << E.ArmPats[I - 1]->str() << " -> "
+         << print(*E.child(I), LastArm ? PrecKeyword : PrecKeyword + 1);
+    }
+    return maybeParen(OS.str(), PrecKeyword, MinPrec);
+  }
+  case Expr::Kind::Constr: {
+    if (E.Children.empty())
+      return E.Name;
+    std::string Text = E.Name + " " + print(*E.child(0), PrecField);
+    return maybeParen(Text, PrecApp, MinPrec);
+  }
+  case Expr::Kind::Seq: {
+    std::string Text =
+        print(*E.child(0), PrecTuple) + "; " + print(*E.child(1), PrecSeq);
+    return maybeParen(Text, PrecSeq, MinPrec);
+  }
+  case Expr::Kind::Raise: {
+    std::string Text = "raise " + print(*E.child(0), PrecField);
+    return maybeParen(Text, PrecApp, MinPrec);
+  }
+  case Expr::Kind::Field:
+    return print(*E.child(0), PrecField) + "." + E.Name;
+  case Expr::Kind::SetField: {
+    std::string Text = print(*E.child(0), PrecField) + "." + E.Name + " <- " +
+                       print(*E.child(1), PrecAssign);
+    return maybeParen(Text, PrecAssign, MinPrec);
+  }
+  case Expr::Kind::Record: {
+    std::vector<std::string> Parts;
+    for (unsigned I = 0; I < E.numChildren(); ++I)
+      Parts.push_back(E.FieldNames[I] + " = " + print(*E.child(I), PrecTuple));
+    return "{ " + join(Parts, "; ") + " }";
+  }
+  }
+  return "<expr>";
+}
+
+} // namespace
+
+std::string caml::printExpr(const Expr &E) { return print(E, PrecSeq); }
+
+std::string caml::printDecl(const Decl &D) {
+  switch (D.kind()) {
+  case Decl::Kind::Let: {
+    std::string Text = "let ";
+    if (D.IsRec)
+      Text += "rec ";
+    Text += D.Binding->str();
+    if (!D.Params.empty())
+      Text += " " + printParams(D.Params);
+    Text += " = " + printExpr(*D.Rhs);
+    return Text;
+  }
+  case Decl::Kind::Type: {
+    std::string Text = "type ";
+    if (D.TypeParams.size() == 1) {
+      Text += "'" + D.TypeParams[0] + " ";
+    } else if (D.TypeParams.size() > 1) {
+      std::vector<std::string> Parts;
+      for (const auto &Param : D.TypeParams)
+        Parts.push_back("'" + Param);
+      Text += "(" + join(Parts, ", ") + ") ";
+    }
+    Text += D.TypeName + " = ";
+    if (D.IsRecord) {
+      std::vector<std::string> Parts;
+      for (const auto &Field : D.Fields) {
+        std::string FieldText;
+        if (Field.IsMutable)
+          FieldText += "mutable ";
+        FieldText += Field.Name + " : " + Field.Type->str();
+        Parts.push_back(FieldText);
+      }
+      Text += "{ " + join(Parts, "; ") + " }";
+    } else {
+      std::vector<std::string> Parts;
+      for (const auto &Case : D.Cases) {
+        std::string CaseText = Case.Name;
+        if (Case.ArgType)
+          CaseText += " of " + Case.ArgType->str();
+        Parts.push_back(CaseText);
+      }
+      Text += join(Parts, " | ");
+    }
+    return Text;
+  }
+  case Decl::Kind::Exception: {
+    std::string Text = "exception " + D.ExcName;
+    if (D.ExcArgType)
+      Text += " of " + D.ExcArgType->str();
+    return Text;
+  }
+  }
+  return "<decl>";
+}
+
+std::string caml::printProgram(const Program &Prog) {
+  std::string Result;
+  for (const auto &D : Prog.Decls) {
+    Result += printDecl(*D);
+    Result += "\n";
+  }
+  return Result;
+}

@@ -1,0 +1,38 @@
+//===- Printer.h - Mini-Caml pretty printer ---------------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders mini-Caml ASTs back to concrete syntax. The paper's messages
+/// quote expressions ("Try replacing fun (x, y) -> x + y with fun x y ->
+/// x + y"), so the printer must produce code a programmer recognizes:
+/// minimal parenthesization driven by the same precedence table the parser
+/// uses, `[[...]]` for wildcard holes, and `adapt e` for adaptations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_MINICAML_PRINTER_H
+#define SEMINAL_MINICAML_PRINTER_H
+
+#include "minicaml/Ast.h"
+
+#include <string>
+
+namespace seminal {
+namespace caml {
+
+/// Renders \p E with minimal parentheses.
+std::string printExpr(const Expr &E);
+
+/// Renders \p D as a structure item ("let f x = ...", "type t = ...").
+std::string printDecl(const Decl &D);
+
+/// Renders a whole program, one declaration per line group.
+std::string printProgram(const Program &Prog);
+
+} // namespace caml
+} // namespace seminal
+
+#endif // SEMINAL_MINICAML_PRINTER_H

@@ -1,0 +1,75 @@
+//===- Stdlib.cpp - Initial environment for mini-Caml ---------------------==//
+
+#include "minicaml/Stdlib.h"
+
+using namespace seminal;
+using namespace seminal::caml;
+
+const std::vector<StdlibValue> &caml::stdlibValues() {
+  static const std::vector<StdlibValue> Values = {
+      // List module.
+      {"List.map", "('a -> 'b) -> 'a list -> 'b list"},
+      {"List.map2", "('a -> 'b -> 'c) -> 'a list -> 'b list -> 'c list"},
+      {"List.combine", "'a list -> 'b list -> ('a * 'b) list"},
+      {"List.filter", "('a -> bool) -> 'a list -> 'a list"},
+      {"List.mem", "'a -> 'a list -> bool"},
+      {"List.nth", "'a list -> int -> 'a"},
+      {"List.length", "'a list -> int"},
+      {"List.rev", "'a list -> 'a list"},
+      {"List.append", "'a list -> 'a list -> 'a list"},
+      {"List.concat", "'a list list -> 'a list"},
+      {"List.hd", "'a list -> 'a"},
+      {"List.tl", "'a list -> 'a list"},
+      {"List.fold_left", "('a -> 'b -> 'a) -> 'a -> 'b list -> 'a"},
+      {"List.fold_right", "('a -> 'b -> 'b) -> 'a list -> 'b -> 'b"},
+      {"List.assoc", "'a -> ('a * 'b) list -> 'b"},
+      {"List.iter", "('a -> unit) -> 'a list -> unit"},
+      {"List.exists", "('a -> bool) -> 'a list -> bool"},
+      {"List.for_all", "('a -> bool) -> 'a list -> bool"},
+      {"List.split", "('a * 'b) list -> 'a list * 'b list"},
+      // String module.
+      {"String.length", "string -> int"},
+      {"String.sub", "string -> int -> int -> string"},
+      {"String.concat", "string -> string list -> string"},
+      {"String.uppercase", "string -> string"},
+      {"String.lowercase", "string -> string"},
+      // Pervasives.
+      {"string_of_int", "int -> string"},
+      {"int_of_string", "string -> int"},
+      {"string_of_bool", "bool -> string"},
+      {"print_string", "string -> unit"},
+      {"print_int", "int -> unit"},
+      {"print_newline", "unit -> unit"},
+      {"print_endline", "string -> unit"},
+      {"ref", "'a -> 'a ref"},
+      {"fst", "'a * 'b -> 'a"},
+      {"snd", "'a * 'b -> 'b"},
+      {"ignore", "'a -> unit"},
+      {"failwith", "string -> 'a"},
+      {"invalid_arg", "string -> 'a"},
+      {"compare", "'a -> 'a -> int"},
+      {"max", "'a -> 'a -> 'a"},
+      {"min", "'a -> 'a -> 'a"},
+      {"abs", "int -> int"},
+      {"succ", "int -> int"},
+      {"pred", "int -> int"},
+      {"mod_int", "int -> int -> int"},
+      {"incr", "int ref -> unit"},
+      {"decr", "int ref -> unit"},
+      {"not_fn", "bool -> bool"},
+  };
+  return Values;
+}
+
+const std::vector<StdlibException> &caml::stdlibExceptions() {
+  static const std::vector<StdlibException> Exceptions = {
+      {"Not_found", ""},
+      {"Failure", "string"},
+      {"Invalid_argument", "string"},
+      {"Exit", ""},
+      // The paper's wildcard exception; keeping it predefined means the
+      // rendered `raise Foo` form of [[...]] is itself well-typed source.
+      {"Foo", ""},
+  };
+  return Exceptions;
+}

@@ -1,0 +1,125 @@
+//===- Types.cpp - Mini-Caml semantic types implementation ----------------==//
+
+#include "minicaml/Types.h"
+
+#include "support/StrUtil.h"
+
+#include <map>
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+Type *TypeArena::freshVar(int Level) {
+  Nodes.emplace_back();
+  Type &T = Nodes.back();
+  T.TheKind = Type::Kind::Var;
+  T.VarId = NextVarId++;
+  T.Level = Level;
+  return &T;
+}
+
+Type *TypeArena::con(const std::string &Name, std::vector<Type *> Args) {
+  Nodes.emplace_back();
+  Type &T = Nodes.back();
+  T.TheKind = Type::Kind::Con;
+  T.Name = Name;
+  T.Args = std::move(Args);
+  return &T;
+}
+
+Type *TypeArena::arrowChain(const std::vector<Type *> &Froms, Type *To) {
+  Type *Result = To;
+  for (auto It = Froms.rbegin(); It != Froms.rend(); ++It)
+    Result = arrow(*It, Result);
+  return Result;
+}
+
+Type *caml::prune(Type *T) {
+  assert(T && "prune of null type");
+  if (T->TheKind != Type::Kind::Var || !T->Link)
+    return T;
+  Type *Rep = prune(T->Link);
+  T->Link = Rep; // path compression
+  return Rep;
+}
+
+bool caml::occursAndAdjust(Type *Var, Type *T) {
+  T = prune(T);
+  if (T == Var)
+    return true;
+  if (T->isVar()) {
+    if (T->Level > Var->Level && Var->Level != GenericLevel)
+      T->Level = Var->Level;
+    return false;
+  }
+  for (Type *Arg : T->Args)
+    if (occursAndAdjust(Var, Arg))
+      return true;
+  return false;
+}
+
+namespace {
+
+/// Shared naming context so related types print consistent variables.
+class TypePrinter {
+public:
+  std::string print(Type *T) { return printPrec(T, 0); }
+
+private:
+  // Precedence: 0 = arrow (lowest), 1 = tuple, 2 = application/atom.
+  std::string printPrec(Type *T, int MinPrec) {
+    T = prune(T);
+    if (T->isVar()) {
+      auto It = Names.find(T->VarId);
+      if (It == Names.end()) {
+        std::string Name = makeName(Names.size());
+        It = Names.emplace(T->VarId, Name).first;
+      }
+      return "'" + It->second;
+    }
+    if (T->isArrow()) {
+      std::string Text =
+          printPrec(T->Args[0], 1) + " -> " + printPrec(T->Args[1], 0);
+      return MinPrec > 0 ? "(" + Text + ")" : Text;
+    }
+    if (T->isCon("*")) {
+      std::vector<std::string> Parts;
+      for (Type *Arg : T->Args)
+        Parts.push_back(printPrec(Arg, 2));
+      std::string Text = join(Parts, " * ");
+      return MinPrec > 1 ? "(" + Text + ")" : Text;
+    }
+    if (T->Args.empty())
+      return T->Name;
+    if (T->Args.size() == 1)
+      return printPrec(T->Args[0], 2) + " " + T->Name;
+    std::vector<std::string> Parts;
+    for (Type *Arg : T->Args)
+      Parts.push_back(printPrec(Arg, 0));
+    return "(" + join(Parts, ", ") + ") " + T->Name;
+  }
+
+  static std::string makeName(size_t Index) {
+    std::string Name(1, char('a' + Index % 26));
+    if (Index >= 26)
+      Name += std::to_string(Index / 26);
+    return Name;
+  }
+
+  std::map<int, std::string> Names;
+};
+
+} // namespace
+
+std::string caml::typeToString(Type *T) {
+  TypePrinter Printer;
+  return Printer.print(T);
+}
+
+std::pair<std::string, std::string> caml::typesToStrings(Type *A, Type *B) {
+  TypePrinter Printer;
+  std::string SA = Printer.print(A);
+  std::string SB = Printer.print(B);
+  return {SA, SB};
+}

@@ -1,0 +1,32 @@
+//===- Unify.cpp - Unification implementation -----------------------------==//
+
+#include "minicaml/Unify.h"
+
+using namespace seminal;
+using namespace seminal::caml;
+
+UnifyResult caml::unify(Type *A, Type *B) {
+  A = prune(A);
+  B = prune(B);
+  if (A == B)
+    return UnifyResult::success();
+
+  if (A->isVar()) {
+    if (occursAndAdjust(A, B))
+      return UnifyResult::cyclic(A, B);
+    A->Link = B;
+    return UnifyResult::success();
+  }
+  if (B->isVar())
+    return unify(B, A);
+
+  // Both constructors.
+  if (A->Name != B->Name || A->Args.size() != B->Args.size())
+    return UnifyResult::clash(A, B);
+  for (size_t I = 0; I < A->Args.size(); ++I) {
+    UnifyResult Result = unify(A->Args[I], B->Args[I]);
+    if (!Result.Ok)
+      return Result;
+  }
+  return UnifyResult::success();
+}

@@ -1,0 +1,57 @@
+//===- Unify.h - Unification for mini-Caml types ----------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Destructive first-order unification with occurs check and Remy-style
+/// level adjustment. Unification failures carry the two clashing types so
+/// the checker can render OCaml-style "has type X but is used with type Y"
+/// messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_MINICAML_UNIFY_H
+#define SEMINAL_MINICAML_UNIFY_H
+
+#include "minicaml/Types.h"
+
+namespace seminal {
+namespace caml {
+
+/// Outcome of a unification attempt. On failure, Left/Right are the
+/// *innermost* clashing constructors (e.g. unifying `int list` with
+/// `string list` reports int vs string) and TopLeft/TopRight the full
+/// types as passed in, which usually read better in messages.
+struct UnifyResult {
+  bool Ok = true;
+  Type *Left = nullptr;
+  Type *Right = nullptr;
+  bool OccursCheckFailure = false;
+
+  static UnifyResult success() { return UnifyResult(); }
+  static UnifyResult clash(Type *L, Type *R) {
+    UnifyResult Result;
+    Result.Ok = false;
+    Result.Left = L;
+    Result.Right = R;
+    return Result;
+  }
+  static UnifyResult cyclic(Type *L, Type *R) {
+    UnifyResult Result = clash(L, R);
+    Result.OccursCheckFailure = true;
+    return Result;
+  }
+};
+
+/// Unifies \p A with \p B in place. Destructive even on failure (partial
+/// bindings are not rolled back), which is fine because the oracle throws
+/// the arena away after a failed check -- exactly the freedom the paper's
+/// architecture buys by keeping the checker a black box.
+UnifyResult unify(Type *A, Type *B);
+
+} // namespace caml
+} // namespace seminal
+
+#endif // SEMINAL_MINICAML_UNIFY_H

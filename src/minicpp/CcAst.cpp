@@ -1,0 +1,235 @@
+//===- CcAst.cpp - Mini-C++ abstract syntax implementation ----------------==//
+
+#include "minicpp/CcAst.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::cpp;
+
+CcExprPtr CcExpr::clone() const {
+  auto Copy = std::make_unique<CcExpr>(TheKind);
+  Copy->IntValue = IntValue;
+  Copy->Name = Name;
+  Copy->IsArrow = IsArrow;
+  for (const auto &Child : Children)
+    Copy->Children.push_back(Child->clone());
+  Copy->TypeName = TypeName;
+  Copy->TypeArgs = TypeArgs;
+  return Copy;
+}
+
+unsigned CcExpr::size() const {
+  unsigned N = 1;
+  for (const auto &Child : Children)
+    N += Child->size();
+  return N;
+}
+
+std::string CcExpr::str() const {
+  switch (TheKind) {
+  case Kind::IntLit:
+    return std::to_string(IntValue);
+  case Kind::Var:
+    return Name;
+  case Kind::Call: {
+    std::vector<std::string> Args;
+    for (unsigned I = 1; I < numChildren(); ++I)
+      Args.push_back(child(I)->str());
+    return child(0)->str() + "(" + join(Args, ", ") + ")";
+  }
+  case Kind::Construct: {
+    std::string Text = TypeName;
+    if (!TypeArgs.empty()) {
+      std::vector<std::string> Parts;
+      for (const auto &T : TypeArgs)
+        Parts.push_back(T->str());
+      Text += "<" + join(Parts, ", ") + ">";
+    }
+    std::vector<std::string> Args;
+    for (const auto &Child : Children)
+      Args.push_back(Child->str());
+    return Text + "(" + join(Args, ", ") + ")";
+  }
+  case Kind::Member:
+    return child(0)->str() + (IsArrow ? "->" : ".") + Name;
+  case Kind::Unary:
+    return Name + child(0)->str();
+  case Kind::Binary:
+    return child(0)->str() + " " + Name + " " + child(1)->str();
+  case Kind::MethodCall: {
+    std::vector<std::string> Args;
+    for (unsigned I = 1; I < numChildren(); ++I)
+      Args.push_back(child(I)->str());
+    return child(0)->str() + "." + Name + "(" + join(Args, ", ") + ")";
+  }
+  }
+  return "?";
+}
+
+CcExprPtr cpp::ccIntLit(long Value) {
+  auto E = std::make_unique<CcExpr>(CcExpr::Kind::IntLit);
+  E->IntValue = Value;
+  return E;
+}
+
+CcExprPtr cpp::ccVar(const std::string &Name) {
+  auto E = std::make_unique<CcExpr>(CcExpr::Kind::Var);
+  E->Name = Name;
+  return E;
+}
+
+CcExprPtr cpp::ccCall(CcExprPtr Callee, std::vector<CcExprPtr> Args) {
+  auto E = std::make_unique<CcExpr>(CcExpr::Kind::Call);
+  E->Children.push_back(std::move(Callee));
+  for (auto &Arg : Args)
+    E->Children.push_back(std::move(Arg));
+  return E;
+}
+
+CcExprPtr cpp::ccCallNamed(const std::string &Fn,
+                           std::vector<CcExprPtr> Args) {
+  return ccCall(ccVar(Fn), std::move(Args));
+}
+
+CcExprPtr cpp::ccConstruct(const std::string &TypeName,
+                           std::vector<CcTypePtr> TypeArgs,
+                           std::vector<CcExprPtr> Args) {
+  auto E = std::make_unique<CcExpr>(CcExpr::Kind::Construct);
+  E->TypeName = TypeName;
+  E->TypeArgs = std::move(TypeArgs);
+  E->Children = std::move(Args);
+  return E;
+}
+
+CcExprPtr cpp::ccMember(CcExprPtr Obj, const std::string &Field,
+                        bool Arrow) {
+  auto E = std::make_unique<CcExpr>(CcExpr::Kind::Member);
+  E->Name = Field;
+  E->IsArrow = Arrow;
+  E->Children.push_back(std::move(Obj));
+  return E;
+}
+
+CcExprPtr cpp::ccUnary(const std::string &Op, CcExprPtr Operand) {
+  auto E = std::make_unique<CcExpr>(CcExpr::Kind::Unary);
+  E->Name = Op;
+  E->Children.push_back(std::move(Operand));
+  return E;
+}
+
+CcExprPtr cpp::ccBinary(const std::string &Op, CcExprPtr Lhs, CcExprPtr Rhs) {
+  auto E = std::make_unique<CcExpr>(CcExpr::Kind::Binary);
+  E->Name = Op;
+  E->Children.push_back(std::move(Lhs));
+  E->Children.push_back(std::move(Rhs));
+  return E;
+}
+
+CcExprPtr cpp::ccMethodCall(CcExprPtr Obj, const std::string &Method,
+                            std::vector<CcExprPtr> Args) {
+  auto E = std::make_unique<CcExpr>(CcExpr::Kind::MethodCall);
+  E->Name = Method;
+  E->Children.push_back(std::move(Obj));
+  for (auto &Arg : Args)
+    E->Children.push_back(std::move(Arg));
+  return E;
+}
+
+CcStmt CcStmt::clone() const {
+  CcStmt Copy;
+  Copy.TheKind = TheKind;
+  Copy.DeclType = DeclType;
+  Copy.Name = Name;
+  Copy.Line = Line;
+  if (E)
+    Copy.E = E->clone();
+  return Copy;
+}
+
+std::string CcStmt::str() const {
+  switch (TheKind) {
+  case Kind::VarDecl:
+    return DeclType->str() + " " + Name + " = " + (E ? E->str() : "?") + ";";
+  case Kind::Expr:
+    return (E ? E->str() : "?") + ";";
+  case Kind::Return:
+    return E ? "return " + E->str() + ";" : "return;";
+  }
+  return "?;";
+}
+
+CcStmt cpp::ccVarDecl(CcTypePtr Type, const std::string &Name,
+                      CcExprPtr Init) {
+  CcStmt S;
+  S.TheKind = CcStmt::Kind::VarDecl;
+  S.DeclType = std::move(Type);
+  S.Name = Name;
+  S.E = std::move(Init);
+  return S;
+}
+
+CcStmt cpp::ccExprStmt(CcExprPtr E) {
+  CcStmt S;
+  S.TheKind = CcStmt::Kind::Expr;
+  S.E = std::move(E);
+  return S;
+}
+
+CcStmt cpp::ccReturn(CcExprPtr E) {
+  CcStmt S;
+  S.TheKind = CcStmt::Kind::Return;
+  S.E = std::move(E);
+  return S;
+}
+
+std::string cpp::structName(const CcStructDecl *Decl) {
+  return Decl ? Decl->Name : "<struct>";
+}
+
+CcFuncDecl CcFuncDecl::clone() const {
+  CcFuncDecl Copy;
+  Copy.Name = Name;
+  Copy.TParams = TParams;
+  Copy.Params = Params;
+  Copy.RetType = RetType;
+  for (const auto &S : Body)
+    Copy.Body.push_back(S.clone());
+  return Copy;
+}
+
+CcStructDecl *CcProgram::findStruct(const std::string &Name) const {
+  for (const auto &S : Structs)
+    if (S->Name == Name)
+      return S.get();
+  return nullptr;
+}
+
+CcFuncDecl *CcProgram::findFunc(const std::string &Name) const {
+  for (const auto &F : Funcs)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+std::string cpp::printFunc(const CcFuncDecl &F) {
+  std::ostringstream OS;
+  if (!F.TParams.empty()) {
+    std::vector<std::string> Parts;
+    for (const auto &P : F.TParams)
+      Parts.push_back("class " + P);
+    OS << "template<" << join(Parts, ", ") << ">\n";
+  }
+  OS << (F.RetType ? F.RetType->str() : "auto") << " " << F.Name << "(";
+  std::vector<std::string> Parts;
+  for (const auto &P : F.Params)
+    Parts.push_back(P.Type->str() + " " + P.Name);
+  OS << join(Parts, ", ") << ") {\n";
+  for (const auto &S : F.Body)
+    OS << "  " << S.str() << "\n";
+  OS << "}";
+  return OS.str();
+}

@@ -1,0 +1,168 @@
+//===- CcAst.h - Mini-C++ abstract syntax -----------------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the mini-C++ language of Section 4. The paper's
+/// C++ prototype consumed Eclipse CDT's AST rather than parsing itself;
+/// analogously, this reproduction provides a builder API (plus a printer
+/// for messages) and concentrates on the type-checker/search interplay,
+/// which is where all of Section 4's technical content lives.
+///
+/// Functions carry explicit types except template functions, whose
+/// type parameters are deduced at each call. Structs may declare fields
+/// and one generic call operator (an `operator()` whose parameters are
+/// untyped and checked per call, exactly template-instantiation
+/// semantics) -- enough to express the paper's mini-STL: multiplies,
+/// binder1st/bind1st, unary_compose/compose1, pointer_to_unary_function/
+/// ptr_fun, and transform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_MINICPP_CCAST_H
+#define SEMINAL_MINICPP_CCAST_H
+
+#include "minicpp/CcTypes.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace seminal {
+namespace cpp {
+
+class CcExpr;
+using CcExprPtr = std::unique_ptr<CcExpr>;
+
+/// A mini-C++ expression.
+class CcExpr {
+public:
+  enum class Kind {
+    IntLit,
+    Var,       ///< A variable or function name used as a value.
+    Call,      ///< callee(args) -- function, functor, or pointer call.
+    Construct, ///< TypeName<targs>(args): build a struct value.
+    Member,    ///< obj.name or ptr->name
+    Unary,     ///< *e (deref), -e
+    Binary,    ///< + - * / < ==
+    MethodCall, ///< obj.name(args) -- begin()/end() on vectors.
+  };
+
+  explicit CcExpr(Kind K) : TheKind(K) {}
+  CcExpr(const CcExpr &) = delete;
+  CcExpr &operator=(const CcExpr &) = delete;
+
+  Kind kind() const { return TheKind; }
+
+  long IntValue = 0;
+  std::string Name;    ///< Var / Member / MethodCall / Binary op / Unary op.
+  bool IsArrow = false; ///< Member: -> vs .
+  std::vector<CcExprPtr> Children; ///< Call: [callee, args...];
+                                   ///< Construct: args; Member: [obj];
+                                   ///< MethodCall: [obj, args...].
+  std::string TypeName;            ///< Construct: the struct name.
+  std::vector<CcTypePtr> TypeArgs; ///< Construct: explicit <targs>.
+
+  unsigned numChildren() const { return unsigned(Children.size()); }
+  CcExpr *child(unsigned I) const { return Children[I].get(); }
+
+  CcExprPtr clone() const;
+  std::string str() const;
+  unsigned size() const;
+
+private:
+  Kind TheKind;
+};
+
+CcExprPtr ccIntLit(long Value);
+CcExprPtr ccVar(const std::string &Name);
+CcExprPtr ccCall(CcExprPtr Callee, std::vector<CcExprPtr> Args);
+CcExprPtr ccCallNamed(const std::string &Fn, std::vector<CcExprPtr> Args);
+CcExprPtr ccConstruct(const std::string &TypeName,
+                      std::vector<CcTypePtr> TypeArgs,
+                      std::vector<CcExprPtr> Args);
+CcExprPtr ccMember(CcExprPtr Obj, const std::string &Field, bool Arrow);
+CcExprPtr ccUnary(const std::string &Op, CcExprPtr Operand);
+CcExprPtr ccBinary(const std::string &Op, CcExprPtr Lhs, CcExprPtr Rhs);
+CcExprPtr ccMethodCall(CcExprPtr Obj, const std::string &Method,
+                       std::vector<CcExprPtr> Args);
+
+/// A statement in a function body.
+struct CcStmt {
+  enum class Kind {
+    VarDecl, ///< Type Name = Init;
+    Expr,    ///< Expr;
+    Return,  ///< return [Expr];
+  };
+  Kind TheKind = Kind::Expr;
+  CcTypePtr DeclType; ///< VarDecl.
+  std::string Name;   ///< VarDecl.
+  CcExprPtr E;        ///< Initializer / expression / return value.
+  int Line = 0;       ///< Pseudo-line for diagnostics.
+
+  CcStmt clone() const;
+  std::string str() const;
+};
+
+CcStmt ccVarDecl(CcTypePtr Type, const std::string &Name, CcExprPtr Init);
+CcStmt ccExprStmt(CcExprPtr E);
+CcStmt ccReturn(CcExprPtr E);
+
+/// A struct declaration: fields plus at most one generic operator().
+class CcStructDecl {
+public:
+  std::string Name;
+  std::vector<std::string> TParams; ///< Template parameters; empty for
+                                    ///< ordinary structs.
+  struct Field {
+    std::string Name;
+    CcTypePtr Type; ///< May reference TParams.
+  };
+  std::vector<Field> Fields;
+
+  /// The generic call operator: parameter names (untyped; bound per
+  /// call) and a body expression whose type becomes the result.
+  bool HasCallOperator = false;
+  std::vector<std::string> CallParams;
+  CcExprPtr CallBody;
+};
+
+/// Renders the struct's declared name ("unary_compose").
+std::string structName(const CcStructDecl *Decl);
+
+/// A function declaration. TParams empty means an ordinary function with
+/// fully explicit types; otherwise a template function whose parameter
+/// types may mention TParams and are deduced per call (Section 4.1).
+class CcFuncDecl {
+public:
+  std::string Name;
+  std::vector<std::string> TParams;
+  struct Param {
+    std::string Name;
+    CcTypePtr Type;
+  };
+  std::vector<Param> Params;
+  CcTypePtr RetType;
+  std::vector<CcStmt> Body;
+
+  CcFuncDecl clone() const;
+};
+
+/// A whole translation unit.
+struct CcProgram {
+  std::vector<std::unique_ptr<CcStructDecl>> Structs;
+  std::vector<std::unique_ptr<CcFuncDecl>> Funcs;
+
+  CcStructDecl *findStruct(const std::string &Name) const;
+  CcFuncDecl *findFunc(const std::string &Name) const;
+};
+
+/// Renders a function body for messages.
+std::string printFunc(const CcFuncDecl &F);
+
+} // namespace cpp
+} // namespace seminal
+
+#endif // SEMINAL_MINICPP_CCAST_H

@@ -1,0 +1,72 @@
+//===- CcSearch.h - Search-based messages for mini-C++ ----------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C++ prototype's search procedure (Section 4.2). It differs from
+/// the Caml searcher exactly where the paper says it must:
+///
+///   * No whole-program descent: the search focuses on the ordinary
+///     function containing the first error (identified from the
+///     diagnostic, as the paper does by parsing gcc output).
+///   * No universal wildcard: removal and adaptation are emulated with
+///     magicFun(0) / magicFun(e), which fail to deduce in contexts that
+///     provide no expected type -- so the searcher falls back to hoisting
+///     (f(e1, e2); becomes magicFunVoid(e1); magicFunVoid(e2);).
+///   * Success means eliminating some of the baseline errors while
+///     introducing no new ones (cascading errors make exact emptiness
+///     too strict), which doubles as built-in triage.
+///   * Constructive changes include STL-specific idioms: wrapping an
+///     argument in ptr_fun (the Figure 10 fix), unwrapping a spurious
+///     ptr_fun, flipping `.` and `->`, and rearranging call arguments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_MINICPP_CCSEARCH_H
+#define SEMINAL_MINICPP_CCSEARCH_H
+
+#include "minicpp/CcAst.h"
+#include "minicpp/CcTypeck.h"
+
+#include <string>
+#include <vector>
+
+namespace seminal {
+namespace cpp {
+
+/// One confirmed suggestion.
+struct CcSuggestion {
+  enum class Kind { Constructive, Adaptation, Hoist, Removal };
+  Kind TheKind = Kind::Constructive;
+  std::string Description;
+  int StmtIndex = -1;
+  std::string Before; ///< The replaced expression/statement, printed.
+  std::string After;  ///< The replacement, printed.
+  unsigned OriginalSize = 0;
+  /// How many of the baseline errors this change eliminates.
+  unsigned ErrorsFixed = 0;
+
+  std::string str() const;
+};
+
+/// Everything a run produces.
+struct CcReport {
+  CcCheckResult Baseline;
+  std::string TargetFunction;
+  std::vector<CcSuggestion> Suggestions; ///< Ranked, best first.
+  size_t OracleCalls = 0;
+
+  bool inputTypechecks() const { return Baseline.ok(); }
+  std::string bestMessage() const;
+};
+
+/// Runs search-based message generation for mini-C++. \p Prog is
+/// temporarily modified during the search and restored before returning.
+CcReport runCppSeminal(CcProgram &Prog);
+
+} // namespace cpp
+} // namespace seminal
+
+#endif // SEMINAL_MINICPP_CCSEARCH_H

@@ -1,0 +1,183 @@
+//===- CcStl.cpp - The mini-STL implementation -----------------------------==//
+
+#include "minicpp/CcStl.h"
+
+using namespace seminal;
+using namespace seminal::cpp;
+
+namespace {
+
+std::unique_ptr<CcStructDecl> makeStruct(const std::string &Name,
+                                         std::vector<std::string> TParams) {
+  auto S = std::make_unique<CcStructDecl>();
+  S->Name = Name;
+  S->TParams = std::move(TParams);
+  return S;
+}
+
+std::unique_ptr<CcFuncDecl>
+makeTemplateFunc(const std::string &Name, std::vector<std::string> TParams,
+                 std::vector<CcFuncDecl::Param> Params, CcTypePtr Ret,
+                 std::vector<CcStmt> Body) {
+  auto F = std::make_unique<CcFuncDecl>();
+  F->Name = Name;
+  F->TParams = std::move(TParams);
+  F->Params = std::move(Params);
+  F->RetType = std::move(Ret);
+  F->Body = std::move(Body);
+  return F;
+}
+
+} // namespace
+
+void cpp::addMiniStl(CcProgram &Prog) {
+  // template<class T> struct multiplies { T operator()(T a, T b); };
+  // (modelled with a generic call operator: body checked per call).
+  {
+    auto S = makeStruct("multiplies", {"T"});
+    S->HasCallOperator = true;
+    S->CallParams = {"a", "b"};
+    S->CallBody = ccBinary("*", ccVar("a"), ccVar("b"));
+    Prog.Structs.push_back(std::move(S));
+  }
+
+  // template<class Op, class T> struct binder1st {
+  //   Op op; T value;  auto operator()(x) { return op(value, x); } };
+  {
+    auto S = makeStruct("binder1st", {"Op", "T"});
+    S->Fields.push_back({"op", ccTParam("Op")});
+    S->Fields.push_back({"value", ccTParam("T")});
+    S->HasCallOperator = true;
+    S->CallParams = {"x"};
+    S->CallBody = ccCall(ccVar("op"), [] {
+      std::vector<CcExprPtr> Args;
+      Args.push_back(ccVar("value"));
+      Args.push_back(ccVar("x"));
+      return Args;
+    }());
+    Prog.Structs.push_back(std::move(S));
+  }
+
+  // template<class Op1, class Op2> struct unary_compose {
+  //   Op1 _M_fn1; Op2 _M_fn2;
+  //   auto operator()(x) { return _M_fn1(_M_fn2(x)); } };
+  // The fields of template-parameter type are the Figure 11 trap.
+  {
+    auto S = makeStruct("unary_compose", {"Op1", "Op2"});
+    S->Fields.push_back({"_M_fn1", ccTParam("Op1")});
+    S->Fields.push_back({"_M_fn2", ccTParam("Op2")});
+    S->HasCallOperator = true;
+    S->CallParams = {"x"};
+    std::vector<CcExprPtr> Inner;
+    Inner.push_back(ccVar("x"));
+    std::vector<CcExprPtr> Outer;
+    Outer.push_back(ccCall(ccVar("_M_fn2"), std::move(Inner)));
+    S->CallBody = ccCall(ccVar("_M_fn1"), std::move(Outer));
+    Prog.Structs.push_back(std::move(S));
+  }
+
+  // template<class A, class R> struct pointer_to_unary_function {
+  //   R (*_M_ptr)(A);  auto operator()(x) { return _M_ptr(x); } };
+  {
+    auto S = makeStruct("pointer_to_unary_function", {"A", "R"});
+    S->Fields.push_back(
+        {"_M_ptr", ccPtr(ccFunc(ccTParam("R"), {ccTParam("A")}))});
+    S->HasCallOperator = true;
+    S->CallParams = {"x"};
+    std::vector<CcExprPtr> Args;
+    Args.push_back(ccVar("x"));
+    S->CallBody = ccCall(ccVar("_M_ptr"), std::move(Args));
+    Prog.Structs.push_back(std::move(S));
+  }
+
+  const CcStructDecl *Binder1st = Prog.findStruct("binder1st");
+  const CcStructDecl *UnaryCompose = Prog.findStruct("unary_compose");
+  const CcStructDecl *PtrFunctor =
+      Prog.findStruct("pointer_to_unary_function");
+
+  // template<class Op, class T>
+  // binder1st<Op, T> bind1st(Op op, T v) { return binder1st<Op,T>(op,v); }
+  {
+    std::vector<CcExprPtr> Args;
+    Args.push_back(ccVar("op"));
+    Args.push_back(ccVar("v"));
+    std::vector<CcStmt> Body;
+    Body.push_back(ccReturn(ccConstruct(
+        "binder1st", {ccTParam("Op"), ccTParam("T")}, std::move(Args))));
+    Prog.Funcs.push_back(makeTemplateFunc(
+        "bind1st", {"Op", "T"},
+        {{"op", ccTParam("Op")}, {"v", ccTParam("T")}},
+        ccStructType(Binder1st, {ccTParam("Op"), ccTParam("T")}),
+        std::move(Body)));
+  }
+
+  // template<class Op1, class Op2> unary_compose<Op1, Op2>
+  // compose1(const Op1& f1, const Op2& f2)   (const& = no decay).
+  {
+    std::vector<CcExprPtr> Args;
+    Args.push_back(ccVar("f1"));
+    Args.push_back(ccVar("f2"));
+    std::vector<CcStmt> Body;
+    Body.push_back(ccReturn(ccConstruct(
+        "unary_compose", {ccTParam("Op1"), ccTParam("Op2")},
+        std::move(Args))));
+    Prog.Funcs.push_back(makeTemplateFunc(
+        "compose1", {"Op1", "Op2"},
+        {{"f1", ccTParam("Op1")}, {"f2", ccTParam("Op2")}},
+        ccStructType(UnaryCompose, {ccTParam("Op1"), ccTParam("Op2")}),
+        std::move(Body)));
+  }
+
+  // template<class A, class R>
+  // pointer_to_unary_function<A, R> ptr_fun(R (*f)(A)) { ... }
+  // The pointer-typed parameter is what makes deduction decay here.
+  {
+    std::vector<CcExprPtr> Args;
+    Args.push_back(ccVar("f"));
+    std::vector<CcStmt> Body;
+    Body.push_back(ccReturn(
+        ccConstruct("pointer_to_unary_function",
+                    {ccTParam("A"), ccTParam("R")}, std::move(Args))));
+    Prog.Funcs.push_back(makeTemplateFunc(
+        "ptr_fun", {"A", "R"},
+        {{"f", ccPtr(ccFunc(ccTParam("R"), {ccTParam("A")}))}},
+        ccStructType(PtrFunctor, {ccTParam("A"), ccTParam("R")}),
+        std::move(Body)));
+  }
+
+  // template<class In, class Out, class Op>
+  // Out transform(In first, In last, Out result, Op op)
+  //   { op(*first); return result; }
+  {
+    std::vector<CcExprPtr> CallArgs;
+    CallArgs.push_back(ccUnary("*", ccVar("first")));
+    std::vector<CcStmt> Body;
+    Body.push_back(ccExprStmt(ccCall(ccVar("op"), std::move(CallArgs))));
+    Body.push_back(ccReturn(ccVar("result")));
+    Prog.Funcs.push_back(makeTemplateFunc(
+        "transform", {"In", "Out", "Op"},
+        {{"first", ccTParam("In")},
+         {"last", ccTParam("In")},
+         {"result", ccTParam("Out")},
+         {"op", ccTParam("Op")}},
+        ccTParam("Out"), std::move(Body)));
+  }
+
+  // long labs(long) -- the <cmath> function of Figure 10.
+  {
+    auto F = std::make_unique<CcFuncDecl>();
+    F->Name = "labs";
+    F->Params = {{"x", ccLong()}};
+    F->RetType = ccLong();
+    Prog.Funcs.push_back(std::move(F));
+  }
+
+  // int abs(int) -- handy for extra scenarios.
+  {
+    auto F = std::make_unique<CcFuncDecl>();
+    F->Name = "abs";
+    F->Params = {{"x", ccInt()}};
+    F->RetType = ccInt();
+    Prog.Funcs.push_back(std::move(F));
+  }
+}

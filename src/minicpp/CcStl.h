@@ -1,0 +1,35 @@
+//===- CcStl.h - The mini-STL for the C++ prototype -------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The slice of the STL (and the __gnu_cxx extension) that the paper's
+/// Figure 10 client exercises, expressed in mini-C++: multiplies,
+/// binder1st / bind1st, unary_compose / compose1 (the gcc extension),
+/// pointer_to_unary_function / ptr_fun, transform, plus labs from
+/// <cmath>. Installing these into a program reproduces the library-side
+/// conditions for the Figure 11 error wall: compose1's parameters do not
+/// decay functions to pointers, and unary_compose declares fields of its
+/// template-parameter types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_MINICPP_CCSTL_H
+#define SEMINAL_MINICPP_CCSTL_H
+
+#include "minicpp/CcAst.h"
+
+namespace seminal {
+namespace cpp {
+
+/// Appends the mini-STL declarations to \p Prog. Must be called before
+/// user functions referencing them are added (order is irrelevant to the
+/// checker, but the structs must exist for user code to name them).
+void addMiniStl(CcProgram &Prog);
+
+} // namespace cpp
+} // namespace seminal
+
+#endif // SEMINAL_MINICPP_CCSTL_H

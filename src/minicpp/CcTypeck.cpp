@@ -1,0 +1,526 @@
+//===- CcTypeck.cpp - Mini-C++ type checking implementation ---------------==//
+
+#include "minicpp/CcTypeck.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::cpp;
+
+std::string CcError::str() const {
+  std::ostringstream OS;
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It)
+    OS << "in instantiation of '" << *It << "': instantiated from here\n";
+  OS << "error: " << Message;
+  if (!InFunction.empty())
+    OS << "  [in " << InFunction << ", statement " << StmtIndex << "]";
+  return OS.str();
+}
+
+std::string CcCheckResult::str() const {
+  std::vector<std::string> Parts;
+  for (const auto &E : Errors)
+    Parts.push_back(E.str());
+  return join(Parts, "\n");
+}
+
+namespace {
+
+/// Numeric tower: int < long < double.
+bool isNumeric(const CcTypePtr &T) {
+  return T->isBuiltin("int") || T->isBuiltin("long") ||
+         T->isBuiltin("double");
+}
+
+int numericRank(const CcTypePtr &T) {
+  if (T->isBuiltin("int"))
+    return 0;
+  if (T->isBuiltin("long"))
+    return 1;
+  return 2;
+}
+
+/// Whether a value of \p From initializes a location of type \p To:
+/// exact match, numeric conversion, or function-to-pointer decay.
+bool assignable(const CcTypePtr &From, const CcTypePtr &To) {
+  if (From->isError() || To->isError())
+    return true; // already reported
+  if (From->equals(*To))
+    return true;
+  if (isNumeric(From) && isNumeric(To))
+    return true;
+  if (From->isFunction() && To->TheKind == CcType::Kind::Pointer &&
+      To->Elem->isFunction() && From->equals(*To->Elem))
+    return true;
+  return false;
+}
+
+class Checker {
+public:
+  explicit Checker(const CcProgram &Prog) : Prog(Prog) {}
+
+  CcCheckResult run() {
+    for (const auto &F : Prog.Funcs) {
+      if (!F->TParams.empty())
+        continue; // templates check at instantiation
+      CurrentFunction = F->Name;
+      checkFunctionBody(*F, {});
+      CurrentFunction.clear();
+    }
+    CcCheckResult Result;
+    Result.Errors = std::move(Errors);
+    return Result;
+  }
+
+private:
+  using Env = std::vector<std::pair<std::string, CcTypePtr>>;
+
+  void report(const std::string &Message) {
+    CcError E;
+    E.Message = Message;
+    E.Chain = Chain;
+    E.InFunction = CurrentFunction;
+    E.StmtIndex = CurrentStmt;
+    Errors.push_back(std::move(E));
+  }
+
+  static CcTypePtr lookupLocal(const Env &Locals, const std::string &Name) {
+    for (auto It = Locals.rbegin(); It != Locals.rend(); ++It)
+      if (It->first == Name)
+        return It->second;
+    return nullptr;
+  }
+
+  /// Checks a function body with \p Bindings substituted into parameter
+  /// and return types (empty for ordinary functions).
+  void checkFunctionBody(const CcFuncDecl &F,
+                         const std::map<std::string, CcTypePtr> &Bindings) {
+    Env Locals;
+    for (const auto &P : F.Params)
+      Locals.emplace_back(P.Name, substitute(P.Type, Bindings));
+    CcTypePtr Ret = substitute(F.RetType, Bindings);
+    int SavedStmt = CurrentStmt;
+    for (size_t I = 0; I < F.Body.size(); ++I) {
+      if (Chain.empty())
+        CurrentStmt = int(I);
+      const CcStmt &S = F.Body[I];
+      switch (S.TheKind) {
+      case CcStmt::Kind::VarDecl: {
+        CcTypePtr DeclType = substitute(S.DeclType, Bindings);
+        CcTypePtr Init = checkExpr(*S.E, Locals, Bindings, DeclType);
+        if (!Init->isError() && !assignable(Init, DeclType))
+          report("cannot convert '" + Init->str() + "' to '" +
+                 DeclType->str() + "' in initialization");
+        Locals.emplace_back(S.Name, DeclType);
+        break;
+      }
+      case CcStmt::Kind::Expr:
+        checkExpr(*S.E, Locals, Bindings, nullptr);
+        break;
+      case CcStmt::Kind::Return: {
+        if (!S.E) {
+          if (Ret && !Ret->isVoid())
+            report("return-statement with no value, in function returning "
+                   "'" + Ret->str() + "'");
+          break;
+        }
+        CcTypePtr V = checkExpr(*S.E, Locals, Bindings, Ret);
+        if (!V->isError() && Ret && !assignable(V, Ret))
+          report("cannot convert '" + V->str() + "' to '" + Ret->str() +
+                 "' in return");
+        break;
+      }
+      }
+    }
+    CurrentStmt = SavedStmt;
+  }
+
+  /// Instantiates \p Decl with \p Args: checks every field's substituted
+  /// type. Memoized; failed instantiations are poisoned so later calls
+  /// through them cascade (Figure 11's second error group).
+  bool instantiateStruct(const CcStructDecl *Decl,
+                         const std::vector<CcTypePtr> &Args) {
+    CcTypePtr Ty = ccStructType(Decl, Args);
+    std::string Key = Ty->str();
+    auto It = StructInstOk.find(Key);
+    if (It != StructInstOk.end())
+      return It->second;
+    StructInstOk[Key] = true; // break recursion optimistically
+
+    std::map<std::string, CcTypePtr> Bindings;
+    for (size_t I = 0; I < Decl->TParams.size() && I < Args.size(); ++I)
+      Bindings[Decl->TParams[I]] = Args[I];
+
+    bool Ok = true;
+    Chain.push_back(Ty->str());
+    for (const auto &Field : Decl->Fields) {
+      CcTypePtr FieldTy = substitute(Field.Type, Bindings);
+      if (!FieldTy->isFieldable()) {
+        report("'" + FieldTy->str() +
+               "' is not a class, struct, or union type; field '" +
+               Field.Name + "' invalidly declared function type");
+        Ok = false;
+      }
+    }
+    Chain.pop_back();
+    StructInstOk[Key] = Ok;
+    return Ok;
+  }
+
+  /// Calls the generic operator() of \p StructTy with \p ArgTypes.
+  /// \returns the body's type, or error.
+  CcTypePtr callOperator(const CcTypePtr &StructTy,
+                         const std::vector<CcTypePtr> &ArgTypes) {
+    const CcStructDecl *Decl = StructTy->Struct;
+    if (!Decl->HasCallOperator) {
+      report("no match for call to '(" + StructTy->str() + ")'");
+      return ccError();
+    }
+    if (ArgTypes.size() != Decl->CallParams.size()) {
+      report("no match for call to '(" + StructTy->str() +
+             ")': wrong number of arguments");
+      return ccError();
+    }
+    // Memoize per (struct instance, argument types).
+    std::string Key = StructTy->str() + "(";
+    for (const auto &A : ArgTypes)
+      Key += A->str() + ",";
+    Key += ")";
+    auto Memo = OperatorResult.find(Key);
+    if (Memo != OperatorResult.end())
+      return Memo->second;
+    OperatorResult[Key] = ccError(); // break recursion pessimistically
+
+    std::map<std::string, CcTypePtr> Bindings;
+    for (size_t I = 0; I < Decl->TParams.size() && I < StructTy->Args.size();
+         ++I)
+      Bindings[Decl->TParams[I]] = StructTy->Args[I];
+
+    Env Locals;
+    for (const auto &Field : Decl->Fields)
+      Locals.emplace_back(Field.Name, substitute(Field.Type, Bindings));
+    for (size_t I = 0; I < ArgTypes.size(); ++I)
+      Locals.emplace_back(Decl->CallParams[I], ArgTypes[I]);
+
+    Chain.push_back(StructTy->str() + "::operator()");
+    size_t ErrorsBefore = Errors.size();
+    CcTypePtr Result = checkExpr(*Decl->CallBody, Locals, Bindings, nullptr);
+    Chain.pop_back();
+    if (Errors.size() != ErrorsBefore)
+      Result = ccError();
+    OperatorResult[Key] = Result;
+    return Result;
+  }
+
+  /// Calls a template function: deduction, then body instantiation.
+  CcTypePtr callTemplate(const CcFuncDecl *F,
+                         const std::vector<CcTypePtr> &ArgTypes) {
+    if (ArgTypes.size() != F->Params.size()) {
+      report("no matching function for call to '" + F->Name +
+             "': wrong number of arguments");
+      return ccError();
+    }
+    std::map<std::string, CcTypePtr> Bindings;
+    for (size_t I = 0; I < ArgTypes.size(); ++I) {
+      if (ArgTypes[I]->isError())
+        return ccError();
+      if (!deduce(F->Params[I].Type, ArgTypes[I], Bindings)) {
+        std::vector<std::string> Parts;
+        for (const auto &A : ArgTypes)
+          Parts.push_back(A->str());
+        report("no matching function for call to '" + F->Name + "(" +
+               join(Parts, ", ") + ")'");
+        return ccError();
+      }
+    }
+    // Every template parameter must be bound.
+    for (const auto &P : F->TParams)
+      if (!Bindings.count(P)) {
+        report("couldn't deduce template parameter '" + P + "' in call to '" +
+               F->Name + "'");
+        return ccError();
+      }
+
+    // Instantiate (memoized).
+    std::string Key = F->Name + "<";
+    for (const auto &P : F->TParams)
+      Key += Bindings[P]->str() + ",";
+    Key += ">";
+    if (!FuncInstDone.count(Key)) {
+      FuncInstDone.insert(Key);
+      Chain.push_back(Key);
+      checkFunctionBody(*F, Bindings);
+      Chain.pop_back();
+    }
+    return substitute(F->RetType, Bindings);
+  }
+
+  CcTypePtr checkExpr(const CcExpr &E, Env &Locals,
+                      const std::map<std::string, CcTypePtr> &Bindings,
+                      CcTypePtr Expected) {
+    switch (E.kind()) {
+    case CcExpr::Kind::IntLit:
+      return ccInt();
+
+    case CcExpr::Kind::Var: {
+      if (CcTypePtr T = lookupLocal(Locals, E.Name))
+        return T;
+      if (const CcFuncDecl *F = Prog.findFunc(E.Name)) {
+        if (!F->TParams.empty()) {
+          report("cannot use template function '" + E.Name +
+                 "' without arguments");
+          return ccError();
+        }
+        // A bare function name has function type (no decay here; see
+        // CcTypeck.h).
+        std::vector<CcTypePtr> Params;
+        for (const auto &P : F->Params)
+          Params.push_back(P.Type);
+        return ccFunc(F->RetType, std::move(Params));
+      }
+      report("'" + E.Name + "' was not declared in this scope");
+      return ccError();
+    }
+
+    case CcExpr::Kind::Call: {
+      const CcExpr &Callee = *E.child(0);
+      std::vector<CcTypePtr> ArgTypes;
+
+      // The magicFun builtins (Section 4.2's wildcard emulation).
+      if (Callee.kind() == CcExpr::Kind::Var &&
+          (Callee.Name == "magicFun" || Callee.Name == "magicFunVoid") &&
+          !lookupLocal(Locals, Callee.Name)) {
+        for (unsigned I = 1; I < E.numChildren(); ++I)
+          checkExpr(*E.child(I), Locals, Bindings, nullptr);
+        if (Callee.Name == "magicFunVoid")
+          return ccVoid();
+        if (!Expected) {
+          report("couldn't deduce template parameter 'B' in call to "
+                 "'magicFun'");
+          return ccError();
+        }
+        return Expected;
+      }
+
+      // A named template or ordinary function?
+      if (Callee.kind() == CcExpr::Kind::Var &&
+          !lookupLocal(Locals, Callee.Name)) {
+        if (const CcFuncDecl *F = Prog.findFunc(Callee.Name)) {
+          if (!F->TParams.empty()) {
+            for (unsigned I = 1; I < E.numChildren(); ++I)
+              ArgTypes.push_back(
+                  checkExpr(*E.child(I), Locals, Bindings, nullptr));
+            return callTemplate(F, ArgTypes);
+          }
+          // Ordinary function: check arguments against declared types.
+          if (E.numChildren() - 1 != F->Params.size()) {
+            report("wrong number of arguments to '" + F->Name + "'");
+            return ccError();
+          }
+          for (unsigned I = 1; I < E.numChildren(); ++I) {
+            CcTypePtr ParamTy = F->Params[I - 1].Type;
+            CcTypePtr ArgTy =
+                checkExpr(*E.child(I), Locals, Bindings, ParamTy);
+            if (!ArgTy->isError() && !assignable(ArgTy, ParamTy))
+              report("cannot convert '" + ArgTy->str() + "' to '" +
+                     ParamTy->str() + "' for argument " + std::to_string(I) +
+                     " of '" + F->Name + "'");
+          }
+          return F->RetType;
+        }
+      }
+
+      // General callee: functor object or function (pointer).
+      CcTypePtr CalleeTy = checkExpr(Callee, Locals, Bindings, nullptr);
+      for (unsigned I = 1; I < E.numChildren(); ++I)
+        ArgTypes.push_back(checkExpr(*E.child(I), Locals, Bindings, nullptr));
+      if (CalleeTy->isError())
+        return ccError();
+
+      if (CalleeTy->isStruct()) {
+        // Cascading behavior: calling through a poisoned instantiation.
+        if (!instantiateStruct(CalleeTy->Struct, CalleeTy->Args)) {
+          std::vector<std::string> Parts;
+          for (const auto &A : ArgTypes)
+            Parts.push_back(A->str());
+          report("no match for call to '(" + CalleeTy->str() + ") (" +
+                 join(Parts, ", ") + ")'");
+          return ccError();
+        }
+        return callOperator(CalleeTy, ArgTypes);
+      }
+
+      CcTypePtr FnTy = CalleeTy;
+      if (FnTy->TheKind == CcType::Kind::Pointer && FnTy->Elem->isFunction())
+        FnTy = FnTy->Elem;
+      if (!FnTy->isFunction()) {
+        report("'" + CalleeTy->str() + "' cannot be used as a function");
+        return ccError();
+      }
+      if (ArgTypes.size() != FnTy->Params.size()) {
+        report("wrong number of arguments in call through '" +
+               CalleeTy->str() + "'");
+        return ccError();
+      }
+      for (size_t I = 0; I < ArgTypes.size(); ++I)
+        if (!ArgTypes[I]->isError() &&
+            !assignable(ArgTypes[I], FnTy->Params[I]))
+          report("cannot convert '" + ArgTypes[I]->str() + "' to '" +
+                 FnTy->Params[I]->str() + "' in call");
+      return FnTy->Ret;
+    }
+
+    case CcExpr::Kind::Construct: {
+      const CcStructDecl *Decl = Prog.findStruct(E.TypeName);
+      if (!Decl) {
+        report("'" + E.TypeName + "' does not name a type");
+        return ccError();
+      }
+      std::vector<CcTypePtr> Args;
+      for (const auto &A : E.TypeArgs)
+        Args.push_back(substitute(A, Bindings));
+      if (Args.size() != Decl->TParams.size()) {
+        report("wrong number of template arguments for '" + E.TypeName +
+               "'");
+        return ccError();
+      }
+      CcTypePtr Ty = ccStructType(Decl, Args);
+      bool InstOk = instantiateStruct(Decl, Args);
+
+      // Positional field initialization.
+      std::map<std::string, CcTypePtr> StructBindings;
+      for (size_t I = 0; I < Decl->TParams.size(); ++I)
+        StructBindings[Decl->TParams[I]] = Args[I];
+      if (E.numChildren() != 0 && E.numChildren() != Decl->Fields.size()) {
+        report("wrong number of constructor arguments for '" + Ty->str() +
+               "'");
+        return Ty;
+      }
+      for (unsigned I = 0; I < E.numChildren(); ++I) {
+        CcTypePtr FieldTy =
+            substitute(Decl->Fields[I].Type, StructBindings);
+        CcTypePtr ArgTy = checkExpr(*E.child(I), Locals, Bindings, FieldTy);
+        if (InstOk && !ArgTy->isError() && !assignable(ArgTy, FieldTy))
+          report("cannot convert '" + ArgTy->str() + "' to '" +
+                 FieldTy->str() + "' for field '" + Decl->Fields[I].Name +
+                 "'");
+      }
+      return Ty;
+    }
+
+    case CcExpr::Kind::Member: {
+      CcTypePtr ObjTy = checkExpr(*E.child(0), Locals, Bindings, nullptr);
+      if (ObjTy->isError())
+        return ccError();
+      if (E.IsArrow) {
+        if (ObjTy->TheKind != CcType::Kind::Pointer) {
+          report("base operand of '->' has non-pointer type '" +
+                 ObjTy->str() + "'");
+          return ccError();
+        }
+        ObjTy = ObjTy->Elem;
+      }
+      if (!ObjTy->isStruct()) {
+        report("request for member '" + E.Name + "' in something not a "
+               "structure ('" + ObjTy->str() + "')");
+        return ccError();
+      }
+      std::map<std::string, CcTypePtr> StructBindings;
+      for (size_t I = 0; I < ObjTy->Struct->TParams.size(); ++I)
+        StructBindings[ObjTy->Struct->TParams[I]] = ObjTy->Args[I];
+      for (const auto &Field : ObjTy->Struct->Fields)
+        if (Field.Name == E.Name)
+          return substitute(Field.Type, StructBindings);
+      report("'" + ObjTy->str() + "' has no member named '" + E.Name + "'");
+      return ccError();
+    }
+
+    case CcExpr::Kind::Unary: {
+      CcTypePtr T = checkExpr(*E.child(0), Locals, Bindings, nullptr);
+      if (T->isError())
+        return ccError();
+      if (E.Name == "*") {
+        if (T->TheKind != CcType::Kind::Pointer) {
+          report("invalid type argument of unary '*' (have '" + T->str() +
+                 "')");
+          return ccError();
+        }
+        return T->Elem;
+      }
+      if (E.Name == "-") {
+        if (!isNumeric(T)) {
+          report("wrong type argument to unary minus ('" + T->str() + "')");
+          return ccError();
+        }
+        return T;
+      }
+      if (E.Name == "&")
+        return ccPtr(T);
+      report("unknown unary operator '" + E.Name + "'");
+      return ccError();
+    }
+
+    case CcExpr::Kind::Binary: {
+      CcTypePtr L = checkExpr(*E.child(0), Locals, Bindings, nullptr);
+      CcTypePtr R = checkExpr(*E.child(1), Locals, Bindings, nullptr);
+      if (L->isError() || R->isError())
+        return ccError();
+      bool Cmp = E.Name == "<" || E.Name == "==";
+      if (!isNumeric(L) || !isNumeric(R)) {
+        report("invalid operands of types '" + L->str() + "' and '" +
+               R->str() + "' to binary 'operator" + E.Name + "'");
+        return ccError();
+      }
+      if (Cmp)
+        return ccBool();
+      return numericRank(L) >= numericRank(R) ? L : R;
+    }
+
+    case CcExpr::Kind::MethodCall: {
+      CcTypePtr ObjTy = checkExpr(*E.child(0), Locals, Bindings, nullptr);
+      if (ObjTy->isError())
+        return ccError();
+      if (ObjTy->TheKind == CcType::Kind::Vector) {
+        if (E.Name == "begin" || E.Name == "end")
+          return ccPtr(ObjTy->Elem);
+        if (E.Name == "size")
+          return ccInt();
+        if (E.Name == "push_back") {
+          if (E.numChildren() == 2) {
+            CcTypePtr A =
+                checkExpr(*E.child(1), Locals, Bindings, ObjTy->Elem);
+            if (!A->isError() && !assignable(A, ObjTy->Elem))
+              report("cannot convert '" + A->str() + "' to '" +
+                     ObjTy->Elem->str() + "' in push_back");
+          }
+          return ccVoid();
+        }
+      }
+      report("'" + ObjTy->str() + "' has no member function named '" +
+             E.Name + "'");
+      return ccError();
+    }
+    }
+    return ccError();
+  }
+
+  const CcProgram &Prog;
+  std::vector<CcError> Errors;
+  std::vector<std::string> Chain;
+  std::string CurrentFunction;
+  int CurrentStmt = -1;
+  std::map<std::string, bool> StructInstOk;
+  std::map<std::string, CcTypePtr> OperatorResult;
+  std::set<std::string> FuncInstDone;
+};
+
+} // namespace
+
+CcCheckResult cpp::checkProgram(const CcProgram &Prog) {
+  Checker C(Prog);
+  return C.run();
+}

@@ -1,0 +1,222 @@
+//===- CcTypes.cpp - Mini-C++ types implementation -------------------------==//
+
+#include "minicpp/CcTypes.h"
+
+#include "minicpp/CcAst.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace seminal;
+using namespace seminal::cpp;
+
+namespace {
+
+CcTypePtr make(CcType::Kind K) {
+  auto T = std::make_shared<CcType>();
+  T->TheKind = K;
+  return T;
+}
+
+} // namespace
+
+bool CcType::equals(const CcType &Other) const {
+  if (TheKind != Other.TheKind)
+    return false;
+  switch (TheKind) {
+  case Kind::Builtin:
+  case Kind::TParam:
+    return Name == Other.Name;
+  case Kind::Error:
+    return true;
+  case Kind::Pointer:
+  case Kind::Vector:
+    return Elem->equals(*Other.Elem);
+  case Kind::Function: {
+    if (!Ret->equals(*Other.Ret) || Params.size() != Other.Params.size())
+      return false;
+    for (size_t I = 0; I < Params.size(); ++I)
+      if (!Params[I]->equals(*Other.Params[I]))
+        return false;
+    return true;
+  }
+  case Kind::Struct: {
+    if (Struct != Other.Struct || Args.size() != Other.Args.size())
+      return false;
+    for (size_t I = 0; I < Args.size(); ++I)
+      if (!Args[I]->equals(*Other.Args[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+std::string CcType::str() const {
+  switch (TheKind) {
+  case Kind::Builtin:
+  case Kind::TParam:
+    return Name;
+  case Kind::Error:
+    return "<error-type>";
+  case Kind::Pointer: {
+    if (Elem->isFunction()) {
+      std::vector<std::string> Parts;
+      for (const auto &P : Elem->Params)
+        Parts.push_back(P->str());
+      return Elem->Ret->str() + " (*)(" + join(Parts, ", ") + ")";
+    }
+    return Elem->str() + "*";
+  }
+  case Kind::Vector:
+    return "vector<" + Elem->str() + ">";
+  case Kind::Function: {
+    // gcc renders a bare function type as "long int ()(long int)".
+    std::vector<std::string> Parts;
+    for (const auto &P : Params)
+      Parts.push_back(P->str());
+    return Ret->str() + " ()(" + join(Parts, ", ") + ")";
+  }
+  case Kind::Struct: {
+    std::string Text = structName(Struct);
+    if (!Args.empty()) {
+      std::vector<std::string> Parts;
+      for (const auto &A : Args)
+        Parts.push_back(A->str());
+      Text += "<" + join(Parts, ", ") + (Text.back() == '>' ? " >" : ">");
+    }
+    return Text;
+  }
+  }
+  return "?";
+}
+
+CcTypePtr cpp::ccBuiltin(const std::string &Name) {
+  auto T = make(CcType::Kind::Builtin);
+  const_cast<CcType *>(T.get())->Name = Name;
+  return T;
+}
+
+CcTypePtr cpp::ccInt() { return ccBuiltin("int"); }
+CcTypePtr cpp::ccLong() { return ccBuiltin("long"); }
+CcTypePtr cpp::ccDouble() { return ccBuiltin("double"); }
+CcTypePtr cpp::ccBool() { return ccBuiltin("bool"); }
+CcTypePtr cpp::ccVoid() { return ccBuiltin("void"); }
+CcTypePtr cpp::ccString() { return ccBuiltin("string"); }
+
+CcTypePtr cpp::ccPtr(CcTypePtr Elem) {
+  auto T = make(CcType::Kind::Pointer);
+  const_cast<CcType *>(T.get())->Elem = std::move(Elem);
+  return T;
+}
+
+CcTypePtr cpp::ccFunc(CcTypePtr Ret, std::vector<CcTypePtr> Params) {
+  auto T = make(CcType::Kind::Function);
+  auto *M = const_cast<CcType *>(T.get());
+  M->Ret = std::move(Ret);
+  M->Params = std::move(Params);
+  return T;
+}
+
+CcTypePtr cpp::ccVector(CcTypePtr Elem) {
+  auto T = make(CcType::Kind::Vector);
+  const_cast<CcType *>(T.get())->Elem = std::move(Elem);
+  return T;
+}
+
+CcTypePtr cpp::ccStructType(const CcStructDecl *Decl,
+                            std::vector<CcTypePtr> Args) {
+  assert(Decl && "struct type needs a declaration");
+  auto T = make(CcType::Kind::Struct);
+  auto *M = const_cast<CcType *>(T.get());
+  M->Struct = Decl;
+  M->Args = std::move(Args);
+  return T;
+}
+
+CcTypePtr cpp::ccTParam(const std::string &Name) {
+  auto T = make(CcType::Kind::TParam);
+  const_cast<CcType *>(T.get())->Name = Name;
+  return T;
+}
+
+CcTypePtr cpp::ccError() { return make(CcType::Kind::Error); }
+
+CcTypePtr cpp::substitute(const CcTypePtr &T,
+                          const std::map<std::string, CcTypePtr> &Bindings) {
+  switch (T->TheKind) {
+  case CcType::Kind::Builtin:
+  case CcType::Kind::Error:
+    return T;
+  case CcType::Kind::TParam: {
+    auto It = Bindings.find(T->Name);
+    return It == Bindings.end() ? T : It->second;
+  }
+  case CcType::Kind::Pointer:
+    return ccPtr(substitute(T->Elem, Bindings));
+  case CcType::Kind::Vector:
+    return ccVector(substitute(T->Elem, Bindings));
+  case CcType::Kind::Function: {
+    std::vector<CcTypePtr> Params;
+    for (const auto &P : T->Params)
+      Params.push_back(substitute(P, Bindings));
+    return ccFunc(substitute(T->Ret, Bindings), std::move(Params));
+  }
+  case CcType::Kind::Struct: {
+    std::vector<CcTypePtr> Args;
+    for (const auto &A : T->Args)
+      Args.push_back(substitute(A, Bindings));
+    return ccStructType(T->Struct, std::move(Args));
+  }
+  }
+  return T;
+}
+
+bool cpp::deduce(const CcTypePtr &Pattern, const CcTypePtr &Actual,
+                 std::map<std::string, CcTypePtr> &Bindings) {
+  if (Pattern->TheKind == CcType::Kind::TParam) {
+    auto It = Bindings.find(Pattern->Name);
+    if (It != Bindings.end())
+      return It->second->equals(*Actual);
+    Bindings.emplace(Pattern->Name, Actual);
+    return true;
+  }
+  if (Actual->isError())
+    return false;
+  // Function-to-pointer decay: deduction against an explicit
+  // pointer-to-function parameter (ptr_fun's signature) accepts a bare
+  // function; a bare template parameter does not decay (compose1's
+  // const-ref parameters), per Section 4.1's root cause.
+  if (Pattern->TheKind == CcType::Kind::Pointer && Actual->isFunction())
+    return deduce(Pattern->Elem, Actual, Bindings);
+  if (Pattern->TheKind != Actual->TheKind)
+    return false;
+  switch (Pattern->TheKind) {
+  case CcType::Kind::Builtin:
+    return Pattern->Name == Actual->Name;
+  case CcType::Kind::Pointer:
+  case CcType::Kind::Vector:
+    return deduce(Pattern->Elem, Actual->Elem, Bindings);
+  case CcType::Kind::Function: {
+    if (Pattern->Params.size() != Actual->Params.size())
+      return false;
+    if (!deduce(Pattern->Ret, Actual->Ret, Bindings))
+      return false;
+    for (size_t I = 0; I < Pattern->Params.size(); ++I)
+      if (!deduce(Pattern->Params[I], Actual->Params[I], Bindings))
+        return false;
+    return true;
+  }
+  case CcType::Kind::Struct: {
+    if (Pattern->Struct != Actual->Struct ||
+        Pattern->Args.size() != Actual->Args.size())
+      return false;
+    for (size_t I = 0; I < Pattern->Args.size(); ++I)
+      if (!deduce(Pattern->Args[I], Actual->Args[I], Bindings))
+        return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}

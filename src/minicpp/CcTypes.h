@@ -1,0 +1,105 @@
+//===- CcTypes.h - Types for the mini-C++ substrate -------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic types for the mini-C++ language of Section 4. Unlike the
+/// mini-Caml types these are immutable and structurally compared -- C++
+/// has no unification; template deduction is one-way matching of a
+/// parameterized pattern against a concrete argument type.
+///
+/// The kinds cover exactly what the paper's template-function scenario
+/// exercises: builtins, pointers (also serving as iterators), function
+/// types (the problematic non-class types of Figure 11), a builtin
+/// vector<T>, instantiated struct types, and template parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_MINICPP_CCTYPES_H
+#define SEMINAL_MINICPP_CCTYPES_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace seminal {
+namespace cpp {
+
+class CcStructDecl;
+
+/// An immutable mini-C++ type. Shared freely via shared_ptr.
+class CcType {
+public:
+  enum class Kind {
+    Builtin,  ///< int / long / double / bool / void / string
+    Pointer,  ///< T* (also the iterator type of vector<T>)
+    Function, ///< R(A1, ..., An) -- a function (pointer) type
+    Vector,   ///< vector<T>, the one builtin container
+    Struct,   ///< a (possibly template-instantiated) struct type
+    TParam,   ///< a template parameter inside an uninstantiated body
+    Error,    ///< the type of expressions whose checking failed
+  };
+
+  Kind TheKind;
+  std::string Name; ///< Builtin name / TParam name.
+  std::shared_ptr<const CcType> Elem;                ///< Pointer/Vector.
+  std::shared_ptr<const CcType> Ret;                 ///< Function.
+  std::vector<std::shared_ptr<const CcType>> Params; ///< Function.
+  const CcStructDecl *Struct = nullptr;              ///< Struct decl.
+  std::vector<std::shared_ptr<const CcType>> Args;   ///< Struct targs.
+
+  bool isBuiltin(const std::string &N) const {
+    return TheKind == Kind::Builtin && Name == N;
+  }
+  bool isVoid() const { return isBuiltin("void"); }
+  bool isError() const { return TheKind == Kind::Error; }
+  bool isFunction() const { return TheKind == Kind::Function; }
+  bool isStruct() const { return TheKind == Kind::Struct; }
+  /// \returns true for types a struct field may legally have (function
+  /// types may not be fields -- the Figure 11 error).
+  bool isFieldable() const { return TheKind != Kind::Function; }
+
+  /// Structural equality.
+  bool equals(const CcType &Other) const;
+
+  /// Renders in C++-like syntax ("long (*)(long)", "vector<long>",
+  /// "unary_compose<binder1st<multiplies<long> >, long (*)(long)>").
+  std::string str() const;
+};
+
+using CcTypePtr = std::shared_ptr<const CcType>;
+
+// Constructors.
+CcTypePtr ccBuiltin(const std::string &Name);
+CcTypePtr ccInt();
+CcTypePtr ccLong();
+CcTypePtr ccDouble();
+CcTypePtr ccBool();
+CcTypePtr ccVoid();
+CcTypePtr ccString();
+CcTypePtr ccPtr(CcTypePtr Elem);
+CcTypePtr ccFunc(CcTypePtr Ret, std::vector<CcTypePtr> Params);
+CcTypePtr ccVector(CcTypePtr Elem);
+CcTypePtr ccStructType(const CcStructDecl *Decl, std::vector<CcTypePtr> Args);
+CcTypePtr ccTParam(const std::string &Name);
+CcTypePtr ccError();
+
+/// Substitutes template parameters by \p Bindings throughout \p T.
+CcTypePtr substitute(const CcTypePtr &T,
+                     const std::map<std::string, CcTypePtr> &Bindings);
+
+/// One-way template-argument deduction: matches the parameterized
+/// \p Pattern against the concrete \p Actual, extending \p Bindings.
+/// \returns false on conflict or shape mismatch. Mirrors (a simplified
+/// form of) C++ deduction: exact matching on structure; a TParam matches
+/// anything consistently.
+bool deduce(const CcTypePtr &Pattern, const CcTypePtr &Actual,
+            std::map<std::string, CcTypePtr> &Bindings);
+
+} // namespace cpp
+} // namespace seminal
+
+#endif // SEMINAL_MINICPP_CCTYPES_H

@@ -1,0 +1,74 @@
+//===- Rng.h - Deterministic random-number helper ---------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded pseudo-random source used by the synthetic corpus generator.
+/// Everything in the evaluation pipeline is deterministic given the seed, so
+/// every figure in EXPERIMENTS.md is exactly reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_SUPPORT_RNG_H
+#define SEMINAL_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace seminal {
+
+/// Thin deterministic wrapper around std::mt19937_64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : Engine(Seed) {}
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return std::uniform_int_distribution<int64_t>(Lo, Hi)(Engine);
+  }
+
+  /// Uniform real in [0, 1).
+  double unit() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(Engine);
+  }
+
+  /// Bernoulli trial with probability \p P of returning true.
+  bool chance(double P) { return unit() < P; }
+
+  /// Geometric count >= 1 with continuation probability \p P (P in [0,1)).
+  /// Used for heavy-tailed retry-run lengths (Figure 6).
+  int geometric(double P) {
+    int N = 1;
+    while (chance(P) && N < 1 << 12)
+      ++N;
+    return N;
+  }
+
+  /// Uniformly chosen element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick from empty vector");
+    return Items[static_cast<size_t>(range(0, int64_t(Items.size()) - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I)
+      std::swap(Items[I - 1], Items[size_t(range(0, int64_t(I) - 1))]);
+  }
+
+  /// Derives an independent child generator; lets corpus components draw
+  /// without perturbing each other's streams.
+  Rng fork() { return Rng(Engine()); }
+
+private:
+  std::mt19937_64 Engine;
+};
+
+} // namespace seminal
+
+#endif // SEMINAL_SUPPORT_RNG_H

@@ -1,0 +1,34 @@
+//===- SourceLoc.cpp ------------------------------------------------------==//
+
+#include "support/SourceLoc.h"
+
+#include <sstream>
+
+using namespace seminal;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  std::ostringstream OS;
+  OS << "line " << Line << ", column " << Col;
+  return OS.str();
+}
+
+SourceSpan SourceSpan::merge(const SourceSpan &A, const SourceSpan &B) {
+  if (!A.isValid())
+    return B;
+  if (!B.isValid())
+    return A;
+  SourceSpan Result;
+  Result.Begin = A.Begin.Offset <= B.Begin.Offset ? A.Begin : B.Begin;
+  Result.EndOffset = A.EndOffset >= B.EndOffset ? A.EndOffset : B.EndOffset;
+  return Result;
+}
+
+std::string SourceSpan::str() const {
+  if (!isValid())
+    return "<unknown>";
+  std::ostringstream OS;
+  OS << Begin.str() << " (bytes " << Begin.Offset << "-" << EndOffset << ")";
+  return OS.str();
+}

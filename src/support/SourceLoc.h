@@ -1,0 +1,85 @@
+//===- SourceLoc.h - Source locations and spans -----------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source positions used by every front end in this project.
+/// A SourceLoc is a (line, column, byte offset) triple; a SourceSpan is a
+/// half-open byte range with the location of its first character retained
+/// for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_SUPPORT_SOURCELOC_H
+#define SEMINAL_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace seminal {
+
+/// A position in a source buffer. Lines and columns are 1-based; Offset is
+/// the 0-based byte offset. A default-constructed SourceLoc is "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  uint32_t Offset = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col, uint32_t Offset)
+      : Line(Line), Col(Col), Offset(Offset) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &Other) const {
+    return Line == Other.Line && Col == Other.Col && Offset == Other.Offset;
+  }
+  bool operator!=(const SourceLoc &Other) const { return !(*this == Other); }
+  bool operator<(const SourceLoc &Other) const {
+    return Offset < Other.Offset;
+  }
+
+  /// Renders as "line L, column C" (or "<unknown>" when invalid).
+  std::string str() const;
+};
+
+/// A half-open byte range [Begin.Offset, EndOffset) in a source buffer.
+struct SourceSpan {
+  SourceLoc Begin;
+  uint32_t EndOffset = 0;
+
+  SourceSpan() = default;
+  SourceSpan(SourceLoc Begin, uint32_t EndOffset)
+      : Begin(Begin), EndOffset(EndOffset) {}
+
+  bool isValid() const { return Begin.isValid(); }
+  uint32_t size() const {
+    return EndOffset >= Begin.Offset ? EndOffset - Begin.Offset : 0;
+  }
+
+  /// \returns true if \p Offset falls inside this span.
+  bool contains(uint32_t Offset) const {
+    return Offset >= Begin.Offset && Offset < EndOffset;
+  }
+
+  /// \returns true if the two spans share at least one byte.
+  bool overlaps(const SourceSpan &Other) const {
+    return Begin.Offset < Other.EndOffset && Other.Begin.Offset < EndOffset;
+  }
+
+  /// \returns true if \p Other lies entirely within this span.
+  bool encloses(const SourceSpan &Other) const {
+    return Begin.Offset <= Other.Begin.Offset && Other.EndOffset <= EndOffset;
+  }
+
+  /// Smallest span covering both inputs.
+  static SourceSpan merge(const SourceSpan &A, const SourceSpan &B);
+
+  std::string str() const;
+};
+
+} // namespace seminal
+
+#endif // SEMINAL_SUPPORT_SOURCELOC_H

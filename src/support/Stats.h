@@ -1,0 +1,78 @@
+//===- Stats.h - Histograms, CDFs and summary statistics --------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistics helpers used by the benchmark harnesses: percentile
+/// queries over samples (Figure 7's CDF), log-scale histograms (Figure 6),
+/// and fraction-below-threshold queries ("completed in less than 4 seconds
+/// on over 75% of files").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_SUPPORT_STATS_H
+#define SEMINAL_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace seminal {
+
+/// An accumulating sample set with percentile/CDF queries.
+class Samples {
+public:
+  void add(double Value) { Values.push_back(Value); Sorted = false; }
+  size_t size() const { return Values.size(); }
+  bool empty() const { return Values.empty(); }
+
+  double min();
+  double max();
+  double mean() const;
+
+  /// \p Q in [0, 1]; nearest-rank percentile.
+  double percentile(double Q);
+
+  /// Fraction of samples <= \p Threshold.
+  double fractionBelow(double Threshold);
+
+  /// Evenly spaced (value, cumulative-fraction) points for plotting a CDF.
+  std::vector<std::pair<double, double>> cdf(size_t Points = 20);
+
+  const std::vector<double> &values() const { return Values; }
+
+private:
+  void ensureSorted();
+
+  std::vector<double> Values;
+  bool Sorted = false;
+};
+
+/// Integer-keyed frequency counter with an ASCII renderer; used for the
+/// equivalence-class-size distribution of Figure 6.
+class Histogram {
+public:
+  void add(int64_t Key) { ++Counts[Key]; }
+  void add(int64_t Key, uint64_t N) { Counts[Key] += N; }
+
+  uint64_t count(int64_t Key) const;
+  uint64_t total() const;
+  bool empty() const { return Counts.empty(); }
+
+  const std::map<int64_t, uint64_t> &buckets() const { return Counts; }
+
+  /// Renders one row per bucket with a bar whose length is proportional to
+  /// log(count), matching the log-scale presentation in the paper.
+  std::string renderLogScale(const std::string &KeyHeader,
+                             const std::string &CountHeader) const;
+
+private:
+  std::map<int64_t, uint64_t> Counts;
+};
+
+} // namespace seminal
+
+#endif // SEMINAL_SUPPORT_STATS_H

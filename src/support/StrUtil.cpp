@@ -1,0 +1,83 @@
+//===- StrUtil.cpp --------------------------------------------------------==//
+
+#include "support/StrUtil.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace seminal;
+
+std::string seminal::join(const std::vector<std::string> &Parts,
+                          const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::vector<std::string> seminal::split(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  std::string Current;
+  for (char C : Text) {
+    if (C == Sep) {
+      Parts.push_back(Current);
+      Current.clear();
+      continue;
+    }
+    Current += C;
+  }
+  Parts.push_back(Current);
+  return Parts;
+}
+
+std::string seminal::indent(const std::string &Text, unsigned Pad) {
+  std::string Prefix(Pad, ' ');
+  std::string Result;
+  bool AtLineStart = true;
+  for (char C : Text) {
+    if (AtLineStart && C != '\n')
+      Result += Prefix;
+    AtLineStart = C == '\n';
+    Result += C;
+  }
+  return Result;
+}
+
+std::string seminal::escapeStringLiteral(const std::string &Raw) {
+  std::string Result;
+  for (char C : Raw) {
+    switch (C) {
+    case '\\':
+      Result += "\\\\";
+      break;
+    case '"':
+      Result += "\\\"";
+      break;
+    case '\n':
+      Result += "\\n";
+      break;
+    case '\t':
+      Result += "\\t";
+      break;
+    default:
+      Result += C;
+    }
+  }
+  return Result;
+}
+
+bool seminal::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string seminal::ellipsize(const std::string &Text, size_t MaxLen) {
+  if (Text.size() <= MaxLen)
+    return Text;
+  if (MaxLen <= 3)
+    return Text.substr(0, MaxLen);
+  return Text.substr(0, MaxLen - 3) + "...";
+}

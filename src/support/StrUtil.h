@@ -1,0 +1,43 @@
+//===- StrUtil.h - Small string helpers -------------------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the pretty-printers and the diagnostics
+/// renderers: join, split, indent, and escaping of string literals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_SUPPORT_STRUTIL_H
+#define SEMINAL_SUPPORT_STRUTIL_H
+
+#include <string>
+#include <vector>
+
+namespace seminal {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Splits \p Text at every occurrence of \p Sep (no empty-trailing removal).
+std::vector<std::string> split(const std::string &Text, char Sep);
+
+/// Prefixes every line of \p Text with \p Pad spaces.
+std::string indent(const std::string &Text, unsigned Pad);
+
+/// Escapes backslashes, quotes, and control characters for a string literal.
+std::string escapeStringLiteral(const std::string &Raw);
+
+/// \returns true if \p Text starts with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// Truncates \p Text to at most \p MaxLen characters, appending "..." when
+/// truncation happens. Used to keep error-message contexts readable.
+std::string ellipsize(const std::string &Text, size_t MaxLen);
+
+} // namespace seminal
+
+#endif // SEMINAL_SUPPORT_STRUTIL_H

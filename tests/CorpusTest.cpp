@@ -1,0 +1,246 @@
+//===- CorpusTest.cpp - Tests for the synthetic corpus ---------------------==//
+
+#include "corpus/Generator.h"
+#include "corpus/Mutation.h"
+#include "corpus/Programs.h"
+#include "minicaml/Infer.h"
+#include "minicaml/Parser.h"
+#include "minicaml/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  ParseResult R = parseProgram(Source);
+  EXPECT_TRUE(R.ok()) << (R.Error ? R.Error->str() : "");
+  return R.ok() ? std::move(*R.Prog) : Program();
+}
+
+//===----------------------------------------------------------------------===//
+// Assignment templates
+//===----------------------------------------------------------------------===//
+
+class TemplateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TemplateSweep, ParsesAndTypechecks) {
+  const AssignmentTemplate &A =
+      assignmentTemplates()[size_t(GetParam())];
+  ParseResult R = parseProgram(A.Source);
+  ASSERT_TRUE(R.ok()) << A.Title << ": "
+                      << (R.Error ? R.Error->str() : "");
+  TypecheckResult T = typecheckProgram(*R.Prog);
+  EXPECT_TRUE(T.ok()) << A.Title << ": "
+                      << (T.Error ? T.Error->Message : "");
+}
+
+TEST_P(TemplateSweep, RoundTripsThroughPrinter) {
+  const AssignmentTemplate &A =
+      assignmentTemplates()[size_t(GetParam())];
+  Program P = parse(A.Source);
+  std::string Printed = printProgram(P);
+  Program Q = parse(Printed);
+  EXPECT_TRUE(P.equals(Q)) << A.Title;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TemplateSweep, ::testing::Range(0, 5));
+
+TEST(TemplatesTest, ThereAreFiveAssignments) {
+  EXPECT_EQ(assignmentTemplates().size(), 5u);
+  EXPECT_GE(parse(assignmentTemplates()[0].Source).Decls.size(), 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Single mutations
+//===----------------------------------------------------------------------===//
+
+class MutationKindSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationKindSweep, AppliesSomewhereInTheCorpus) {
+  MutationKind Kind = MutationKind(GetParam());
+  Rng R(99);
+  bool AppliedSomewhere = false;
+  for (const AssignmentTemplate &A : assignmentTemplates()) {
+    Program P = parse(A.Source);
+    if (auto M = applyOneMutation(P, Kind, R)) {
+      AppliedSomewhere = true;
+      ASSERT_EQ(M->Truths.size(), 1u);
+      const GroundTruth &T = M->Truths[0];
+      EXPECT_EQ(T.Kind, Kind);
+      EXPECT_NE(T.Before, T.After) << mutationKindName(Kind);
+      // The mutated program still parses after printing (it is a valid
+      // untyped AST even when ill-typed).
+      Program Reparsed = parse(printProgram(M->Mutated));
+      EXPECT_TRUE(M->Mutated.equals(Reparsed)) << mutationKindName(Kind);
+    }
+  }
+  EXPECT_TRUE(AppliedSomewhere)
+      << "no template offers a site for " << mutationKindName(Kind);
+}
+
+TEST_P(MutationKindSweep, GroundTruthPathResolves) {
+  MutationKind Kind = MutationKind(GetParam());
+  Rng R(7);
+  for (const AssignmentTemplate &A : assignmentTemplates()) {
+    Program P = parse(A.Source);
+    auto M = applyOneMutation(P, Kind, R);
+    if (!M)
+      continue;
+    const NodePath &Path = M->Truths[0].Path;
+    // Paths with steps must resolve; decl-level paths must be in range.
+    if (!Path.Steps.empty())
+      EXPECT_NE(resolvePath(M->Mutated, Path), nullptr)
+          << mutationKindName(Kind);
+    else
+      EXPECT_LT(Path.DeclIndex, M->Mutated.Decls.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, MutationKindSweep,
+                         ::testing::Range(0, NumMutationKinds));
+
+TEST(MutationTest, MutateProgramProducesIllTypedResult) {
+  Rng R(42);
+  Program P = parse(assignmentTemplates()[0].Source);
+  for (int I = 0; I < 10; ++I) {
+    auto M = mutateProgram(P, 1, R);
+    ASSERT_TRUE(M.has_value());
+    EXPECT_FALSE(typecheckProgram(M->Mutated).ok());
+    EXPECT_GE(M->Truths.size(), 1u);
+  }
+}
+
+TEST(MutationTest, MultiErrorMutantsCarrySeveralTruths) {
+  Rng R(43);
+  Program P = parse(assignmentTemplates()[1].Source);
+  bool SawMulti = false;
+  for (int I = 0; I < 10 && !SawMulti; ++I) {
+    auto M = mutateProgram(P, 3, R);
+    if (M && M->Truths.size() >= 2)
+      SawMulti = true;
+  }
+  EXPECT_TRUE(SawMulti);
+}
+
+TEST(MutationTest, TruthPathsAreDisjoint) {
+  Rng R(44);
+  Program P = parse(assignmentTemplates()[3].Source);
+  for (int I = 0; I < 5; ++I) {
+    auto M = mutateProgram(P, 3, R);
+    ASSERT_TRUE(M.has_value());
+    for (size_t A = 0; A < M->Truths.size(); ++A)
+      for (size_t B = A + 1; B < M->Truths.size(); ++B) {
+        const auto &PA = M->Truths[A].Path;
+        const auto &PB = M->Truths[B].Path;
+        if (PA.DeclIndex != PB.DeclIndex)
+          continue;
+        size_t N = std::min(PA.Steps.size(), PB.Steps.size());
+        bool Diverge = false;
+        for (size_t K = 0; K < N; ++K)
+          if (PA.Steps[K] != PB.Steps[K])
+            Diverge = true;
+        EXPECT_TRUE(Diverge) << "nested mutation paths";
+      }
+  }
+}
+
+TEST(MutationTest, DeterministicGivenSeed) {
+  Program P = parse(assignmentTemplates()[0].Source);
+  Rng R1(7), R2(7);
+  auto M1 = mutateProgram(P, 2, R1);
+  auto M2 = mutateProgram(P, 2, R2);
+  ASSERT_TRUE(M1 && M2);
+  EXPECT_TRUE(M1->Mutated.equals(M2->Mutated));
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus generation
+//===----------------------------------------------------------------------===//
+
+TEST(GeneratorTest, TenProgrammerProfiles) {
+  EXPECT_EQ(programmerProfiles().size(), 10u);
+}
+
+TEST(GeneratorTest, SmallCorpusSmoke) {
+  CorpusOptions Opts;
+  Opts.Scale = 0.25;
+  Corpus C = generateCorpus(Opts);
+  EXPECT_GT(C.Analyzed.size(), 20u);
+  EXPECT_GE(C.TotalCollected, unsigned(C.Analyzed.size()));
+  for (const CorpusFile &F : C.Analyzed) {
+    EXPECT_GE(F.Programmer, 1);
+    EXPECT_LE(F.Programmer, 10);
+    EXPECT_GE(F.Assignment, 1);
+    EXPECT_LE(F.Assignment, 5);
+    EXPECT_GE(F.ClassSize, 1u);
+    EXPECT_FALSE(F.Truths.empty());
+  }
+}
+
+TEST(GeneratorTest, AnalyzedFilesAreIllTyped) {
+  CorpusOptions Opts;
+  Opts.Scale = 0.2;
+  Corpus C = generateCorpus(Opts);
+  int Checked = 0;
+  for (const CorpusFile &F : C.Analyzed) {
+    Program P = parse(F.Source);
+    EXPECT_FALSE(typecheckProgram(P).ok()) << F.Source;
+    if (++Checked >= 25)
+      break;
+  }
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  CorpusOptions Opts;
+  Opts.Scale = 0.2;
+  Corpus A = generateCorpus(Opts);
+  Corpus B = generateCorpus(Opts);
+  ASSERT_EQ(A.Analyzed.size(), B.Analyzed.size());
+  for (size_t I = 0; I < A.Analyzed.size(); ++I)
+    EXPECT_EQ(A.Analyzed[I].Source, B.Analyzed[I].Source);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  CorpusOptions A, B;
+  A.Scale = B.Scale = 0.2;
+  B.Seed = 999;
+  Corpus CA = generateCorpus(A);
+  Corpus CB = generateCorpus(B);
+  bool AnyDiff = CA.Analyzed.size() != CB.Analyzed.size();
+  for (size_t I = 0; !AnyDiff && I < CA.Analyzed.size(); ++I)
+    AnyDiff = CA.Analyzed[I].Source != CB.Analyzed[I].Source;
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(GeneratorTest, ClassSizesFormHeavyTail) {
+  CorpusOptions Opts;
+  Opts.Scale = 1.0;
+  Corpus C = generateCorpus(Opts);
+  // Most classes are small; at least one is larger (Figure 6's shape).
+  EXPECT_GT(C.ClassSizes.count(1), 0u);
+  uint64_t Bigger = 0;
+  for (const auto &KV : C.ClassSizes.buckets())
+    if (KV.first >= 3)
+      Bigger += KV.second;
+  EXPECT_GT(Bigger, 0u);
+  // Singletons dominate larger classes.
+  EXPECT_GT(C.ClassSizes.count(1), Bigger);
+}
+
+TEST(GeneratorTest, EveryProgrammerAndAssignmentRepresented) {
+  CorpusOptions Opts;
+  Opts.Scale = 1.0;
+  Corpus C = generateCorpus(Opts);
+  std::set<int> Programmers, Assignments;
+  for (const CorpusFile &F : C.Analyzed) {
+    Programmers.insert(F.Programmer);
+    Assignments.insert(F.Assignment);
+  }
+  EXPECT_EQ(Programmers.size(), 10u);
+  EXPECT_EQ(Assignments.size(), 5u);
+}
+
+} // namespace

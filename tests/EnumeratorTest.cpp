@@ -1,0 +1,287 @@
+//===- EnumeratorTest.cpp - Tests for the constructive-change catalog -----==//
+//
+// Covers every row of the paper's Figure 3 plus the Caml special cases,
+// and the gating/laziness structure of Section 2.2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Enumerator.h"
+#include "minicaml/Parser.h"
+#include "minicaml/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+ExprPtr expr(const std::string &Source) {
+  ParseExprResult R = parseExpression(Source);
+  EXPECT_TRUE(R.ok()) << (R.Error ? R.Error->str() : "");
+  return std::move(R.E);
+}
+
+/// All non-probe replacements, rendered.
+std::vector<std::string> renderedChanges(const std::string &Source,
+                                         EnumeratorOptions Opts = {}) {
+  ExprPtr E = expr(Source);
+  std::vector<std::string> Out;
+  for (auto &C : enumerateChanges(*E, Opts))
+    if (!C.IsProbe)
+      Out.push_back(printExpr(*C.Replacement));
+  return Out;
+}
+
+bool contains(const std::vector<std::string> &Haystack,
+              const std::string &Needle) {
+  for (const auto &S : Haystack)
+    if (S == Needle)
+      return true;
+  return false;
+}
+
+std::string dump(const std::vector<std::string> &Items) {
+  std::string Out;
+  for (const auto &S : Items)
+    Out += "  " + S + "\n";
+  return Out;
+}
+
+// Figure 3, row 1: remove an argument from a function call.
+TEST(EnumeratorTest, RemoveArgument) {
+  auto Changes = renderedChanges("f a1 a2 a3");
+  EXPECT_TRUE(contains(Changes, "f a2 a3")) << dump(Changes);
+  EXPECT_TRUE(contains(Changes, "f a1 a3")) << dump(Changes);
+  EXPECT_TRUE(contains(Changes, "f a1 a2")) << dump(Changes);
+}
+
+// Figure 3, row 2: add an argument to a function call.
+TEST(EnumeratorTest, AddArgument) {
+  auto Changes = renderedChanges("f a1 a2 a3");
+  EXPECT_TRUE(contains(Changes, "f a1 [[...]] a2 a3")) << dump(Changes);
+  EXPECT_TRUE(contains(Changes, "f a1 a2 a3 [[...]]")) << dump(Changes);
+  EXPECT_TRUE(contains(Changes, "f [[...]] a1 a2 a3")) << dump(Changes);
+}
+
+// Figure 3, row 3: reorder arguments in a function call.
+TEST(EnumeratorTest, ReorderArguments) {
+  auto Changes = renderedChanges("f a1 a2 a3");
+  EXPECT_TRUE(contains(Changes, "f a3 a2 a1")) << dump(Changes); // reversal
+  EXPECT_TRUE(contains(Changes, "f a2 a1 a3")) << dump(Changes); // swap
+  EXPECT_TRUE(contains(Changes, "f a1 a3 a2")) << dump(Changes); // swap
+}
+
+// Figure 3, row 4: reassociate to make a nested call.
+TEST(EnumeratorTest, ReassociateNestedCall) {
+  auto Changes = renderedChanges("f a1 a2 a3");
+  EXPECT_TRUE(contains(Changes, "f (a1 a2 a3)")) << dump(Changes);
+}
+
+// Figure 3, row 5: put call-arguments in a tuple.
+TEST(EnumeratorTest, TupleTheArguments) {
+  auto Changes = renderedChanges("f a1 a2 a3");
+  EXPECT_TRUE(contains(Changes, "f (a1, a2, a3)")) << dump(Changes);
+}
+
+// Figure 3, row 6: curry arguments instead of tupling.
+TEST(EnumeratorTest, CurryTheTuple) {
+  auto Changes = renderedChanges("f (a1, a2, a3)");
+  EXPECT_TRUE(contains(Changes, "f a1 a2 a3")) << dump(Changes);
+}
+
+// Figure 3, row 7: replace reference-update with field-update.
+TEST(EnumeratorTest, RefUpdateToFieldUpdate) {
+  auto Changes = renderedChanges("e1.fld := e2");
+  EXPECT_TRUE(contains(Changes, "e1.fld <- e2")) << dump(Changes);
+}
+
+// Figure 3, row 8: make an n-element list, not a 1-element list of a
+// tuple ([e1, e2, e3] parses as [(e1, e2, e3)]).
+TEST(EnumeratorTest, CommaListToSemicolonList) {
+  auto Changes = renderedChanges("[e1, e2, e3]");
+  EXPECT_TRUE(contains(Changes, "[e1; e2; e3]")) << dump(Changes);
+}
+
+// Figure 3, row 9: make a function recursive (let-in form).
+TEST(EnumeratorTest, MakeLetRecursive) {
+  auto Changes = renderedChanges("let f x = e1 in e2");
+  EXPECT_TRUE(contains(Changes, "let rec f x = e1 in e2")) << dump(Changes);
+}
+
+TEST(EnumeratorTest, RemoveSpuriousRec) {
+  auto Changes = renderedChanges("let rec f x = e1 in e2");
+  EXPECT_TRUE(contains(Changes, "let f x = e1 in e2")) << dump(Changes);
+}
+
+// Section 2.2: tupled parameter to curried parameters (the Figure 2 fix).
+TEST(EnumeratorTest, CurryTupledParameter) {
+  auto Changes = renderedChanges("fun (x, y) -> x + y");
+  EXPECT_TRUE(contains(Changes, "fun x y -> x + y")) << dump(Changes);
+}
+
+TEST(EnumeratorTest, TupleCurriedParameters) {
+  auto Changes = renderedChanges("fun x y -> x + y");
+  EXPECT_TRUE(contains(Changes, "fun (x, y) -> x + y")) << dump(Changes);
+}
+
+TEST(EnumeratorTest, AddAndRemoveParameters) {
+  auto Changes = renderedChanges("fun x y -> x");
+  EXPECT_TRUE(contains(Changes, "fun x y _ -> x")) << dump(Changes);
+  EXPECT_TRUE(contains(Changes, "fun _ x y -> x")) << dump(Changes);
+  EXPECT_TRUE(contains(Changes, "fun y -> x")) << dump(Changes);
+  EXPECT_TRUE(contains(Changes, "fun x -> x")) << dump(Changes);
+}
+
+// Caml idiosyncrasies: operators.
+TEST(EnumeratorTest, PlusToConcat) {
+  auto Changes = renderedChanges("a + b");
+  EXPECT_TRUE(contains(Changes, "a ^ b")) << dump(Changes);
+}
+
+TEST(EnumeratorTest, ConcatToPlus) {
+  auto Changes = renderedChanges("a ^ b");
+  EXPECT_TRUE(contains(Changes, "a + b")) << dump(Changes);
+}
+
+TEST(EnumeratorTest, EqualsVsAssign) {
+  auto EqChanges = renderedChanges("x = 3");
+  EXPECT_TRUE(contains(EqChanges, "x := 3")) << dump(EqChanges);
+  auto AssignChanges = renderedChanges("x := 3");
+  EXPECT_TRUE(contains(AssignChanges, "x = 3")) << dump(AssignChanges);
+  EXPECT_TRUE(contains(AssignChanges, "x := !3")) << dump(AssignChanges);
+}
+
+TEST(EnumeratorTest, DerefOperands) {
+  auto Changes = renderedChanges("r + 1");
+  EXPECT_TRUE(contains(Changes, "!r + 1")) << dump(Changes);
+}
+
+TEST(EnumeratorTest, ConsVsAppend) {
+  auto ConsChanges = renderedChanges("a :: b");
+  EXPECT_TRUE(contains(ConsChanges, "a @ b")) << dump(ConsChanges);
+  EXPECT_TRUE(contains(ConsChanges, "a :: [b]")) << dump(ConsChanges);
+  auto AppendChanges = renderedChanges("a @ b");
+  EXPECT_TRUE(contains(AppendChanges, "a :: b")) << dump(AppendChanges);
+}
+
+TEST(EnumeratorTest, AddElseBranch) {
+  auto Changes = renderedChanges("if c then e");
+  EXPECT_TRUE(contains(Changes, "if c then e else [[...]]"))
+      << dump(Changes);
+}
+
+TEST(EnumeratorTest, ConstructorArityChanges) {
+  auto Nullary = renderedChanges("None");
+  EXPECT_TRUE(contains(Nullary, "None [[...]]")) << dump(Nullary);
+  auto Unary = renderedChanges("Some x");
+  EXPECT_TRUE(contains(Unary, "Some")) << dump(Unary);
+  EXPECT_TRUE(contains(Unary, "Some (x, [[...]])")) << dump(Unary);
+}
+
+TEST(EnumeratorTest, FieldUpdateToRefUpdate) {
+  auto Changes = renderedChanges("e.f <- v");
+  EXPECT_TRUE(contains(Changes, "e.f := v")) << dump(Changes);
+}
+
+TEST(EnumeratorTest, NestedMatchReparenthesizing) {
+  auto Changes =
+      renderedChanges("match x with 0 -> match y with 1 -> a | _ -> b");
+  // One split is possible: move the inner match's last arm outward.
+  bool FoundSplit = false;
+  for (const auto &S : Changes)
+    if (S.find("| _ -> b") != std::string::npos &&
+        S.find("match y with 1 -> a") != std::string::npos)
+      FoundSplit = true;
+  EXPECT_TRUE(FoundSplit) << dump(Changes);
+}
+
+TEST(EnumeratorTest, MatchReparenCanBeDisabled) {
+  EnumeratorOptions Opts;
+  Opts.EnableMatchReparen = false;
+  auto Changes = renderedChanges(
+      "match x with 0 -> match y with 1 -> a | _ -> b", Opts);
+  EXPECT_TRUE(Changes.empty()) << dump(Changes);
+}
+
+// Gating: permutations hide behind a probe when gating is on.
+TEST(EnumeratorTest, PermutationsAreGated) {
+  ExprPtr E = expr("f a1 a2 a3");
+  EnumeratorOptions Gated;
+  auto Changes = enumerateChanges(*E, Gated);
+  bool HasProbe = false;
+  for (auto &C : Changes)
+    if (C.IsProbe) {
+      HasProbe = true;
+      // Probe success expands into permutations.
+      auto Follow = C.FollowUps(true);
+      EXPECT_FALSE(Follow.empty());
+      // Probe failure expands into nothing.
+      auto None = C.FollowUps(false);
+      EXPECT_TRUE(None.empty());
+    }
+  EXPECT_TRUE(HasProbe);
+}
+
+TEST(EnumeratorTest, UngatedEmitsPermutationsEagerly) {
+  ExprPtr E = expr("f a1 a2 a3 a4");
+  EnumeratorOptions Ungated;
+  Ungated.GateExpensiveChanges = false;
+  size_t UngatedCount = enumerateChanges(*E, Ungated).size();
+  EnumeratorOptions Gated;
+  size_t GatedCount = enumerateChanges(*E, Gated).size();
+  EXPECT_GT(UngatedCount, GatedCount);
+}
+
+TEST(EnumeratorTest, TuplePermutationsGatedLikeThePaper) {
+  // (e1, e2, e3) -> probe ([[...]], [[...]], [[...]]) then permutations.
+  ExprPtr E = expr("(e1, e2, e3)");
+  EnumeratorOptions Opts;
+  bool HasProbe = false;
+  for (auto &C : enumerateChanges(*E, Opts)) {
+    if (!C.IsProbe)
+      continue;
+    HasProbe = true;
+    EXPECT_EQ(printExpr(*C.Replacement), "([[...]], [[...]], [[...]])");
+    auto Perms = C.FollowUps(true);
+    EXPECT_EQ(Perms.size(), 5u); // 3! - 1 identity
+  }
+  EXPECT_TRUE(HasProbe);
+}
+
+TEST(EnumeratorTest, LeavesProduceNothing) {
+  EXPECT_TRUE(renderedChanges("x").empty());
+  EXPECT_TRUE(renderedChanges("42").empty());
+  EXPECT_TRUE(renderedChanges("\"s\"").empty());
+}
+
+// Declaration-level changes.
+TEST(EnumeratorDeclTest, ToggleRec) {
+  ParseResult R = parseProgram("let f x = f x");
+  ASSERT_TRUE(R.ok());
+  auto Changes = enumerateDeclChanges(*R.Prog->Decls[0]);
+  bool FoundRec = false;
+  for (auto &DC : Changes)
+    if (printDecl(*DC.Replacement) == "let rec f x = f x")
+      FoundRec = true;
+  EXPECT_TRUE(FoundRec);
+}
+
+TEST(EnumeratorDeclTest, CurryDeclParameters) {
+  ParseResult R = parseProgram("let f (x, y) = x + y");
+  ASSERT_TRUE(R.ok());
+  auto Changes = enumerateDeclChanges(*R.Prog->Decls[0]);
+  bool Found = false;
+  for (auto &DC : Changes)
+    if (printDecl(*DC.Replacement) == "let f x y = x + y")
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(EnumeratorDeclTest, TypeDeclsHaveNoChanges) {
+  ParseResult R = parseProgram("type t = A | B");
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(enumerateDeclChanges(*R.Prog->Decls[0]).empty());
+}
+
+} // namespace

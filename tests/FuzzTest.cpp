@@ -1,0 +1,224 @@
+//===- FuzzTest.cpp - Randomized property tests ----------------------------==//
+//
+// Properties the system must hold on *arbitrary* inputs, not just the
+// paper's examples:
+//
+//   * the printer round-trips every tree it can print;
+//   * the type checker is total: it accepts or reports a located error,
+//     never crashes, and is deterministic;
+//   * the searcher is sound (untriaged suggestions produce well-typed
+//     programs), restores its working copy, and respects its budget even
+//     against adversarial oracles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Oracle.h"
+#include "core/Seminal.h"
+#include "corpus/RandomAst.h"
+#include "minicaml/Infer.h"
+#include "minicaml/Parser.h"
+#include "minicaml/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Printer round-trip
+//===----------------------------------------------------------------------===//
+
+class PrinterFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrinterFuzz, RandomExprsRoundTrip) {
+  Rng R(uint64_t(GetParam()) * 7919 + 13);
+  for (int I = 0; I < 200; ++I) {
+    ExprPtr E = randomExpr(R, 4);
+    std::string Printed = printExpr(*E);
+    ParseExprResult Reparsed = parseExpression(Printed);
+    ASSERT_TRUE(Reparsed.ok())
+        << "printed expr failed to parse: " << Printed << "\n("
+        << (Reparsed.Error ? Reparsed.Error->str() : "") << ")";
+    EXPECT_TRUE(E->equals(*Reparsed.E))
+        << "round trip changed structure:\n  " << Printed << "\n  vs\n  "
+        << printExpr(*Reparsed.E);
+  }
+}
+
+TEST_P(PrinterFuzz, RandomProgramsRoundTrip) {
+  Rng R(uint64_t(GetParam()) * 104729 + 7);
+  for (int I = 0; I < 50; ++I) {
+    Program P = randomProgram(R, 4, 3);
+    std::string Printed = printProgram(P);
+    ParseResult Reparsed = parseProgram(Printed);
+    ASSERT_TRUE(Reparsed.ok()) << Printed;
+    EXPECT_TRUE(P.equals(*Reparsed.Prog)) << Printed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrinterFuzz, ::testing::Range(0, 8));
+
+//===----------------------------------------------------------------------===//
+// Checker totality and determinism
+//===----------------------------------------------------------------------===//
+
+class CheckerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckerFuzz, TotalAndDeterministic) {
+  Rng R(uint64_t(GetParam()) * 31337 + 5);
+  for (int I = 0; I < 100; ++I) {
+    Program P = randomProgram(R, 4, 3);
+    TypecheckResult A = typecheckProgram(P);
+    TypecheckResult B = typecheckProgram(P);
+    EXPECT_EQ(A.ok(), B.ok());
+    if (!A.ok()) {
+      EXPECT_FALSE(A.Error->Message.empty());
+      EXPECT_EQ(A.Error->Message, B.Error->Message);
+    }
+  }
+}
+
+TEST_P(CheckerFuzz, CloneChecksIdentically) {
+  Rng R(uint64_t(GetParam()) * 271 + 11);
+  for (int I = 0; I < 60; ++I) {
+    Program P = randomProgram(R, 3, 3);
+    Program Q = P.clone();
+    EXPECT_EQ(typecheckProgram(P).ok(), typecheckProgram(Q).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerFuzz, ::testing::Range(0, 6));
+
+//===----------------------------------------------------------------------===//
+// Searcher soundness and robustness
+//===----------------------------------------------------------------------===//
+
+class SearcherFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SearcherFuzz, SoundOnRandomIllTypedPrograms) {
+  Rng R(uint64_t(GetParam()) * 65537 + 3);
+  int Examined = 0;
+  for (int I = 0; I < 200 && Examined < 25; ++I) {
+    Program P = randomProgram(R, 3, 3);
+    if (typecheckProgram(P).ok())
+      continue;
+    ++Examined;
+    SeminalOptions Opts;
+    Opts.Search.MaxOracleCalls = 3000;
+    SeminalReport Report = runSeminal(P, Opts);
+    for (const auto &S : Report.Suggestions) {
+      if (S.ViaTriage)
+        continue;
+      TypecheckResult TR = typecheckProgram(S.Modified);
+      EXPECT_TRUE(TR.ok())
+          << "unsound suggestion on random program:\n"
+          << printProgram(P) << "\nsuggestion: " << renderSuggestion(S);
+    }
+  }
+  EXPECT_GT(Examined, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearcherFuzz, ::testing::Range(0, 4));
+
+//===----------------------------------------------------------------------===//
+// Adversarial oracles
+//===----------------------------------------------------------------------===//
+
+/// An oracle that answers according to a script, ignoring the program.
+class ScriptedOracle : public Oracle {
+public:
+  enum class Mode { AlwaysNo, AlwaysYes, Random };
+  explicit ScriptedOracle(Mode M, uint64_t Seed = 1) : TheMode(M), R(Seed) {}
+
+  std::optional<TypeError>
+  conventionalError(const Program &Prog) override {
+    return std::nullopt;
+  }
+
+protected:
+  bool typecheckImpl(const Program &Prog) override {
+    switch (TheMode) {
+    case Mode::AlwaysNo:
+      return false;
+    case Mode::AlwaysYes:
+      return true;
+    case Mode::Random:
+      return R.chance(0.5);
+    }
+    return false;
+  }
+  std::optional<std::string> typeOfNodeImpl(const Program &Prog,
+                                            const Expr *Node) override {
+    return std::nullopt;
+  }
+
+private:
+  Mode TheMode;
+  Rng R;
+};
+
+TEST(AdversarialOracleTest, AlwaysYesBypassesSearch) {
+  ScriptedOracle O(ScriptedOracle::Mode::AlwaysYes);
+  SearchOptions Opts;
+  Searcher S(O, Opts);
+  ParseResult P = parseProgram("let x = 1 + true");
+  SearchOutput Out = S.run(*P.Prog);
+  EXPECT_TRUE(Out.InputTypechecks);
+  EXPECT_TRUE(Out.Suggestions.empty());
+}
+
+TEST(AdversarialOracleTest, AlwaysNoTerminatesWithoutSuggestions) {
+  ScriptedOracle O(ScriptedOracle::Mode::AlwaysNo);
+  SearchOptions Opts;
+  Opts.MaxOracleCalls = 2000;
+  Searcher S(O, Opts);
+  ParseResult P = parseProgram("let f x = x + 1\nlet y = f 1 2");
+  SearchOutput Out = S.run(*P.Prog);
+  // Nothing ever "type-checks", so no prefix is found failing-then-
+  // passing and no change can succeed; the search must end cleanly.
+  EXPECT_TRUE(Out.Suggestions.empty());
+}
+
+class RandomOracleFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomOracleFuzz, RandomOracleNeverBreaksTheSearcher) {
+  ScriptedOracle O(ScriptedOracle::Mode::Random, uint64_t(GetParam()));
+  SearchOptions Opts;
+  Opts.MaxOracleCalls = 500;
+  Searcher S(O, Opts);
+  ParseResult P = parseProgram(
+      "let go y =\n"
+      "  let a = 3 + true in\n"
+      "  match [a] with [] -> y | b :: t -> b + \"s\"\n");
+  SearchOutput Out = S.run(*P.Prog);
+  EXPECT_LE(O.callCount(), Opts.MaxOracleCalls + 2);
+  // Whatever nonsense the oracle answered, suggestions carry coherent
+  // payloads.
+  for (const auto &S2 : Out.Suggestions) {
+    EXPECT_FALSE(S2.Description.empty());
+    EXPECT_LT(S2.Path.DeclIndex, P.Prog->Decls.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOracleFuzz, ::testing::Range(0, 6));
+
+TEST(BudgetTest, SearchIsIdempotentOnWorkingCopy) {
+  // Running the search twice on the same program yields identical
+  // suggestion sets: the in-place editing restores everything.
+  std::string Src = "let go y =\n"
+                    "  let a = 3 + true in\n"
+                    "  let b = 4 + \"hi\" in\n"
+                    "  y\n";
+  SeminalReport R1 = runSeminalOnSource(Src);
+  SeminalReport R2 = runSeminalOnSource(Src);
+  ASSERT_EQ(R1.Suggestions.size(), R2.Suggestions.size());
+  for (size_t I = 0; I < R1.Suggestions.size(); ++I) {
+    EXPECT_EQ(renderSuggestion(R1.Suggestions[I]),
+              renderSuggestion(R2.Suggestions[I]));
+  }
+  EXPECT_EQ(R1.OracleCalls, R2.OracleCalls);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+//===- MessageTest.cpp - Tests for message rendering ------------------------==//
+//
+// The messages ARE the product (the paper's title is about them); these
+// tests pin the exact presentation: the paper's "Try replacing X with Y
+// of type T within context C" format, the [[...]] hole form for
+// removals and adaptations, triage framing, and the unbound-variable
+// note.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Message.h"
+#include "core/Seminal.h"
+#include "minicaml/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+Suggestion makeBasicSuggestion() {
+  Suggestion S;
+  S.Kind = ChangeKind::Constructive;
+  S.Original = parseExpression("f (a, b)").E;
+  S.Replacement = parseExpression("f a b").E;
+  S.Description = "curry";
+  S.OriginalSize = 4;
+  S.ReplacementSize = 4;
+  S.ReplacementType = "int";
+  S.ContextAfter = "let x = f a b";
+  return S;
+}
+
+TEST(MessageTest, ConstructiveFormat) {
+  std::string Msg = renderSuggestion(makeBasicSuggestion());
+  EXPECT_NE(Msg.find("Try replacing\n    f (a, b)"), std::string::npos)
+      << Msg;
+  EXPECT_NE(Msg.find("with\n    f a b"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("of type int"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("within context\n    let x = f a b"),
+            std::string::npos)
+      << Msg;
+}
+
+TEST(MessageTest, RemovalRendersHole) {
+  Suggestion S = makeBasicSuggestion();
+  S.Kind = ChangeKind::Removal;
+  S.Replacement = makeWildcard();
+  std::string Msg = renderSuggestion(S);
+  EXPECT_NE(Msg.find("with\n    [[...]]"), std::string::npos) << Msg;
+}
+
+TEST(MessageTest, AdaptationRendersHoleAndNote) {
+  Suggestion S = makeBasicSuggestion();
+  S.Kind = ChangeKind::Adaptation;
+  std::string Msg = renderSuggestion(S);
+  EXPECT_NE(Msg.find("[[...]]"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("type-checks on its own"), std::string::npos) << Msg;
+}
+
+TEST(MessageTest, TriageFraming) {
+  Suggestion S = makeBasicSuggestion();
+  S.ViaTriage = true;
+  S.TriageRemovals = 2;
+  std::string Msg = renderSuggestion(S);
+  EXPECT_NE(Msg.find("Your code has several type errors"),
+            std::string::npos)
+      << Msg;
+  EXPECT_NE(Msg.find("2 subexpression(s) set aside"), std::string::npos)
+      << Msg;
+  EXPECT_NE(Msg.find("other type errors remain"), std::string::npos) << Msg;
+}
+
+TEST(MessageTest, TriageWithoutRemovalsOmitsTheCount) {
+  Suggestion S = makeBasicSuggestion();
+  S.ViaTriage = true;
+  S.TriageRemovals = 0;
+  std::string Msg = renderSuggestion(S);
+  EXPECT_EQ(Msg.find("set aside"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("ignore the surrounding code"), std::string::npos)
+      << Msg;
+}
+
+TEST(MessageTest, PatternFixFormat) {
+  Suggestion S;
+  S.Kind = ChangeKind::PatternFix;
+  S.ViaTriage = true;
+  S.PatternBefore = "5";
+  S.PatternAfter = "_";
+  S.ContextAfter = "let f = ...";
+  std::string Msg = renderSuggestion(S);
+  EXPECT_NE(Msg.find("replacing the pattern 5 with _"), std::string::npos)
+      << Msg;
+}
+
+TEST(MessageTest, UnboundVariableNote) {
+  Suggestion S = makeBasicSuggestion();
+  S.Kind = ChangeKind::Removal;
+  S.Original = parseExpression("print").E;
+  S.Replacement = makeWildcard();
+  S.LikelyUnboundVariable = true;
+  std::string Msg = renderSuggestion(S);
+  EXPECT_NE(Msg.find("appears to be unbound"), std::string::npos) << Msg;
+}
+
+TEST(MessageTest, DeclChangeFormat) {
+  Suggestion S;
+  S.Kind = ChangeKind::Constructive;
+  S.Description = "make the function recursive";
+  S.ContextAfter = "let rec len xs = ...";
+  std::string Msg = renderSuggestion(S);
+  EXPECT_NE(Msg.find("make the function recursive"), std::string::npos)
+      << Msg;
+  EXPECT_NE(Msg.find("let rec len"), std::string::npos) << Msg;
+}
+
+TEST(MessageTest, LongContextsAreEllipsized) {
+  Suggestion S = makeBasicSuggestion();
+  S.ContextAfter = std::string(1000, 'x');
+  MessageOptions Opts;
+  Opts.MaxContextLength = 50;
+  std::string Msg = renderSuggestion(S, Opts);
+  EXPECT_LT(Msg.size(), 400u);
+  EXPECT_NE(Msg.find("..."), std::string::npos);
+}
+
+TEST(MessageTest, ConventionalRendering) {
+  TypeError E;
+  E.Span = SourceSpan(SourceLoc(3, 7, 42), 50);
+  E.Message = "This expression has type int but is here used with type "
+              "string";
+  EXPECT_EQ(renderConventional(E),
+            "line 3, column 7: This expression has type int but is here "
+            "used with type string");
+  EXPECT_EQ(renderConventional(std::nullopt), "No type errors.");
+}
+
+TEST(MessageTest, BestMessageFallbacks) {
+  SeminalReport Empty;
+  Empty.InputTypechecks = true;
+  EXPECT_EQ(Empty.bestMessage(), "No type errors.");
+
+  SeminalReport NoSuggestions;
+  TypeError E;
+  E.Span = SourceSpan(SourceLoc(1, 1, 0), 3);
+  E.Message = "boom";
+  NoSuggestions.CheckerError = E;
+  EXPECT_NE(NoSuggestions.bestMessage().find("No suggestion found"),
+            std::string::npos);
+  EXPECT_NE(NoSuggestions.bestMessage().find("boom"), std::string::npos);
+}
+
+} // namespace

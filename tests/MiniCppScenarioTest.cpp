@@ -1,0 +1,219 @@
+//===- MiniCppScenarioTest.cpp - Further C++ prototype scenarios ----------==//
+//
+// Beyond the Figure 10 headline: member-access flips, template arity
+// and deduction failures, binder1st misuse, iterator typing through the
+// builtin vector, and error-set behavior of the Section 4.2 success
+// criterion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicpp/CcSearch.h"
+#include "minicpp/CcStl.h"
+#include "minicpp/CcTypeck.h"
+
+#include <gtest/gtest.h>
+
+using namespace seminal;
+using namespace seminal::cpp;
+
+namespace {
+
+/// Program with one struct `box { long v; }` and one caller function.
+CcProgram withBox(std::vector<CcStmt> Body,
+                  std::vector<CcFuncDecl::Param> Params = {}) {
+  CcProgram Prog;
+  addMiniStl(Prog);
+  auto Box = std::make_unique<CcStructDecl>();
+  Box->Name = "box";
+  Box->Fields.push_back({"v", ccLong()});
+  Prog.Structs.push_back(std::move(Box));
+
+  auto F = std::make_unique<CcFuncDecl>();
+  F->Name = "caller";
+  F->Params = std::move(Params);
+  F->RetType = ccLong();
+  F->Body = std::move(Body);
+  Prog.Funcs.push_back(std::move(F));
+  return Prog;
+}
+
+TEST(CcScenarioTest, MemberAccessOnStruct) {
+  CcProgram Prog = withBox(
+      [] {
+        std::vector<CcStmt> Body;
+        Body.push_back(ccReturn(ccMember(ccVar("b"), "v", false)));
+        return Body;
+      }(),
+      {{"b", nullptr}});
+  // Fill the param type after findStruct is possible.
+  Prog.findFunc("caller")->Params[0].Type =
+      ccStructType(Prog.findStruct("box"), {});
+  EXPECT_TRUE(checkProgram(Prog).ok());
+}
+
+TEST(CcScenarioTest, ArrowOnValueIsErrorAndSearchFlipsIt) {
+  CcProgram Prog = withBox(
+      [] {
+        std::vector<CcStmt> Body;
+        Body.push_back(ccReturn(ccMember(ccVar("b"), "v", true))); // b->v
+        return Body;
+      }(),
+      {{"b", nullptr}});
+  Prog.findFunc("caller")->Params[0].Type =
+      ccStructType(Prog.findStruct("box"), {});
+
+  CcCheckResult Check = checkProgram(Prog);
+  ASSERT_FALSE(Check.ok());
+  EXPECT_NE(Check.Errors[0].Message.find("non-pointer"), std::string::npos);
+
+  CcReport R = runCppSeminal(Prog);
+  ASSERT_FALSE(R.Suggestions.empty());
+  EXPECT_EQ(R.Suggestions.front().Description, "use '.' instead of '->'");
+}
+
+TEST(CcScenarioTest, DotOnPointerIsErrorAndSearchFlipsIt) {
+  CcProgram Prog = withBox(
+      [] {
+        std::vector<CcStmt> Body;
+        Body.push_back(ccReturn(ccMember(ccVar("b"), "v", false))); // b.v
+        return Body;
+      }(),
+      {{"b", nullptr}});
+  Prog.findFunc("caller")->Params[0].Type =
+      ccPtr(ccStructType(Prog.findStruct("box"), {}));
+
+  ASSERT_FALSE(checkProgram(Prog).ok());
+  CcReport R = runCppSeminal(Prog);
+  ASSERT_FALSE(R.Suggestions.empty());
+  EXPECT_EQ(R.Suggestions.front().Description, "use '->' instead of '.'");
+}
+
+TEST(CcScenarioTest, VectorIteratorsTypecheck) {
+  std::vector<CcStmt> Body;
+  Body.push_back(ccVarDecl(ccPtr(ccLong()), "it",
+                           ccMethodCall(ccVar("v"), "begin", {})));
+  Body.push_back(ccReturn(ccUnary("*", ccVar("it"))));
+  CcProgram Prog = withBox(std::move(Body), {{"v", ccVector(ccLong())}});
+  CcCheckResult R = checkProgram(Prog);
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+TEST(CcScenarioTest, WrongIteratorElementTypeCaught) {
+  std::vector<CcStmt> Body;
+  Body.push_back(ccVarDecl(ccPtr(ccDouble()), "it",
+                           ccMethodCall(ccVar("v"), "begin", {})));
+  Body.push_back(ccReturn(ccIntLit(0)));
+  CcProgram Prog = withBox(std::move(Body), {{"v", ccVector(ccLong())}});
+  EXPECT_FALSE(checkProgram(Prog).ok());
+}
+
+TEST(CcScenarioTest, Binder1stWorksThroughTransform) {
+  // transform(v.begin(), v.end(), v.begin(), bind1st(multiplies<long>(), 5))
+  std::vector<CcExprPtr> BindArgs;
+  BindArgs.push_back(ccConstruct("multiplies", {ccLong()}, {}));
+  BindArgs.push_back(ccIntLit(5));
+  std::vector<CcExprPtr> Args;
+  Args.push_back(ccMethodCall(ccVar("v"), "begin", {}));
+  Args.push_back(ccMethodCall(ccVar("v"), "end", {}));
+  Args.push_back(ccMethodCall(ccVar("v"), "begin", {}));
+  Args.push_back(ccCallNamed("bind1st", std::move(BindArgs)));
+  std::vector<CcStmt> Body;
+  Body.push_back(ccExprStmt(ccCallNamed("transform", std::move(Args))));
+  Body.push_back(ccReturn(ccIntLit(0)));
+  CcProgram Prog = withBox(std::move(Body), {{"v", ccVector(ccLong())}});
+  CcCheckResult R = checkProgram(Prog);
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+TEST(CcScenarioTest, TemplateArityMismatch) {
+  std::vector<CcExprPtr> Args;
+  Args.push_back(ccIntLit(1));
+  std::vector<CcStmt> Body;
+  Body.push_back(ccExprStmt(ccCallNamed("bind1st", std::move(Args))));
+  Body.push_back(ccReturn(ccIntLit(0)));
+  CcProgram Prog = withBox(std::move(Body));
+  CcCheckResult R = checkProgram(Prog);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].Message.find("wrong number of arguments"),
+            std::string::npos);
+}
+
+TEST(CcScenarioTest, ConflictingDeductionReported) {
+  // transform's two iterator parameters share template parameter In:
+  // passing long* and a raw int is a deduction failure.
+  std::vector<CcExprPtr> Args;
+  Args.push_back(ccMethodCall(ccVar("v"), "begin", {}));
+  Args.push_back(ccIntLit(3));
+  Args.push_back(ccMethodCall(ccVar("v"), "begin", {}));
+  std::vector<CcExprPtr> BindArgs;
+  BindArgs.push_back(ccConstruct("multiplies", {ccLong()}, {}));
+  BindArgs.push_back(ccIntLit(5));
+  Args.push_back(ccCallNamed("bind1st", std::move(BindArgs)));
+  std::vector<CcStmt> Body;
+  Body.push_back(ccExprStmt(ccCallNamed("transform", std::move(Args))));
+  Body.push_back(ccReturn(ccIntLit(0)));
+  CcProgram Prog = withBox(std::move(Body), {{"v", ccVector(ccLong())}});
+  CcCheckResult R = checkProgram(Prog);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].Message.find("no matching function"),
+            std::string::npos);
+}
+
+TEST(CcScenarioTest, GenericOperatorBodyErrorsCarryChain) {
+  // multiplies<long>()(v, 5) where v is a vector: the generic operator's
+  // body a * b fails, and the error's chain names the operator.
+  std::vector<CcExprPtr> CallArgs;
+  CallArgs.push_back(ccVar("v"));
+  CallArgs.push_back(ccIntLit(5));
+  std::vector<CcStmt> Body;
+  Body.push_back(ccExprStmt(ccCall(
+      ccConstruct("multiplies", {ccLong()}, {}), std::move(CallArgs))));
+  Body.push_back(ccReturn(ccIntLit(0)));
+  CcProgram Prog = withBox(std::move(Body), {{"v", ccVector(ccLong())}});
+  CcCheckResult R = checkProgram(Prog);
+  ASSERT_FALSE(R.ok());
+  bool ChainNamesOperator = false;
+  for (const auto &E : R.Errors)
+    for (const auto &C : E.Chain)
+      if (C.find("multiplies<long>::operator()") != std::string::npos)
+        ChainNamesOperator = true;
+  EXPECT_TRUE(ChainNamesOperator) << R.str();
+}
+
+TEST(CcScenarioTest, SuccessCriterionRejectsPartialTrades) {
+  // A modification that fixes one error but introduces a different one
+  // must NOT count as success: statement removal of a VarDecl whose
+  // variable is used later trades an error for a new undeclared-variable
+  // error, so the searcher must not offer it.
+  CcProgram Prog;
+  addMiniStl(Prog);
+  auto F = std::make_unique<CcFuncDecl>();
+  F->Name = "caller";
+  F->RetType = ccLong();
+  // long a = vector-typed nonsense;  (error in the initializer)
+  F->Body.push_back(ccVarDecl(ccLong(), "a",
+                              ccMethodCall(ccVar("nothere"), "begin", {})));
+  // return a;  (uses a)
+  F->Body.push_back(ccReturn(ccVar("a")));
+  Prog.Funcs.push_back(std::move(F));
+
+  CcReport R = runCppSeminal(Prog);
+  for (const auto &S : R.Suggestions)
+    EXPECT_NE(S.Description, "remove this statement")
+        << "removing the declaration would orphan its uses";
+}
+
+TEST(CcScenarioTest, PrintFuncRendersTemplateHeader) {
+  CcProgram Prog;
+  addMiniStl(Prog);
+  const CcFuncDecl *F = Prog.findFunc("compose1");
+  ASSERT_NE(F, nullptr);
+  std::string Text = printFunc(*F);
+  EXPECT_NE(Text.find("template<class Op1, class Op2>"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("unary_compose<Op1, Op2>"), std::string::npos)
+      << Text;
+}
+
+} // namespace

@@ -1,0 +1,408 @@
+//===- MiniCppTest.cpp - Tests for the C++ template prototype -------------==//
+//
+// Exercises the Section 4 prototype: deduction, delayed template-body
+// checking with instantiation chains, the Figure 11 error wall, cascading
+// errors, magicFun's deduction limits, and the end-to-end Figure 10
+// scenario where the suggested fix is wrapping labs in ptr_fun.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicpp/CcSearch.h"
+#include "minicpp/CcStl.h"
+#include "minicpp/CcTypeck.h"
+
+#include <gtest/gtest.h>
+
+using namespace seminal;
+using namespace seminal::cpp;
+
+namespace {
+
+/// Builds the Figure 10 client over the mini-STL:
+///
+///   void myFun(vector<long>& inv, vector<long>& outv) {
+///     transform(inv.begin(), inv.end(), outv.begin(),
+///               compose1(bind1st(multiplies<long>(), 5), labs));
+///   }
+///
+/// \p WrapPtrFun applies the known fix (labs -> ptr_fun(labs)).
+CcProgram figure10(bool WrapPtrFun) {
+  CcProgram Prog;
+  addMiniStl(Prog);
+
+  auto MyFun = std::make_unique<CcFuncDecl>();
+  MyFun->Name = "myFun";
+  MyFun->Params = {{"inv", ccVector(ccLong())},
+                   {"outv", ccVector(ccLong())}};
+  MyFun->RetType = ccVoid();
+
+  std::vector<CcExprPtr> BindArgs;
+  BindArgs.push_back(ccConstruct("multiplies", {ccLong()}, {}));
+  BindArgs.push_back(ccIntLit(5));
+  CcExprPtr Bound = ccCallNamed("bind1st", std::move(BindArgs));
+
+  CcExprPtr Labs = ccVar("labs");
+  if (WrapPtrFun) {
+    std::vector<CcExprPtr> Wrapped;
+    Wrapped.push_back(std::move(Labs));
+    Labs = ccCallNamed("ptr_fun", std::move(Wrapped));
+  }
+
+  std::vector<CcExprPtr> ComposeArgs;
+  ComposeArgs.push_back(std::move(Bound));
+  ComposeArgs.push_back(std::move(Labs));
+  CcExprPtr Composed = ccCallNamed("compose1", std::move(ComposeArgs));
+
+  std::vector<CcExprPtr> TransformArgs;
+  TransformArgs.push_back(ccMethodCall(ccVar("inv"), "begin", {}));
+  TransformArgs.push_back(ccMethodCall(ccVar("inv"), "end", {}));
+  TransformArgs.push_back(ccMethodCall(ccVar("outv"), "begin", {}));
+  TransformArgs.push_back(std::move(Composed));
+  MyFun->Body.push_back(
+      ccExprStmt(ccCallNamed("transform", std::move(TransformArgs))));
+
+  Prog.Funcs.push_back(std::move(MyFun));
+  return Prog;
+}
+
+/// A minimal program with one ordinary function body.
+CcProgram withMain(std::vector<CcStmt> Body) {
+  CcProgram Prog;
+  addMiniStl(Prog);
+  auto Main = std::make_unique<CcFuncDecl>();
+  Main->Name = "main";
+  Main->RetType = ccInt();
+  Main->Body = std::move(Body);
+  Prog.Funcs.push_back(std::move(Main));
+  return Prog;
+}
+
+//===----------------------------------------------------------------------===//
+// Types and deduction
+//===----------------------------------------------------------------------===//
+
+TEST(CcTypeTest, Rendering) {
+  EXPECT_EQ(ccLong()->str(), "long");
+  EXPECT_EQ(ccPtr(ccLong())->str(), "long*");
+  EXPECT_EQ(ccVector(ccLong())->str(), "vector<long>");
+  EXPECT_EQ(ccFunc(ccLong(), {ccLong()})->str(), "long ()(long)");
+  EXPECT_EQ(ccPtr(ccFunc(ccLong(), {ccLong()}))->str(), "long (*)(long)");
+}
+
+TEST(CcTypeTest, StructuralEquality) {
+  EXPECT_TRUE(ccPtr(ccInt())->equals(*ccPtr(ccInt())));
+  EXPECT_FALSE(ccPtr(ccInt())->equals(*ccPtr(ccLong())));
+  EXPECT_FALSE(ccInt()->equals(*ccVector(ccInt())));
+}
+
+TEST(CcDeduceTest, SimpleTParam) {
+  std::map<std::string, CcTypePtr> B;
+  EXPECT_TRUE(deduce(ccTParam("T"), ccLong(), B));
+  EXPECT_TRUE(B["T"]->equals(*ccLong()));
+}
+
+TEST(CcDeduceTest, ConsistentBindingRequired) {
+  std::map<std::string, CcTypePtr> B;
+  EXPECT_TRUE(deduce(ccTParam("T"), ccLong(), B));
+  EXPECT_FALSE(deduce(ccTParam("T"), ccInt(), B));
+}
+
+TEST(CcDeduceTest, ThroughStructure) {
+  std::map<std::string, CcTypePtr> B;
+  EXPECT_TRUE(deduce(ccVector(ccTParam("T")), ccVector(ccInt()), B));
+  EXPECT_TRUE(B["T"]->equals(*ccInt()));
+}
+
+TEST(CcDeduceTest, FunctionDecaysAgainstPointerParam) {
+  // ptr_fun's parameter R(*)(A) must deduce from a bare function type.
+  std::map<std::string, CcTypePtr> B;
+  CcTypePtr Pattern = ccPtr(ccFunc(ccTParam("R"), {ccTParam("A")}));
+  CcTypePtr LabsTy = ccFunc(ccLong(), {ccLong()});
+  EXPECT_TRUE(deduce(Pattern, LabsTy, B));
+  EXPECT_TRUE(B["R"]->equals(*ccLong()));
+  EXPECT_TRUE(B["A"]->equals(*ccLong()));
+}
+
+TEST(CcDeduceTest, BareTParamDoesNotDecay) {
+  // compose1's const Op2& parameter binds the *function type* itself.
+  std::map<std::string, CcTypePtr> B;
+  CcTypePtr LabsTy = ccFunc(ccLong(), {ccLong()});
+  EXPECT_TRUE(deduce(ccTParam("Op2"), LabsTy, B));
+  EXPECT_TRUE(B["Op2"]->isFunction());
+}
+
+//===----------------------------------------------------------------------===//
+// Checking well-typed programs
+//===----------------------------------------------------------------------===//
+
+TEST(CcCheckTest, EmptyProgramIsFine) {
+  CcProgram Prog;
+  addMiniStl(Prog);
+  EXPECT_TRUE(checkProgram(Prog).ok());
+}
+
+TEST(CcCheckTest, SimpleArithmetic) {
+  std::vector<CcStmt> Body;
+  Body.push_back(ccVarDecl(ccInt(), "x",
+                           ccBinary("+", ccIntLit(1), ccIntLit(2))));
+  Body.push_back(ccReturn(ccVar("x")));
+  EXPECT_TRUE(checkProgram(withMain(std::move(Body))).ok());
+}
+
+TEST(CcCheckTest, OrdinaryFunctionCallAndConversion) {
+  std::vector<CcStmt> Body;
+  std::vector<CcExprPtr> Args;
+  Args.push_back(ccIntLit(3)); // int converts to long
+  Body.push_back(ccVarDecl(ccLong(), "y", ccCallNamed("labs", std::move(Args))));
+  Body.push_back(ccReturn(ccIntLit(0)));
+  EXPECT_TRUE(checkProgram(withMain(std::move(Body))).ok());
+}
+
+TEST(CcCheckTest, FunctorConstructionAndCall) {
+  // multiplies<long>()(2, 3) through the generic call operator.
+  std::vector<CcStmt> Body;
+  std::vector<CcExprPtr> CallArgs;
+  CallArgs.push_back(ccIntLit(2));
+  CallArgs.push_back(ccIntLit(3));
+  Body.push_back(ccVarDecl(
+      ccInt(), "p",
+      ccCall(ccConstruct("multiplies", {ccLong()}, {}),
+             std::move(CallArgs))));
+  Body.push_back(ccReturn(ccIntLit(0)));
+  EXPECT_TRUE(checkProgram(withMain(std::move(Body))).ok());
+}
+
+TEST(CcCheckTest, Figure10FixedVersionChecks) {
+  CcProgram Prog = figure10(/*WrapPtrFun=*/true);
+  CcCheckResult R = checkProgram(Prog);
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Error behavior
+//===----------------------------------------------------------------------===//
+
+TEST(CcCheckTest, UndeclaredVariable) {
+  std::vector<CcStmt> Body;
+  Body.push_back(ccReturn(ccVar("nope")));
+  CcCheckResult R = checkProgram(withMain(std::move(Body)));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].Message.find("was not declared"),
+            std::string::npos);
+}
+
+TEST(CcCheckTest, BadConversionReportsBothTypes) {
+  std::vector<CcStmt> Body;
+  Body.push_back(ccVarDecl(ccVector(ccInt()), "v", ccIntLit(1)));
+  CcCheckResult R = checkProgram(withMain(std::move(Body)));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].Message.find("vector<int>"), std::string::npos);
+}
+
+TEST(CcCheckTest, PerStatementRecoveryYieldsMultipleErrors) {
+  std::vector<CcStmt> Body;
+  Body.push_back(ccReturn(ccVar("a")));
+  Body.push_back(ccReturn(ccVar("b")));
+  CcCheckResult R = checkProgram(withMain(std::move(Body)));
+  EXPECT_EQ(R.Errors.size(), 2u);
+}
+
+TEST(CcCheckTest, Figure10ProducesTheFieldError) {
+  CcProgram Prog = figure10(/*WrapPtrFun=*/false);
+  CcCheckResult R = checkProgram(Prog);
+  ASSERT_FALSE(R.ok());
+  // The first error is the field of function type, inside the
+  // unary_compose instantiation (Figure 11's opening lines).
+  EXPECT_NE(R.Errors[0].Message.find("invalidly declared function type"),
+            std::string::npos)
+      << R.str();
+  ASSERT_FALSE(R.Errors[0].Chain.empty());
+  // The innermost instantiation context (last pushed) is unary_compose.
+  EXPECT_NE(R.Errors[0].Chain.back().find("unary_compose<"),
+            std::string::npos);
+  // The outer context is the compose1 call.
+  EXPECT_NE(R.Errors[0].Chain.front().find("compose1<"), std::string::npos);
+  EXPECT_EQ(R.Errors[0].InFunction, "myFun");
+}
+
+TEST(CcCheckTest, Figure10CascadesIntoNoMatchForCall) {
+  CcProgram Prog = figure10(false);
+  CcCheckResult R = checkProgram(Prog);
+  ASSERT_GE(R.Errors.size(), 2u) << R.str();
+  // The second group: no match for call to (unary_compose<...>) (long).
+  bool FoundCascade = false;
+  for (const auto &E : R.Errors)
+    if (E.Message.find("no match for call to") != std::string::npos &&
+        E.Message.find("unary_compose<") != std::string::npos)
+      FoundCascade = true;
+  EXPECT_TRUE(FoundCascade) << R.str();
+}
+
+TEST(CcCheckTest, InstantiationChainMentionsTransform) {
+  CcProgram Prog = figure10(false);
+  CcCheckResult R = checkProgram(Prog);
+  bool FoundTransformChain = false;
+  for (const auto &E : R.Errors)
+    for (const auto &C : E.Chain)
+      if (C.find("transform<") != std::string::npos)
+        FoundTransformChain = true;
+  EXPECT_TRUE(FoundTransformChain) << R.str();
+}
+
+TEST(CcCheckTest, MagicFunDeducesOnlyWithExpectedType) {
+  // long y = magicFun(0);   -- fine, B := long.
+  {
+    std::vector<CcStmt> Body;
+    std::vector<CcExprPtr> Args;
+    Args.push_back(ccIntLit(0));
+    Body.push_back(
+        ccVarDecl(ccLong(), "y", ccCallNamed("magicFun", std::move(Args))));
+    Body.push_back(ccReturn(ccIntLit(0)));
+    EXPECT_TRUE(checkProgram(withMain(std::move(Body))).ok());
+  }
+  // magicFun(0);            -- no context: cannot deduce B.
+  {
+    std::vector<CcStmt> Body;
+    std::vector<CcExprPtr> Args;
+    Args.push_back(ccIntLit(0));
+    Body.push_back(ccExprStmt(ccCallNamed("magicFun", std::move(Args))));
+    Body.push_back(ccReturn(ccIntLit(0)));
+    CcCheckResult R = checkProgram(withMain(std::move(Body)));
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.Errors[0].Message.find("couldn't deduce"),
+              std::string::npos);
+  }
+  // magicFunVoid(0);        -- the void variant always works.
+  {
+    std::vector<CcStmt> Body;
+    std::vector<CcExprPtr> Args;
+    Args.push_back(ccIntLit(0));
+    Body.push_back(ccExprStmt(ccCallNamed("magicFunVoid", std::move(Args))));
+    Body.push_back(ccReturn(ccIntLit(0)));
+    EXPECT_TRUE(checkProgram(withMain(std::move(Body))).ok());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The searcher
+//===----------------------------------------------------------------------===//
+
+TEST(CcSearchTest, WellTypedInputBypasses) {
+  CcProgram Prog = figure10(true);
+  CcReport R = runCppSeminal(Prog);
+  EXPECT_TRUE(R.inputTypechecks());
+  EXPECT_TRUE(R.Suggestions.empty());
+}
+
+TEST(CcSearchTest, Figure10SuggestsPtrFun) {
+  CcProgram Prog = figure10(false);
+  CcReport R = runCppSeminal(Prog);
+  ASSERT_FALSE(R.Suggestions.empty()) << R.Baseline.str();
+  const CcSuggestion &Top = R.Suggestions.front();
+  EXPECT_EQ(Top.TheKind, CcSuggestion::Kind::Constructive);
+  EXPECT_EQ(Top.Before, "labs");
+  EXPECT_EQ(Top.After, "ptr_fun(labs)");
+  // The fix eliminates every baseline error.
+  EXPECT_EQ(Top.ErrorsFixed, unsigned(R.Baseline.Errors.size()));
+  std::string Msg = R.bestMessage();
+  EXPECT_NE(Msg.find("ptr_fun(labs)"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("myFun"), std::string::npos) << Msg;
+}
+
+TEST(CcSearchTest, SearchRestoresTheProgram) {
+  CcProgram Prog = figure10(false);
+  CcCheckResult Before = checkProgram(Prog);
+  CcReport R = runCppSeminal(Prog);
+  (void)R;
+  CcCheckResult After = checkProgram(Prog);
+  EXPECT_EQ(Before.str(), After.str());
+}
+
+TEST(CcSearchTest, SpuriousPtrFunIsUnwrapped) {
+  // abs expects a plain function argument... model: calling labs with a
+  // ptr_fun-wrapped value through an ordinary signature fails; removing
+  // the wrapper fixes it.
+  CcProgram Prog;
+  addMiniStl(Prog);
+  auto F = std::make_unique<CcFuncDecl>();
+  F->Name = "caller";
+  F->RetType = ccLong();
+  std::vector<CcExprPtr> Wrapped;
+  Wrapped.push_back(ccIntLit(3));
+  std::vector<CcExprPtr> Args;
+  Args.push_back(ccCallNamed("ptr_fun", std::move(Wrapped)));
+  F->Body.push_back(ccReturn(ccCallNamed("labs", std::move(Args))));
+  Prog.Funcs.push_back(std::move(F));
+
+  CcReport R = runCppSeminal(Prog);
+  ASSERT_FALSE(R.inputTypechecks());
+  bool FoundUnwrap = false;
+  for (const auto &S : R.Suggestions)
+    if (S.Description.find("remove the ptr_fun wrapper") !=
+        std::string::npos)
+      FoundUnwrap = true;
+  EXPECT_TRUE(FoundUnwrap);
+}
+
+TEST(CcSearchTest, SwappedArgumentsSuggested) {
+  // pow2(long base, int exp) called as pow2(exp-ish int, long) -- only a
+  // vector type makes the swap detectable, so use (vector, long).
+  CcProgram Prog;
+  addMiniStl(Prog);
+  auto Helper = std::make_unique<CcFuncDecl>();
+  Helper->Name = "sum";
+  Helper->Params = {{"v", ccVector(ccLong())}, {"n", ccLong()}};
+  Helper->RetType = ccLong();
+  Prog.Funcs.push_back(std::move(Helper));
+
+  auto F = std::make_unique<CcFuncDecl>();
+  F->Name = "caller";
+  F->Params = {{"data", ccVector(ccLong())}};
+  F->RetType = ccLong();
+  std::vector<CcExprPtr> Args;
+  Args.push_back(ccIntLit(3));
+  Args.push_back(ccVar("data"));
+  F->Body.push_back(ccReturn(ccCallNamed("sum", std::move(Args))));
+  Prog.Funcs.push_back(std::move(F));
+
+  CcReport R = runCppSeminal(Prog);
+  ASSERT_FALSE(R.inputTypechecks());
+  ASSERT_FALSE(R.Suggestions.empty());
+  bool FoundSwap = false;
+  for (const auto &S : R.Suggestions)
+    if (S.Description.find("swap arguments") != std::string::npos)
+      FoundSwap = true;
+  EXPECT_TRUE(FoundSwap);
+}
+
+TEST(CcSearchTest, HoistingIsolatesBrokenArguments) {
+  // A call that is wrong as a whole, whose arguments are individually
+  // fine: hoisting succeeds per the error-improvement criterion.
+  CcProgram Prog;
+  addMiniStl(Prog);
+  auto F = std::make_unique<CcFuncDecl>();
+  F->Name = "caller";
+  F->RetType = ccVoid();
+  std::vector<CcExprPtr> Args;
+  Args.push_back(ccIntLit(1));
+  Args.push_back(ccIntLit(2));
+  F->Body.push_back(ccExprStmt(ccCallNamed("labs", std::move(Args))));
+  F->Body.push_back(ccReturn(nullptr));
+  Prog.Funcs.push_back(std::move(F));
+
+  CcReport R = runCppSeminal(Prog);
+  ASSERT_FALSE(R.inputTypechecks());
+  bool FoundHoist = false;
+  for (const auto &S : R.Suggestions)
+    if (S.TheKind == CcSuggestion::Kind::Hoist)
+      FoundHoist = true;
+  EXPECT_TRUE(FoundHoist);
+}
+
+TEST(CcSearchTest, OracleCallsAreCounted) {
+  CcProgram Prog = figure10(false);
+  CcReport R = runCppSeminal(Prog);
+  EXPECT_GT(R.OracleCalls, 1u);
+}
+
+} // namespace

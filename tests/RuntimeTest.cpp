@@ -1,0 +1,186 @@
+//===- RuntimeTest.cpp - Tests for the mini-Caml evaluator ----------------==//
+//
+// Runs well-typed programs and checks computed values -- including the
+// end-to-end property that applying a SEMINAL suggestion yields a
+// program that type-checks AND computes the intended result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Seminal.h"
+#include "corpus/Programs.h"
+#include "minicaml/Eval.h"
+#include "minicaml/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  ParseResult R = parseProgram(Source);
+  EXPECT_TRUE(R.ok()) << (R.Error ? R.Error->str() : "");
+  return R.ok() ? std::move(*R.Prog) : Program();
+}
+
+/// Runs and returns the rendered value of binding \p Name.
+std::string runFor(const std::string &Source, const std::string &Name) {
+  Program P = parse(Source);
+  EvalResult R = evalProgram(P);
+  EXPECT_TRUE(R.ok()) << (R.Error ? *R.Error : "");
+  ValuePtr V = R.find(Name);
+  return V ? V->str() : "<missing>";
+}
+
+TEST(RuntimeTest, Arithmetic) {
+  EXPECT_EQ(runFor("let x = 1 + 2 * 3", "x"), "7");
+  EXPECT_EQ(runFor("let x = (10 - 4) / 3", "x"), "2");
+}
+
+TEST(RuntimeTest, StringsAndComparison) {
+  EXPECT_EQ(runFor("let s = \"a\" ^ \"b\" ^ \"c\"", "s"), "\"abc\"");
+  EXPECT_EQ(runFor("let b = 3 < 5 && \"x\" = \"x\"", "b"), "true");
+}
+
+TEST(RuntimeTest, FunctionsAndCurrying) {
+  EXPECT_EQ(runFor("let add a b = a + b\nlet inc = add 1\n"
+                   "let x = inc 41",
+                   "x"),
+            "42");
+}
+
+TEST(RuntimeTest, Recursion) {
+  EXPECT_EQ(runFor("let rec fact n = if n = 0 then 1 else n * fact (n - 1)\n"
+                   "let x = fact 5",
+                   "x"),
+            "120");
+}
+
+TEST(RuntimeTest, ListsAndPatternMatching) {
+  EXPECT_EQ(runFor("let rec sum xs = match xs with [] -> 0 "
+                   "| x :: t -> x + sum t\n"
+                   "let x = sum [1; 2; 3; 4]",
+                   "x"),
+            "10");
+  EXPECT_EQ(runFor("let l = 1 :: 2 :: [3]", "l"), "[1; 2; 3]");
+  EXPECT_EQ(runFor("let l = [1; 2] @ [3]", "l"), "[1; 2; 3]");
+}
+
+TEST(RuntimeTest, TuplesAndProjections) {
+  EXPECT_EQ(runFor("let p = (1, \"two\")\nlet x = fst p", "x"), "1");
+  EXPECT_EQ(runFor("let swap (a, b) = (b, a)\nlet q = swap (1, 2)", "q"),
+            "(2, 1)");
+}
+
+TEST(RuntimeTest, StdlibHigherOrder) {
+  EXPECT_EQ(runFor("let x = List.map (fun v -> v * v) [1; 2; 3]", "x"),
+            "[1; 4; 9]");
+  EXPECT_EQ(runFor("let x = List.filter (fun v -> v > 1) [1; 2; 3]", "x"),
+            "[2; 3]");
+  EXPECT_EQ(runFor("let x = List.fold_left (fun a b -> a + b) 0 "
+                   "[1; 2; 3; 4]",
+                   "x"),
+            "10");
+  EXPECT_EQ(runFor("let x = List.combine [1; 2] [\"a\"; \"b\"]", "x"),
+            "[(1, \"a\"); (2, \"b\")]");
+}
+
+TEST(RuntimeTest, ReferencesAndSequencing) {
+  EXPECT_EQ(runFor("let r = ref 0\n"
+                   "let step = r := !r + 5; r := !r * 2\n"
+                   "let out = !r",
+                   "out"),
+            "10");
+}
+
+TEST(RuntimeTest, RecordsAndMutation) {
+  EXPECT_EQ(runFor("type c = { mutable v : int; tag : string }\n"
+                   "let cell = { v = 1; tag = \"c\" }\n"
+                   "let bump = cell.v <- cell.v + 41\n"
+                   "let out = cell.v",
+                   "out"),
+            "42");
+}
+
+TEST(RuntimeTest, VariantsAndMatch) {
+  EXPECT_EQ(runFor("type shape = Circle of int | Dot\n"
+                   "let area s = match s with Circle r -> r * r | Dot -> 0\n"
+                   "let x = area (Circle 3)",
+                   "x"),
+            "9");
+}
+
+TEST(RuntimeTest, PrintingIsCaptured) {
+  Program P = parse("let m = print_string \"hi \"; print_int 42");
+  EvalResult R = evalProgram(P);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Output, "hi 42");
+}
+
+TEST(RuntimeTest, MatchFailureReported) {
+  Program P = parse("let x = match [] with v :: _ -> v");
+  EvalResult R = evalProgram(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->find("match failure"), std::string::npos);
+}
+
+TEST(RuntimeTest, UncaughtExceptionReported) {
+  Program P = parse("let x = if true then raise Not_found else 1");
+  EvalResult R = evalProgram(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->find("Not_found"), std::string::npos);
+}
+
+TEST(RuntimeTest, DivisionByZeroReported) {
+  Program P = parse("let x = 1 / 0");
+  EvalResult R = evalProgram(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->find("Division_by_zero"), std::string::npos);
+}
+
+TEST(RuntimeTest, FuelBoundsInfiniteLoops) {
+  Program P = parse("let rec spin x = spin x\nlet v = spin 0");
+  EvalResult R = evalProgram(P, /*Fuel=*/5000);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->find("fuel"), std::string::npos);
+}
+
+TEST(RuntimeTest, AssignmentTemplatesRun) {
+  // Every corpus template is executable, not just typeable.
+  for (const AssignmentTemplate &A : assignmentTemplates()) {
+    Program P = parse(A.Source);
+    EvalResult R = evalProgram(P, 2000000);
+    EXPECT_TRUE(R.ok()) << A.Title << ": " << (R.Error ? *R.Error : "");
+  }
+}
+
+TEST(RuntimeTest, AppliedSuggestionComputesTheIntendedResult) {
+  // The strongest end-to-end property: the Figure 2 fix not only
+  // type-checks, it computes the sums the student wanted.
+  std::string Src =
+      "let map2 f aList bList =\n"
+      "  List.map (fun (a, b) -> f a b) (List.combine aList bList)\n"
+      "let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n";
+  SeminalReport Report = runSeminalOnSource(Src);
+  ASSERT_FALSE(Report.Suggestions.empty());
+  const Suggestion &Top = Report.Suggestions.front();
+  ASSERT_FALSE(Top.ViaTriage);
+
+  EvalResult R = evalProgram(Top.Modified);
+  ASSERT_TRUE(R.ok()) << (R.Error ? *R.Error : "");
+  ValuePtr Lst = R.find("lst");
+  ASSERT_NE(Lst, nullptr);
+  EXPECT_EQ(Lst->str(), "[5; 7; 9]");
+}
+
+TEST(RuntimeTest, QuickstartSuggestionRuns) {
+  SeminalReport Report = runSeminalOnSource("let area w h = w * h\n"
+                                            "let a = area (3, 4)\n");
+  ASSERT_FALSE(Report.Suggestions.empty());
+  EvalResult R = evalProgram(Report.Suggestions.front().Modified);
+  ASSERT_TRUE(R.ok()) << (R.Error ? *R.Error : "");
+  EXPECT_EQ(R.find("a")->str(), "12");
+}
+
+} // namespace

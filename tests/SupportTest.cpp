@@ -1,0 +1,167 @@
+//===- SupportTest.cpp - Tests for the support library --------------------==//
+
+#include "support/Rng.h"
+#include "support/SourceLoc.h"
+#include "support/Stats.h"
+#include "support/StrUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace seminal;
+
+TEST(SourceLocTest, DefaultIsInvalid) {
+  SourceLoc Loc;
+  EXPECT_FALSE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "<unknown>");
+}
+
+TEST(SourceLocTest, StrRendersLineAndColumn) {
+  SourceLoc Loc(3, 7, 42);
+  EXPECT_TRUE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "line 3, column 7");
+}
+
+TEST(SourceSpanTest, ContainsIsHalfOpen) {
+  SourceSpan Span(SourceLoc(1, 1, 10), 20);
+  EXPECT_TRUE(Span.contains(10));
+  EXPECT_TRUE(Span.contains(19));
+  EXPECT_FALSE(Span.contains(20));
+  EXPECT_FALSE(Span.contains(9));
+}
+
+TEST(SourceSpanTest, OverlapsAndEncloses) {
+  SourceSpan A(SourceLoc(1, 1, 10), 20);
+  SourceSpan B(SourceLoc(1, 5, 15), 25);
+  SourceSpan C(SourceLoc(1, 9, 20), 30);
+  SourceSpan Inner(SourceLoc(1, 3, 12), 18);
+  EXPECT_TRUE(A.overlaps(B));
+  EXPECT_TRUE(B.overlaps(A));
+  EXPECT_FALSE(A.overlaps(C));
+  EXPECT_TRUE(A.encloses(Inner));
+  EXPECT_FALSE(Inner.encloses(A));
+}
+
+TEST(SourceSpanTest, MergeCoversBoth) {
+  SourceSpan A(SourceLoc(1, 1, 10), 20);
+  SourceSpan B(SourceLoc(2, 1, 30), 40);
+  SourceSpan M = SourceSpan::merge(A, B);
+  EXPECT_EQ(M.Begin.Offset, 10u);
+  EXPECT_EQ(M.EndOffset, 40u);
+  // Merging with an invalid span returns the valid one.
+  SourceSpan Invalid;
+  EXPECT_EQ(SourceSpan::merge(A, Invalid).Begin.Offset, 10u);
+  EXPECT_EQ(SourceSpan::merge(Invalid, B).EndOffset, 40u);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.range(0, 1000), B.range(0, 1000));
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng R(7);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.range(0, 3);
+    EXPECT_GE(V, 0);
+    EXPECT_LE(V, 3);
+    SawLo |= V == 0;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, GeometricIsAtLeastOne) {
+  Rng R(11);
+  for (int I = 0; I < 200; ++I)
+    EXPECT_GE(R.geometric(0.5), 1);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng A(42);
+  Rng Child = A.fork();
+  // The fork must not simply mirror the parent.
+  int Same = 0;
+  for (int I = 0; I < 50; ++I)
+    if (A.range(0, 1000000) == Child.range(0, 1000000))
+      ++Same;
+  EXPECT_LT(Same, 5);
+}
+
+TEST(SamplesTest, PercentilesOnKnownData) {
+  Samples S;
+  for (int I = 1; I <= 100; ++I)
+    S.add(double(I));
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 100.0);
+  EXPECT_NEAR(S.percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(S.mean(), 50.5, 1e-9);
+}
+
+TEST(SamplesTest, FractionBelow) {
+  Samples S;
+  for (int I = 1; I <= 10; ++I)
+    S.add(double(I));
+  EXPECT_DOUBLE_EQ(S.fractionBelow(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(S.fractionBelow(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(S.fractionBelow(100.0), 1.0);
+}
+
+TEST(SamplesTest, CdfIsMonotone) {
+  Samples S;
+  Rng R(3);
+  for (int I = 0; I < 500; ++I)
+    S.add(R.unit());
+  auto Cdf = S.cdf(20);
+  ASSERT_EQ(Cdf.size(), 20u);
+  for (size_t I = 1; I < Cdf.size(); ++I) {
+    EXPECT_LE(Cdf[I - 1].first, Cdf[I].first);
+    EXPECT_LE(Cdf[I - 1].second, Cdf[I].second);
+  }
+}
+
+TEST(HistogramTest, CountsAndTotal) {
+  Histogram H;
+  H.add(1);
+  H.add(1);
+  H.add(2);
+  H.add(5, 10);
+  EXPECT_EQ(H.count(1), 2u);
+  EXPECT_EQ(H.count(2), 1u);
+  EXPECT_EQ(H.count(5), 10u);
+  EXPECT_EQ(H.count(99), 0u);
+  EXPECT_EQ(H.total(), 13u);
+}
+
+TEST(HistogramTest, RenderIncludesEveryBucket) {
+  Histogram H;
+  H.add(1, 100);
+  H.add(7, 3);
+  std::string Out = H.renderLogScale("size", "count");
+  EXPECT_NE(Out.find("1"), std::string::npos);
+  EXPECT_NE(Out.find("7"), std::string::npos);
+  EXPECT_NE(Out.find("100"), std::string::npos);
+}
+
+TEST(StrUtilTest, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+}
+
+TEST(StrUtilTest, IndentPrefixesNonEmptyLines) {
+  EXPECT_EQ(indent("a\nb", 2), "  a\n  b");
+}
+
+TEST(StrUtilTest, EscapeStringLiteral) {
+  EXPECT_EQ(escapeStringLiteral("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(StrUtilTest, Ellipsize) {
+  EXPECT_EQ(ellipsize("hello", 10), "hello");
+  EXPECT_EQ(ellipsize("hello world", 8), "hello...");
+}
