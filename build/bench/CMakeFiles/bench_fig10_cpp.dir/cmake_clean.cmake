@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cpp.dir/bench_fig10_cpp.cpp.o"
+  "CMakeFiles/bench_fig10_cpp.dir/bench_fig10_cpp.cpp.o.d"
+  "bench_fig10_cpp"
+  "bench_fig10_cpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

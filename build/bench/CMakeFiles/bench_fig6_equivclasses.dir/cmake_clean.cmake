@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_equivclasses.dir/bench_fig6_equivclasses.cpp.o"
+  "CMakeFiles/bench_fig6_equivclasses.dir/bench_fig6_equivclasses.cpp.o.d"
+  "bench_fig6_equivclasses"
+  "bench_fig6_equivclasses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_equivclasses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oracle_calls.dir/bench_oracle_calls.cpp.o"
+  "CMakeFiles/bench_oracle_calls.dir/bench_oracle_calls.cpp.o.d"
+  "bench_oracle_calls"
+  "bench_oracle_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpp_templates.dir/cpp_templates.cpp.o"
+  "CMakeFiles/cpp_templates.dir/cpp_templates.cpp.o.d"
+  "cpp_templates"
+  "cpp_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpp_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_changes.dir/custom_changes.cpp.o"
+  "CMakeFiles/custom_changes.dir/custom_changes.cpp.o.d"
+  "custom_changes"
+  "custom_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

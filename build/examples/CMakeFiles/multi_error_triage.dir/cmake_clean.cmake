@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_error_triage.dir/multi_error_triage.cpp.o"
+  "CMakeFiles/multi_error_triage.dir/multi_error_triage.cpp.o.d"
+  "multi_error_triage"
+  "multi_error_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_error_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

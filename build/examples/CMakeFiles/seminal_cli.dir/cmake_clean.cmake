@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seminal_cli.dir/seminal_cli.cpp.o"
+  "CMakeFiles/seminal_cli.dir/seminal_cli.cpp.o.d"
+  "seminal_cli"
+  "seminal_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seminal_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/student_debugging.dir/student_debugging.cpp.o"
+  "CMakeFiles/student_debugging.dir/student_debugging.cpp.o.d"
+  "student_debugging"
+  "student_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/student_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ChangeRegistry.cpp" "src/core/CMakeFiles/seminal_core.dir/ChangeRegistry.cpp.o" "gcc" "src/core/CMakeFiles/seminal_core.dir/ChangeRegistry.cpp.o.d"
+  "/root/repo/src/core/Enumerator.cpp" "src/core/CMakeFiles/seminal_core.dir/Enumerator.cpp.o" "gcc" "src/core/CMakeFiles/seminal_core.dir/Enumerator.cpp.o.d"
+  "/root/repo/src/core/Message.cpp" "src/core/CMakeFiles/seminal_core.dir/Message.cpp.o" "gcc" "src/core/CMakeFiles/seminal_core.dir/Message.cpp.o.d"
+  "/root/repo/src/core/Oracle.cpp" "src/core/CMakeFiles/seminal_core.dir/Oracle.cpp.o" "gcc" "src/core/CMakeFiles/seminal_core.dir/Oracle.cpp.o.d"
+  "/root/repo/src/core/Ranker.cpp" "src/core/CMakeFiles/seminal_core.dir/Ranker.cpp.o" "gcc" "src/core/CMakeFiles/seminal_core.dir/Ranker.cpp.o.d"
+  "/root/repo/src/core/Searcher.cpp" "src/core/CMakeFiles/seminal_core.dir/Searcher.cpp.o" "gcc" "src/core/CMakeFiles/seminal_core.dir/Searcher.cpp.o.d"
+  "/root/repo/src/core/Seminal.cpp" "src/core/CMakeFiles/seminal_core.dir/Seminal.cpp.o" "gcc" "src/core/CMakeFiles/seminal_core.dir/Seminal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minicaml/CMakeFiles/seminal_minicaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/seminal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seminal_core.dir/ChangeRegistry.cpp.o"
+  "CMakeFiles/seminal_core.dir/ChangeRegistry.cpp.o.d"
+  "CMakeFiles/seminal_core.dir/Enumerator.cpp.o"
+  "CMakeFiles/seminal_core.dir/Enumerator.cpp.o.d"
+  "CMakeFiles/seminal_core.dir/Message.cpp.o"
+  "CMakeFiles/seminal_core.dir/Message.cpp.o.d"
+  "CMakeFiles/seminal_core.dir/Oracle.cpp.o"
+  "CMakeFiles/seminal_core.dir/Oracle.cpp.o.d"
+  "CMakeFiles/seminal_core.dir/Ranker.cpp.o"
+  "CMakeFiles/seminal_core.dir/Ranker.cpp.o.d"
+  "CMakeFiles/seminal_core.dir/Searcher.cpp.o"
+  "CMakeFiles/seminal_core.dir/Searcher.cpp.o.d"
+  "CMakeFiles/seminal_core.dir/Seminal.cpp.o"
+  "CMakeFiles/seminal_core.dir/Seminal.cpp.o.d"
+  "libseminal_core.a"
+  "libseminal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seminal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

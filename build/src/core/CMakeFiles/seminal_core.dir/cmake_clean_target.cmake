@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseminal_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/Generator.cpp" "src/corpus/CMakeFiles/seminal_corpus.dir/Generator.cpp.o" "gcc" "src/corpus/CMakeFiles/seminal_corpus.dir/Generator.cpp.o.d"
+  "/root/repo/src/corpus/Mutation.cpp" "src/corpus/CMakeFiles/seminal_corpus.dir/Mutation.cpp.o" "gcc" "src/corpus/CMakeFiles/seminal_corpus.dir/Mutation.cpp.o.d"
+  "/root/repo/src/corpus/Programs.cpp" "src/corpus/CMakeFiles/seminal_corpus.dir/Programs.cpp.o" "gcc" "src/corpus/CMakeFiles/seminal_corpus.dir/Programs.cpp.o.d"
+  "/root/repo/src/corpus/RandomAst.cpp" "src/corpus/CMakeFiles/seminal_corpus.dir/RandomAst.cpp.o" "gcc" "src/corpus/CMakeFiles/seminal_corpus.dir/RandomAst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minicaml/CMakeFiles/seminal_minicaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/seminal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

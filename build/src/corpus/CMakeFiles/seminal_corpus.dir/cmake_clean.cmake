@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seminal_corpus.dir/Generator.cpp.o"
+  "CMakeFiles/seminal_corpus.dir/Generator.cpp.o.d"
+  "CMakeFiles/seminal_corpus.dir/Mutation.cpp.o"
+  "CMakeFiles/seminal_corpus.dir/Mutation.cpp.o.d"
+  "CMakeFiles/seminal_corpus.dir/Programs.cpp.o"
+  "CMakeFiles/seminal_corpus.dir/Programs.cpp.o.d"
+  "CMakeFiles/seminal_corpus.dir/RandomAst.cpp.o"
+  "CMakeFiles/seminal_corpus.dir/RandomAst.cpp.o.d"
+  "libseminal_corpus.a"
+  "libseminal_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seminal_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

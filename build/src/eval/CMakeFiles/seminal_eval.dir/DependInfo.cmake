@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/Categories.cpp" "src/eval/CMakeFiles/seminal_eval.dir/Categories.cpp.o" "gcc" "src/eval/CMakeFiles/seminal_eval.dir/Categories.cpp.o.d"
+  "/root/repo/src/eval/Judge.cpp" "src/eval/CMakeFiles/seminal_eval.dir/Judge.cpp.o" "gcc" "src/eval/CMakeFiles/seminal_eval.dir/Judge.cpp.o.d"
+  "/root/repo/src/eval/Runner.cpp" "src/eval/CMakeFiles/seminal_eval.dir/Runner.cpp.o" "gcc" "src/eval/CMakeFiles/seminal_eval.dir/Runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seminal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/seminal_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/minicaml/CMakeFiles/seminal_minicaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/seminal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

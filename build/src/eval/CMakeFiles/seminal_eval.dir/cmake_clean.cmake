@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seminal_eval.dir/Categories.cpp.o"
+  "CMakeFiles/seminal_eval.dir/Categories.cpp.o.d"
+  "CMakeFiles/seminal_eval.dir/Judge.cpp.o"
+  "CMakeFiles/seminal_eval.dir/Judge.cpp.o.d"
+  "CMakeFiles/seminal_eval.dir/Runner.cpp.o"
+  "CMakeFiles/seminal_eval.dir/Runner.cpp.o.d"
+  "libseminal_eval.a"
+  "libseminal_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seminal_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minicaml/Ast.cpp" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Ast.cpp.o" "gcc" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Ast.cpp.o.d"
+  "/root/repo/src/minicaml/Eval.cpp" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Eval.cpp.o" "gcc" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Eval.cpp.o.d"
+  "/root/repo/src/minicaml/Infer.cpp" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Infer.cpp.o" "gcc" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Infer.cpp.o.d"
+  "/root/repo/src/minicaml/Lexer.cpp" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Lexer.cpp.o" "gcc" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Lexer.cpp.o.d"
+  "/root/repo/src/minicaml/Parser.cpp" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Parser.cpp.o" "gcc" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Parser.cpp.o.d"
+  "/root/repo/src/minicaml/Printer.cpp" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Printer.cpp.o" "gcc" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Printer.cpp.o.d"
+  "/root/repo/src/minicaml/Stdlib.cpp" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Stdlib.cpp.o" "gcc" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Stdlib.cpp.o.d"
+  "/root/repo/src/minicaml/Types.cpp" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Types.cpp.o" "gcc" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Types.cpp.o.d"
+  "/root/repo/src/minicaml/Unify.cpp" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Unify.cpp.o" "gcc" "src/minicaml/CMakeFiles/seminal_minicaml.dir/Unify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/seminal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

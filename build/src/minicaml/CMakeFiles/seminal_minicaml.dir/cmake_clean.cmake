@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seminal_minicaml.dir/Ast.cpp.o"
+  "CMakeFiles/seminal_minicaml.dir/Ast.cpp.o.d"
+  "CMakeFiles/seminal_minicaml.dir/Eval.cpp.o"
+  "CMakeFiles/seminal_minicaml.dir/Eval.cpp.o.d"
+  "CMakeFiles/seminal_minicaml.dir/Infer.cpp.o"
+  "CMakeFiles/seminal_minicaml.dir/Infer.cpp.o.d"
+  "CMakeFiles/seminal_minicaml.dir/Lexer.cpp.o"
+  "CMakeFiles/seminal_minicaml.dir/Lexer.cpp.o.d"
+  "CMakeFiles/seminal_minicaml.dir/Parser.cpp.o"
+  "CMakeFiles/seminal_minicaml.dir/Parser.cpp.o.d"
+  "CMakeFiles/seminal_minicaml.dir/Printer.cpp.o"
+  "CMakeFiles/seminal_minicaml.dir/Printer.cpp.o.d"
+  "CMakeFiles/seminal_minicaml.dir/Stdlib.cpp.o"
+  "CMakeFiles/seminal_minicaml.dir/Stdlib.cpp.o.d"
+  "CMakeFiles/seminal_minicaml.dir/Types.cpp.o"
+  "CMakeFiles/seminal_minicaml.dir/Types.cpp.o.d"
+  "CMakeFiles/seminal_minicaml.dir/Unify.cpp.o"
+  "CMakeFiles/seminal_minicaml.dir/Unify.cpp.o.d"
+  "libseminal_minicaml.a"
+  "libseminal_minicaml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seminal_minicaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seminal_minicaml.
+# This may be replaced when dependencies are built.

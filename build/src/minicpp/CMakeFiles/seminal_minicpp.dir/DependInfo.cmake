@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minicpp/CcAst.cpp" "src/minicpp/CMakeFiles/seminal_minicpp.dir/CcAst.cpp.o" "gcc" "src/minicpp/CMakeFiles/seminal_minicpp.dir/CcAst.cpp.o.d"
+  "/root/repo/src/minicpp/CcSearch.cpp" "src/minicpp/CMakeFiles/seminal_minicpp.dir/CcSearch.cpp.o" "gcc" "src/minicpp/CMakeFiles/seminal_minicpp.dir/CcSearch.cpp.o.d"
+  "/root/repo/src/minicpp/CcStl.cpp" "src/minicpp/CMakeFiles/seminal_minicpp.dir/CcStl.cpp.o" "gcc" "src/minicpp/CMakeFiles/seminal_minicpp.dir/CcStl.cpp.o.d"
+  "/root/repo/src/minicpp/CcTypeck.cpp" "src/minicpp/CMakeFiles/seminal_minicpp.dir/CcTypeck.cpp.o" "gcc" "src/minicpp/CMakeFiles/seminal_minicpp.dir/CcTypeck.cpp.o.d"
+  "/root/repo/src/minicpp/CcTypes.cpp" "src/minicpp/CMakeFiles/seminal_minicpp.dir/CcTypes.cpp.o" "gcc" "src/minicpp/CMakeFiles/seminal_minicpp.dir/CcTypes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/seminal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

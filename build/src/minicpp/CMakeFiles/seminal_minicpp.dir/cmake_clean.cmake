@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seminal_minicpp.dir/CcAst.cpp.o"
+  "CMakeFiles/seminal_minicpp.dir/CcAst.cpp.o.d"
+  "CMakeFiles/seminal_minicpp.dir/CcSearch.cpp.o"
+  "CMakeFiles/seminal_minicpp.dir/CcSearch.cpp.o.d"
+  "CMakeFiles/seminal_minicpp.dir/CcStl.cpp.o"
+  "CMakeFiles/seminal_minicpp.dir/CcStl.cpp.o.d"
+  "CMakeFiles/seminal_minicpp.dir/CcTypeck.cpp.o"
+  "CMakeFiles/seminal_minicpp.dir/CcTypeck.cpp.o.d"
+  "CMakeFiles/seminal_minicpp.dir/CcTypes.cpp.o"
+  "CMakeFiles/seminal_minicpp.dir/CcTypes.cpp.o.d"
+  "libseminal_minicpp.a"
+  "libseminal_minicpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seminal_minicpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

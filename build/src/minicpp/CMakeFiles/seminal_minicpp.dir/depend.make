@@ -1,0 +1,2 @@
+# Empty dependencies file for seminal_minicpp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seminal_support.dir/SourceLoc.cpp.o"
+  "CMakeFiles/seminal_support.dir/SourceLoc.cpp.o.d"
+  "CMakeFiles/seminal_support.dir/Stats.cpp.o"
+  "CMakeFiles/seminal_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/seminal_support.dir/StrUtil.cpp.o"
+  "CMakeFiles/seminal_support.dir/StrUtil.cpp.o.d"
+  "libseminal_support.a"
+  "libseminal_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seminal_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/EvalTest.cpp" "tests/CMakeFiles/eval_test.dir/EvalTest.cpp.o" "gcc" "tests/CMakeFiles/eval_test.dir/EvalTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seminal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/seminal_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/minicaml/CMakeFiles/seminal_minicaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/seminal_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/seminal_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_advanced_test.dir/InferAdvancedTest.cpp.o"
+  "CMakeFiles/infer_advanced_test.dir/InferAdvancedTest.cpp.o.d"
+  "infer_advanced_test"
+  "infer_advanced_test.pdb"
+  "infer_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

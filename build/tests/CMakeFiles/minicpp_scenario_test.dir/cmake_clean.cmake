@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicpp_scenario_test.dir/MiniCppScenarioTest.cpp.o"
+  "CMakeFiles/minicpp_scenario_test.dir/MiniCppScenarioTest.cpp.o.d"
+  "minicpp_scenario_test"
+  "minicpp_scenario_test.pdb"
+  "minicpp_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicpp_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicpp_test.dir/MiniCppTest.cpp.o"
+  "CMakeFiles/minicpp_test.dir/MiniCppTest.cpp.o.d"
+  "minicpp_test"
+  "minicpp_test.pdb"
+  "minicpp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

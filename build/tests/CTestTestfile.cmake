@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/printer_test[1]_include.cmake")
+include("/root/repo/build/tests/infer_test[1]_include.cmake")
+include("/root/repo/build/tests/enumerator_test[1]_include.cmake")
+include("/root/repo/build/tests/searcher_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/minicpp_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/registry_test[1]_include.cmake")
+include("/root/repo/build/tests/message_test[1]_include.cmake")
+include("/root/repo/build/tests/infer_advanced_test[1]_include.cmake")
+include("/root/repo/build/tests/minicpp_scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
