@@ -28,9 +28,13 @@ namespace bench {
 struct DriverOptions {
   double Scale = 1.0;
   uint64_t Seed = 20070611;
+  /// When non-empty, the driver also writes a machine-readable summary
+  /// here (CI uploads these BENCH_*.json files as artifacts).
+  std::string JsonPath;
 };
 
-/// Parses --scale=<f> and --seed=<n>; exits on malformed input.
+/// Parses --scale=<f>, --seed=<n> and --json=<path>; exits on malformed
+/// input.
 inline DriverOptions parseDriverArgs(int Argc, char **Argv) {
   DriverOptions Opts;
   for (int I = 1; I < Argc; ++I) {
@@ -39,8 +43,11 @@ inline DriverOptions parseDriverArgs(int Argc, char **Argv) {
       Opts.Scale = std::atof(Arg + 8);
     } else if (std::strncmp(Arg, "--seed=", 7) == 0) {
       Opts.Seed = std::strtoull(Arg + 7, nullptr, 10);
+    } else if (std::strncmp(Arg, "--json=", 7) == 0) {
+      Opts.JsonPath = Arg + 7;
     } else if (std::strcmp(Arg, "--help") == 0) {
-      std::printf("usage: %s [--scale=<f>] [--seed=<n>]\n", Argv[0]);
+      std::printf("usage: %s [--scale=<f>] [--seed=<n>] [--json=<path>]\n",
+                  Argv[0]);
       std::exit(0);
     }
   }

@@ -29,19 +29,21 @@ using namespace seminal::bench;
 
 namespace {
 
-double timeOne(const std::string &Source, const SeminalOptions &Opts) {
+double timeOne(const std::string &Source, const SeminalOptions &Opts,
+               AccelCounters *Agg = nullptr) {
   // Minimum of two runs: single measurements of millisecond-scale work
   // are at the mercy of the scheduler.
   double Best = 1e30;
   for (int Rep = 0; Rep < 2; ++Rep) {
     auto Start = std::chrono::steady_clock::now();
     SeminalReport R = runSeminalOnSource(Source, Opts);
-    (void)R;
     double Sec = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - Start)
                      .count();
     if (Sec < Best)
       Best = Sec;
+    if (Agg && Rep == 0)
+      *Agg += R.Accel;
   }
   return Best;
 }
@@ -63,18 +65,23 @@ int main(int Argc, char **Argv) {
   CO.Scale = Opts.Scale;
   CO.Seed = Opts.Seed;
   Corpus C = generateCorpus(CO);
-  std::printf("timing %zu analyzed files under 3 configurations\n\n",
+  std::printf("timing %zu analyzed files under 4 configurations\n\n",
               C.Analyzed.size());
 
-  SeminalOptions Full;
+  SeminalOptions Full; // Oracle acceleration on by default.
+  SeminalOptions NoAccel;
+  NoAccel.Search.Accel.Checkpoint = false;
+  NoAccel.Search.Accel.VerdictCache = false;
   SeminalOptions NoReparen;
   NoReparen.Search.Enum.EnableMatchReparen = false;
   SeminalOptions NoTriage;
   NoTriage.Search.EnableTriage = false;
 
-  Samples FullS, NoReparenS, NoTriageS;
+  Samples FullS, NoAccelS, NoReparenS, NoTriageS;
+  AccelCounters FullCounters;
   for (const CorpusFile &F : C.Analyzed) {
-    FullS.add(timeOne(F.Source, Full));
+    FullS.add(timeOne(F.Source, Full, &FullCounters));
+    NoAccelS.add(timeOne(F.Source, NoAccel));
     NoReparenS.add(timeOne(F.Source, NoReparen));
     NoTriageS.add(timeOne(F.Source, NoTriage));
   }
@@ -83,6 +90,7 @@ int main(int Argc, char **Argv) {
               "p25", "p50", "p75", "p90", "p95", "max");
   rule();
   printCdf("full tool", FullS);
+  printCdf("oracle acceleration off", NoAccelS);
   printCdf("perf-bug change disabled", NoReparenS);
   printCdf("triage disabled", NoTriageS);
 
@@ -100,5 +108,12 @@ int main(int Argc, char **Argv) {
               "<= full %.2f\n",
               NoTriageS.mean() * 1000.0, NoReparenS.mean() * 1000.0,
               FullS.mean() * 1000.0);
+  std::printf("oracle acceleration: %.2fx mean speedup (%.2f -> %.2f ms; "
+              "identical suggestions by construction, see "
+              "bench_oracle_calls)\n",
+              FullS.mean() > 0.0 ? NoAccelS.mean() / FullS.mean() : 0.0,
+              NoAccelS.mean() * 1000.0, FullS.mean() * 1000.0);
+  std::printf("\nfull-tool acceleration counters:\n%s",
+              FullCounters.render().c_str());
   return 0;
 }

@@ -1,0 +1,389 @@
+//===- CheckpointedOracle.cpp - Accelerated type-check oracle --------------==//
+
+#include "core/CheckpointedOracle.h"
+
+#include "minicaml/Hash.h"
+
+#include <cassert>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+CheckpointedOracle::CheckpointedOracle(const OracleAccelOptions &Accel)
+    : Accel(Accel) {}
+
+CheckpointedOracle::~CheckpointedOracle() = default;
+
+std::optional<TypeError>
+CheckpointedOracle::conventionalError(const Program &Prog) {
+  // Rendered once per run to show the baseline message; not search work,
+  // so it stays out of the counters.
+  TypecheckResult R = typecheckProgram(Prog);
+  if (Accel.VerdictCache) {
+    // The searcher's first oracle call asks the boolean version of this
+    // exact question; remember the verdict so it need not re-infer.
+    ConvClone = Prog.clone();
+    ConvOk = R.ok();
+    HasConvMemo = true;
+  }
+  return R.Error;
+}
+
+void CheckpointedOracle::seedPrefix(const Program &Prog, unsigned EditedDecl) {
+  clearPrefix();
+  if (EditedDecl >= Prog.Decls.size())
+    return;
+  Seeded = true;
+  EditedIndex = EditedDecl;
+  PrefixIdentity.reserve(EditedDecl);
+  for (unsigned I = 0; I < EditedDecl; ++I)
+    PrefixIdentity.push_back(Prog.Decls[I].get());
+
+  // If localization just grew an environment that covers exactly this
+  // prefix, adopt it -- seeding costs nothing. Structural equality is the
+  // validity condition; on any mismatch fall through to a fresh snapshot.
+  if (Accel.Checkpoint && Growth && Growth->prefixLength() == EditedDecl &&
+      GrowthClones.size() == EditedDecl) {
+    bool Match = true;
+    for (unsigned I = 0; I < EditedDecl; ++I)
+      if (!Prog.Decls[I]->equals(*GrowthClones[I])) {
+        Match = false;
+        break;
+      }
+    if (Match) {
+      Checkpoint = std::move(Growth);
+      PrefixClone.Decls = std::move(GrowthClones);
+      resetGrowth();
+      ++Counters.CheckpointSeeds;
+      return;
+    }
+  }
+
+  PrefixClone.Decls.reserve(EditedDecl);
+  for (unsigned I = 0; I < EditedDecl; ++I)
+    PrefixClone.Decls.push_back(Prog.Decls[I]->clone());
+  if (Accel.Checkpoint) {
+    Checkpoint = InferenceCheckpoint::create(Prog, EditedDecl);
+    if (Checkpoint)
+      ++Counters.CheckpointSeeds;
+  }
+}
+
+void CheckpointedOracle::clearPrefix() {
+  Seeded = false;
+  EditedIndex = 0;
+  PrefixIdentity.clear();
+  PrefixClone = Program();
+  Checkpoint.reset();
+  WorkerCheckpoints.clear();
+  VerdictCache.clear();
+}
+
+void CheckpointedOracle::resetGrowth() {
+  Growth.reset();
+  GrowthClones.clear();
+}
+
+bool CheckpointedOracle::growthExtend(const Decl &D, bool &Verdict) {
+  // Committing the declaration performs exactly the inference a full run
+  // would perform on it -- but skips re-inferring everything before it.
+  ++Counters.IncrementalInferences;
+  Counters.DeclInferencesSaved += Growth->prefixLength();
+  size_t Allocated = 0;
+  Verdict = Growth->extendWith(D, &Allocated);
+  Counters.TypesAllocated += Allocated;
+  if (Verdict)
+    GrowthClones.push_back(D.clone());
+  else if (D.kind() != Decl::Kind::Let)
+    // A failed type/exception declaration may leave partial constructor
+    // table entries behind; the environment can no longer be trusted.
+    resetGrowth();
+  return true;
+}
+
+bool CheckpointedOracle::tryGrowthPath(const Program &Prog, bool &Verdict) {
+  if (!Accel.Checkpoint || Seeded)
+    return false;
+  const size_t N = Prog.Decls.size();
+  // The grown prefix plus exactly one new declaration? (The localization
+  // loop asks precisely this, one declaration longer per call.)
+  if (Growth && N == GrowthClones.size() + 1) {
+    bool Match = true;
+    for (size_t I = 0; I + 1 < N; ++I)
+      if (!Prog.Decls[I]->equals(*GrowthClones[I])) {
+        Match = false;
+        break;
+      }
+    if (Match)
+      return growthExtend(*Prog.Decls[N - 1], Verdict);
+  }
+  if (N == 1) {
+    // A fresh localization walk starts here: snapshot the bare standard
+    // library (prefix length zero never fails) and grow from it.
+    resetGrowth();
+    Growth = InferenceCheckpoint::create(Prog, 0);
+    if (!Growth)
+      return false;
+    return growthExtend(*Prog.Decls[0], Verdict);
+  }
+  return false;
+}
+
+bool CheckpointedOracle::matchesSeed(const Program &Prog) const {
+  if (!Seeded || Prog.Decls.size() != size_t(EditedIndex) + 1)
+    return false;
+  // The searcher edits Work in place, so the unedited prefix keeps its
+  // Decl identities; pointer comparison makes the match O(prefix) with no
+  // tree walk. A caller holding different (even structurally equal) prefix
+  // objects simply falls back to full inference -- never wrong, only slow.
+  for (unsigned I = 0; I < EditedIndex; ++I)
+    if (Prog.Decls[I].get() != PrefixIdentity[I])
+      return false;
+  // Only Let declarations may be replayed against a checkpoint (type and
+  // exception declarations mutate untrailed global tables).
+  return Prog.Decls[EditedIndex]->kind() == Decl::Kind::Let;
+}
+
+const CheckpointedOracle::CacheEntry *
+CheckpointedOracle::cacheLookup(uint64_t H, const Decl &D) const {
+  auto It = VerdictCache.find(H);
+  if (It == VerdictCache.end())
+    return nullptr;
+  for (const CacheEntry &E : It->second)
+    if (E.EditedDecl->equals(D))
+      return &E;
+  return nullptr;
+}
+
+void CheckpointedOracle::cacheInsert(uint64_t H, const Decl &D, bool Verdict) {
+  CacheEntry E;
+  E.EditedDecl = D.clone();
+  E.Typechecks = Verdict;
+  VerdictCache[H].push_back(std::move(E));
+}
+
+bool CheckpointedOracle::inferEditedDecl(const Decl &D,
+                                         const Program &Fallback) {
+  if (Checkpoint) {
+    ++Counters.IncrementalInferences;
+    Counters.DeclInferencesSaved += Checkpoint->prefixLength();
+    TypecheckResult R = Checkpoint->checkDecl(D);
+    Counters.TypesAllocated += R.TypesAllocated;
+    return R.ok();
+  }
+  if (Accel.Checkpoint)
+    ++Counters.CheckpointFallbacks; // Prefix failed to snapshot.
+  ++Counters.FullInferences;
+  TypecheckResult R = typecheckProgram(Fallback);
+  Counters.TypesAllocated += R.TypesAllocated;
+  return R.ok();
+}
+
+bool CheckpointedOracle::typecheckImpl(const Program &Prog) {
+  if (!matchesSeed(Prog)) {
+    // Asked about the same program conventionalError() just inferred?
+    // (The searcher's opening "does the input type-check at all" probe,
+    // and the final localization round when the last declaration fails.)
+    if (HasConvMemo && Prog.Decls.size() == ConvClone.Decls.size() &&
+        Prog.equals(ConvClone)) {
+      ++Counters.CacheHits;
+      return ConvOk;
+    }
+    bool Verdict;
+    if (tryGrowthPath(Prog, Verdict))
+      return Verdict;
+    if (Seeded)
+      ++Counters.CheckpointFallbacks;
+    ++Counters.FullInferences;
+    TypecheckResult R = typecheckProgram(Prog);
+    Counters.TypesAllocated += R.TypesAllocated;
+    return R.ok();
+  }
+
+  const Decl &D = *Prog.Decls[EditedIndex];
+  if (!Accel.VerdictCache)
+    return inferEditedDecl(D, Prog);
+
+  uint64_t H = hashDecl(D);
+  if (const CacheEntry *E = cacheLookup(H, D)) {
+    ++Counters.CacheHits;
+    return E->Typechecks;
+  }
+  ++Counters.CacheMisses;
+  bool Verdict = inferEditedDecl(D, Prog);
+  cacheInsert(H, D, Verdict);
+  return Verdict;
+}
+
+std::optional<std::string>
+CheckpointedOracle::typeOfNodeImpl(const Program &Prog, const Expr *Node) {
+  // Type queries bypass the verdict cache (it stores booleans, not types)
+  // but still ride the checkpoint.
+  if (Checkpoint && matchesSeed(Prog)) {
+    ++Counters.IncrementalInferences;
+    Counters.DeclInferencesSaved += Checkpoint->prefixLength();
+    TypecheckOptions Opts;
+    Opts.QueryNode = Node;
+    TypecheckResult R = Checkpoint->checkDecl(*Prog.Decls[EditedIndex], Opts);
+    Counters.TypesAllocated += R.TypesAllocated;
+    if (!R.ok())
+      return std::nullopt;
+    return R.QueriedType;
+  }
+  if (Seeded)
+    ++Counters.CheckpointFallbacks;
+  ++Counters.FullInferences;
+  TypecheckOptions Opts;
+  Opts.QueryNode = Node;
+  TypecheckResult R = typecheckProgram(Prog, Opts);
+  Counters.TypesAllocated += R.TypesAllocated;
+  if (!R.ok())
+    return std::nullopt;
+  return R.QueriedType;
+}
+
+InferenceCheckpoint *CheckpointedOracle::workerCheckpoint(unsigned Worker) {
+  // No seed checkpoint (layer off, or the prefix would not snapshot) --
+  // don't retry per worker, the prefix is the same.
+  if (!Checkpoint)
+    return nullptr;
+  // Worker 0 reuses the seed checkpoint: the dispatching thread blocks in
+  // parallelFor, so nothing else touches it during the batch. Other
+  // workers lazily build their own from the stored prefix clone; each
+  // touches only its own pre-sized slot, so no locking is needed.
+  if (Worker == 0)
+    return Checkpoint.get();
+  assert(Worker <= WorkerCheckpoints.size() && "pool grew mid-batch?");
+  auto &Slot = WorkerCheckpoints[Worker - 1];
+  if (!Slot)
+    Slot = InferenceCheckpoint::create(PrefixClone, EditedIndex);
+  return Slot.get();
+}
+
+std::vector<bool> CheckpointedOracle::typecheckBatchImpl(
+    const Program &Base, const NodePath &Path,
+    const std::vector<const Expr *> &Replacements) {
+  // Without the parallel layer (or against an unrecognized program shape)
+  // the sequential default still reaps the cache and checkpoint: it calls
+  // typecheckImpl per item.
+  if (!Accel.ParallelBatch || !matchesSeed(Base) ||
+      Path.DeclIndex != EditedIndex)
+    return Oracle::typecheckBatchImpl(Base, Path, Replacements);
+
+  size_t N = Replacements.size();
+  ++Counters.BatchesDispatched;
+  Counters.BatchItems += N;
+
+  // Materialize each candidate as an edited-declaration clone. Both the
+  // single-call path and this one hash/compare these materialized decls,
+  // so a verdict cached by either is visible to the other.
+  NodePath Local;
+  Local.Steps = Path.Steps;
+  std::vector<DeclPtr> Variants;
+  Variants.reserve(N);
+  for (const Expr *Replacement : Replacements) {
+    Program Tmp;
+    Tmp.Decls.push_back(Base.Decls[EditedIndex]->clone());
+    replaceAtPath(Tmp, Local, Replacement->clone());
+    Variants.push_back(std::move(Tmp.Decls[0]));
+  }
+
+  // Serial pass: resolve what the cache already knows and dedupe repeats
+  // within the batch, so inference runs once per distinct candidate.
+  std::vector<int> Verdicts(N, -1);
+  std::vector<uint64_t> Hashes(N, 0);
+  std::vector<size_t> Pending;        // Indices needing inference.
+  std::vector<size_t> DupOf(N, ~size_t(0)); // Intra-batch representative.
+  if (Accel.VerdictCache) {
+    std::unordered_map<uint64_t, std::vector<size_t>> Fresh;
+    for (size_t I = 0; I < N; ++I) {
+      Hashes[I] = hashDecl(*Variants[I]);
+      if (const CacheEntry *E = cacheLookup(Hashes[I], *Variants[I])) {
+        ++Counters.CacheHits;
+        Verdicts[I] = E->Typechecks;
+        continue;
+      }
+      bool Dup = false;
+      for (size_t J : Fresh[Hashes[I]])
+        if (Variants[J]->equals(*Variants[I])) {
+          ++Counters.CacheHits;
+          DupOf[I] = J;
+          Dup = true;
+          break;
+        }
+      if (!Dup) {
+        ++Counters.CacheMisses;
+        Fresh[Hashes[I]].push_back(I);
+        Pending.push_back(I);
+      }
+    }
+  } else {
+    for (size_t I = 0; I < N; ++I)
+      Pending.push_back(I);
+  }
+
+  // Parallel pass over the distinct misses. Counters are tallied after
+  // the join (workers write only to per-item slots); verdicts land in
+  // per-index slots so scheduling order never reaches the caller.
+  if (!Pending.empty()) {
+    std::vector<char> Ok(Pending.size(), 0);
+    std::vector<size_t> Allocated(Pending.size(), 0);
+    std::vector<char> Incremental(Pending.size(), 0);
+    auto CheckItem = [&](unsigned Worker, size_t Item) {
+      const Decl &D = *Variants[Pending[Item]];
+      if (InferenceCheckpoint *CP = workerCheckpoint(Worker)) {
+        TypecheckResult R = CP->checkDecl(D);
+        Ok[Item] = R.ok();
+        Allocated[Item] = R.TypesAllocated;
+        Incremental[Item] = 1;
+        return;
+      }
+      // No checkpoint (layer off or prefix unsnapshottable): infer the
+      // full variant program. Inference is thread-safe -- the trail is
+      // thread-local and the stdlib environment is immutable after its
+      // thread-safe first initialization.
+      Program Variant = PrefixClone.clone();
+      Variant.Decls.push_back(D.clone());
+      TypecheckResult R = typecheckProgram(Variant);
+      Ok[Item] = R.ok();
+      Allocated[Item] = R.TypesAllocated;
+    };
+    if (Pending.size() < Accel.MinParallelItems) {
+      // Too small to amortize a pool dispatch; same work, same results,
+      // on the calling thread.
+      for (size_t Item = 0; Item < Pending.size(); ++Item)
+        CheckItem(0, Item);
+    } else {
+      if (!Pool)
+        Pool = std::make_unique<ThreadPool>(Accel.Threads);
+      if (WorkerCheckpoints.size() + 1 < Pool->numThreads())
+        WorkerCheckpoints.resize(Pool->numThreads() - 1);
+      Pool->parallelFor(Pending.size(), CheckItem);
+    }
+    for (size_t Item = 0; Item < Pending.size(); ++Item) {
+      size_t I = Pending[Item];
+      Verdicts[I] = Ok[Item];
+      Counters.TypesAllocated += Allocated[Item];
+      if (Incremental[Item]) {
+        ++Counters.IncrementalInferences;
+        Counters.DeclInferencesSaved += EditedIndex;
+      } else {
+        ++Counters.FullInferences;
+        if (Accel.Checkpoint)
+          ++Counters.CheckpointFallbacks;
+      }
+      if (Accel.VerdictCache)
+        cacheInsert(Hashes[I], *Variants[I], Verdicts[I] != 0);
+    }
+  }
+
+  // Settle intra-batch duplicates off their representatives.
+  std::vector<bool> Result(N);
+  for (size_t I = 0; I < N; ++I) {
+    if (DupOf[I] != ~size_t(0))
+      Verdicts[I] = Verdicts[DupOf[I]];
+    assert(Verdicts[I] >= 0 && "batch item left unresolved");
+    Result[I] = Verdicts[I] != 0;
+  }
+  return Result;
+}

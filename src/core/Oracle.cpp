@@ -7,6 +7,19 @@ using namespace seminal::caml;
 
 Oracle::~Oracle() = default;
 
+std::vector<bool>
+Oracle::typecheckBatchImpl(const Program &Base, const NodePath &Path,
+                           const std::vector<const Expr *> &Replacements) {
+  std::vector<bool> Verdicts;
+  Verdicts.reserve(Replacements.size());
+  for (const Expr *Replacement : Replacements) {
+    Program Variant = Base.clone();
+    replaceAtPath(Variant, Path, Replacement->clone());
+    Verdicts.push_back(typecheckImpl(Variant));
+  }
+  return Verdicts;
+}
+
 bool CamlOracle::typecheckImpl(const Program &Prog) {
   return typecheckProgram(Prog).ok();
 }

@@ -9,9 +9,18 @@
 /// never looks inside the type-checker; it only asks "does this modified
 /// program type-check?". This interface is that boundary. The production
 /// implementation wraps mini-Caml inference; tests substitute mocks to
-/// exercise the searcher against adversarial oracles, and every
-/// implementation counts its calls so the efficiency experiments
-/// (Section 3.2, bench_oracle_calls) can measure search effort.
+/// exercise the searcher against adversarial oracles.
+///
+/// Accounting distinguishes two quantities the paper's Section 3.2 metrics
+/// conflate once caching enters the picture:
+///
+///   * logicalCalls() -- how many questions the search asked. This is the
+///     paper-comparable search-effort metric and the budget currency; it
+///     grows on every typechecks()/typeOfNode()/batch item regardless of
+///     how the answer was produced.
+///   * inferenceRuns() -- how many times inference actually executed.
+///     Acceleration layers (core/CheckpointedOracle.h) drive this far
+///     below logicalCalls(); for plain oracles the two coincide.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,48 +33,114 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace seminal {
+
+/// Toggles for the oracle acceleration layer. Lives here (not in the
+/// accelerated oracle's header) so SearchOptions can embed it and the
+/// ablation benches can switch each layer independently.
+struct OracleAccelOptions {
+  /// Reuse a typing-environment snapshot of the unedited declaration
+  /// prefix instead of re-inferring it on every call.
+  bool Checkpoint = true;
+
+  /// Memoize type-check verdicts keyed by the edited declaration's
+  /// structural hash.
+  bool VerdictCache = true;
+
+  /// Evaluate candidate batches concurrently on a thread pool. Off by
+  /// default: results are bit-identical either way, but a library should
+  /// not spawn threads unless asked.
+  bool ParallelBatch = false;
+
+  /// Worker count for ParallelBatch; 0 picks hardware concurrency.
+  unsigned Threads = 0;
+
+  /// Batches with fewer uncached candidates than this run serially even
+  /// under ParallelBatch: dispatch overhead swamps sub-millisecond
+  /// inference. Verdicts are identical either way.
+  unsigned MinParallelItems = 8;
+};
 
 /// Black-box type-check oracle over mini-Caml programs.
 class Oracle {
 public:
   virtual ~Oracle();
 
-  /// \returns true if \p Prog type-checks. Increments the call counter.
+  /// \returns true if \p Prog type-checks. Counts one logical call.
   bool typechecks(const caml::Program &Prog) {
-    ++Calls;
+    ++LogicalCalls;
     return typecheckImpl(Prog);
   }
 
   /// Type-checks \p Prog and, on success, reports the rendered type of
   /// \p Node (which must be a node inside \p Prog). Used only to decorate
   /// messages ("of type int -> int -> int"); the search itself never
-  /// consumes type information. Increments the call counter.
+  /// consumes type information. Counts one logical call.
   std::optional<std::string> typeOfNode(const caml::Program &Prog,
                                         const caml::Expr *Node) {
-    ++Calls;
+    ++LogicalCalls;
     return typeOfNodeImpl(Prog, Node);
   }
+
+  /// Evaluates \p Base with each replacement installed at \p Path (one
+  /// independent program per entry; \p Base itself is not modified) and
+  /// returns the verdicts in input order. Counts one logical call per
+  /// entry -- exactly what the same queries would cost sequentially.
+  std::vector<bool>
+  typecheckBatch(const caml::Program &Base, const caml::NodePath &Path,
+                 const std::vector<const caml::Expr *> &Replacements) {
+    LogicalCalls += Replacements.size();
+    return typecheckBatchImpl(Base, Path, Replacements);
+  }
+
+  /// True if typecheckBatch is faster than the equivalent sequential
+  /// loop (the searcher only batches when it is).
+  virtual bool supportsBatch() const { return false; }
+
+  /// Hints that until clearPrefix(), every queried program will consist of
+  /// the first \p EditedDecl declarations of \p Prog unchanged plus one
+  /// edited declaration at index \p EditedDecl. Accelerated oracles
+  /// snapshot the prefix environment here; the default ignores the hint.
+  /// The caller must not mutate the prefix declarations while seeded.
+  virtual void seedPrefix(const caml::Program &Prog, unsigned EditedDecl) {}
+
+  /// Drops the seedPrefix() hint (and any state keyed on it).
+  virtual void clearPrefix() {}
 
   /// The conventional checker diagnostic for \p Prog (does not count as a
   /// search call; used to render the baseline message).
   virtual std::optional<caml::TypeError>
   conventionalError(const caml::Program &Prog) = 0;
 
-  size_t callCount() const { return Calls; }
-  void resetCallCount() { Calls = 0; }
+  /// Search effort: every question asked (Section 3.2's metric).
+  size_t logicalCalls() const { return LogicalCalls; }
+
+  /// Work performed: inference executions. Plain oracles run inference
+  /// once per question; accelerated oracles override this.
+  virtual size_t inferenceRuns() const { return LogicalCalls; }
+
+  /// Legacy alias for logicalCalls().
+  size_t callCount() const { return LogicalCalls; }
+  void resetCallCount() { LogicalCalls = 0; }
 
 protected:
   virtual bool typecheckImpl(const caml::Program &Prog) = 0;
   virtual std::optional<std::string>
   typeOfNodeImpl(const caml::Program &Prog, const caml::Expr *Node) = 0;
 
+  /// Default batch: sequential evaluation over clones of \p Base.
+  virtual std::vector<bool>
+  typecheckBatchImpl(const caml::Program &Base, const caml::NodePath &Path,
+                     const std::vector<const caml::Expr *> &Replacements);
+
 private:
-  size_t Calls = 0;
+  size_t LogicalCalls = 0;
 };
 
-/// The production oracle: mini-Caml Hindley-Milner inference.
+/// The production oracle: mini-Caml Hindley-Milner inference, one full
+/// program inference per question.
 class CamlOracle : public Oracle {
 public:
   std::optional<caml::TypeError>

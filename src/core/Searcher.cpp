@@ -4,6 +4,7 @@
 
 #include "minicaml/Printer.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace seminal;
@@ -59,6 +60,8 @@ void Searcher::addSuggestion(ChangeKind Kind, const NodePath &Path,
 
 bool Searcher::tryCandidates(const NodePath &Path,
                              std::vector<CandidateChange> Cands) {
+  if (Opts.Accel.ParallelBatch && TheOracle.supportsBatch())
+    return tryCandidatesBatched(Path, std::move(Cands));
   bool Any = false;
   // The worklist grows as probes expand into follow-ups.
   for (size_t I = 0; I < Cands.size() && !OutOfBudget; ++I) {
@@ -74,6 +77,53 @@ bool Searcher::tryCandidates(const NodePath &Path,
       for (auto &Next : More)
         Cands.push_back(std::move(Next));
     }
+  }
+  return Any;
+}
+
+bool Searcher::tryCandidatesBatched(const NodePath &Path,
+                                    std::vector<CandidateChange> Cands) {
+  bool Any = false;
+  size_t I = 0;
+  while (I < Cands.size() && !OutOfBudget) {
+    // One wave = everything currently on the worklist (follow-ups landed
+    // by earlier waves included), truncated to the remaining budget. The
+    // candidates in a wave are mutually independent: each is a different
+    // replacement at the same path, so verdicts cannot interact.
+    size_t Used = TheOracle.callCount();
+    size_t Remaining =
+        Used < Opts.MaxOracleCalls ? Opts.MaxOracleCalls - Used : 0;
+    if (Remaining == 0) {
+      OutOfBudget = true;
+      break;
+    }
+    size_t WaveEnd = I + std::min(Cands.size() - I, Remaining);
+
+    std::vector<const Expr *> Replacements;
+    Replacements.reserve(WaveEnd - I);
+    for (size_t J = I; J < WaveEnd; ++J)
+      Replacements.push_back(Cands[J].Replacement.get());
+    std::vector<bool> Verdicts =
+        TheOracle.typecheckBatch(Work, Path, Replacements);
+
+    // Consume verdicts in worklist order: suggestions are appended and
+    // follow-ups enqueued exactly as the sequential loop would.
+    for (size_t J = I; J < WaveEnd; ++J) {
+      CandidateChange &C = Cands[J];
+      bool Ok = Verdicts[J - I];
+      if (Ok && !C.IsProbe) {
+        addSuggestion(ChangeKind::Constructive, Path,
+                      std::move(C.Replacement), C.Description,
+                      /*LikelyUnbound=*/false, C.Priority);
+        Any = true;
+      }
+      if (C.FollowUps) {
+        std::vector<CandidateChange> More = C.FollowUps(Ok);
+        for (auto &Next : More)
+          Cands.push_back(std::move(Next));
+      }
+    }
+    I = WaveEnd;
   }
   return Any;
 }
@@ -445,8 +495,15 @@ SearchOutput Searcher::run(const Program &Input) {
 
   const Decl &D = *Work.Decls[FocusDecl];
   if (D.kind() == Decl::Kind::Let && D.Rhs) {
+    // Every oracle call from here on asks about Work = unchanged prefix +
+    // edited FocusDecl; let accelerated oracles snapshot the prefix. The
+    // prefix declarations are never mutated during the search (edits swap
+    // nodes inside the focus declaration only), which is the seed's
+    // validity requirement.
+    TheOracle.seedPrefix(Work, FocusDecl);
     tryDeclChanges(FocusDecl);
     searchExpr(NodePath(FocusDecl));
+    TheOracle.clearPrefix();
   }
   // Type/exception declarations produce no searchable expressions; the
   // conventional message stands alone for those.

@@ -62,8 +62,15 @@ struct SearchOptions {
 
   /// Hard budget on oracle calls; the search stops gracefully when
   /// exhausted (never triggered by realistic student files, but keeps the
-  /// tool total).
+  /// tool total). The budget currency is logical calls, so acceleration
+  /// changes how fast the budget is burned in wall-clock terms, never how
+  /// much search it buys.
   size_t MaxOracleCalls = 200000;
+
+  /// Oracle acceleration toggles (forwarded to the oracle by runSeminal;
+  /// a Searcher driven with a hand-built oracle ignores all but
+  /// ParallelBatch, which additionally gates batched candidate waves).
+  OracleAccelOptions Accel;
 
   EnumeratorOptions Enum;
 };
@@ -107,6 +114,14 @@ private:
   /// at \p Path. \returns true if any non-probe candidate succeeded.
   bool tryCandidates(const caml::NodePath &Path,
                      std::vector<CandidateChange> Cands);
+
+  /// Batched variant of tryCandidates: evaluates the worklist in waves
+  /// through Oracle::typecheckBatch. Wave order replays the sequential
+  /// worklist order exactly, so suggestions and logical-call totals are
+  /// identical; only the budget-exhaustion cutoff can differ in
+  /// granularity.
+  bool tryCandidatesBatched(const caml::NodePath &Path,
+                            std::vector<CandidateChange> Cands);
 
   /// Declaration-level changes (toggle rec, curry/tuple params).
   bool tryDeclChanges(unsigned DeclIndex);

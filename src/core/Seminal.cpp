@@ -2,7 +2,7 @@
 
 #include "core/Seminal.h"
 
-#include "core/Oracle.h"
+#include "core/CheckpointedOracle.h"
 #include "core/Ranker.h"
 
 using namespace seminal;
@@ -27,7 +27,7 @@ SeminalReport seminal::runSeminal(const Program &Prog,
                                   const SeminalOptions &Opts) {
   SeminalReport Report;
 
-  CamlOracle TheOracle;
+  CheckpointedOracle TheOracle(Opts.Search.Accel);
   Report.CheckerError = TheOracle.conventionalError(Prog);
 
   Searcher S(TheOracle, Opts.Search);
@@ -40,7 +40,9 @@ SeminalReport seminal::runSeminal(const Program &Prog,
   rankSuggestions(Report.Suggestions);
   if (Report.Suggestions.size() > Opts.MaxSuggestions)
     Report.Suggestions.resize(Opts.MaxSuggestions);
-  Report.OracleCalls = TheOracle.callCount();
+  Report.OracleCalls = TheOracle.logicalCalls();
+  Report.InferenceRuns = TheOracle.inferenceRuns();
+  Report.Accel = TheOracle.counters();
   return Report;
 }
 

@@ -27,6 +27,7 @@
 #include "core/Searcher.h"
 #include "minicaml/Infer.h"
 #include "minicaml/Parser.h"
+#include "support/Stats.h"
 
 #include <optional>
 #include <string>
@@ -59,8 +60,17 @@ struct SeminalReport {
   /// Ranked suggestions, best first.
   std::vector<Suggestion> Suggestions;
 
-  /// Number of oracle invocations the search performed.
+  /// Number of oracle invocations the search performed (logical calls --
+  /// the paper-comparable search-effort metric, independent of the
+  /// acceleration configuration).
   size_t OracleCalls = 0;
+
+  /// Number of inference executions the oracle actually ran; acceleration
+  /// drives this below OracleCalls (equal when acceleration is off).
+  size_t InferenceRuns = 0;
+
+  /// Per-layer acceleration instrumentation for this run.
+  AccelCounters Accel;
 
   /// True if the search stopped on its call budget.
   bool BudgetExhausted = false;

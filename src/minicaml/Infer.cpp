@@ -43,14 +43,29 @@ struct RecordInfo {
   }
 };
 
-/// The whole-program inference context. One instance per oracle call.
+/// The whole-program inference context. One instance per oracle call for
+/// one-shot checks; kept alive across calls by InferenceCheckpoint, which
+/// pairs each incremental query with a TypeTrail rollback.
 class Inferencer {
 public:
-  explicit Inferencer(const TypecheckOptions &Opts) : Opts(Opts) {
-    loadStdlib();
-  }
+  Inferencer() { loadStdlib(); }
 
-  TypecheckResult run(const Program &Prog);
+  TypecheckResult run(const Program &Prog, const TypecheckOptions &RunOpts);
+
+  /// Infers the first \p Count declarations. \returns false if the prefix
+  /// fails (the instance must then be discarded).
+  bool runPrefix(const Program &Prog, unsigned Count);
+
+  /// Type-checks \p D on top of the current environment, then rolls back
+  /// every side effect (environment entries, arena allocations,
+  /// unification links, level adjustments).
+  TypecheckResult checkAdditionalDecl(const Decl &D,
+                                      const TypecheckOptions &RunOpts);
+
+  /// Commit-or-rollback: processes \p D permanently if it type-checks,
+  /// restores the environment if it does not. \returns success; \p
+  /// TypesAllocated, when non-null, receives this call's allocations.
+  bool extendDecl(const Decl &D, size_t *TypesAllocated);
 
 private:
   // Environment -----------------------------------------------------------
@@ -72,8 +87,11 @@ private:
   void generalize(Type *T) {
     T = prune(T);
     if (T->isVar()) {
-      if (T->Level > CurrentLevel)
+      if (T->Level > CurrentLevel) {
+        if (TypeTrail *Trail = activeTypeTrail())
+          Trail->recordLevel(T, T->Level);
         T->Level = GenericLevel;
+      }
       return;
     }
     for (Type *Arg : T->Args)
@@ -189,7 +207,7 @@ private:
   Type *unaryOpType(const std::string &Op);
 
   // State ---------------------------------------------------------------------
-  const TypecheckOptions &Opts;
+  const TypecheckOptions *Opts = nullptr; ///< Options of the current run.
   TypeArena Arena;
   std::vector<std::pair<std::string, Type *>> Env;
   std::unordered_map<std::string, int> TypeArity;
@@ -879,7 +897,7 @@ void Inferencer::checkExpr(const Expr &E, Type *Expected) {
   }
   }
 
-  if (&E == Opts.QueryNode && !hasError())
+  if (Opts && &E == Opts->QueryNode && !hasError())
     QueriedTy = Expected;
 }
 
@@ -887,7 +905,9 @@ void Inferencer::checkExpr(const Expr &E, Type *Expected) {
 // Entry point
 //===----------------------------------------------------------------------===//
 
-TypecheckResult Inferencer::run(const Program &Prog) {
+TypecheckResult Inferencer::run(const Program &Prog,
+                                const TypecheckOptions &RunOpts) {
+  Opts = &RunOpts;
   for (const auto &D : Prog.Decls) {
     processDecl(*D);
     if (hasError())
@@ -902,13 +922,132 @@ TypecheckResult Inferencer::run(const Program &Prog) {
       Result.QueriedType = typeToString(QueriedTy);
   }
   Result.TypesAllocated = Arena.numAllocated();
+  Opts = nullptr;
   return Result;
+}
+
+bool Inferencer::runPrefix(const Program &Prog, unsigned Count) {
+  assert(Count <= Prog.Decls.size() && "prefix longer than the program");
+  TypecheckOptions None;
+  Opts = &None;
+  for (unsigned I = 0; I < Count && !hasError(); ++I)
+    processDecl(*Prog.Decls[I]);
+  Opts = nullptr;
+  return !hasError();
+}
+
+TypecheckResult Inferencer::checkAdditionalDecl(const Decl &D,
+                                                const TypecheckOptions &RunOpts) {
+  assert(D.kind() == Decl::Kind::Let &&
+         "only let declarations can be checked incrementally");
+  assert(!hasError() && "checkpointed environment must be error-free");
+
+  const size_t EnvMark = Env.size();
+  const size_t TopMark = TopLevel.size();
+  const TypeArena::Mark AMark = Arena.mark();
+  const int LevelMark = CurrentLevel;
+
+  TypecheckResult Result;
+  TypeTrail Trail;
+  {
+    // Every link/level write inside this scope lands on the trail, so the
+    // rollback below restores the shared environment exactly -- including
+    // monomorphic top-level types (e.g. `let r = ref []`) that this
+    // query's unifications may have specialized.
+    TypeTrailScope Scope(Trail);
+    Opts = &RunOpts;
+    QueriedTy = nullptr;
+    processDecl(D);
+    Result.Error = std::move(ErrorOut);
+    // Render any queried type before the rollback unbinds it.
+    if (Result.ok() && QueriedTy)
+      Result.QueriedType = typeToString(QueriedTy);
+    Result.TypesAllocated = Arena.numAllocated() - AMark.Nodes;
+    Opts = nullptr;
+    QueriedTy = nullptr;
+    ErrorOut.reset();
+  }
+
+  Trail.undoAll();
+  Env.resize(EnvMark);
+  TopLevel.resize(TopMark);
+  Arena.rewindTo(AMark);
+  CurrentLevel = LevelMark;
+  return Result;
+}
+
+bool Inferencer::extendDecl(const Decl &D, size_t *TypesAllocated) {
+  const size_t EnvMark = Env.size();
+  const size_t TopMark = TopLevel.size();
+  const TypeArena::Mark AMark = Arena.mark();
+  const int LevelMark = CurrentLevel;
+
+  TypecheckOptions None;
+  TypeTrail Trail;
+  bool Succeeded;
+  {
+    TypeTrailScope Scope(Trail);
+    Opts = &None;
+    QueriedTy = nullptr;
+    processDecl(D);
+    Succeeded = !hasError();
+    if (TypesAllocated)
+      *TypesAllocated = Arena.numAllocated() - AMark.Nodes;
+    Opts = nullptr;
+    QueriedTy = nullptr;
+    ErrorOut.reset();
+  }
+  if (Succeeded)
+    // Commit: keep the bindings and links; the trail records are dropped.
+    return true;
+  Trail.undoAll();
+  Env.resize(EnvMark);
+  TopLevel.resize(TopMark);
+  Arena.rewindTo(AMark);
+  CurrentLevel = LevelMark;
+  return false;
 }
 
 } // namespace
 
 TypecheckResult caml::typecheckProgram(const Program &Prog,
                                        const TypecheckOptions &Opts) {
-  Inferencer Inf(Opts);
-  return Inf.run(Prog);
+  Inferencer Inf;
+  return Inf.run(Prog, Opts);
+}
+
+//===----------------------------------------------------------------------===//
+// InferenceCheckpoint
+//===----------------------------------------------------------------------===//
+
+struct InferenceCheckpoint::Impl {
+  Inferencer Inf;
+};
+
+InferenceCheckpoint::InferenceCheckpoint() = default;
+InferenceCheckpoint::~InferenceCheckpoint() = default;
+
+std::unique_ptr<InferenceCheckpoint>
+InferenceCheckpoint::create(const Program &Prog, unsigned PrefixLen) {
+  if (PrefixLen > Prog.Decls.size())
+    return nullptr;
+  // Incremental queries are Let-only; a prefix is fine with any kinds.
+  auto CP = std::unique_ptr<InferenceCheckpoint>(new InferenceCheckpoint());
+  CP->TheImpl = std::make_unique<Impl>();
+  CP->PrefixLen = PrefixLen;
+  if (!CP->TheImpl->Inf.runPrefix(Prog, PrefixLen))
+    return nullptr;
+  return CP;
+}
+
+TypecheckResult InferenceCheckpoint::checkDecl(const Decl &D,
+                                               const TypecheckOptions &Opts) {
+  return TheImpl->Inf.checkAdditionalDecl(D, Opts);
+}
+
+bool InferenceCheckpoint::extendWith(const Decl &D, size_t *TypesAllocated) {
+  if (!TheImpl->Inf.extendDecl(D, TypesAllocated))
+    return false;
+  ++PrefixLen;
+  return true;
 }

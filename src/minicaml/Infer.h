@@ -28,6 +28,7 @@
 
 #include "minicaml/Ast.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -81,6 +82,60 @@ struct TypecheckResult {
 /// Type-checks \p Prog against the standard library environment.
 TypecheckResult typecheckProgram(const Program &Prog,
                                  const TypecheckOptions &Opts = {});
+
+/// A reusable typing-environment snapshot taken after inferring the first
+/// k declarations of a program (plus the standard library). Once built, it
+/// answers "does declaration D type-check as declaration k+1?" without
+/// re-inferring the prefix or re-loading the standard library: the
+/// declaration is checked against the cached environment and every
+/// unification side effect is rolled back through a TypeTrail, so the
+/// snapshot can serve an unbounded number of queries.
+///
+/// Validity rules (see DESIGN.md "Oracle acceleration"):
+///   * the prefix declarations must not be mutated while the checkpoint is
+///     alive -- the snapshot aliases nothing from them, but a caller that
+///     edits the prefix is asking questions about a different program;
+///   * only Let declarations may be queried (type/exception declarations
+///     mutate the global constructor tables, which are not trailed);
+///   * a checkpoint is single-threaded -- concurrent queries need one
+///     checkpoint per thread.
+class InferenceCheckpoint {
+public:
+  /// Infers the first \p PrefixLen declarations of \p Prog and snapshots
+  /// the resulting environment. \returns null if the prefix itself fails
+  /// to type-check (no snapshot can be trusted past the first error).
+  static std::unique_ptr<InferenceCheckpoint> create(const Program &Prog,
+                                                     unsigned PrefixLen);
+
+  ~InferenceCheckpoint();
+
+  unsigned prefixLength() const { return PrefixLen; }
+
+  /// Type-checks \p D as the declaration following the snapshot's prefix.
+  /// \p D must be a Let declaration. All side effects are rolled back
+  /// before returning, so the checkpoint stays valid. The result's
+  /// TypesAllocated reports only this query's allocations.
+  TypecheckResult checkDecl(const Decl &D, const TypecheckOptions &Opts = {});
+
+  /// Permanently extends the prefix with \p D (any declaration kind).
+  /// On success the declaration's bindings are committed and
+  /// prefixLength() grows by one; on failure every unification side
+  /// effect is rolled back and the prefix is unchanged. \p TypesAllocated,
+  /// when non-null, receives this call's allocation count.
+  ///
+  /// Caveat: a *failed* type/exception declaration may leave partial
+  /// entries in the constructor/record tables (those are not trailed), so
+  /// after extendWith returns false for a non-Let declaration the
+  /// checkpoint must be discarded. A failed Let rolls back completely.
+  bool extendWith(const Decl &D, size_t *TypesAllocated = nullptr);
+
+private:
+  InferenceCheckpoint();
+
+  struct Impl;
+  std::unique_ptr<Impl> TheImpl;
+  unsigned PrefixLen = 0;
+};
 
 } // namespace caml
 } // namespace seminal

@@ -10,6 +10,34 @@
 using namespace seminal;
 using namespace seminal::caml;
 
+namespace {
+thread_local TypeTrail *ActiveTrail = nullptr;
+} // namespace
+
+TypeTrail *caml::activeTypeTrail() { return ActiveTrail; }
+
+TypeTrailScope::TypeTrailScope(TypeTrail &Trail) : Prev(ActiveTrail) {
+  ActiveTrail = &Trail;
+}
+
+TypeTrailScope::~TypeTrailScope() { ActiveTrail = Prev; }
+
+void TypeTrail::undoAll() {
+  for (auto It = Links.rbegin(); It != Links.rend(); ++It)
+    It->first->Link = It->second;
+  for (auto It = Levels.rbegin(); It != Levels.rend(); ++It)
+    It->first->Level = It->second;
+  Links.clear();
+  Levels.clear();
+}
+
+void TypeArena::rewindTo(const Mark &M) {
+  assert(M.Nodes <= Nodes.size() && "rewind past the end of the arena");
+  while (Nodes.size() > M.Nodes)
+    Nodes.pop_back();
+  NextVarId = M.NextVarId;
+}
+
 Type *TypeArena::freshVar(int Level) {
   Nodes.emplace_back();
   Type &T = Nodes.back();
@@ -40,7 +68,14 @@ Type *caml::prune(Type *T) {
   if (T->TheKind != Type::Kind::Var || !T->Link)
     return T;
   Type *Rep = prune(T->Link);
-  T->Link = Rep; // path compression
+  if (T->Link != Rep) {
+    // Path compression rewrites an already-bound link; a rollback must
+    // restore the original chain, because the old target may itself be
+    // un-bound by the same rollback.
+    if (TypeTrail *Trail = ActiveTrail)
+      Trail->recordLink(T, T->Link);
+    T->Link = Rep;
+  }
   return Rep;
 }
 
@@ -49,8 +84,11 @@ bool caml::occursAndAdjust(Type *Var, Type *T) {
   if (T == Var)
     return true;
   if (T->isVar()) {
-    if (T->Level > Var->Level && Var->Level != GenericLevel)
+    if (T->Level > Var->Level && Var->Level != GenericLevel) {
+      if (TypeTrail *Trail = ActiveTrail)
+        Trail->recordLevel(T, T->Level);
       T->Level = Var->Level;
+    }
     return false;
   }
   for (Type *Arg : T->Args)

@@ -55,12 +55,64 @@ struct Type {
   bool isArrow() const { return isCon("->"); }
 };
 
+/// Undo log for in-place type mutations. While a trail is installed (see
+/// TypeTrailScope) every Link and Level write performed by unification,
+/// path compression, level adjustment, and generalization is recorded, so
+/// undoAll() restores the type graph to its state at scope entry. This is
+/// what lets a checkpointed inference environment (Infer.h) be reused
+/// across thousands of oracle calls: each call's unifications against the
+/// shared prefix environment are rolled back instead of rebuilding the
+/// environment from scratch.
+class TypeTrail {
+public:
+  void recordLink(Type *V, Type *Old) { Links.emplace_back(V, Old); }
+  void recordLevel(Type *V, int Old) { Levels.emplace_back(V, Old); }
+
+  /// Restores every recorded write, newest first, and clears the trail.
+  void undoAll();
+
+  bool empty() const { return Links.empty() && Levels.empty(); }
+
+private:
+  std::vector<std::pair<Type *, Type *>> Links;
+  std::vector<std::pair<Type *, int>> Levels;
+};
+
+/// RAII: installs a trail as the active one for the current thread.
+/// Nesting restores the previous trail on destruction.
+class TypeTrailScope {
+public:
+  explicit TypeTrailScope(TypeTrail &Trail);
+  ~TypeTrailScope();
+  TypeTrailScope(const TypeTrailScope &) = delete;
+  TypeTrailScope &operator=(const TypeTrailScope &) = delete;
+
+private:
+  TypeTrail *Prev;
+};
+
+/// The trail currently recording this thread's type mutations, or null.
+TypeTrail *activeTypeTrail();
+
 /// Bump allocator for Type nodes; owns everything it creates.
 class TypeArena {
 public:
   TypeArena() = default;
   TypeArena(const TypeArena &) = delete;
   TypeArena &operator=(const TypeArena &) = delete;
+
+  /// A position in the arena's allocation sequence.
+  struct Mark {
+    size_t Nodes = 0;
+    int NextVarId = 0;
+  };
+
+  Mark mark() const { return {Nodes.size(), NextVarId}; }
+
+  /// Frees every node allocated after \p M. The caller must guarantee no
+  /// surviving type references the freed nodes (a TypeTrail rollback of
+  /// everything unified since the mark establishes exactly that).
+  void rewindTo(const Mark &M);
 
   /// Fresh unification variable at \p Level.
   Type *freshVar(int Level);

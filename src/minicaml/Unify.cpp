@@ -14,6 +14,8 @@ UnifyResult caml::unify(Type *A, Type *B) {
   if (A->isVar()) {
     if (occursAndAdjust(A, B))
       return UnifyResult::cyclic(A, B);
+    if (TypeTrail *Trail = activeTypeTrail())
+      Trail->recordLink(A, A->Link);
     A->Link = B;
     return UnifyResult::success();
   }

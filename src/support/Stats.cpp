@@ -10,6 +10,38 @@
 
 using namespace seminal;
 
+AccelCounters &AccelCounters::operator+=(const AccelCounters &Other) {
+  CacheHits += Other.CacheHits;
+  CacheMisses += Other.CacheMisses;
+  FullInferences += Other.FullInferences;
+  IncrementalInferences += Other.IncrementalInferences;
+  DeclInferencesSaved += Other.DeclInferencesSaved;
+  CheckpointSeeds += Other.CheckpointSeeds;
+  CheckpointFallbacks += Other.CheckpointFallbacks;
+  BatchesDispatched += Other.BatchesDispatched;
+  BatchItems += Other.BatchItems;
+  TypesAllocated += Other.TypesAllocated;
+  return *this;
+}
+
+std::string AccelCounters::render() const {
+  std::ostringstream OS;
+  uint64_t Lookups = CacheHits + CacheMisses;
+  OS << "  verdict cache: " << CacheHits << " hits / " << CacheMisses
+     << " misses";
+  if (Lookups)
+    OS << " (" << (100 * CacheHits / Lookups) << "% hit rate)";
+  OS << "\n  inference: " << FullInferences << " full + "
+     << IncrementalInferences << " incremental runs, "
+     << DeclInferencesSaved << " prefix decl re-checks saved\n"
+     << "  checkpoints: " << CheckpointSeeds << " seeded, "
+     << CheckpointFallbacks << " fallbacks to full inference\n"
+     << "  batches: " << BatchesDispatched << " dispatched carrying "
+     << BatchItems << " candidates\n"
+     << "  type allocations: " << TypesAllocated << "\n";
+  return OS.str();
+}
+
 void Samples::ensureSorted() {
   if (Sorted)
     return;

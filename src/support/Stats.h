@@ -16,11 +16,52 @@
 #define SEMINAL_SUPPORT_STATS_H
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace seminal {
+
+/// Hit/miss/saved-work counters for the oracle acceleration layer
+/// (prefix-environment checkpointing, structural verdict cache, batched
+/// parallel evaluation -- see core/CheckpointedOracle.h). Kept in support
+/// so both the oracle and the bench harnesses can consume them without a
+/// dependency cycle.
+struct AccelCounters {
+  /// Type-check verdicts served straight from the structural cache.
+  uint64_t CacheHits = 0;
+  /// Lookups that missed and had to run inference.
+  uint64_t CacheMisses = 0;
+  /// Whole-program inference runs (checkpoint unavailable or bypassed).
+  uint64_t FullInferences = 0;
+  /// Single-declaration runs against a prefix checkpoint.
+  uint64_t IncrementalInferences = 0;
+  /// Declarations whose re-inference a checkpoint skipped: for each
+  /// incremental run, the prefix length it did not have to re-check.
+  uint64_t DeclInferencesSaved = 0;
+  /// Checkpoint seeds installed / queries that fell back to full
+  /// inference because the program shape did not match the seed.
+  uint64_t CheckpointSeeds = 0;
+  uint64_t CheckpointFallbacks = 0;
+  /// Batches dispatched to the pool and items they carried.
+  uint64_t BatchesDispatched = 0;
+  uint64_t BatchItems = 0;
+  /// Unification-variable allocations across all inference performed; a
+  /// hardware-independent work proxy (TypecheckResult::TypesAllocated).
+  uint64_t TypesAllocated = 0;
+
+  /// Inference actually performed, as opposed to logical search effort.
+  uint64_t inferenceRuns() const {
+    return FullInferences + IncrementalInferences;
+  }
+
+  void reset() { *this = AccelCounters(); }
+  AccelCounters &operator+=(const AccelCounters &Other);
+
+  /// Multi-line human-readable rendering for bench output.
+  std::string render() const;
+};
 
 /// An accumulating sample set with percentile/CDF queries.
 class Samples {

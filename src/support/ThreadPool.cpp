@@ -1,0 +1,62 @@
+//===- ThreadPool.cpp - Minimal fixed-size worker pool ---------------------==//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace seminal;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::parallelFor(size_t NumItems,
+                             const std::function<void(unsigned, size_t)> &Fn) {
+  if (NumItems == 0)
+    return;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Job = &Fn;
+  JobSize = NumItems;
+  NextItem = 0;
+  ItemsLeft = NumItems;
+  ++Generation;
+  WorkReady.notify_all();
+  WorkDone.wait(Lock, [this] { return ItemsLeft == 0; });
+  Job = nullptr;
+}
+
+void ThreadPool::workerMain(unsigned WorkerIndex) {
+  uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    WorkReady.wait(Lock, [&] {
+      return ShuttingDown || (Job && Generation != SeenGeneration);
+    });
+    if (ShuttingDown)
+      return;
+    SeenGeneration = Generation;
+    while (NextItem < JobSize) {
+      size_t Item = NextItem++;
+      const auto *Fn = Job;
+      Lock.unlock();
+      (*Fn)(WorkerIndex, Item);
+      Lock.lock();
+      if (--ItemsLeft == 0)
+        WorkDone.notify_one();
+    }
+  }
+}

@@ -1,0 +1,71 @@
+//===- ThreadPool.h - Minimal fixed-size worker pool ------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool with a single entry point: parallelFor
+/// over an index range. The batched oracle (core/CheckpointedOracle.h)
+/// uses it to evaluate independent candidate programs concurrently; each
+/// callback receives its worker index so callers can keep per-worker
+/// state (one inference checkpoint per worker) without locking.
+///
+/// Determinism note: items are claimed dynamically, so *completion* order
+/// varies between runs, but results are written to per-index slots and
+/// consumed in index order -- scheduling never leaks into output order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_SUPPORT_THREADPOOL_H
+#define SEMINAL_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seminal {
+
+/// Fixed-size pool of worker threads, created once and reused across
+/// parallelFor calls (spawning threads per oracle batch would dominate
+/// the millisecond-scale batches the searcher issues).
+class ThreadPool {
+public:
+  /// \p Threads workers; 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return unsigned(Workers.size()); }
+
+  /// Invokes Fn(WorkerIndex, ItemIndex) for every ItemIndex in
+  /// [0, NumItems), distributing items over the workers; blocks until all
+  /// items complete. WorkerIndex is in [0, numThreads()). Not reentrant
+  /// and not thread-safe: one parallelFor at a time.
+  void parallelFor(size_t NumItems,
+                   const std::function<void(unsigned, size_t)> &Fn);
+
+private:
+  void workerMain(unsigned WorkerIndex);
+
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable WorkDone;
+  const std::function<void(unsigned, size_t)> *Job = nullptr;
+  size_t JobSize = 0;
+  size_t NextItem = 0;
+  size_t ItemsLeft = 0;
+  uint64_t Generation = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace seminal
+
+#endif // SEMINAL_SUPPORT_THREADPOOL_H

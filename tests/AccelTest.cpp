@@ -1,0 +1,418 @@
+//===- AccelTest.cpp - Oracle acceleration equivalence tests ---------------==//
+//
+// The acceleration layer must be invisible: any combination of prefix
+// checkpointing, verdict caching, and parallel batching has to reproduce
+// the plain oracle's searches bit for bit -- same suggestions in the same
+// ranked order, same logical-call totals -- while doing strictly less
+// inference. These tests pin that contract at three levels: the
+// InferenceCheckpoint primitive (rollback correctness), the
+// CheckpointedOracle (cache accounting), and whole runSeminal searches
+// across every acceleration configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CheckpointedOracle.h"
+#include "core/Seminal.h"
+#include "minicaml/Hash.h"
+#include "minicaml/Parser.h"
+#include "minicaml/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  ParseResult R = parseProgram(Source);
+  EXPECT_TRUE(R.ok()) << Source;
+  return std::move(*R.Prog);
+}
+
+/// The searcher scenarios from SearcherTest.cpp (paper examples, triage
+/// batteries, mutated fragments) plus a multi-error triage case; the
+/// equivalence tests replay each under every acceleration configuration.
+const char *ScenarioSources[] = {
+    // Paper examples.
+    "let map2 f aList bList =\n"
+    "  List.map (fun (a, b) -> f a b) (List.combine aList bList)\n"
+    "let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n"
+    "let ans = List.filter (fun x -> x == 0) lst\n",
+    "let add str lst = if List.mem str lst then lst\n"
+    "                  else str :: lst\n"
+    "let vList1 = [\"a\"; \"b\"]\n"
+    "let s = \"c\"\n"
+    "let out = add vList1 s\n",
+    "let e1 x = x ^ \"!\"\nlet e2 = \"s\"\nlet t = if e1 e2 then 1 else 2\n",
+    "let f y =\n"
+    "  let x = \"oops\" in\n"
+    "  (x + 1) + (x + 2) + (x + 3) + (x + 4)\n",
+    "let f x = print x; x + 1\n",
+    // Localization with later broken declarations.
+    "let a = 1\nlet b = a + true\nlet c = 1 + \"x\"",
+    // Triage: multiple independent errors.
+    "let go y =\n"
+    "  let x = 3 + true in\n"
+    "  let z = y + 1 in\n"
+    "  let w = 4 + \"hi\" in\n"
+    "  z\n",
+    "let f x y =\n"
+    "  let n = List.length y in\n"
+    "  match (x, y) with\n"
+    "    (0, []) -> []\n"
+    "  | (m, []) -> m\n"
+    "  | (_, 5) -> 5 + \"hi\"\n",
+    "let f a =\n"
+    "  match (a + \"x\", a) with\n"
+    "    (_, 0) -> 1 + true\n"
+    "  | _ -> 2 + \"y\"\n",
+    // Soundness-battery fragments.
+    "let x = 1 + \"two\"",
+    "let f (x, y) = x + y\nlet z = f 1 2",
+    "let f x y = x + y\nlet z = f (1, 2)",
+    "let x = [1, 2, 3]\nlet y = List.map (fun v -> v + 1) x",
+    "let r = ref 0\nlet y = r + 1",
+    "let l = 1 :: 2",
+    "let f x = x ^ \"!\"\nlet y = f 3",
+    "let swap (a, b) = (b, a)\nlet p = swap 1 2",
+    "let f a b c = a + b + c\nlet x = f 1 2 + 3",
+    "let x = (1, 2)\nlet y = fst x + snd x + x",
+};
+
+/// Byte-exact fingerprint of a ranked report: everything a suggestion
+/// carries that is visible to ranking, rendering, or callers.
+std::string fingerprint(const SeminalReport &R) {
+  std::string Out;
+  Out += "typechecks=" + std::to_string(R.InputTypechecks);
+  Out += " failing=" +
+         (R.FailingDeclIndex ? std::to_string(*R.FailingDeclIndex)
+                             : std::string("none"));
+  Out += " budget=" + std::to_string(R.BudgetExhausted);
+  Out += "\n";
+  for (const Suggestion &S : R.Suggestions) {
+    Out += "[" + std::to_string(int(S.Kind)) + "/" + S.Path.str() + "/p" +
+           std::to_string(S.Priority) + "/t" +
+           std::to_string(S.TriageRemovals) + "] ";
+    if (S.Original)
+      Out += printExpr(*S.Original);
+    Out += " => ";
+    if (S.Replacement)
+      Out += printExpr(*S.Replacement);
+    Out += " :: " + S.ReplacementType.value_or("-");
+    Out += " :: " + S.Description;
+    Out += " :: " + S.PatternBefore + "/" + S.PatternAfter;
+    Out += " :: ctx " + S.ContextAfter;
+    Out += " :: " + std::to_string(hashProgram(S.Modified));
+    Out += "\n";
+    Out += renderSuggestion(S) + "\n";
+  }
+  return Out;
+}
+
+SeminalOptions withAccel(bool Checkpoint, bool VerdictCache,
+                         bool ParallelBatch) {
+  SeminalOptions Opts;
+  Opts.Search.Accel.Checkpoint = Checkpoint;
+  Opts.Search.Accel.VerdictCache = VerdictCache;
+  Opts.Search.Accel.ParallelBatch = ParallelBatch;
+  Opts.Search.Accel.Threads = ParallelBatch ? 4 : 0;
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// InferenceCheckpoint: rollback correctness
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointTest, MatchesFullInferenceOnEveryPrefix) {
+  for (const char *Src : ScenarioSources) {
+    Program P = parse(Src);
+    for (unsigned K = 0; K < P.Decls.size(); ++K) {
+      if (P.Decls[K]->kind() != Decl::Kind::Let)
+        continue;
+      // Full-inference ground truth for "first K decls + decl K".
+      Program Slice;
+      for (unsigned I = 0; I <= K; ++I)
+        Slice.Decls.push_back(P.Decls[I]->clone());
+      bool Expected = typecheckProgram(Slice).ok();
+
+      auto CP = InferenceCheckpoint::create(P, K);
+      if (!CP) {
+        // The prefix itself fails; create() must refuse exactly then.
+        Program Prefix;
+        for (unsigned I = 0; I < K; ++I)
+          Prefix.Decls.push_back(P.Decls[I]->clone());
+        EXPECT_FALSE(typecheckProgram(Prefix).ok()) << Src;
+        continue;
+      }
+      // Ask three times: rollback must keep the verdict stable.
+      for (int Round = 0; Round < 3; ++Round)
+        EXPECT_EQ(CP->checkDecl(*P.Decls[K]).ok(), Expected)
+            << Src << "\nprefix " << K << " round " << Round;
+    }
+  }
+}
+
+TEST(CheckpointTest, ValueRestrictionStateRollsBack) {
+  // `r : '_a list ref` is weakly polymorphic; checking `r := [1]` pins
+  // '_a to int *within that query*. Rollback must unpin it, or the
+  // subsequent string assignment would wrongly fail.
+  Program P = parse("let r = ref []\nlet u = r := [1]");
+  auto CP = InferenceCheckpoint::create(P, 1);
+  ASSERT_NE(CP, nullptr);
+  Program IntUse = parse("let u = r := [1]");
+  Program StrUse = parse("let v = r := [\"s\"]");
+  EXPECT_TRUE(CP->checkDecl(*IntUse.Decls[0]).ok());
+  EXPECT_TRUE(CP->checkDecl(*StrUse.Decls[0]).ok())
+      << "int pin leaked through the checkpoint";
+  EXPECT_TRUE(CP->checkDecl(*IntUse.Decls[0]).ok());
+  // Both at once genuinely conflict; the checkpoint must still say no.
+  Program Both = parse("let w = (r := [1]; r := [\"s\"])");
+  EXPECT_FALSE(CP->checkDecl(*Both.Decls[0]).ok());
+  EXPECT_TRUE(CP->checkDecl(*StrUse.Decls[0]).ok());
+}
+
+TEST(CheckpointTest, GeneralizationSurvivesFailedQueries) {
+  // A failing query must not corrupt the polymorphism of prefix bindings.
+  Program P = parse("let id x = x\nlet a = id 1");
+  auto CP = InferenceCheckpoint::create(P, 1);
+  ASSERT_NE(CP, nullptr);
+  Program Bad = parse("let c = id 1 ^ \"x\"");
+  Program IntUse = parse("let a = id 1 + 2");
+  Program StrUse = parse("let b = id \"s\" ^ \"t\"");
+  EXPECT_FALSE(CP->checkDecl(*Bad.Decls[0]).ok());
+  EXPECT_TRUE(CP->checkDecl(*IntUse.Decls[0]).ok());
+  EXPECT_TRUE(CP->checkDecl(*StrUse.Decls[0]).ok());
+}
+
+TEST(CheckpointTest, ArenaDoesNotGrowAcrossQueries) {
+  Program P = parse("let f x y = x + y\nlet z = f 1");
+  auto CP = InferenceCheckpoint::create(P, 1);
+  ASSERT_NE(CP, nullptr);
+  TypecheckResult First = CP->checkDecl(*P.Decls[1]);
+  for (int I = 0; I < 100; ++I) {
+    TypecheckResult R = CP->checkDecl(*P.Decls[1]);
+    EXPECT_EQ(R.TypesAllocated, First.TypesAllocated)
+        << "arena rewind is leaking allocations (round " << I << ")";
+  }
+}
+
+TEST(CheckpointTest, QueryNodeTypeMatchesFullInference) {
+  Program P = parse("let one = 1\nlet f x = x + one");
+  const Expr *Node = P.Decls[1]->Rhs.get();
+  TypecheckOptions Opts;
+  Opts.QueryNode = Node;
+  TypecheckResult Full = typecheckProgram(P, Opts);
+  ASSERT_TRUE(Full.ok());
+  ASSERT_TRUE(Full.QueriedType.has_value());
+
+  auto CP = InferenceCheckpoint::create(P, 1);
+  ASSERT_NE(CP, nullptr);
+  TypecheckResult Inc = CP->checkDecl(*P.Decls[1], Opts);
+  ASSERT_TRUE(Inc.ok());
+  EXPECT_EQ(Inc.QueriedType, Full.QueriedType);
+}
+
+//===----------------------------------------------------------------------===//
+// CheckpointedOracle: accounting
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointedOracleTest, CacheHitsKeepLogicalCallsButSkipInference) {
+  Program P = parse("let a = 1\nlet b = a + true");
+  CheckpointedOracle O;
+  O.seedPrefix(P, 1);
+  bool First = O.typechecks(P);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(O.typechecks(P), First);
+  EXPECT_EQ(O.logicalCalls(), 4u);
+  EXPECT_EQ(O.callCount(), 4u); // Legacy alias agrees.
+  EXPECT_EQ(O.counters().CacheHits, 3u);
+  EXPECT_EQ(O.counters().CacheMisses, 1u);
+  EXPECT_EQ(O.inferenceRuns(), 1u);
+  O.clearPrefix();
+  // Cache is keyed on the seed; clearing forgets the verdicts.
+  O.typechecks(P);
+  EXPECT_EQ(O.counters().CacheHits, 3u);
+}
+
+TEST(CheckpointedOracleTest, UnseededFallsBackToFullInference) {
+  // Two declarations with no growth history match neither the seed nor
+  // the growing-prefix pattern: a plain full inference.
+  Program P = parse("let a = 1\nlet x = a + \"two\"");
+  CheckpointedOracle O;
+  EXPECT_FALSE(O.typechecks(P));
+  EXPECT_EQ(O.counters().FullInferences, 1u);
+  EXPECT_EQ(O.counters().IncrementalInferences, 0u);
+  EXPECT_EQ(O.inferenceRuns(), O.logicalCalls());
+}
+
+TEST(CheckpointedOracleTest, LocalizationPatternIsServedIncrementally) {
+  // The searcher's prefix-localization loop: ask about prefixes of
+  // growing length. Every round should extend the growth environment
+  // instead of running whole-program inference.
+  Program P = parse("let a = 1\nlet b = a + 1\nlet c = b + 2\n"
+                    "let d = c ^ \"s\"");
+  CheckpointedOracle O;
+  for (unsigned Len = 1; Len <= P.Decls.size(); ++Len) {
+    Program Prefix;
+    for (unsigned I = 0; I < Len; ++I)
+      Prefix.Decls.push_back(P.Decls[I]->clone());
+    Program Truth;
+    for (unsigned I = 0; I < Len; ++I)
+      Truth.Decls.push_back(P.Decls[I]->clone());
+    EXPECT_EQ(O.typechecks(Prefix), caml::typecheckProgram(Truth).ok())
+        << "prefix length " << Len;
+  }
+  EXPECT_EQ(O.counters().FullInferences, 0u);
+  EXPECT_EQ(O.counters().IncrementalInferences, P.Decls.size());
+  // Each round re-checked only the new declaration: 0+1+2+3 skipped.
+  EXPECT_EQ(O.counters().DeclInferencesSaved, 0u + 1u + 2u + 3u);
+}
+
+TEST(CheckpointTest, ExtendWithCommitsOnSuccessAndRollsBackOnFailure) {
+  Program P = parse("let a = 1\nlet b = a + 1\nlet c = b ^ \"s\"\n"
+                    "let d = a + 2");
+  auto CP = InferenceCheckpoint::create(P, 0);
+  ASSERT_TRUE(CP);
+  // Committing declarations one at a time tracks full-inference prefix
+  // verdicts exactly.
+  ASSERT_TRUE(CP->extendWith(*P.Decls[0]));
+  EXPECT_EQ(CP->prefixLength(), 1u);
+  size_t Allocated = 0;
+  ASSERT_TRUE(CP->extendWith(*P.Decls[1], &Allocated));
+  EXPECT_GT(Allocated, 0u);
+  EXPECT_EQ(CP->prefixLength(), 2u);
+  // A failed Let rolls back completely: the prefix is unchanged and the
+  // checkpoint keeps answering queries correctly.
+  EXPECT_FALSE(CP->extendWith(*P.Decls[2]));
+  EXPECT_EQ(CP->prefixLength(), 2u);
+  TypecheckResult R = CP->checkDecl(*P.Decls[3]);
+  EXPECT_TRUE(R.ok());
+  EXPECT_FALSE(CP->checkDecl(*P.Decls[2]).ok());
+  // And the environment can still grow past the failure.
+  ASSERT_TRUE(CP->extendWith(*P.Decls[3]));
+  EXPECT_EQ(CP->prefixLength(), 3u);
+}
+
+TEST(CheckpointedOracleTest, VerdictsMatchPlainOracleEverywhere) {
+  for (const char *Src : ScenarioSources) {
+    Program P = parse(Src);
+    CamlOracle Plain;
+    CheckpointedOracle Fast;
+    if (P.Decls.size() > 1)
+      Fast.seedPrefix(P, unsigned(P.Decls.size() - 1));
+    EXPECT_EQ(Fast.typechecks(P), Plain.typechecks(P)) << Src;
+  }
+}
+
+TEST(CheckpointedOracleTest, BatchMatchesSequentialVerdicts) {
+  Program P = parse("let one = 1\nlet x = one + \"two\"");
+  NodePath Path(1);
+  Path.Steps = {1}; // The right operand of `one + "two"`.
+  ASSERT_NE(resolvePath(P, Path), nullptr);
+
+  std::vector<ExprPtr> Owned;
+  Owned.push_back(makeIntLit(2));         // fixes the program
+  Owned.push_back(makeStringLit("s"));    // still broken
+  Owned.push_back(makeIntLit(2));         // duplicate of [0]
+  Owned.push_back(makeWildcard());        // always checks
+  std::vector<const Expr *> Reps;
+  for (const auto &E : Owned)
+    Reps.push_back(E.get());
+
+  OracleAccelOptions Accel;
+  Accel.ParallelBatch = true;
+  Accel.Threads = 3;
+  CheckpointedOracle O(Accel);
+  ASSERT_TRUE(O.supportsBatch());
+  O.seedPrefix(P, 1);
+  std::vector<bool> Got = O.typecheckBatch(P, Path, Reps);
+  EXPECT_EQ(O.logicalCalls(), Reps.size());
+
+  CamlOracle Plain;
+  std::vector<bool> Want = Plain.typecheckBatch(P, Path, Reps);
+  EXPECT_EQ(Got, Want);
+  EXPECT_TRUE(Want[0] && !Want[1] && Want[2] && Want[3]);
+  // The duplicate and nothing else is deduped: 3 distinct candidates.
+  EXPECT_EQ(O.counters().CacheMisses, 3u);
+  EXPECT_EQ(O.counters().CacheHits, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-search equivalence across acceleration configurations
+//===----------------------------------------------------------------------===//
+
+struct AccelConfig {
+  const char *Name;
+  bool Checkpoint, VerdictCache, ParallelBatch;
+};
+
+const AccelConfig Configs[] = {
+    {"checkpoint-only", true, false, false},
+    {"cache-only", false, true, false},
+    {"checkpoint+cache", true, true, false},
+    {"parallel-only", false, false, true},
+    {"all-layers", true, true, true},
+};
+
+TEST(AccelEquivalenceTest, AllConfigsReproduceTheUnacceleratedSearch) {
+  for (const char *Src : ScenarioSources) {
+    SeminalReport Base =
+        runSeminalOnSource(Src, withAccel(false, false, false));
+    std::string BaseFp = fingerprint(Base);
+    EXPECT_EQ(Base.InferenceRuns, Base.OracleCalls) << Src;
+
+    for (const AccelConfig &C : Configs) {
+      SeminalReport R = runSeminalOnSource(
+          Src, withAccel(C.Checkpoint, C.VerdictCache, C.ParallelBatch));
+      EXPECT_EQ(fingerprint(R), BaseFp) << C.Name << " on:\n" << Src;
+      EXPECT_EQ(R.OracleCalls, Base.OracleCalls)
+          << C.Name << " changed the logical-call count on:\n" << Src;
+      EXPECT_LE(R.InferenceRuns, R.OracleCalls) << C.Name;
+      if (C.VerdictCache || C.Checkpoint)
+        EXPECT_LE(R.InferenceRuns, Base.InferenceRuns) << C.Name;
+    }
+  }
+}
+
+TEST(AccelEquivalenceTest, DefaultConfigDoesStrictlyLessInference) {
+  // On a triage-heavy search (wildcard placements are revisited across
+  // phases) the checkpoint+cache default must actually save work, not
+  // merely tie: cache hits make InferenceRuns < OracleCalls.
+  SeminalReport R = runSeminalOnSource("let go y =\n"
+                                       "  let x = 3 + true in\n"
+                                       "  let z = y + 1 in\n"
+                                       "  let w = 4 + \"hi\" in\n"
+                                       "  z\n");
+  EXPECT_GT(R.OracleCalls, 0u);
+  EXPECT_LT(R.InferenceRuns, R.OracleCalls);
+  EXPECT_GT(R.Accel.CacheHits, 0u);
+  EXPECT_GT(R.Accel.IncrementalInferences, 0u);
+
+  // And on a deep-prefix program the checkpoint skips prefix re-checks.
+  SeminalReport R2 = runSeminalOnSource(
+      "let a = 1\nlet b = a + 1\nlet c = b + 1\nlet d = c + true\n");
+  EXPECT_GT(R2.Accel.DeclInferencesSaved, 0u);
+}
+
+TEST(AccelEquivalenceTest, TriageHeavyCaseIsDeterministicUnderParallelism) {
+  // The multi-error triage scenario exercises batched waves inside triage
+  // contexts; run it repeatedly to shake out scheduling nondeterminism.
+  const char *Src = "let go y =\n"
+                    "  let x = 3 + true in\n"
+                    "  let z = y + 1 in\n"
+                    "  let w = 4 + \"hi\" in\n"
+                    "  z\n";
+  SeminalReport Base = runSeminalOnSource(Src, withAccel(false, false, false));
+  std::string BaseFp = fingerprint(Base);
+  for (int Round = 0; Round < 5; ++Round) {
+    SeminalReport R = runSeminalOnSource(Src, withAccel(true, true, true));
+    EXPECT_EQ(fingerprint(R), BaseFp) << "round " << Round;
+    EXPECT_EQ(R.OracleCalls, Base.OracleCalls) << "round " << Round;
+  }
+}
+
+} // namespace
