@@ -33,22 +33,40 @@ struct DriverOptions {
   std::string JsonPath;
 };
 
-/// Parses --scale=<f>, --seed=<n> and --json=<path>; exits on malformed
-/// input.
+/// Parses --scale=<f>, --seed=<n> and --json=<path>; exits with usage on
+/// malformed or unknown options so CI scripts fail loudly on typos
+/// instead of silently benchmarking the default configuration.
 inline DriverOptions parseDriverArgs(int Argc, char **Argv) {
   DriverOptions Opts;
+  auto Usage = [&](std::FILE *To) {
+    std::fprintf(To, "usage: %s [--scale=<f>] [--seed=<n>] [--json=<path>]\n",
+                 Argv[0]);
+  };
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (std::strncmp(Arg, "--scale=", 8) == 0) {
       Opts.Scale = std::atof(Arg + 8);
+      if (Opts.Scale <= 0.0) {
+        std::fprintf(stderr, "bad --scale value '%s'\n", Arg + 8);
+        Usage(stderr);
+        std::exit(2);
+      }
     } else if (std::strncmp(Arg, "--seed=", 7) == 0) {
       Opts.Seed = std::strtoull(Arg + 7, nullptr, 10);
     } else if (std::strncmp(Arg, "--json=", 7) == 0) {
       Opts.JsonPath = Arg + 7;
+      if (Opts.JsonPath.empty()) {
+        std::fprintf(stderr, "--json needs a file path\n");
+        Usage(stderr);
+        std::exit(2);
+      }
     } else if (std::strcmp(Arg, "--help") == 0) {
-      std::printf("usage: %s [--scale=<f>] [--seed=<n>] [--json=<path>]\n",
-                  Argv[0]);
+      Usage(stdout);
       std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg);
+      Usage(stderr);
+      std::exit(2);
     }
   }
   return Opts;

@@ -77,6 +77,40 @@ void BM_SearchFigure2(benchmark::State &State) {
 }
 BENCHMARK(BM_SearchFigure2);
 
+// The same search with the trace subsystem enabled: the delta against
+// BM_SearchFigure2 is the cost of recording every span and attribute.
+// With sinks left null the overhead must stay under 2% (the disabled
+// path is one pointer test per instrumentation site); this benchmark
+// measures the *enabled* price so regressions in either mode show up.
+void BM_SearchFigure2Traced(benchmark::State &State) {
+  std::string Source =
+      "let map2 f aList bList =\n"
+      "  List.map (fun (a, b) -> f a b) (List.combine aList bList)\n"
+      "let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n"
+      "let ans = List.filter (fun x -> x == 0) lst\n";
+  for (auto _ : State) {
+    TraceSink Sink;
+    Metrics M;
+    SeminalOptions Opts;
+    Opts.Search.Trace = &Sink;
+    Opts.Search.Metric = &M;
+    SeminalReport R = runSeminalOnSource(Source, Opts);
+    benchmark::DoNotOptimize(R);
+    benchmark::DoNotOptimize(Sink.eventCount());
+  }
+}
+BENCHMARK(BM_SearchFigure2Traced);
+
+// The disabled path in isolation: spans against a null sink must cost a
+// branch and nothing else -- no clock reads, no allocation.
+void BM_NullSpanOverhead(benchmark::State &State) {
+  for (auto _ : State) {
+    TraceSpan Span(nullptr, SpanKind::OracleCall, "oracle.typecheck");
+    benchmark::DoNotOptimize(Span.enabled());
+  }
+}
+BENCHMARK(BM_NullSpanOverhead);
+
 void BM_SearchWithVsWithoutTriage(benchmark::State &State) {
   std::string Source = "let go y =\n"
                        "  let a = 3 + true in\n"

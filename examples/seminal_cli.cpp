@@ -7,7 +7,8 @@
 // way).
 //
 // Usage:
-//   seminal_cli [--no-triage] [--max-suggestions=N] [--quiet] FILE.ml
+//   seminal_cli [--no-triage] [--max-suggestions=N] [--quiet]
+//               [--trace=FILE] [--metrics] FILE.ml
 //   seminal_cli --expr 'let x = 1 + "two"'
 //
 //===----------------------------------------------------------------------===//
@@ -27,9 +28,19 @@ namespace {
 void usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--no-triage] [--max-suggestions=N] [--quiet] "
-               "FILE.ml\n"
-               "       %s --expr 'PROGRAM TEXT'\n",
+               "[--trace=FILE] [--metrics] FILE.ml\n"
+               "       %s --expr 'PROGRAM TEXT'\n"
+               "  --trace=FILE   write a span trace of the run; FILE.json\n"
+               "                 is Chrome trace_event format (load it in\n"
+               "                 Perfetto / chrome://tracing), FILE.jsonl\n"
+               "                 is one event object per line\n"
+               "  --metrics      print per-layer latency/shape histograms\n",
                Prog, Prog);
+}
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
 }
 
 } // namespace
@@ -37,17 +48,34 @@ void usage(const char *Prog) {
 int main(int Argc, char **Argv) {
   SeminalOptions Opts;
   std::string Source;
+  std::string TracePath;
   bool HaveSource = false;
   bool Quiet = false;
+  bool WantMetrics = false;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (std::strcmp(Arg, "--no-triage") == 0) {
       Opts.Search.EnableTriage = false;
     } else if (std::strncmp(Arg, "--max-suggestions=", 18) == 0) {
-      Opts.MaxSuggestions = size_t(std::atoi(Arg + 18));
+      int N = std::atoi(Arg + 18);
+      if (N <= 0) {
+        std::fprintf(stderr, "--max-suggestions needs a positive count\n");
+        usage(Argv[0]);
+        return 2;
+      }
+      Opts.MaxSuggestions = size_t(N);
     } else if (std::strcmp(Arg, "--quiet") == 0) {
       Quiet = true;
+    } else if (std::strncmp(Arg, "--trace=", 8) == 0) {
+      TracePath = Arg + 8;
+      if (TracePath.empty()) {
+        std::fprintf(stderr, "--trace needs a file path\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--metrics") == 0) {
+      WantMetrics = true;
     } else if (std::strcmp(Arg, "--expr") == 0 && I + 1 < Argc) {
       Source = Argv[++I];
       HaveSource = true;
@@ -75,7 +103,34 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Observability sinks outlive the run; they are attached by pointer and
+  // exported after the report is in hand. Suggestions are byte-identical
+  // with and without them -- tracing only observes.
+  TraceSink Sink;
+  Metrics Metric;
+  if (!TracePath.empty())
+    Opts.Search.Trace = &Sink;
+  if (WantMetrics)
+    Opts.Search.Metric = &Metric;
+
   SeminalReport Report = runSeminalOnSource(Source, Opts);
+
+  if (!TracePath.empty() && !Report.SyntaxError) {
+    std::ofstream Out(TracePath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n", TracePath.c_str());
+      return 2;
+    }
+    if (endsWith(TracePath, ".jsonl"))
+      Sink.writeJsonl(Out);
+    else
+      Sink.writeChromeTrace(Out);
+    if (!Quiet)
+      std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                   Sink.eventCount(), TracePath.c_str());
+  }
+
+  int Exit = 1;
   if (Report.SyntaxError) {
     std::printf("%s\n", Report.bestMessage().c_str());
     return 1;
@@ -83,24 +138,29 @@ int main(int Argc, char **Argv) {
   if (Report.InputTypechecks) {
     if (!Quiet)
       std::printf("No type errors.\n");
-    return 0;
+    Exit = 0;
+  } else {
+    if (!Quiet) {
+      std::printf("Type-checker:\n  %s\n\n",
+                  Report.conventionalMessage().c_str());
+      std::printf("Suggestions (best first, %zu oracle calls):\n\n",
+                  Report.OracleCalls);
+    }
+    if (Report.Suggestions.empty()) {
+      std::printf("%s\n", Report.bestMessage().c_str());
+    } else {
+      for (size_t I = 0; I < Report.Suggestions.size(); ++I) {
+        std::printf("[%zu] %s\n\n", I + 1,
+                    renderSuggestion(Report.Suggestions[I]).c_str());
+        if (Quiet)
+          break;
+      }
+    }
   }
 
-  if (!Quiet) {
-    std::printf("Type-checker:\n  %s\n\n",
-                Report.conventionalMessage().c_str());
-    std::printf("Suggestions (best first, %zu oracle calls):\n\n",
-                Report.OracleCalls);
-  }
-  if (Report.Suggestions.empty()) {
-    std::printf("%s\n", Report.bestMessage().c_str());
-    return 1;
-  }
-  for (size_t I = 0; I < Report.Suggestions.size(); ++I) {
-    std::printf("[%zu] %s\n\n", I + 1,
-                renderSuggestion(Report.Suggestions[I]).c_str());
-    if (Quiet)
-      break;
-  }
-  return 1;
+  if (!Quiet && Report.Trace)
+    std::printf("%s", Report.Trace->render().c_str());
+  if (WantMetrics && !Metric.empty())
+    std::printf("%s", Metric.render().c_str());
+  return Exit;
 }

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Gate CI on the oracle-acceleration benchmark staying healthy.
+
+Compares a freshly produced BENCH_oracle_calls.json against the committed
+baseline (bench/BASELINE_oracle_calls.json). Two kinds of checks:
+
+* Deterministic counters must match the baseline exactly: the corpus is
+  seeded, so logical-call totals and suggestion divergences are
+  hardware-independent. Any drift means search behavior changed.
+* The within-run acceleration speedup (accelerated vs unaccelerated
+  wall-clock, both measured on the same machine in the same process) must
+  stay above REGRESSION_FRACTION of the baseline's ratio. Absolute
+  wall-clock across CI runners is far noisier than 10%, but the *ratio*
+  cancels the hardware out; losing more than 10% of it means the
+  acceleration layer (or the tracing-disabled fast path it sits on)
+  regressed.
+
+Exit code 0 = healthy, 1 = regression, 2 = bad invocation/inputs.
+"""
+
+import json
+import sys
+
+REGRESSION_FRACTION = 0.9  # fail if speedup drops below 90% of baseline
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} BASELINE.json FRESH.json",
+              file=sys.stderr)
+        sys.exit(2)
+    base = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+
+    for doc, name in ((base, sys.argv[1]), (fresh, sys.argv[2])):
+        if doc.get("bench") != "oracle_calls_accel":
+            print(f"error: {name} is not an oracle_calls_accel snapshot",
+                  file=sys.stderr)
+            sys.exit(2)
+    if (base.get("scale"), base.get("seed")) != (fresh.get("scale"),
+                                                 fresh.get("seed")):
+        print("error: baseline and fresh run used different --scale/--seed; "
+              "deterministic comparison is meaningless", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+
+    base_rows = {r["name"]: r for r in base["configs"]}
+    fresh_rows = {r["name"]: r for r in fresh["configs"]}
+    if set(base_rows) != set(fresh_rows):
+        failures.append(
+            f"configuration set changed: {sorted(base_rows)} vs "
+            f"{sorted(fresh_rows)}")
+    for name in sorted(set(base_rows) & set(fresh_rows)):
+        b, f = base_rows[name], fresh_rows[name]
+        if f["logical_calls"] != b["logical_calls"]:
+            failures.append(
+                f"[{name}] logical_calls {f['logical_calls']} != baseline "
+                f"{b['logical_calls']} (search behavior changed)")
+        if f["suggestion_mismatches"] != 0 or f["call_count_mismatches"] != 0:
+            failures.append(
+                f"[{name}] diverged from its in-run baseline: "
+                f"{f['suggestion_mismatches']} suggestion / "
+                f"{f['call_count_mismatches']} call-count mismatches")
+
+    base_speedup = base.get("speedup_wall", 0.0)
+    fresh_speedup = fresh.get("speedup_wall", 0.0)
+    floor = base_speedup * REGRESSION_FRACTION
+    if fresh_speedup < floor:
+        failures.append(
+            f"speedup_wall {fresh_speedup:.2f}x fell below "
+            f"{REGRESSION_FRACTION:.0%} of baseline {base_speedup:.2f}x "
+            f"(floor {floor:.2f}x) -- acceleration or the tracing-disabled "
+            f"fast path regressed >10%")
+
+    print(f"baseline speedup {base_speedup:.2f}x, fresh "
+          f"{fresh_speedup:.2f}x (floor {floor:.2f}x)")
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        sys.exit(1)
+    print("bench regression gate: OK")
+
+
+if __name__ == "__main__":
+    main()

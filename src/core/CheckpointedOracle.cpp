@@ -5,6 +5,7 @@
 #include "minicaml/Hash.h"
 
 #include <cassert>
+#include <chrono>
 
 using namespace seminal;
 using namespace seminal::caml;
@@ -89,6 +90,10 @@ bool CheckpointedOracle::growthExtend(const Decl &D, bool &Verdict) {
   // would perform on it -- but skips re-inferring everything before it.
   ++Counters.IncrementalInferences;
   Counters.DeclInferencesSaved += Growth->prefixLength();
+  LastServedBy = "growth-extend";
+  if (MetricsOut)
+    MetricsOut->observe(metric::CheckpointReuseDepth,
+                        double(Growth->prefixLength()));
   size_t Allocated = 0;
   Verdict = Growth->extendWith(D, &Allocated);
   Counters.TypesAllocated += Allocated;
@@ -167,6 +172,10 @@ bool CheckpointedOracle::inferEditedDecl(const Decl &D,
   if (Checkpoint) {
     ++Counters.IncrementalInferences;
     Counters.DeclInferencesSaved += Checkpoint->prefixLength();
+    LastServedBy = "checkpoint-incremental";
+    if (MetricsOut)
+      MetricsOut->observe(metric::CheckpointReuseDepth,
+                          double(Checkpoint->prefixLength()));
     TypecheckResult R = Checkpoint->checkDecl(D);
     Counters.TypesAllocated += R.TypesAllocated;
     return R.ok();
@@ -187,6 +196,8 @@ bool CheckpointedOracle::typecheckImpl(const Program &Prog) {
     if (HasConvMemo && Prog.Decls.size() == ConvClone.Decls.size() &&
         Prog.equals(ConvClone)) {
       ++Counters.CacheHits;
+      LastServedBy = "conv-memo";
+      LastCacheHit = true;
       return ConvOk;
     }
     bool Verdict;
@@ -207,6 +218,8 @@ bool CheckpointedOracle::typecheckImpl(const Program &Prog) {
   uint64_t H = hashDecl(D);
   if (const CacheEntry *E = cacheLookup(H, D)) {
     ++Counters.CacheHits;
+    LastServedBy = "verdict-cache";
+    LastCacheHit = true;
     return E->Typechecks;
   }
   ++Counters.CacheMisses;
@@ -222,6 +235,10 @@ CheckpointedOracle::typeOfNodeImpl(const Program &Prog, const Expr *Node) {
   if (Checkpoint && matchesSeed(Prog)) {
     ++Counters.IncrementalInferences;
     Counters.DeclInferencesSaved += Checkpoint->prefixLength();
+    LastServedBy = "checkpoint-incremental";
+    if (MetricsOut)
+      MetricsOut->observe(metric::CheckpointReuseDepth,
+                          double(Checkpoint->prefixLength()));
     TypecheckOptions Opts;
     Opts.QueryNode = Node;
     TypecheckResult R = Checkpoint->checkDecl(*Prog.Decls[EditedIndex], Opts);
@@ -288,6 +305,25 @@ std::vector<bool> CheckpointedOracle::typecheckBatchImpl(
     Variants.push_back(std::move(Tmp.Decls[0]));
   }
 
+  // Tracing: the batch still owes one OracleCall span per logical call.
+  // Cache hits and intra-batch duplicates get theirs on the dispatching
+  // thread; inferred items emit from whichever worker ran them, parented
+  // to the batch span. The search layer is captured here because pool
+  // workers do not inherit the dispatcher's thread-local label.
+  const char *Layer = traceCurrentLayer();
+  auto EmitItemSpan = [&](bool Verdict, const char *ServedBy, bool CacheHit,
+                          double LatencyUs) {
+    TraceSpan Span(TraceOut, SpanKind::OracleCall, "oracle.typecheck");
+    if (!Span.enabled())
+      return;
+    Span.setParent(BatchSpanId);
+    Span.attr("layer", Layer);
+    Span.attr("verdict", Verdict);
+    Span.attr("cache_hit", CacheHit);
+    Span.attr("served_by", ServedBy);
+    Span.attr("latency_us", LatencyUs);
+  };
+
   // Serial pass: resolve what the cache already knows and dedupe repeats
   // within the batch, so inference runs once per distinct candidate.
   std::vector<int> Verdicts(N, -1);
@@ -301,6 +337,7 @@ std::vector<bool> CheckpointedOracle::typecheckBatchImpl(
       if (const CacheEntry *E = cacheLookup(Hashes[I], *Variants[I])) {
         ++Counters.CacheHits;
         Verdicts[I] = E->Typechecks;
+        EmitItemSpan(E->Typechecks, "verdict-cache", true, 0.0);
         continue;
       }
       bool Dup = false;
@@ -329,24 +366,49 @@ std::vector<bool> CheckpointedOracle::typecheckBatchImpl(
     std::vector<char> Ok(Pending.size(), 0);
     std::vector<size_t> Allocated(Pending.size(), 0);
     std::vector<char> Incremental(Pending.size(), 0);
+    bool Traced = TraceOut || MetricsOut;
     auto CheckItem = [&](unsigned Worker, size_t Item) {
+      TraceSpan Span(TraceOut, SpanKind::OracleCall, "oracle.typecheck");
+      Span.setParent(BatchSpanId);
+      auto Start = Traced ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point();
       const Decl &D = *Variants[Pending[Item]];
       if (InferenceCheckpoint *CP = workerCheckpoint(Worker)) {
         TypecheckResult R = CP->checkDecl(D);
         Ok[Item] = R.ok();
         Allocated[Item] = R.TypesAllocated;
         Incremental[Item] = 1;
-        return;
+      } else {
+        // No checkpoint (layer off or prefix unsnapshottable): infer the
+        // full variant program. Inference is thread-safe -- the trail is
+        // thread-local and the stdlib environment is immutable after its
+        // thread-safe first initialization.
+        Program Variant = PrefixClone.clone();
+        Variant.Decls.push_back(D.clone());
+        TypecheckResult R = typecheckProgram(Variant);
+        Ok[Item] = R.ok();
+        Allocated[Item] = R.TypesAllocated;
       }
-      // No checkpoint (layer off or prefix unsnapshottable): infer the
-      // full variant program. Inference is thread-safe -- the trail is
-      // thread-local and the stdlib environment is immutable after its
-      // thread-safe first initialization.
-      Program Variant = PrefixClone.clone();
-      Variant.Decls.push_back(D.clone());
-      TypecheckResult R = typecheckProgram(Variant);
-      Ok[Item] = R.ok();
-      Allocated[Item] = R.TypesAllocated;
+      if (!Traced)
+        return;
+      double Us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+      if (Span.enabled()) {
+        Span.attr("layer", Layer);
+        Span.attr("verdict", bool(Ok[Item]));
+        Span.attr("cache_hit", false);
+        Span.attr("served_by", Incremental[Item] ? "checkpoint-incremental"
+                                                 : "full-inference");
+        Span.attr("worker", int64_t(Worker));
+        Span.attr("latency_us", Us);
+      }
+      if (MetricsOut) {
+        MetricsOut->observe(metric::OracleLatencyUs, Us);
+        if (Incremental[Item])
+          MetricsOut->observe(metric::CheckpointReuseDepth,
+                              double(EditedIndex));
+      }
     };
     if (Pending.size() < Accel.MinParallelItems) {
       // Too small to amortize a pool dispatch; same work, same results,
@@ -380,8 +442,10 @@ std::vector<bool> CheckpointedOracle::typecheckBatchImpl(
   // Settle intra-batch duplicates off their representatives.
   std::vector<bool> Result(N);
   for (size_t I = 0; I < N; ++I) {
-    if (DupOf[I] != ~size_t(0))
+    if (DupOf[I] != ~size_t(0)) {
       Verdicts[I] = Verdicts[DupOf[I]];
+      EmitItemSpan(Verdicts[I] != 0, "batch-dedup", true, 0.0);
+    }
     assert(Verdicts[I] >= 0 && "batch item left unresolved");
     Result[I] = Verdicts[I] != 0;
   }

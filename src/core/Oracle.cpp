@@ -2,20 +2,101 @@
 
 #include "core/Oracle.h"
 
+#include <chrono>
+
 using namespace seminal;
 using namespace seminal::caml;
 
 Oracle::~Oracle() = default;
 
+//===----------------------------------------------------------------------===//
+// Traced wrappers
+//===----------------------------------------------------------------------===//
+//
+// Only reached when a trace sink or metrics collector is attached; the
+// inline fast paths in Oracle.h bypass all of this with one branch.
+// Each logical call gets exactly one OracleCall span carrying the search
+// layer that issued it (TraceLayerScope), the verdict, the cache-hit
+// flag, and which acceleration layer served it.
+
+bool Oracle::typecheckOneTraced(const Program &Prog, uint64_t ParentSpan) {
+  TraceSpan Span(TraceOut, SpanKind::OracleCall, "oracle.typecheck");
+  if (ParentSpan)
+    Span.setParent(ParentSpan);
+  LastServedBy = "full-inference";
+  LastCacheHit = false;
+  auto Start = std::chrono::steady_clock::now();
+  bool Verdict = typecheckImpl(Prog);
+  double Us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  if (Span.enabled()) {
+    Span.attr("layer", traceCurrentLayer());
+    Span.attr("verdict", Verdict);
+    Span.attr("cache_hit", LastCacheHit);
+    Span.attr("served_by", LastServedBy);
+    Span.attr("decls", int64_t(Prog.Decls.size()));
+  }
+  if (MetricsOut)
+    MetricsOut->observe(metric::OracleLatencyUs, Us);
+  return Verdict;
+}
+
+bool Oracle::typechecksTraced(const Program &Prog) {
+  return typecheckOneTraced(Prog, /*ParentSpan=*/0);
+}
+
+std::optional<std::string> Oracle::typeOfNodeTraced(const Program &Prog,
+                                                    const Expr *Node) {
+  TraceSpan Span(TraceOut, SpanKind::OracleCall, "oracle.type_of_node");
+  LastServedBy = "full-inference";
+  LastCacheHit = false;
+  auto Start = std::chrono::steady_clock::now();
+  std::optional<std::string> Result = typeOfNodeImpl(Prog, Node);
+  double Us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  if (Span.enabled()) {
+    Span.attr("layer", traceCurrentLayer());
+    Span.attr("verdict", Result.has_value());
+    Span.attr("cache_hit", LastCacheHit);
+    Span.attr("served_by", LastServedBy);
+    if (Result)
+      Span.attr("type", *Result);
+  }
+  if (MetricsOut)
+    MetricsOut->observe(metric::OracleLatencyUs, Us);
+  return Result;
+}
+
+std::vector<bool>
+Oracle::typecheckBatchTraced(const Program &Base, const NodePath &Path,
+                             const std::vector<const Expr *> &Replacements) {
+  TraceSpan Span(TraceOut, SpanKind::OracleBatch, "oracle.batch");
+  if (Span.enabled()) {
+    Span.attr("layer", traceCurrentLayer());
+    Span.attr("items", int64_t(Replacements.size()));
+    Span.attr("path", Path.str());
+  }
+  if (MetricsOut)
+    MetricsOut->observe(metric::BatchItems, double(Replacements.size()));
+  BatchSpanId = Span.id();
+  std::vector<bool> Verdicts = typecheckBatchImpl(Base, Path, Replacements);
+  BatchSpanId = 0;
+  return Verdicts;
+}
+
 std::vector<bool>
 Oracle::typecheckBatchImpl(const Program &Base, const NodePath &Path,
                            const std::vector<const Expr *> &Replacements) {
+  bool Traced = TraceOut || MetricsOut;
   std::vector<bool> Verdicts;
   Verdicts.reserve(Replacements.size());
   for (const Expr *Replacement : Replacements) {
     Program Variant = Base.clone();
     replaceAtPath(Variant, Path, Replacement->clone());
-    Verdicts.push_back(typecheckImpl(Variant));
+    Verdicts.push_back(Traced ? typecheckOneTraced(Variant, BatchSpanId)
+                              : typecheckImpl(Variant));
   }
   return Verdicts;
 }

@@ -29,6 +29,8 @@
 
 #include "minicaml/Ast.h"
 #include "minicaml/Infer.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cstddef>
 #include <optional>
@@ -68,10 +70,22 @@ class Oracle {
 public:
   virtual ~Oracle();
 
+  /// Attaches observability sinks (either may be null, neither is
+  /// owned). With both null -- the default -- every query takes the
+  /// untraced fast path: one pointer test of overhead.
+  void setInstrumentation(TraceSink *Trace, Metrics *M) {
+    TraceOut = Trace;
+    MetricsOut = M;
+  }
+  TraceSink *traceSink() const { return TraceOut; }
+  Metrics *metrics() const { return MetricsOut; }
+
   /// \returns true if \p Prog type-checks. Counts one logical call.
   bool typechecks(const caml::Program &Prog) {
     ++LogicalCalls;
-    return typecheckImpl(Prog);
+    if (!TraceOut && !MetricsOut)
+      return typecheckImpl(Prog);
+    return typechecksTraced(Prog);
   }
 
   /// Type-checks \p Prog and, on success, reports the rendered type of
@@ -81,7 +95,9 @@ public:
   std::optional<std::string> typeOfNode(const caml::Program &Prog,
                                         const caml::Expr *Node) {
     ++LogicalCalls;
-    return typeOfNodeImpl(Prog, Node);
+    if (!TraceOut && !MetricsOut)
+      return typeOfNodeImpl(Prog, Node);
+    return typeOfNodeTraced(Prog, Node);
   }
 
   /// Evaluates \p Base with each replacement installed at \p Path (one
@@ -92,7 +108,9 @@ public:
   typecheckBatch(const caml::Program &Base, const caml::NodePath &Path,
                  const std::vector<const caml::Expr *> &Replacements) {
     LogicalCalls += Replacements.size();
-    return typecheckBatchImpl(Base, Path, Replacements);
+    if (!TraceOut && !MetricsOut)
+      return typecheckBatchImpl(Base, Path, Replacements);
+    return typecheckBatchTraced(Base, Path, Replacements);
   }
 
   /// True if typecheckBatch is faster than the equivalent sequential
@@ -135,7 +153,34 @@ protected:
   typecheckBatchImpl(const caml::Program &Base, const caml::NodePath &Path,
                      const std::vector<const caml::Expr *> &Replacements);
 
+  // Tracing support ---------------------------------------------------------
+  // Implementations describe how they served the *current* call by
+  // setting these before returning; the traced wrappers stamp them onto
+  // the call's span. Plain oracles leave the defaults.
+  /// Which acceleration layer answered ("full-inference", "verdict-cache",
+  /// "checkpoint-incremental", "growth-extend", "conv-memo").
+  const char *LastServedBy = "full-inference";
+  /// True when the verdict came from a memo rather than inference.
+  bool LastCacheHit = false;
+  /// Parent span id for per-item spans emitted inside a traced batch
+  /// (0 outside a batch or when tracing is off).
+  uint64_t BatchSpanId = 0;
+
+  TraceSink *TraceOut = nullptr;
+  Metrics *MetricsOut = nullptr;
+
+  /// Wraps typecheckImpl in an oracle-call span + latency metric; used
+  /// by the default batch implementation for per-item spans too.
+  bool typecheckOneTraced(const caml::Program &Prog, uint64_t ParentSpan);
+
 private:
+  bool typechecksTraced(const caml::Program &Prog);
+  std::optional<std::string> typeOfNodeTraced(const caml::Program &Prog,
+                                              const caml::Expr *Node);
+  std::vector<bool>
+  typecheckBatchTraced(const caml::Program &Base, const caml::NodePath &Path,
+                       const std::vector<const caml::Expr *> &Replacements);
+
   size_t LogicalCalls = 0;
 };
 

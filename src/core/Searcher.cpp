@@ -51,7 +51,10 @@ void Searcher::addSuggestion(ChangeKind Kind, const NodePath &Path,
   ExprPtr Old = replaceAtPath(Work, Path, std::move(Replacement));
   S.ContextAfter = printDecl(*Work.Decls[Path.DeclIndex]);
   S.Modified = Work.clone();
-  S.ReplacementType = TheOracle.typeOfNode(Work, Installed);
+  {
+    TraceLayerScope Layer("type-query");
+    S.ReplacementType = TheOracle.typeOfNode(Work, Installed);
+  }
   Replacement = replaceAtPath(Work, Path, std::move(Old));
   S.Replacement = std::move(Replacement);
 
@@ -62,11 +65,24 @@ bool Searcher::tryCandidates(const NodePath &Path,
                              std::vector<CandidateChange> Cands) {
   if (Opts.Accel.ParallelBatch && TheOracle.supportsBatch())
     return tryCandidatesBatched(Path, std::move(Cands));
+  TraceLayerScope Layer("constructive");
   bool Any = false;
+  size_t Tried = 0;
   // The worklist grows as probes expand into follow-ups.
   for (size_t I = 0; I < Cands.size() && !OutOfBudget; ++I) {
     CandidateChange &C = Cands[I];
-    bool Ok = testWith(Path, C.Replacement);
+    bool Ok;
+    {
+      TraceSpan Span(Opts.Trace, SpanKind::Candidate, "searcher.candidate");
+      Ok = testWith(Path, C.Replacement);
+      ++Tried;
+      if (Span.enabled()) {
+        Span.attr("description", C.Description);
+        Span.attr("probe", C.IsProbe);
+        Span.attr("priority", C.Priority);
+        Span.attr("verdict", Ok);
+      }
+    }
     if (Ok && !C.IsProbe) {
       addSuggestion(ChangeKind::Constructive, Path, std::move(C.Replacement),
                     C.Description, /*LikelyUnbound=*/false, C.Priority);
@@ -78,12 +94,16 @@ bool Searcher::tryCandidates(const NodePath &Path,
         Cands.push_back(std::move(Next));
     }
   }
+  if (Opts.Metric && Tried)
+    Opts.Metric->observe(metric::CandidatesPerNode, double(Tried));
   return Any;
 }
 
 bool Searcher::tryCandidatesBatched(const NodePath &Path,
                                     std::vector<CandidateChange> Cands) {
+  TraceLayerScope Layer("constructive");
   bool Any = false;
+  size_t Tried = 0;
   size_t I = 0;
   while (I < Cands.size() && !OutOfBudget) {
     // One wave = everything currently on the worklist (follow-ups landed
@@ -111,6 +131,19 @@ bool Searcher::tryCandidatesBatched(const NodePath &Path,
     for (size_t J = I; J < WaveEnd; ++J) {
       CandidateChange &C = Cands[J];
       bool Ok = Verdicts[J - I];
+      ++Tried;
+      // Zero-duration attribution spans: the oracle work itself is
+      // recorded under the batch span, but rankers of the trace still
+      // see which candidate each verdict belonged to.
+      TraceSpan Span(Opts.Trace, SpanKind::Candidate, "searcher.candidate");
+      if (Span.enabled()) {
+        Span.attr("description", C.Description);
+        Span.attr("probe", C.IsProbe);
+        Span.attr("priority", C.Priority);
+        Span.attr("verdict", Ok);
+        Span.attr("batched", true);
+      }
+      Span.finish();
       if (Ok && !C.IsProbe) {
         addSuggestion(ChangeKind::Constructive, Path,
                       std::move(C.Replacement), C.Description,
@@ -125,10 +158,16 @@ bool Searcher::tryCandidatesBatched(const NodePath &Path,
     }
     I = WaveEnd;
   }
+  if (Opts.Metric && Tried)
+    Opts.Metric->observe(metric::CandidatesPerNode, double(Tried));
   return Any;
 }
 
 bool Searcher::tryDeclChanges(unsigned DeclIndex) {
+  TraceSpan Span(Opts.Trace, SpanKind::DeclChanges, "searcher.decl_changes");
+  if (Span.enabled())
+    Span.attr("decl", int64_t(DeclIndex));
+  TraceLayerScope Layer("decl-change");
   bool Any = false;
   for (DeclChange &DC : enumerateDeclChanges(*Work.Decls[DeclIndex])) {
     if (OutOfBudget)
@@ -160,16 +199,30 @@ bool Searcher::searchExpr(const NodePath &Path) {
   if (Node->isWildcard())
     return false;
 
+  TraceSpan Span(Opts.Trace, SpanKind::NodeVisit, "searcher.node");
+  if (Span.enabled()) {
+    Span.attr("path", Path.str());
+    Span.attr("size", int64_t(Node->size()));
+    Span.attr("line", int64_t(Node->Span.Begin.Line));
+  }
+
   // 1. Removal: can [[...]] here fix the program? If not, the error is
   // not confined to this subtree; stop (Section 2.1).
   ExprPtr Wild = makeWildcard();
-  if (!testWith(Path, Wild))
-    return false;
+  {
+    TraceLayerScope Layer("removal");
+    if (!testWith(Path, Wild))
+      return false;
+  }
 
   // 2. Adaptation: does the node type-check when its own result type is
   // unconstrained by the parent (Section 2.3)?
   ExprPtr Adapted = makeAdapt(Node->clone());
-  bool AdaptOk = testWith(Path, Adapted);
+  bool AdaptOk;
+  {
+    TraceLayerScope Layer("adaptation");
+    AdaptOk = testWith(Path, Adapted);
+  }
   if (AdaptOk)
     addSuggestion(ChangeKind::Adaptation, Path, std::move(Adapted),
                   "the expression type-checks on its own but not in this "
@@ -208,6 +261,12 @@ bool Searcher::searchExpr(const NodePath &Path) {
 
 bool Searcher::triage(const NodePath &Path) {
   Expr *Node = resolvePath(Work, Path);
+  TraceSpan Span(Opts.Trace, SpanKind::Triage, "searcher.triage");
+  if (Span.enabled()) {
+    Span.attr("path", Path.str());
+    Span.attr("size", int64_t(Node->size()));
+  }
+  TraceLayerScope Layer("triage");
   if (Node->kind() == Expr::Kind::Match)
     return triageMatch(Path);
   return triageGeneric(Path);
@@ -231,6 +290,7 @@ bool Searcher::triageGeneric(const NodePath &Path) {
 
   bool Found = false;
   for (unsigned Focus = 0; Focus < N && !OutOfBudget; ++Focus) {
+    TraceSpan PhaseSpan(Opts.Trace, SpanKind::TriagePhase, "triage.focus");
     // Greedily wildcard the other children, in Order, until the context
     // admits *some* fix for the focus (tested with the focus itself
     // wildcarded; the zero-removal configuration is known to fail
@@ -247,6 +307,13 @@ bool Searcher::triageGeneric(const NodePath &Path) {
         break;
       }
     }
+    if (PhaseSpan.enabled()) {
+      PhaseSpan.attr("focus", Focus);
+      PhaseSpan.attr("context_works", ContextWorks);
+      PhaseSpan.attr("siblings_removed", int64_t(Removed.size()));
+    }
+    if (Opts.Metric && ContextWorks)
+      Opts.Metric->observe(metric::TriageRemovals, double(Removed.size()));
 
     if (ContextWorks) {
       // Put the focus back and search it, in regular mode, inside the
@@ -278,6 +345,8 @@ bool Searcher::triageMatch(const NodePath &Path) {
   // Phase 1: the scrutinee, with patterns and bodies out of the picture:
   //   match scr with _ -> [[...]]
   {
+    TraceSpan PhaseSpan(Opts.Trace, SpanKind::TriagePhase,
+                        "triage.match_scrutinee");
     std::vector<MatchArm> OneArm;
     OneArm.push_back(MatchArm{makeWildPattern(), makeWildcard()});
     ExprPtr Reduced = makeMatch(Node->child(0)->clone(), std::move(OneArm));
@@ -301,6 +370,8 @@ bool Searcher::triageMatch(const NodePath &Path) {
 
   // Phase 2: the patterns, with bodies wildcarded.
   {
+    TraceSpan PhaseSpan(Opts.Trace, SpanKind::TriagePhase,
+                        "triage.match_patterns");
     std::vector<ExprPtr> OldBodies;
     for (unsigned I = 1; I <= NumArms; ++I)
       OldBodies.push_back(Node->swapChild(I, makeWildcard()));
@@ -318,6 +389,10 @@ bool Searcher::triageMatch(const NodePath &Path) {
   // in scope; focus each body while greedily wildcarding the others.
   bool Found = false;
   for (unsigned Focus = 1; Focus <= NumArms && !OutOfBudget; ++Focus) {
+    TraceSpan PhaseSpan(Opts.Trace, SpanKind::TriagePhase,
+                        "triage.match_body");
+    if (PhaseSpan.enabled())
+      PhaseSpan.attr("focus", Focus);
     ExprPtr FocusOld = Node->swapChild(Focus, makeWildcard());
     std::vector<std::pair<unsigned, ExprPtr>> Removed;
     bool ContextWorks = oracleSays();
@@ -332,6 +407,12 @@ bool Searcher::triageMatch(const NodePath &Path) {
         }
       }
     }
+    if (PhaseSpan.enabled()) {
+      PhaseSpan.attr("context_works", ContextWorks);
+      PhaseSpan.attr("siblings_removed", int64_t(Removed.size()));
+    }
+    if (Opts.Metric && ContextWorks)
+      Opts.Metric->observe(metric::TriageRemovals, double(Removed.size()));
     if (ContextWorks) {
       ExprPtr Hole = Node->swapChild(Focus, std::move(FocusOld));
       ++TriageDepth;
@@ -412,6 +493,12 @@ void collectPatternSlots(PatternPtr &P, std::vector<PatternPtr *> &Out) {
 bool Searcher::searchPatternFix(const NodePath &MatchPath,
                                 unsigned ArmIndex) {
   Expr *Node = resolvePath(Work, MatchPath);
+  TraceSpan Span(Opts.Trace, SpanKind::PatternFix, "searcher.pattern_fix");
+  if (Span.enabled()) {
+    Span.attr("path", MatchPath.str());
+    Span.attr("arm", ArmIndex);
+  }
+  TraceLayerScope Layer("pattern-fix");
   std::vector<PatternPtr *> Slots;
   collectPatternSlots(Node->ArmPats[ArmIndex], Slots);
 
@@ -467,22 +554,36 @@ SearchOutput Searcher::run(const Program &Input) {
   Suggestions.clear();
   OutOfBudget = false;
 
+  TraceSpan RunSpan(Opts.Trace, SpanKind::Search, "searcher.run");
+  if (RunSpan.enabled())
+    RunSpan.attr("decls", int64_t(Input.Decls.size()));
+
   // Files that type-check bypass the system entirely (Figure 1).
   Work.Decls.clear();
-  if (TheOracle.typechecks(Input)) {
-    Out.InputTypechecks = true;
-    return Out;
+  {
+    TraceLayerScope Layer("initial-check");
+    if (TheOracle.typechecks(Input)) {
+      Out.InputTypechecks = true;
+      return Out;
+    }
   }
 
   // Prefix localization: grow the working program one declaration at a
   // time; the first prefix that fails pins the failing declaration.
   std::optional<unsigned> Failing;
-  for (unsigned I = 0; I < Input.Decls.size(); ++I) {
-    Work.Decls.push_back(Input.Decls[I]->clone());
-    if (!oracleSays()) {
-      Failing = I;
-      break;
+  {
+    TraceSpan LocalizeSpan(Opts.Trace, SpanKind::Localize,
+                           "searcher.localize");
+    TraceLayerScope Layer("localize");
+    for (unsigned I = 0; I < Input.Decls.size(); ++I) {
+      Work.Decls.push_back(Input.Decls[I]->clone());
+      if (!oracleSays()) {
+        Failing = I;
+        break;
+      }
     }
+    if (LocalizeSpan.enabled() && Failing)
+      LocalizeSpan.attr("failing_decl", *Failing);
   }
   if (!Failing) {
     // Every prefix passes yet the whole fails -- impossible for a whole
@@ -508,6 +609,10 @@ SearchOutput Searcher::run(const Program &Input) {
   // Type/exception declarations produce no searchable expressions; the
   // conventional message stands alone for those.
 
+  if (RunSpan.enabled()) {
+    RunSpan.attr("suggestions", int64_t(Suggestions.size()));
+    RunSpan.attr("budget_exhausted", OutOfBudget);
+  }
   Out.Suggestions = std::move(Suggestions);
   Out.BudgetExhausted = OutOfBudget;
   return Out;

@@ -73,6 +73,12 @@ struct SearchOptions {
   OracleAccelOptions Accel;
 
   EnumeratorOptions Enum;
+
+  /// Observability sinks (not owned; either may be null). runSeminal
+  /// forwards them to the oracle too; a hand-driven Searcher instruments
+  /// only its own phases.
+  TraceSink *Trace = nullptr;
+  Metrics *Metric = nullptr;
 };
 
 /// Everything a search run produces.

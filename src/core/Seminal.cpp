@@ -28,21 +28,37 @@ SeminalReport seminal::runSeminal(const Program &Prog,
   SeminalReport Report;
 
   CheckpointedOracle TheOracle(Opts.Search.Accel);
+  TheOracle.setInstrumentation(Opts.Search.Trace, Opts.Search.Metric);
   Report.CheckerError = TheOracle.conventionalError(Prog);
 
-  Searcher S(TheOracle, Opts.Search);
-  SearchOutput Out = S.run(Prog);
+  {
+    // Root span: everything a run does nests under it, so the exporter's
+    // timeline has a single top-level bar per runSeminal invocation.
+    TraceSpan RootSpan(Opts.Search.Trace, SpanKind::Search, "seminal.run");
+    if (RootSpan.enabled())
+      RootSpan.attr("decls", int64_t(Prog.Decls.size()));
 
-  Report.InputTypechecks = Out.InputTypechecks;
-  Report.FailingDeclIndex = Out.FailingDecl;
-  Report.BudgetExhausted = Out.BudgetExhausted;
-  Report.Suggestions = std::move(Out.Suggestions);
-  rankSuggestions(Report.Suggestions);
-  if (Report.Suggestions.size() > Opts.MaxSuggestions)
-    Report.Suggestions.resize(Opts.MaxSuggestions);
+    Searcher S(TheOracle, Opts.Search);
+    SearchOutput Out = S.run(Prog);
+
+    Report.InputTypechecks = Out.InputTypechecks;
+    Report.FailingDeclIndex = Out.FailingDecl;
+    Report.BudgetExhausted = Out.BudgetExhausted;
+    Report.Suggestions = std::move(Out.Suggestions);
+    {
+      TraceSpan RankSpan(Opts.Search.Trace, SpanKind::Rank, "seminal.rank");
+      if (RankSpan.enabled())
+        RankSpan.attr("suggestions", int64_t(Report.Suggestions.size()));
+      rankSuggestions(Report.Suggestions);
+    }
+    if (Report.Suggestions.size() > Opts.MaxSuggestions)
+      Report.Suggestions.resize(Opts.MaxSuggestions);
+  }
   Report.OracleCalls = TheOracle.logicalCalls();
   Report.InferenceRuns = TheOracle.inferenceRuns();
   Report.Accel = TheOracle.counters();
+  if (Opts.Search.Trace)
+    Report.Trace = Opts.Search.Trace->summarize();
   return Report;
 }
 

@@ -75,6 +75,11 @@ struct SeminalReport {
   /// True if the search stopped on its call budget.
   bool BudgetExhausted = false;
 
+  /// Aggregated view of the run's trace, present when a TraceSink was
+  /// attached via SearchOptions::Trace (span counts by kind, oracle calls
+  /// by search layer, cache hits, root wall-time).
+  std::optional<TraceSummary> Trace;
+
   /// The top-ranked suggestion rendered as a message, or a fallback.
   std::string bestMessage(const MessageOptions &Opts = {}) const;
 

@@ -181,9 +181,22 @@ void enumerateExprEdits(const CcExpr &Node, const ExprPath &Path,
 
 } // namespace
 
-CcReport cpp::runCppSeminal(CcProgram &Prog) {
+CcReport cpp::runCppSeminal(CcProgram &Prog, TraceSink *Trace) {
   CcReport Report;
-  Report.Baseline = checkProgram(Prog);
+  TraceSpan RunSpan(Trace, SpanKind::CcSearch, "ccsearch.run");
+
+  {
+    TraceLayerScope Layer("initial-check");
+    TraceSpan Span(Trace, SpanKind::OracleCall, "cc.oracle");
+    Report.Baseline = checkProgram(Prog);
+    if (Span.enabled()) {
+      Span.attr("layer", traceCurrentLayer());
+      Span.attr("verdict", Report.Baseline.ok());
+      Span.attr("cache_hit", false);
+      Span.attr("served_by", "cc-typecheck");
+      Span.attr("errors", int64_t(Report.Baseline.Errors.size()));
+    }
+  }
   size_t Oracle = 1;
   if (Report.Baseline.ok()) {
     Report.OracleCalls = Oracle;
@@ -192,6 +205,8 @@ CcReport cpp::runCppSeminal(CcProgram &Prog) {
 
   // Focus on the ordinary function containing the first error.
   Report.TargetFunction = Report.Baseline.Errors.front().InFunction;
+  if (RunSpan.enabled())
+    RunSpan.attr("target_function", Report.TargetFunction);
   CcFuncDecl *Target = Prog.findFunc(Report.TargetFunction);
   if (!Target) {
     Report.OracleCalls = Oracle;
@@ -202,13 +217,23 @@ CcReport cpp::runCppSeminal(CcProgram &Prog) {
 
   auto Test = [&]() -> unsigned {
     ++Oracle;
-    return improvement(Base, checkProgram(Prog));
+    TraceSpan Span(Trace, SpanKind::OracleCall, "cc.oracle");
+    unsigned Fixed = improvement(Base, checkProgram(Prog));
+    if (Span.enabled()) {
+      Span.attr("layer", traceCurrentLayer());
+      Span.attr("verdict", Fixed > 0);
+      Span.attr("cache_hit", false);
+      Span.attr("served_by", "cc-typecheck");
+      Span.attr("errors_fixed", int64_t(Fixed));
+    }
+    return Fixed;
   };
 
   // Statement-level changes: removal and hoisting.
   for (size_t I = 0; I < Target->Body.size(); ++I) {
     // Removal: neutralize the statement.
     {
+      TraceLayerScope Layer("removal");
       CcStmt Saved = Target->Body[I].clone();
       std::vector<CcExprPtr> Args;
       Args.push_back(ccIntLit(0));
@@ -233,6 +258,7 @@ CcReport cpp::runCppSeminal(CcProgram &Prog) {
     if (Target->Body[I].TheKind == CcStmt::Kind::Expr &&
         Target->Body[I].E->kind() == CcExpr::Kind::Call &&
         Target->Body[I].E->numChildren() >= 2) {
+      TraceLayerScope Layer("hoist");
       std::vector<CcStmt> SavedBody;
       for (const auto &S : Target->Body)
         SavedBody.push_back(S.clone());
@@ -277,6 +303,10 @@ CcReport cpp::runCppSeminal(CcProgram &Prog) {
       std::vector<ExprEdit> Edits;
       enumerateExprEdits(*Node, Path, Edits);
       for (ExprEdit &Edit : Edits) {
+        TraceLayerScope Layer(
+            Edit.Kind == CcSuggestion::Kind::Adaptation ? "adaptation"
+            : Edit.Kind == CcSuggestion::Kind::Removal  ? "removal"
+                                                        : "constructive");
         std::string Before = Node->str();
         std::string After = Edit.Replacement->str();
         unsigned OriginalSize = Node->size();

@@ -29,6 +29,7 @@
 
 #include "minicpp/CcAst.h"
 #include "minicpp/CcTypeck.h"
+#include "support/Trace.h"
 
 #include <string>
 #include <vector>
@@ -64,7 +65,10 @@ struct CcReport {
 
 /// Runs search-based message generation for mini-C++. \p Prog is
 /// temporarily modified during the search and restored before returning.
-CcReport runCppSeminal(CcProgram &Prog);
+/// When \p Trace is non-null every checker invocation is recorded as an
+/// OracleCall span under a CcSearch root, mirroring the Caml pipeline's
+/// trace schema (layer / verdict / cache_hit attributes).
+CcReport runCppSeminal(CcProgram &Prog, TraceSink *Trace = nullptr);
 
 } // namespace cpp
 } // namespace seminal

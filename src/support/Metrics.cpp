@@ -1,0 +1,87 @@
+//===- Metrics.cpp - Named histogram metrics -------------------------------==//
+
+#include "support/Metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace seminal;
+
+void Metrics::observe(const char *Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Series[Name].add(Value);
+}
+
+std::vector<std::string> Metrics::names() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<std::string> Out;
+  Out.reserve(Series.size());
+  for (const auto &KV : Series)
+    Out.push_back(KV.first);
+  return Out;
+}
+
+MetricSummary Metrics::summary(const std::string &Name) const {
+  Samples Copy;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Series.find(Name);
+    if (It == Series.end())
+      return MetricSummary();
+    Copy = It->second;
+  }
+  MetricSummary S;
+  S.Count = Copy.size();
+  if (S.Count == 0)
+    return S;
+  S.Min = Copy.min();
+  S.Mean = Copy.mean();
+  S.P50 = Copy.percentile(0.50);
+  S.P95 = Copy.percentile(0.95);
+  S.Max = Copy.max();
+  return S;
+}
+
+std::string Metrics::render() const {
+  std::ostringstream OS;
+  char Row[160];
+  std::snprintf(Row, sizeof(Row), "  %-32s %8s %10s %10s %10s %10s\n",
+                "metric", "count", "p50", "p95", "max", "mean");
+  OS << Row;
+  for (const std::string &Name : names()) {
+    MetricSummary S = summary(Name);
+    std::snprintf(Row, sizeof(Row),
+                  "  %-32s %8zu %10.3f %10.3f %10.3f %10.3f\n", Name.c_str(),
+                  S.Count, S.P50, S.P95, S.Max, S.Mean);
+    OS << Row;
+  }
+  return OS.str();
+}
+
+void Metrics::writeJson(std::ostream &OS) const {
+  OS << "{";
+  bool First = true;
+  for (const std::string &Name : names()) {
+    MetricSummary S = summary(Name);
+    if (!First)
+      OS << ",";
+    First = false;
+    char Buf[224];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\n  \"%s\": {\"count\": %zu, \"min\": %.6g, \"mean\": "
+                  "%.6g, \"p50\": %.6g, \"p95\": %.6g, \"max\": %.6g}",
+                  Name.c_str(), S.Count, S.Min, S.Mean, S.P50, S.P95, S.Max);
+    OS << Buf;
+  }
+  OS << "\n}";
+}
+
+bool Metrics::empty() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Series.empty();
+}
+
+void Metrics::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Series.clear();
+}

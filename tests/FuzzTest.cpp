@@ -21,10 +21,95 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 using namespace seminal;
 using namespace seminal::caml;
 
 namespace {
+
+//===----------------------------------------------------------------------===//
+// Failure reporting: seed + minimized counterexample
+//===----------------------------------------------------------------------===//
+//
+// A failing property on a random program is only actionable if it can be
+// reproduced and read. Every fuzz loop below seeds its generator per
+// iteration, so a failure message carries the exact seed; and before
+// reporting, the failing program is shrunk greedily -- whole declarations
+// dropped, then subtrees replaced by their own children -- as long as the
+// failure predicate keeps holding.
+
+/// Greedily minimizes \p P while \p StillFails(P) holds. Two moves, run
+/// to fixpoint: drop a whole declaration; hoist a child subtree over its
+/// parent. Bounded, deterministic, and predicate-agnostic.
+Program minimizeProgram(Program P,
+                        const std::function<bool(const Program &)> &StillFails) {
+  bool Shrunk = true;
+  int Budget = 2000; // predicate evaluations; plenty for test-sized trees
+  while (Shrunk && Budget > 0) {
+    Shrunk = false;
+
+    // Move 1: drop declarations (later ones first -- they depend on
+    // earlier ones, so they are more likely to be removable).
+    for (size_t I = P.Decls.size(); I-- > 0 && Budget > 0;) {
+      Program Candidate = P.clone();
+      Candidate.Decls.erase(Candidate.Decls.begin() + long(I));
+      --Budget;
+      if (!Candidate.Decls.empty() && StillFails(Candidate)) {
+        P = std::move(Candidate);
+        Shrunk = true;
+      }
+    }
+
+    // Move 2: replace each node with each of its children (preorder;
+    // restart the scan after any success since paths shift).
+    for (unsigned D = 0; D < P.Decls.size() && Budget > 0; ++D) {
+      std::vector<NodePath> Work;
+      if (P.Decls[D]->Rhs)
+        Work.push_back(NodePath(D));
+      while (!Work.empty() && Budget > 0) {
+        NodePath Path = Work.back();
+        Work.pop_back();
+        Program &Cur = P;
+        Expr *Node = resolvePath(Cur, Path);
+        if (!Node)
+          continue;
+        bool Replaced = false;
+        for (unsigned C = 0; C < Node->numChildren() && Budget > 0; ++C) {
+          Program Candidate = P.clone();
+          ExprPtr Child = resolvePath(Candidate, Path)->child(C)->clone();
+          replaceAtPath(Candidate, Path, std::move(Child));
+          --Budget;
+          if (StillFails(Candidate)) {
+            P = std::move(Candidate);
+            Shrunk = true;
+            Replaced = true;
+            // Re-examine the same path: the hoisted child may shrink
+            // further.
+            Work.push_back(Path);
+            break;
+          }
+        }
+        if (!Replaced)
+          for (unsigned C = 0; C < Node->numChildren(); ++C)
+            Work.push_back(Path.descend(C));
+      }
+    }
+  }
+  return P;
+}
+
+/// Renders a reproducible failure report for ASSERT/EXPECT messages.
+std::string fuzzFailure(uint64_t Seed, const Program &Original,
+                        const std::function<bool(const Program &)> &StillFails) {
+  std::string Out = "\n--- fuzz failure ---\nseed: " + std::to_string(Seed) +
+                    "\noriginal program:\n" + printProgram(Original);
+  Program Min = minimizeProgram(Original.clone(), StillFails);
+  Out += "minimized program (" + std::to_string(Min.Decls.size()) +
+         " decls):\n" + printProgram(Min);
+  Out += "--- end fuzz failure ---";
+  return Out;
+}
 
 //===----------------------------------------------------------------------===//
 // Printer round-trip
@@ -33,28 +118,33 @@ namespace {
 class PrinterFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(PrinterFuzz, RandomExprsRoundTrip) {
-  Rng R(uint64_t(GetParam()) * 7919 + 13);
   for (int I = 0; I < 200; ++I) {
+    uint64_t Seed = uint64_t(GetParam()) * 7919 + 13 + uint64_t(I) * 1000003;
+    Rng R(Seed);
     ExprPtr E = randomExpr(R, 4);
     std::string Printed = printExpr(*E);
     ParseExprResult Reparsed = parseExpression(Printed);
     ASSERT_TRUE(Reparsed.ok())
-        << "printed expr failed to parse: " << Printed << "\n("
+        << "printed expr failed to parse (seed " << Seed
+        << "): " << Printed << "\n("
         << (Reparsed.Error ? Reparsed.Error->str() : "") << ")";
     EXPECT_TRUE(E->equals(*Reparsed.E))
-        << "round trip changed structure:\n  " << Printed << "\n  vs\n  "
-        << printExpr(*Reparsed.E);
+        << "round trip changed structure (seed " << Seed << "):\n  "
+        << Printed << "\n  vs\n  " << printExpr(*Reparsed.E);
   }
 }
 
 TEST_P(PrinterFuzz, RandomProgramsRoundTrip) {
-  Rng R(uint64_t(GetParam()) * 104729 + 7);
-  for (int I = 0; I < 50; ++I) {
-    Program P = randomProgram(R, 4, 3);
+  auto FailsRoundTrip = [](const Program &P) {
     std::string Printed = printProgram(P);
     ParseResult Reparsed = parseProgram(Printed);
-    ASSERT_TRUE(Reparsed.ok()) << Printed;
-    EXPECT_TRUE(P.equals(*Reparsed.Prog)) << Printed;
+    return !Reparsed.ok() || !P.equals(*Reparsed.Prog);
+  };
+  for (int I = 0; I < 50; ++I) {
+    uint64_t Seed = uint64_t(GetParam()) * 104729 + 7 + uint64_t(I) * 999983;
+    Rng R(Seed);
+    Program P = randomProgram(R, 4, 3);
+    ASSERT_FALSE(FailsRoundTrip(P)) << fuzzFailure(Seed, P, FailsRoundTrip);
   }
 }
 
@@ -67,16 +157,20 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PrinterFuzz, ::testing::Range(0, 8));
 class CheckerFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(CheckerFuzz, TotalAndDeterministic) {
-  Rng R(uint64_t(GetParam()) * 31337 + 5);
-  for (int I = 0; I < 100; ++I) {
-    Program P = randomProgram(R, 4, 3);
+  auto NonDeterministic = [](const Program &P) {
     TypecheckResult A = typecheckProgram(P);
     TypecheckResult B = typecheckProgram(P);
-    EXPECT_EQ(A.ok(), B.ok());
-    if (!A.ok()) {
-      EXPECT_FALSE(A.Error->Message.empty());
-      EXPECT_EQ(A.Error->Message, B.Error->Message);
-    }
+    if (A.ok() != B.ok())
+      return true;
+    return !A.ok() && (A.Error->Message.empty() ||
+                       A.Error->Message != B.Error->Message);
+  };
+  for (int I = 0; I < 100; ++I) {
+    uint64_t Seed = uint64_t(GetParam()) * 31337 + 5 + uint64_t(I) * 999961;
+    Rng R(Seed);
+    Program P = randomProgram(R, 4, 3);
+    EXPECT_FALSE(NonDeterministic(P)) << fuzzFailure(Seed, P,
+                                                     NonDeterministic);
   }
 }
 
@@ -98,9 +192,28 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CheckerFuzz, ::testing::Range(0, 6));
 class SearcherFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(SearcherFuzz, SoundOnRandomIllTypedPrograms) {
-  Rng R(uint64_t(GetParam()) * 65537 + 3);
+  // A program "fails" if the search emits an untriaged suggestion whose
+  // applied form does not type-check. Used both as the property under
+  // test and as the predicate driving counterexample minimization.
+  auto HasUnsoundSuggestion = [](const Program &P) {
+    if (typecheckProgram(P).ok())
+      return false;
+    SeminalOptions Opts;
+    Opts.Search.MaxOracleCalls = 3000;
+    SeminalReport Report = runSeminal(P, Opts);
+    for (const auto &S : Report.Suggestions) {
+      if (S.ViaTriage)
+        continue;
+      if (!typecheckProgram(S.Modified).ok())
+        return true;
+    }
+    return false;
+  };
+
   int Examined = 0;
   for (int I = 0; I < 200 && Examined < 25; ++I) {
+    uint64_t Seed = uint64_t(GetParam()) * 65537 + 3 + uint64_t(I) * 999979;
+    Rng R(Seed);
     Program P = randomProgram(R, 3, 3);
     if (typecheckProgram(P).ok())
       continue;
@@ -113,8 +226,8 @@ TEST_P(SearcherFuzz, SoundOnRandomIllTypedPrograms) {
         continue;
       TypecheckResult TR = typecheckProgram(S.Modified);
       EXPECT_TRUE(TR.ok())
-          << "unsound suggestion on random program:\n"
-          << printProgram(P) << "\nsuggestion: " << renderSuggestion(S);
+          << "unsound suggestion: " << renderSuggestion(S)
+          << fuzzFailure(Seed, P, HasUnsoundSuggestion);
     }
   }
   EXPECT_GT(Examined, 0);

@@ -1,11 +1,14 @@
 //===- SupportTest.cpp - Tests for the support library --------------------==//
 
+#include "support/Metrics.h"
 #include "support/Rng.h"
 #include "support/SourceLoc.h"
 #include "support/Stats.h"
 #include "support/StrUtil.h"
 
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 using namespace seminal;
 
@@ -164,4 +167,110 @@ TEST(StrUtilTest, EscapeStringLiteral) {
 TEST(StrUtilTest, Ellipsize) {
   EXPECT_EQ(ellipsize("hello", 10), "hello");
   EXPECT_EQ(ellipsize("hello world", 8), "hello...");
+}
+
+namespace {
+
+AccelCounters makeCounters(uint64_t Base) {
+  AccelCounters C;
+  C.CacheHits = Base + 1;
+  C.CacheMisses = Base + 2;
+  C.FullInferences = Base + 3;
+  C.IncrementalInferences = Base + 4;
+  C.DeclInferencesSaved = Base + 5;
+  C.CheckpointSeeds = Base + 6;
+  C.CheckpointFallbacks = Base + 7;
+  C.BatchesDispatched = Base + 8;
+  C.BatchItems = Base + 9;
+  C.TypesAllocated = Base + 10;
+  return C;
+}
+
+} // namespace
+
+TEST(AccelCountersTest, PlusEqualsSumsEveryField) {
+  AccelCounters A = makeCounters(0);
+  AccelCounters B = makeCounters(100);
+  A += B;
+  EXPECT_EQ(A.CacheHits, 102u);
+  EXPECT_EQ(A.CacheMisses, 104u);
+  EXPECT_EQ(A.FullInferences, 106u);
+  EXPECT_EQ(A.IncrementalInferences, 108u);
+  EXPECT_EQ(A.DeclInferencesSaved, 110u);
+  EXPECT_EQ(A.CheckpointSeeds, 112u);
+  EXPECT_EQ(A.CheckpointFallbacks, 114u);
+  EXPECT_EQ(A.BatchesDispatched, 116u);
+  EXPECT_EQ(A.BatchItems, 118u);
+  EXPECT_EQ(A.TypesAllocated, 120u);
+  EXPECT_EQ(A.inferenceRuns(), 106u + 108u);
+  // B is untouched.
+  EXPECT_EQ(B.CacheHits, 101u);
+}
+
+TEST(AccelCountersTest, PlusEqualsReturnsSelfAndChains) {
+  AccelCounters A = makeCounters(0);
+  AccelCounters B = makeCounters(10);
+  (A += B) += B;
+  EXPECT_EQ(A.CacheHits, 1u + 11u + 11u);
+  EXPECT_EQ(A.TypesAllocated, 10u + 20u + 20u);
+}
+
+TEST(AccelCountersTest, ResetClearsEveryField) {
+  AccelCounters A = makeCounters(1000);
+  A.reset();
+  EXPECT_EQ(A.CacheHits, 0u);
+  EXPECT_EQ(A.CacheMisses, 0u);
+  EXPECT_EQ(A.FullInferences, 0u);
+  EXPECT_EQ(A.IncrementalInferences, 0u);
+  EXPECT_EQ(A.DeclInferencesSaved, 0u);
+  EXPECT_EQ(A.CheckpointSeeds, 0u);
+  EXPECT_EQ(A.CheckpointFallbacks, 0u);
+  EXPECT_EQ(A.BatchesDispatched, 0u);
+  EXPECT_EQ(A.BatchItems, 0u);
+  EXPECT_EQ(A.TypesAllocated, 0u);
+  EXPECT_EQ(A.inferenceRuns(), 0u);
+  // Reusable after reset.
+  A += makeCounters(0);
+  EXPECT_EQ(A.CacheHits, 1u);
+}
+
+TEST(MetricsTest, SummaryOfKnownSeries) {
+  Metrics M;
+  for (int I = 1; I <= 100; ++I)
+    M.observe("test.series", double(I));
+  MetricSummary S = M.summary("test.series");
+  EXPECT_EQ(S.Count, 100u);
+  EXPECT_DOUBLE_EQ(S.Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Max, 100.0);
+  EXPECT_NEAR(S.P50, 50.5, 1e-9);
+  EXPECT_NEAR(S.Mean, 50.5, 1e-9);
+  EXPECT_GT(S.P95, S.P50);
+}
+
+TEST(MetricsTest, NamesAreSortedAndEmptyWorks) {
+  Metrics M;
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.summary("missing").Count, 0u);
+  M.observe("b.second", 2.0);
+  M.observe("a.first", 1.0);
+  auto Names = M.names();
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "a.first");
+  EXPECT_EQ(Names[1], "b.second");
+  EXPECT_FALSE(M.empty());
+  M.clear();
+  EXPECT_TRUE(M.empty());
+}
+
+TEST(MetricsTest, WriteJsonIsWellFormed) {
+  Metrics M;
+  M.observe("x.y", 1.0);
+  M.observe("x.y", 3.0);
+  std::ostringstream OS;
+  M.writeJson(OS);
+  std::string J = OS.str();
+  EXPECT_NE(J.find("\"x.y\""), std::string::npos);
+  EXPECT_NE(J.find("\"count\""), std::string::npos);
+  EXPECT_EQ(J.front(), '{');
+  EXPECT_EQ(J.back(), '}');
 }
