@@ -1,0 +1,189 @@
+//===- bench_slice_ablation.cpp - Slice-guided search ablation ------------==//
+//
+// Ablation for the constraint-provenance error slice (DESIGN.md section
+// 9): runs the Figure-7 corpus through three configurations --
+//
+//   plain         no slice at all (the baseline searcher)
+//   slice-ranked  slice computed, ranking boosted, no pruning
+//   slice-guided  slice additionally prunes provably-futile oracle calls
+//
+// and enforces the two-sided acceptance contract: the ranked and guided
+// configurations must produce byte-identical suggestion lists on every
+// file (pruning is sound, not heuristic), and guided must spend at least
+// MIN_REDUCTION_PCT fewer logical oracle calls than plain in aggregate
+// (pruning is worth shipping). Either violation exits 1, so running the
+// driver is itself the CI gate; --json=<path> emits the summary that
+// scripts/check_bench_regression.py compares against the committed
+// baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Seminal.h"
+#include "corpus/Generator.h"
+#include "minicaml/Printer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace seminal;
+using namespace seminal::bench;
+
+namespace {
+
+/// Minimum aggregate logical-call reduction (guided vs plain) the slice
+/// must deliver over the corpus, in percent. The acceptance bar.
+constexpr double MIN_REDUCTION_PCT = 25.0;
+
+/// Order-sensitive digest of a report's ranked suggestions; identical
+/// strings mean identical suggestion lists in identical order.
+std::string fingerprint(const SeminalReport &R) {
+  std::string Out;
+  for (const Suggestion &S : R.Suggestions) {
+    Out += std::to_string(int(S.Kind)) + "/" + S.Path.str() + "/";
+    if (S.Original)
+      Out += caml::printExpr(*S.Original);
+    Out += "=>";
+    if (S.Replacement)
+      Out += caml::printExpr(*S.Replacement);
+    Out += "/" + S.Description + "/" + S.PatternBefore + ";";
+  }
+  return Out;
+}
+
+struct SliceRow {
+  const char *Name;
+  bool ComputeSlice;
+  bool SliceGuided;
+  // Measured:
+  size_t LogicalCalls = 0;
+  size_t PrunedCalls = 0;
+  size_t FilesSliced = 0;
+  size_t SuggestionMismatches = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions Driver = parseDriverArgs(Argc, Argv);
+
+  header("Ablation: slice-guided search (Figure-7 corpus)");
+  CorpusOptions CO;
+  CO.Scale = Driver.Scale;
+  CO.Seed = Driver.Seed;
+  Corpus C = generateCorpus(CO);
+
+  std::vector<SliceRow> Rows = {
+      {"plain", false, false},
+      {"slice-ranked", true, false},
+      {"slice-guided", false, true},
+  };
+
+  // Identity is checked between slice-ranked and slice-guided: both see
+  // the slice (so the ranker's in-slice boost applies to both) and the
+  // guided run must reproduce the ranked run's list exactly. The plain
+  // row is the effort baseline only -- its ordering may legitimately
+  // differ because it never ranks with slice information.
+  std::vector<std::string> RankedFps;
+
+  for (SliceRow &Row : Rows) {
+    SeminalOptions Opts;
+    Opts.Search.ComputeSlice = Row.ComputeSlice;
+    Opts.Search.SliceGuided = Row.SliceGuided;
+    for (size_t I = 0; I < C.Analyzed.size(); ++I) {
+      const CorpusFile &F = C.Analyzed[I];
+      SeminalReport R = runSeminalOnSource(F.Source, Opts);
+      // Logical effort = calls actually issued plus calls the slice
+      // answered statically; plain runs have zero pruned calls, so the
+      // comparison currency is uniform across rows.
+      Row.LogicalCalls += R.OracleCalls + R.SlicePrunedCalls;
+      Row.PrunedCalls += R.SlicePrunedCalls;
+      if (R.Slice && R.Slice->Valid)
+        ++Row.FilesSliced;
+      if (Row.ComputeSlice)
+        RankedFps.push_back(fingerprint(R));
+      else if (Row.SliceGuided && fingerprint(R) != RankedFps[I])
+        ++Row.SuggestionMismatches;
+    }
+  }
+
+  const SliceRow &Plain = Rows[0];
+  const SliceRow &Guided = Rows[2];
+  size_t Issued = Guided.LogicalCalls - Guided.PrunedCalls;
+  double ReductionPct =
+      Plain.LogicalCalls
+          ? 100.0 * (1.0 - double(Issued) / double(Plain.LogicalCalls))
+          : 0.0;
+
+  std::printf("%zu analyzed files\n\n", C.Analyzed.size());
+  std::printf("%-16s %10s %10s %8s %8s %10s\n", "configuration", "logical",
+              "issued", "pruned", "sliced", "identical");
+  rule();
+  for (const SliceRow &Row : Rows)
+    std::printf("%-16s %10zu %10zu %8zu %8zu %10s\n", Row.Name,
+                Row.LogicalCalls, Row.LogicalCalls - Row.PrunedCalls,
+                Row.PrunedCalls, Row.FilesSliced,
+                Row.SliceGuided ? (Row.SuggestionMismatches ? "NO" : "yes")
+                                : "-");
+  rule();
+  std::printf("slice-guided oracle-call reduction: %.1f%% "
+              "(%zu -> %zu issued calls; floor %.0f%%)\n",
+              ReductionPct, Plain.LogicalCalls, Issued, MIN_REDUCTION_PCT);
+
+  if (!Driver.JsonPath.empty()) {
+    std::FILE *F = std::fopen(Driver.JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Driver.JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(F, "{\n  \"bench\": \"slice_ablation\",\n");
+    std::fprintf(F, "  \"files\": %zu,\n  \"scale\": %g,\n  \"seed\": %llu,\n",
+                 C.Analyzed.size(), Driver.Scale,
+                 (unsigned long long)Driver.Seed);
+    std::fprintf(F, "  \"reduction_pct\": %.4f,\n", ReductionPct);
+    std::fprintf(F, "  \"min_reduction_pct\": %.1f,\n", MIN_REDUCTION_PCT);
+    std::fprintf(F, "  \"configs\": [\n");
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const SliceRow &Row = Rows[I];
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"logical_calls\": %zu, "
+                   "\"issued_calls\": %zu, \"pruned_calls\": %zu, "
+                   "\"files_sliced\": %zu, \"suggestion_mismatches\": %zu}%s\n",
+                   Row.Name, Row.LogicalCalls,
+                   Row.LogicalCalls - Row.PrunedCalls, Row.PrunedCalls,
+                   Row.FilesSliced, Row.SuggestionMismatches,
+                   I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", Driver.JsonPath.c_str());
+  }
+
+  // The acceptance contract, enforced in-process so the driver doubles
+  // as the CI gate.
+  bool Failed = false;
+  if (Guided.SuggestionMismatches) {
+    std::fprintf(stderr,
+                 "FAIL: slice-guided diverged from slice-ranked on %zu "
+                 "file(s) -- pruning is unsound\n",
+                 Guided.SuggestionMismatches);
+    Failed = true;
+  }
+  if (Guided.LogicalCalls != Rows[1].LogicalCalls ||
+      Rows[1].LogicalCalls != Plain.LogicalCalls) {
+    std::fprintf(stderr,
+                 "FAIL: logical call totals differ across configurations "
+                 "(%zu / %zu / %zu) -- the pruned+issued accounting leaks\n",
+                 Plain.LogicalCalls, Rows[1].LogicalCalls,
+                 Guided.LogicalCalls);
+    Failed = true;
+  }
+  if (ReductionPct < MIN_REDUCTION_PCT) {
+    std::fprintf(stderr,
+                 "FAIL: reduction %.1f%% below the %.0f%% floor\n",
+                 ReductionPct, MIN_REDUCTION_PCT);
+    Failed = true;
+  }
+  return Failed ? 1 : 0;
+}

@@ -8,7 +8,8 @@
 //
 // Usage:
 //   seminal_cli [--no-triage] [--max-suggestions=N] [--quiet]
-//               [--trace=FILE] [--metrics] FILE.ml
+//               [--trace=FILE] [--metrics] [--slice] [--slice-guided]
+//               FILE.ml
 //   seminal_cli --expr 'let x = 1 + "two"'
 //
 //===----------------------------------------------------------------------===//
@@ -28,13 +29,21 @@ namespace {
 void usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--no-triage] [--max-suggestions=N] [--quiet] "
-               "[--trace=FILE] [--metrics] FILE.ml\n"
+               "[--trace=FILE] [--metrics] [--slice] [--slice-guided] "
+               "FILE.ml\n"
                "       %s --expr 'PROGRAM TEXT'\n"
                "  --trace=FILE   write a span trace of the run; FILE.json\n"
                "                 is Chrome trace_event format (load it in\n"
                "                 Perfetto / chrome://tracing), FILE.jsonl\n"
                "                 is one event object per line\n"
-               "  --metrics      print per-layer latency/shape histograms\n",
+               "  --metrics      print per-layer latency/shape histograms\n"
+               "  --slice        compute and print the provenance error\n"
+               "                 slice (the program points that jointly\n"
+               "                 cause the failure); also boosts in-slice\n"
+               "                 suggestions in the ranking\n"
+               "  --slice-guided like --slice, and additionally skip\n"
+               "                 oracle calls the slice proves futile;\n"
+               "                 suggestions are identical, just cheaper\n",
                Prog, Prog);
 }
 
@@ -52,6 +61,7 @@ int main(int Argc, char **Argv) {
   bool HaveSource = false;
   bool Quiet = false;
   bool WantMetrics = false;
+  bool WantSlice = false;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -76,6 +86,12 @@ int main(int Argc, char **Argv) {
       }
     } else if (std::strcmp(Arg, "--metrics") == 0) {
       WantMetrics = true;
+    } else if (std::strcmp(Arg, "--slice") == 0) {
+      WantSlice = true;
+      Opts.Search.ComputeSlice = true;
+    } else if (std::strcmp(Arg, "--slice-guided") == 0) {
+      WantSlice = true;
+      Opts.Search.SliceGuided = true;
     } else if (std::strcmp(Arg, "--expr") == 0 && I + 1 < Argc) {
       Source = Argv[++I];
       HaveSource = true;
@@ -143,8 +159,19 @@ int main(int Argc, char **Argv) {
     if (!Quiet) {
       std::printf("Type-checker:\n  %s\n\n",
                   Report.conventionalMessage().c_str());
-      std::printf("Suggestions (best first, %zu oracle calls):\n\n",
-                  Report.OracleCalls);
+      if (WantSlice) {
+        if (Report.Slice)
+          std::printf("%s\n", Report.Slice->render().c_str());
+        else
+          std::printf("no error slice (failure not sliceable)\n\n");
+      }
+      if (Report.SlicePrunedCalls)
+        std::printf("Suggestions (best first, %zu oracle calls, %zu "
+                    "pruned by the slice):\n\n",
+                    Report.OracleCalls, Report.SlicePrunedCalls);
+      else
+        std::printf("Suggestions (best first, %zu oracle calls):\n\n",
+                    Report.OracleCalls);
     }
     if (Report.Suggestions.empty()) {
       std::printf("%s\n", Report.bestMessage().c_str());

@@ -1,19 +1,29 @@
 #!/usr/bin/env python3
-"""Gate CI on the oracle-acceleration benchmark staying healthy.
+"""Gate CI on the benchmark snapshots staying healthy.
 
-Compares a freshly produced BENCH_oracle_calls.json against the committed
-baseline (bench/BASELINE_oracle_calls.json). Two kinds of checks:
+Compares a freshly produced BENCH_*.json against its committed baseline
+(bench/BASELINE_*.json). The snapshot's "bench" field selects the gate:
 
-* Deterministic counters must match the baseline exactly: the corpus is
-  seeded, so logical-call totals and suggestion divergences are
-  hardware-independent. Any drift means search behavior changed.
-* The within-run acceleration speedup (accelerated vs unaccelerated
-  wall-clock, both measured on the same machine in the same process) must
-  stay above REGRESSION_FRACTION of the baseline's ratio. Absolute
-  wall-clock across CI runners is far noisier than 10%, but the *ratio*
-  cancels the hardware out; losing more than 10% of it means the
-  acceleration layer (or the tracing-disabled fast path it sits on)
-  regressed.
+oracle_calls_accel (bench_oracle_calls):
+  * Deterministic counters must match the baseline exactly: the corpus is
+    seeded, so logical-call totals and suggestion divergences are
+    hardware-independent. Any drift means search behavior changed.
+  * The within-run acceleration speedup (accelerated vs unaccelerated
+    wall-clock, both measured on the same machine in the same process)
+    must stay above REGRESSION_FRACTION of the baseline's ratio. Absolute
+    wall-clock across CI runners is far noisier than 10%, but the *ratio*
+    cancels the hardware out; losing more than 10% of it means the
+    acceleration layer (or the tracing-disabled fast path it sits on)
+    regressed.
+
+slice_ablation (bench_slice_ablation):
+  * slice-guided must have produced byte-identical suggestion lists to
+    slice-ranked on every file (pruning soundness).
+  * All deterministic call counters (logical / issued / pruned per
+    configuration) must match the baseline exactly.
+  * The slice-guided oracle-call reduction must stay at or above the
+    driver's floor (min_reduction_pct, currently 25%): the slice has to
+    keep paying for itself.
 
 Exit code 0 = healthy, 1 = regression, 2 = bad invocation/inputs.
 """
@@ -33,25 +43,7 @@ def load(path):
         sys.exit(2)
 
 
-def main():
-    if len(sys.argv) != 3:
-        print(f"usage: {sys.argv[0]} BASELINE.json FRESH.json",
-              file=sys.stderr)
-        sys.exit(2)
-    base = load(sys.argv[1])
-    fresh = load(sys.argv[2])
-
-    for doc, name in ((base, sys.argv[1]), (fresh, sys.argv[2])):
-        if doc.get("bench") != "oracle_calls_accel":
-            print(f"error: {name} is not an oracle_calls_accel snapshot",
-                  file=sys.stderr)
-            sys.exit(2)
-    if (base.get("scale"), base.get("seed")) != (fresh.get("scale"),
-                                                 fresh.get("seed")):
-        print("error: baseline and fresh run used different --scale/--seed; "
-              "deterministic comparison is meaningless", file=sys.stderr)
-        sys.exit(2)
-
+def check_oracle_calls(base, fresh):
     failures = []
 
     base_rows = {r["name"]: r for r in base["configs"]}
@@ -84,6 +76,73 @@ def main():
 
     print(f"baseline speedup {base_speedup:.2f}x, fresh "
           f"{fresh_speedup:.2f}x (floor {floor:.2f}x)")
+    return failures
+
+
+def check_slice_ablation(base, fresh):
+    failures = []
+
+    base_rows = {r["name"]: r for r in base["configs"]}
+    fresh_rows = {r["name"]: r for r in fresh["configs"]}
+    if set(base_rows) != set(fresh_rows):
+        failures.append(
+            f"configuration set changed: {sorted(base_rows)} vs "
+            f"{sorted(fresh_rows)}")
+    for name in sorted(set(base_rows) & set(fresh_rows)):
+        b, f = base_rows[name], fresh_rows[name]
+        for key in ("logical_calls", "issued_calls", "pruned_calls",
+                    "files_sliced"):
+            if f[key] != b[key]:
+                failures.append(
+                    f"[{name}] {key} {f[key]} != baseline {b[key]} "
+                    f"(slice or search behavior changed)")
+        if f["suggestion_mismatches"] != 0:
+            failures.append(
+                f"[{name}] {f['suggestion_mismatches']} suggestion "
+                f"mismatches vs slice-ranked -- pruning is unsound")
+
+    floor = fresh.get("min_reduction_pct", base.get("min_reduction_pct", 25.0))
+    reduction = fresh.get("reduction_pct", 0.0)
+    if reduction < floor:
+        failures.append(
+            f"slice-guided reduction {reduction:.1f}% fell below the "
+            f"{floor:.0f}% floor")
+
+    print(f"baseline reduction {base.get('reduction_pct', 0.0):.1f}%, fresh "
+          f"{reduction:.1f}% (floor {floor:.0f}%)")
+    return failures
+
+
+GATES = {
+    "oracle_calls_accel": check_oracle_calls,
+    "slice_ablation": check_slice_ablation,
+}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} BASELINE.json FRESH.json",
+              file=sys.stderr)
+        sys.exit(2)
+    base = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+
+    kind = base.get("bench")
+    if kind not in GATES:
+        print(f"error: {sys.argv[1]} has unknown bench kind {kind!r} "
+              f"(expected one of {sorted(GATES)})", file=sys.stderr)
+        sys.exit(2)
+    if fresh.get("bench") != kind:
+        print(f"error: {sys.argv[2]} is a {fresh.get('bench')!r} snapshot, "
+              f"baseline is {kind!r}", file=sys.stderr)
+        sys.exit(2)
+    if (base.get("scale"), base.get("seed")) != (fresh.get("scale"),
+                                                 fresh.get("seed")):
+        print("error: baseline and fresh run used different --scale/--seed; "
+              "deterministic comparison is meaningless", file=sys.stderr)
+        sys.exit(2)
+
+    failures = GATES[kind](base, fresh)
     if failures:
         for f in failures:
             print(f"REGRESSION: {f}", file=sys.stderr)

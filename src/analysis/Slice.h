@@ -1,0 +1,125 @@
+//===- Slice.h - Constraint-provenance error slicing ------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error slicing over recorded constraint provenance (DESIGN.md section
+/// 9). One provenance-instrumented inference run reconstructs the
+/// connected component of the constraint graph that contains the clash;
+/// mapping that component back to AST nodes yields
+///
+///   * Influence -- every focus-declaration node whose constraints can
+///     reach the clash. The conservative set: a subtree disjoint from it
+///     provably cannot contain the fix, which is what lets the searcher
+///     skip oracle calls without changing any verdict.
+///   * Core -- Influence greedily minimized by wildcard re-checks to the
+///     antichain of nodes whose constraints are jointly unsatisfiable;
+///     the presentation set ("these program points disagree") and the
+///     ranker's boost set.
+///
+/// The split matters: pruning must stay conservative to keep suggestion
+/// lists bit-identical, while presentation wants the smallest honest set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_ANALYSIS_SLICE_H
+#define SEMINAL_ANALYSIS_SLICE_H
+
+#include "minicaml/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace seminal {
+namespace analysis {
+
+/// Tuning knobs for computeErrorSlice.
+struct SliceOptions {
+  /// Run the greedy wildcard minimization that shrinks Influence to Core.
+  /// Off leaves Core == Influence (cheaper; pruning power is identical).
+  bool Minimize = true;
+
+  /// Upper bound on internal re-inference runs spent minimizing. These
+  /// are private typecheckProgram calls, never oracle calls.
+  unsigned MaxMinimizeChecks = 48;
+};
+
+/// The result of slicing one ill-typed program.
+struct ErrorSlice {
+  /// False when no slice could be computed: the program type-checks, the
+  /// failure is not a unification clash (unbound name, arity, record
+  /// shape), or the failing declaration has no expression body. Consumers
+  /// must fall back to unguided behavior.
+  bool Valid = false;
+
+  /// Declaration the clash was reported in.
+  unsigned DeclIndex = 0;
+
+  /// The clashing constraint, rendered ("int" vs "string"); Cyclic marks
+  /// an occurs-check failure instead of a constructor clash.
+  std::string ClashLeft, ClashRight;
+  bool Cyclic = false;
+
+  /// Span of the node whose constraint clashed.
+  SourceSpan ClashSpan;
+
+  /// Conservative set: paths (within DeclIndex) of every node whose
+  /// constraints connect to the clash component, in preorder. Parallel
+  /// to InfluenceSpans.
+  std::vector<caml::NodePath> Influence;
+  std::vector<SourceSpan> InfluenceSpans;
+
+  /// Minimized set: the jointly-unsatisfiable antichain, a subset of
+  /// Influence. Parallel to CoreSpans.
+  std::vector<caml::NodePath> Core;
+  std::vector<SourceSpan> CoreSpans;
+
+  /// Rendered named types involved in the clash component (deduplicated,
+  /// sorted; arrows/tuples/vars omitted).
+  std::vector<std::string> InvolvedTypes;
+
+  /// Constraints attributed to prefix declarations or the focus
+  /// declaration's header (binding/params) connect to the clash. When set,
+  /// whole-subtree adaptation pruning is disabled (see SliceGuide).
+  bool PrefixInfluence = false;
+  bool DeclHeaderInfluence = false;
+
+  /// True for a span-anchored fallback slice: the failure was not a
+  /// unification clash (unbound name, arity, record shape, ...), so no
+  /// constraint component exists; instead the core is the deepest node
+  /// enclosing the checker's error span, its subtree plus ancestors form
+  /// the influence set, and validity REQUIRES the carved witness to
+  /// verify -- the witness check is the sole soundness argument here.
+  bool SpanAnchored = false;
+
+  /// True when the carved witness -- the focus declaration with every
+  /// maximal subtree disjoint from the core replaced by a wildcard -- was
+  /// re-checked internally and still fails. Since a wildcard is maximally
+  /// permissive (a syntactic value that imposes no constraints), any
+  /// removal probe at a core-disjoint node keeps a superset of the
+  /// witness's constraints and therefore must also fail; the guide's
+  /// stronger core-disjoint pruning rule is valid exactly when this holds.
+  bool CoreWitnessOk = false;
+
+  /// Total expression nodes in the focus declaration (prune-ratio
+  /// denominator) and bookkeeping for the stats report.
+  size_t DeclNodes = 0;
+  size_t MinimizeChecks = 0;
+
+  /// Human-readable one-screen rendering (the CLI `--slice` block).
+  std::string render(const std::string &SourceName = "") const;
+};
+
+/// Computes the error slice of \p Prog, whose first \p FocusDecl + 1
+/// declarations must form an ill-typed prefix (declarations past
+/// FocusDecl are ignored). Runs provenance-instrumented inference
+/// internally; never touches the search oracle.
+ErrorSlice computeErrorSlice(const caml::Program &Prog, unsigned FocusDecl,
+                             const SliceOptions &Opts = SliceOptions());
+
+} // namespace analysis
+} // namespace seminal
+
+#endif // SEMINAL_ANALYSIS_SLICE_H

@@ -100,6 +100,11 @@ struct Suggestion {
   /// (Section 3.3's `print` vs `print_string` example).
   bool LikelyUnboundVariable = false;
 
+  /// Set when the changed node is in the error slice's minimized core
+  /// (only when a slice was computed); the ranker prefers such
+  /// suggestions on otherwise-equal scores.
+  bool InSlice = false;
+
   /// The whole modified program (for triage: includes sibling wildcards,
   /// so it need not type-check by itself). Used by the evaluation judge.
   caml::Program Modified;

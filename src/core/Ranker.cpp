@@ -47,12 +47,18 @@ SuggestionScore seminal::scoreSuggestion(const Suggestion &S) {
           ? std::labs(long(S.OriginalSize) - long(S.ReplacementSize))
           : 0;
 
+  // In-slice boost: when a slice was computed, a change at a node of the
+  // minimized error core beats an otherwise-tied change elsewhere. With
+  // no slice every suggestion has InSlice == false and this component is
+  // constant, leaving the order untouched.
+  long SliceBoost = S.InSlice ? 0 : 1;
+
   // Right-bias tiebreak: prefer deeper-right positions (the paper's
   // function-application heuristic). Encoded as the negated final step.
   long RightBias = S.Path.Steps.empty() ? 0 : -long(S.Path.Steps.back());
 
-  return SuggestionScore{Primary, Secondary, Size,
-                         Priority, Preservation, RightBias};
+  return SuggestionScore{Primary,      Secondary,  Size,     Priority,
+                         Preservation, SliceBoost, RightBias};
 }
 
 void seminal::rankSuggestions(std::vector<Suggestion> &Suggestions) {

@@ -32,8 +32,10 @@ namespace seminal {
 /// Lexicographic score; lower is better. Components: kind (triage-
 /// penalized), triage removals, original size (negated for adaptation),
 /// idiom priority, size-preservation (|orig - replacement|; swaps beat
-/// deletions), and the right-bias tiebreak.
-using SuggestionScore = std::array<long, 6>;
+/// deletions), the in-slice boost (suggestions at a node in the error
+/// slice's core win otherwise-tied scores; constantly 0 when no slice
+/// was computed), and the right-bias tiebreak.
+using SuggestionScore = std::array<long, 7>;
 
 /// Computes the rank score of \p S.
 SuggestionScore scoreSuggestion(const Suggestion &S);

@@ -44,6 +44,9 @@ void Searcher::addSuggestion(ChangeKind Kind, const NodePath &Path,
   S.ReplacementSize = Replacement->size();
   S.Description = Description;
   S.LikelyUnboundVariable = LikelyUnbound;
+  // Stamped in both slice modes (ranked and guided) so the ranker's boost
+  // -- and with it the final order -- is identical across the two.
+  S.InSlice = Guide && Guide->inCore(*Node);
 
   // Install the replacement to render context, capture the modified
   // program, and query the replacement's type.
@@ -66,13 +69,19 @@ bool Searcher::tryCandidates(const NodePath &Path,
   if (Opts.Accel.ParallelBatch && TheOracle.supportsBatch())
     return tryCandidatesBatched(Path, std::move(Cands));
   TraceLayerScope Layer("constructive");
+  const Expr *Node = guideActive() ? resolvePath(Work, Path) : nullptr;
   bool Any = false;
   size_t Tried = 0;
   // The worklist grows as probes expand into follow-ups.
   for (size_t I = 0; I < Cands.size() && !OutOfBudget; ++I) {
     CandidateChange &C = Cands[I];
     bool Ok;
-    {
+    if (Node && Guide->candidateDoomed(*Node, *C.Replacement)) {
+      // The replacement only rewrites core-disjoint subtrees; its verdict
+      // is a proven "no". Proceed exactly as a failed probe would.
+      ++Guide->PrunedCandidates;
+      Ok = false;
+    } else {
       TraceSpan Span(Opts.Trace, SpanKind::Candidate, "searcher.candidate");
       Ok = testWith(Path, C.Replacement);
       ++Tried;
@@ -102,6 +111,7 @@ bool Searcher::tryCandidates(const NodePath &Path,
 bool Searcher::tryCandidatesBatched(const NodePath &Path,
                                     std::vector<CandidateChange> Cands) {
   TraceLayerScope Layer("constructive");
+  const Expr *Node = guideActive() ? resolvePath(Work, Path) : nullptr;
   bool Any = false;
   size_t Tried = 0;
   size_t I = 0;
@@ -119,19 +129,31 @@ bool Searcher::tryCandidatesBatched(const NodePath &Path,
     }
     size_t WaveEnd = I + std::min(Cands.size() - I, Remaining);
 
+    // Slice-doomed candidates are excluded from the batch; their verdict
+    // is a proven "no" and they cost no oracle call.
+    std::vector<char> Doomed(WaveEnd - I, 0);
     std::vector<const Expr *> Replacements;
     Replacements.reserve(WaveEnd - I);
-    for (size_t J = I; J < WaveEnd; ++J)
-      Replacements.push_back(Cands[J].Replacement.get());
-    std::vector<bool> Verdicts =
-        TheOracle.typecheckBatch(Work, Path, Replacements);
+    for (size_t J = I; J < WaveEnd; ++J) {
+      if (Node && Guide->candidateDoomed(*Node, *Cands[J].Replacement)) {
+        Doomed[J - I] = 1;
+        ++Guide->PrunedCandidates;
+      } else {
+        Replacements.push_back(Cands[J].Replacement.get());
+      }
+    }
+    std::vector<bool> Verdicts;
+    if (!Replacements.empty())
+      Verdicts = TheOracle.typecheckBatch(Work, Path, Replacements);
 
     // Consume verdicts in worklist order: suggestions are appended and
     // follow-ups enqueued exactly as the sequential loop would.
+    size_t VI = 0;
     for (size_t J = I; J < WaveEnd; ++J) {
       CandidateChange &C = Cands[J];
-      bool Ok = Verdicts[J - I];
-      ++Tried;
+      bool Ok = Doomed[J - I] ? false : Verdicts[VI++];
+      if (!Doomed[J - I])
+        ++Tried;
       // Zero-duration attribution spans: the oracle work itself is
       // recorded under the batch span, but rankers of the trace still
       // see which candidate each verdict belonged to.
@@ -199,6 +221,15 @@ bool Searcher::searchExpr(const NodePath &Path) {
   if (Node->isWildcard())
     return false;
 
+  // Slice pruning: a subtree disjoint from the error's influence set
+  // cannot contain the fix -- its removal probe is guaranteed to fail,
+  // which is exactly the condition under which this function returns
+  // false below. Skipping the oracle call is behavior-identical.
+  if (guideActive() && Guide->subtreeDoomed(*Node)) {
+    ++Guide->PrunedSubtrees;
+    return false;
+  }
+
   TraceSpan Span(Opts.Trace, SpanKind::NodeVisit, "searcher.node");
   if (Span.enabled()) {
     Span.attr("path", Path.str());
@@ -216,21 +247,31 @@ bool Searcher::searchExpr(const NodePath &Path) {
   }
 
   // 2. Adaptation: does the node type-check when its own result type is
-  // unconstrained by the parent (Section 2.3)?
-  ExprPtr Adapted = makeAdapt(Node->clone());
-  bool AdaptOk;
-  {
-    TraceLayerScope Layer("adaptation");
-    AdaptOk = testWith(Path, Adapted);
+  // unconstrained by the parent (Section 2.3)? When the whole clash
+  // component lives inside this subtree, `adapt` replays the clash
+  // internally and the probe is guaranteed to fail; skip it.
+  bool AdaptOk = false;
+  if (guideActive() && Guide->adaptationDoomed(*Node)) {
+    ++Guide->PrunedAdaptations;
+  } else {
+    ExprPtr Adapted = makeAdapt(Node->clone());
+    {
+      TraceLayerScope Layer("adaptation");
+      AdaptOk = testWith(Path, Adapted);
+    }
+    if (AdaptOk)
+      addSuggestion(ChangeKind::Adaptation, Path, std::move(Adapted),
+                    "the expression type-checks on its own but not in this "
+                    "context");
   }
-  if (AdaptOk)
-    addSuggestion(ChangeKind::Adaptation, Path, std::move(Adapted),
-                  "the expression type-checks on its own but not in this "
-                  "context");
 
-  // 3. Constructive changes from the enumerator (Section 2.2).
-  bool AnyConstructive =
-      tryCandidates(Path, enumerateChanges(*Node, Opts.Enum));
+  // 3. Constructive changes from the enumerator (Section 2.2). The guide
+  // rides along (guided mode, outside triage) so the enumerator can skip
+  // permutation probes whose failure is already proven.
+  EnumeratorOptions EnumOpts = Opts.Enum;
+  if (guideActive())
+    EnumOpts.Guide = Guide.get();
+  bool AnyConstructive = tryCandidates(Path, enumerateChanges(*Node, EnumOpts));
 
   // 4. Recurse into children looking for smaller fixes.
   bool AnyChild = false;
@@ -549,10 +590,47 @@ bool Searcher::searchPatternFix(const NodePath &MatchPath,
 // Entry point
 //===----------------------------------------------------------------------===//
 
+void Searcher::prepareSlice() {
+  SliceResult.reset();
+  Guide.reset();
+  if (!Opts.ComputeSlice && !Opts.SliceGuided)
+    return;
+
+  TraceSpan Span(Opts.Trace, SpanKind::Slice, "searcher.slice");
+  TraceLayerScope Layer("slice");
+  analysis::ErrorSlice S =
+      analysis::computeErrorSlice(Work, FocusDecl, Opts.Slice);
+  if (Span.enabled()) {
+    Span.attr("valid", S.Valid);
+    if (S.Valid) {
+      Span.attr("influence", int64_t(S.Influence.size()));
+      Span.attr("core", int64_t(S.Core.size()));
+      Span.attr("decl_nodes", int64_t(S.DeclNodes));
+      Span.attr("minimize_checks", int64_t(S.MinimizeChecks));
+      Span.attr("reaches_prefix", S.PrefixInfluence);
+      Span.attr("reaches_header", S.DeclHeaderInfluence);
+    }
+  }
+  if (!S.Valid)
+    return; // Unsliceable failure: search runs unguided.
+
+  if (Opts.Metric) {
+    Opts.Metric->observe(metric::SliceSize, double(S.Influence.size()));
+    if (S.DeclNodes)
+      Opts.Metric->observe(metric::SlicePruneRatio,
+                           1.0 - double(S.Influence.size()) /
+                                     double(S.DeclNodes));
+  }
+  SliceResult = std::move(S);
+  Guide = std::make_unique<analysis::SliceGuide>(Work, *SliceResult);
+}
+
 SearchOutput Searcher::run(const Program &Input) {
   SearchOutput Out;
   Suggestions.clear();
   OutOfBudget = false;
+  SliceResult.reset();
+  Guide.reset();
 
   TraceSpan RunSpan(Opts.Trace, SpanKind::Search, "searcher.run");
   if (RunSpan.enabled())
@@ -571,7 +649,22 @@ SearchOutput Searcher::run(const Program &Input) {
   // Prefix localization: grow the working program one declaration at a
   // time; the first prefix that fails pins the failing declaration.
   std::optional<unsigned> Failing;
-  {
+  size_t LocalizationsSkipped = 0;
+  if (Opts.SliceGuided) {
+    // Guided mode pins the failing declaration with one internal
+    // inference instead: declarations are checked in order and the
+    // checker aborts at the first error, so a whole-program run failing
+    // at declaration K proves prefix K passes and prefix K+1 fails --
+    // exactly what the probe loop concludes, K+1 oracle calls later.
+    TypecheckResult R = typecheckProgram(Input);
+    if (!R.ok() && R.ErrorDeclIndex) {
+      Failing = *R.ErrorDeclIndex;
+      for (unsigned I = 0; I <= *Failing; ++I)
+        Work.Decls.push_back(Input.Decls[I]->clone());
+      LocalizationsSkipped = size_t(*Failing) + 1;
+    }
+  }
+  if (!Failing) {
     TraceSpan LocalizeSpan(Opts.Trace, SpanKind::Localize,
                            "searcher.localize");
     TraceLayerScope Layer("localize");
@@ -602,6 +695,7 @@ SearchOutput Searcher::run(const Program &Input) {
     // nodes inside the focus declaration only), which is the seed's
     // validity requirement.
     TheOracle.seedPrefix(Work, FocusDecl);
+    prepareSlice();
     tryDeclChanges(FocusDecl);
     searchExpr(NodePath(FocusDecl));
     TheOracle.clearPrefix();
@@ -609,9 +703,22 @@ SearchOutput Searcher::run(const Program &Input) {
   // Type/exception declarations produce no searchable expressions; the
   // conventional message stands alone for those.
 
+  if (Guide) {
+    Out.SlicePrunedSubtrees = Guide->PrunedSubtrees;
+    Out.SlicePrunedAdaptations = Guide->PrunedAdaptations;
+    Out.SlicePrunedPermutationProbes = Guide->PrunedPermutationProbes;
+    Out.SlicePrunedCandidates = Guide->PrunedCandidates;
+  }
+  Out.SlicePrunedLocalizations = LocalizationsSkipped;
+  Out.Slice = std::move(SliceResult);
+
   if (RunSpan.enabled()) {
     RunSpan.attr("suggestions", int64_t(Suggestions.size()));
     RunSpan.attr("budget_exhausted", OutOfBudget);
+    if (Out.Slice) {
+      RunSpan.attr("slice.influence", int64_t(Out.Slice->Influence.size()));
+      RunSpan.attr("slice.pruned_calls", int64_t(Out.slicePrunedCalls()));
+    }
   }
   Out.Suggestions = std::move(Suggestions);
   Out.BudgetExhausted = OutOfBudget;

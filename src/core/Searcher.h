@@ -29,11 +29,14 @@
 #ifndef SEMINAL_CORE_SEARCHER_H
 #define SEMINAL_CORE_SEARCHER_H
 
+#include "analysis/Slice.h"
+#include "analysis/SliceGuide.h"
 #include "core/Change.h"
 #include "core/Enumerator.h"
 #include "core/Oracle.h"
 #include "minicaml/Ast.h"
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -74,6 +77,23 @@ struct SearchOptions {
 
   EnumeratorOptions Enum;
 
+  /// Compute the provenance error slice before searching: suggestions in
+  /// the slice's minimized core are stamped (Suggestion::InSlice) and the
+  /// ranker boosts them; the SearchOutput carries the slice for display.
+  /// No pruning: the exact same oracle calls are made.
+  bool ComputeSlice = false;
+
+  /// Additionally use the slice to statically skip oracle calls whose
+  /// verdict the slice already proves negative (subtree removals,
+  /// adaptations, and permutation probes disjoint from the influence
+  /// set). Implies ComputeSlice. The suggestion list is bit-identical to
+  /// a ComputeSlice-only run -- only fewer logical calls are spent
+  /// (asserted corpus-wide by bench_slice_ablation and FuzzTest).
+  bool SliceGuided = false;
+
+  /// Tuning forwarded to analysis::computeErrorSlice.
+  analysis::SliceOptions Slice;
+
   /// Observability sinks (not owned; either may be null). runSeminal
   /// forwards them to the oracle too; a hand-driven Searcher instruments
   /// only its own phases.
@@ -94,6 +114,29 @@ struct SearchOutput {
 
   /// True if the oracle-call budget was exhausted mid-search.
   bool BudgetExhausted = false;
+
+  /// The error slice, when SearchOptions::ComputeSlice/SliceGuided asked
+  /// for one and the failure was sliceable (a unification clash in a
+  /// let declaration with a body).
+  std::optional<analysis::ErrorSlice> Slice;
+
+  /// Oracle calls statically skipped by slice guidance, by probe kind
+  /// (all zero unless SliceGuided).
+  size_t SlicePrunedSubtrees = 0;
+  size_t SlicePrunedAdaptations = 0;
+  size_t SlicePrunedPermutationProbes = 0;
+  /// Constructive candidates whose replacement only rewrote core-disjoint
+  /// subtrees (verdict proven negative by the carved witness).
+  size_t SlicePrunedCandidates = 0;
+  /// Prefix-growth localization probes skipped because one internal
+  /// inference pinned the failing declaration (SliceGuided only).
+  size_t SlicePrunedLocalizations = 0;
+
+  size_t slicePrunedCalls() const {
+    return SlicePrunedSubtrees + SlicePrunedAdaptations +
+           SlicePrunedPermutationProbes + SlicePrunedCandidates +
+           SlicePrunedLocalizations;
+  }
 };
 
 /// Runs the search procedure against \p TheOracle.
@@ -154,6 +197,20 @@ private:
   caml::Program Work;      ///< Prefix clone being edited in place.
   unsigned FocusDecl = 0;  ///< Declaration under scrutiny.
   bool OutOfBudget = false;
+
+  /// Computes the slice of Work's focus declaration and (in guided mode)
+  /// builds the pruning guide. Resets both on every run.
+  void prepareSlice();
+
+  /// True when slice guidance applies at the current search position:
+  /// guided mode, outside triage (triage rewrites sibling context, which
+  /// invalidates the slice's premises), and a guide is installed.
+  bool guideActive() const {
+    return Guide && Opts.SliceGuided && TriageDepth == 0;
+  }
+
+  std::optional<analysis::ErrorSlice> SliceResult;
+  std::unique_ptr<analysis::SliceGuide> Guide;
 
   // Triage bookkeeping: >0 while searching inside a triage context.
   int TriageDepth = 0;

@@ -44,6 +44,8 @@ SeminalReport seminal::runSeminal(const Program &Prog,
     Report.InputTypechecks = Out.InputTypechecks;
     Report.FailingDeclIndex = Out.FailingDecl;
     Report.BudgetExhausted = Out.BudgetExhausted;
+    Report.SlicePrunedCalls = Out.slicePrunedCalls();
+    Report.Slice = std::move(Out.Slice);
     Report.Suggestions = std::move(Out.Suggestions);
     {
       TraceSpan RankSpan(Opts.Search.Trace, SpanKind::Rank, "seminal.rank");

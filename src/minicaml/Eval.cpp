@@ -211,10 +211,9 @@ private:
     for (const auto &P : Params)
       Cloned->push_back(P->clone());
     Fn->FnParams = std::move(Cloned);
-    auto Captured = std::make_shared<Env>(Environment);
-    Fn->FnEnv = Captured;
+    Fn->FnEnv = std::make_shared<Env>(Environment);
     if (IsRec && Binding.kind() == Pattern::Kind::Var)
-      Captured->emplace_back(Binding.Name, Fn);
+      Fn->FnSelfName = Binding.Name;
     return Fn;
   }
 
@@ -229,10 +228,17 @@ private:
     }
     // Accumulate arguments until the arity is reached.
     auto Next = std::make_shared<Value>(*Fn);
+    if (!Next->FnSelfName.empty() && !Next->FnOrigin)
+      Next->FnOrigin = Fn; // Fn is the defining closure itself.
     Next->Applied.push_back(std::move(Arg));
     if (Next->Applied.size() < Next->FnParams->size())
       return Next;
     Env Local = *Next->FnEnv;
+    // Re-materialize the recursive self-binding (kept out of FnEnv to
+    // avoid a shared_ptr cycle); parameters bound below may shadow it,
+    // exactly as the in-environment binding used to be shadowed.
+    if (Next->FnOrigin)
+      Local.emplace_back(Next->FnSelfName, Next->FnOrigin);
     for (size_t I = 0; I < Next->FnParams->size(); ++I)
       if (!bindPattern(*(*Next->FnParams)[I], Next->Applied[I], Local)) {
         fail("match failure binding a function parameter");

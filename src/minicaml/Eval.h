@@ -65,6 +65,17 @@ struct Value {
   std::shared_ptr<std::vector<std::pair<std::string, ValuePtr>>> FnEnv;
   /// Already-supplied arguments (partial application).
   std::vector<ValuePtr> Applied;
+  /// Recursive closures (`let rec f ... =`): the defining name, re-bound
+  /// into the local environment at application time. Storing the closure
+  /// strongly inside its own captured environment would be a shared_ptr
+  /// cycle -- every recursive function would leak -- so the self-binding
+  /// is materialized lazily instead.
+  std::string FnSelfName;
+  /// Set on the copies apply() makes: the closure the self-binding
+  /// resolves to. A copy pointing at its origin is acyclic, so this edge
+  /// is safe to keep strong (it also keeps recursion working when a
+  /// partial application outlives the defining scope).
+  ValuePtr FnOrigin;
 
   /// Renders the value OCaml-style ("[1; 2]", "(1, \"a\")", "<fun>").
   std::string str() const;

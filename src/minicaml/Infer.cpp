@@ -2,6 +2,7 @@
 
 #include "minicaml/Infer.h"
 
+#include "analysis/Provenance.h"
 #include "minicaml/Parser.h"
 #include "minicaml/Stdlib.h"
 #include "minicaml/Types.h"
@@ -110,6 +111,10 @@ private:
         return It->second;
       Type *Fresh = Arena.freshVar(CurrentLevel);
       Subst.emplace(T, Fresh);
+      // The generic variable and its per-use copy are distinct objects;
+      // without this edge the slicer could not connect a use site's clash
+      // back to the constraints of the definition it instantiates.
+      analysis::hookCopy(T, Fresh);
       return Fresh;
     }
     if (T->Args.empty())
@@ -170,11 +175,38 @@ private:
     ErrorOut = std::move(E);
   }
 
+  /// Runs unify() but rolls back the partial bindings of a failed attempt
+  /// before returning, so a diagnostic rendered afterwards shows the types
+  /// as they were before the doomed constraint (the "destructive even on
+  /// failure" sharp edge documented in Unify.h: unifying `'a * string`
+  /// with `int * bool` must not leave `'a := int` behind in the message).
+  /// With an enclosing trail the failed entries are popped off it; without
+  /// one a local trail captures just this attempt. Successful bindings are
+  /// kept either way.
+  UnifyResult unifyRollbackOnFailure(Type *Actual, Type *Expected) {
+    if (TypeTrail *Outer = activeTypeTrail()) {
+      const TypeTrail::Mark M = Outer->mark();
+      UnifyResult R = unify(Actual, Expected);
+      if (!R.Ok)
+        Outer->undoTo(M);
+      return R;
+    }
+    TypeTrail Local;
+    UnifyResult R;
+    {
+      TypeTrailScope Scope(Local);
+      R = unify(Actual, Expected);
+    }
+    if (!R.Ok)
+      Local.undoAll();
+    return R;
+  }
+
   /// Unifies and converts a failure into a Mismatch at \p Span.
   bool unifyOrMismatch(const SourceSpan &Span, Type *Actual, Type *Expected) {
     if (hasError())
       return false;
-    UnifyResult R = unify(Actual, Expected);
+    UnifyResult R = unifyRollbackOnFailure(Actual, Expected);
     if (R.Ok)
       return true;
     if (R.OccursCheckFailure) {
@@ -424,6 +456,7 @@ void Inferencer::processLetDecl(bool IsRec, const Pattern &Binding,
 }
 
 void Inferencer::processDecl(const Decl &D) {
+  analysis::ProvenanceNodeScope PNode(&D, analysis::ProvenanceNodeKind::Decl);
   switch (D.kind()) {
   case Decl::Kind::Type:
     processTypeDecl(D);
@@ -448,6 +481,7 @@ void Inferencer::processDecl(const Decl &D) {
 void Inferencer::checkPattern(const Pattern &P, Type *Expected) {
   if (hasError())
     return;
+  analysis::ProvenanceNodeScope PNode(&P, analysis::ProvenanceNodeKind::Pattern);
   switch (P.kind()) {
   case Pattern::Kind::Wild:
     return;
@@ -535,7 +569,10 @@ void Inferencer::checkPattern(const Pattern &P, Type *Expected) {
              P.Name);
       return;
     }
-    UnifyResult R = unify(Result, Expected);
+    // Rollback-on-failure: an instantiated constructor type can mix
+    // generic and concrete parts, so a failed unify may leave sibling
+    // bindings behind that would corrupt the rendered pattern type.
+    UnifyResult R = unifyRollbackOnFailure(Result, Expected);
     if (!R.Ok) {
       reportPatternMismatch(P.Span, Result, Expected);
       return;
@@ -594,6 +631,7 @@ Type *Inferencer::unaryOpType(const std::string &Op) {
 void Inferencer::checkExpr(const Expr &E, Type *Expected) {
   if (hasError())
     return;
+  analysis::ProvenanceNodeScope PNode(&E, analysis::ProvenanceNodeKind::Expr);
   switch (E.kind()) {
   case Expr::Kind::IntLit:
     unifyOrMismatch(E.Span, Arena.intType(), Expected);
@@ -908,13 +946,17 @@ void Inferencer::checkExpr(const Expr &E, Type *Expected) {
 TypecheckResult Inferencer::run(const Program &Prog,
                                 const TypecheckOptions &RunOpts) {
   Opts = &RunOpts;
-  for (const auto &D : Prog.Decls) {
-    processDecl(*D);
-    if (hasError())
+  std::optional<unsigned> FailedAt;
+  for (unsigned I = 0; I < Prog.Decls.size() && I < RunOpts.DeclLimit; ++I) {
+    processDecl(*Prog.Decls[I]);
+    if (hasError()) {
+      FailedAt = I;
       break;
+    }
   }
   TypecheckResult Result;
   Result.Error = std::move(ErrorOut);
+  Result.ErrorDeclIndex = FailedAt;
   if (Result.ok()) {
     for (const auto &[Name, T] : TopLevel)
       Result.TopLevelTypes.emplace_back(Name, typeToString(T));

@@ -64,11 +64,22 @@ struct TypecheckOptions {
   /// If set, the run records the inferred type of this node (used when a
   /// message prints "of type int -> int -> int" for a replacement).
   const Expr *QueryNode = nullptr;
+
+  /// Check only the first DeclLimit declarations (the default checks the
+  /// whole program). The error slicer uses this to re-infer exactly the
+  /// prefix plus the failing declaration under a provenance sink.
+  unsigned DeclLimit = ~0u;
 };
 
 /// Result of type-checking a whole program.
 struct TypecheckResult {
   std::optional<TypeError> Error;
+  /// Index of the declaration the error was reported in (set iff Error
+  /// and the run processed whole-program declarations). Because
+  /// declarations are checked in order and the checker aborts at the
+  /// first error, every prefix of length <= ErrorDeclIndex type-checks
+  /// and the prefix of length ErrorDeclIndex + 1 does not.
+  std::optional<unsigned> ErrorDeclIndex;
   /// Name -> rendered type of every top-level let binding (in order).
   std::vector<std::pair<std::string, std::string>> TopLevelTypes;
   /// Rendered type of Options::QueryNode, if requested and reached.

@@ -2,6 +2,7 @@
 
 #include "minicaml/Types.h"
 
+#include "analysis/Provenance.h"
 #include "support/StrUtil.h"
 
 #include <map>
@@ -22,13 +23,19 @@ TypeTrailScope::TypeTrailScope(TypeTrail &Trail) : Prev(ActiveTrail) {
 
 TypeTrailScope::~TypeTrailScope() { ActiveTrail = Prev; }
 
-void TypeTrail::undoAll() {
-  for (auto It = Links.rbegin(); It != Links.rend(); ++It)
-    It->first->Link = It->second;
-  for (auto It = Levels.rbegin(); It != Levels.rend(); ++It)
-    It->first->Level = It->second;
-  Links.clear();
-  Levels.clear();
+void TypeTrail::undoAll() { undoTo(Mark{}); }
+
+void TypeTrail::undoTo(const Mark &M) {
+  assert(M.Links <= Links.size() && M.Levels <= Levels.size() &&
+         "trail mark is ahead of the trail");
+  while (Links.size() > M.Links) {
+    Links.back().first->Link = Links.back().second;
+    Links.pop_back();
+  }
+  while (Levels.size() > M.Levels) {
+    Levels.back().first->Level = Levels.back().second;
+    Levels.pop_back();
+  }
 }
 
 void TypeArena::rewindTo(const Mark &M) {
@@ -44,6 +51,7 @@ Type *TypeArena::freshVar(int Level) {
   T.TheKind = Type::Kind::Var;
   T.VarId = NextVarId++;
   T.Level = Level;
+  analysis::hookAlloc(&T);
   return &T;
 }
 
@@ -53,6 +61,7 @@ Type *TypeArena::con(const std::string &Name, std::vector<Type *> Args) {
   T.TheKind = Type::Kind::Con;
   T.Name = Name;
   T.Args = std::move(Args);
+  analysis::hookAlloc(&T);
   return &T;
 }
 

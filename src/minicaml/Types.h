@@ -68,8 +68,20 @@ public:
   void recordLink(Type *V, Type *Old) { Links.emplace_back(V, Old); }
   void recordLevel(Type *V, int Old) { Levels.emplace_back(V, Old); }
 
+  /// A position in the trail, for partial rollback (undoTo).
+  struct Mark {
+    size_t Links = 0;
+    size_t Levels = 0;
+  };
+  Mark mark() const { return {Links.size(), Levels.size()}; }
+
   /// Restores every recorded write, newest first, and clears the trail.
   void undoAll();
+
+  /// Restores writes recorded after \p M, newest first, and truncates the
+  /// trail back to \p M. Lets a caller undo one failed unification without
+  /// disturbing the enclosing checkpoint's rollback log.
+  void undoTo(const Mark &M);
 
   bool empty() const { return Links.empty() && Levels.empty(); }
 

@@ -22,8 +22,9 @@ namespace caml {
 
 /// Outcome of a unification attempt. On failure, Left/Right are the
 /// *innermost* clashing constructors (e.g. unifying `int list` with
-/// `string list` reports int vs string) and TopLeft/TopRight the full
-/// types as passed in, which usually read better in messages.
+/// `string list` reports int vs string); callers that want the full types
+/// re-read the arguments they passed in, which usually read better in
+/// messages -- but see the rollback caveat on unify() below.
 struct UnifyResult {
   bool Ok = true;
   Type *Left = nullptr;
@@ -46,9 +47,16 @@ struct UnifyResult {
 };
 
 /// Unifies \p A with \p B in place. Destructive even on failure (partial
-/// bindings are not rolled back), which is fine because the oracle throws
-/// the arena away after a failed check -- exactly the freedom the paper's
-/// architecture buys by keeping the checker a black box.
+/// bindings are not rolled back), which is fine for the oracle verdict
+/// because the arena is thrown away after a failed check -- exactly the
+/// freedom the paper's architecture buys by keeping the checker a black
+/// box. It is NOT fine for a caller that re-reads the argument types
+/// after a failure to render a diagnostic: sibling arguments unified
+/// before the clash stay bound (unifying `'a * string` with `int * bool`
+/// leaves `'a := int` behind), so the message would describe a type the
+/// program never had. Such callers must bracket the attempt with a
+/// TypeTrail mark and undoTo() on failure; Infer.cpp's unifyOrMismatch
+/// and the constructor-pattern check do exactly that.
 UnifyResult unify(Type *A, Type *B);
 
 } // namespace caml

@@ -46,6 +46,8 @@ inline constexpr const char *CheckpointReuseDepth =
     "oracle.checkpoint_reuse_depth";
 inline constexpr const char *BatchItems = "oracle.batch_items";
 inline constexpr const char *TriageRemovals = "triage.sibling_removals";
+inline constexpr const char *SliceSize = "slice.size";
+inline constexpr const char *SlicePruneRatio = "slice.prune_ratio";
 } // namespace metric
 
 /// Thread-safe registry of named sample series.

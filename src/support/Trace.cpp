@@ -34,6 +34,8 @@ const char *seminal::spanKindName(SpanKind K) {
     return "triage-phase";
   case SpanKind::PatternFix:
     return "pattern-fix";
+  case SpanKind::Slice:
+    return "slice";
   case SpanKind::Rank:
     return "rank";
   case SpanKind::CcSearch:

@@ -58,6 +58,7 @@ enum class SpanKind : uint8_t {
   Triage,      ///< Triage entered at a node (Section 2.4).
   TriagePhase, ///< One phase of match triage / one focus iteration.
   PatternFix,  ///< Subpattern wildcard search.
+  Slice,       ///< Provenance slice computation (analysis layer).
   Rank,        ///< Ranking the suggestion list.
   CcSearch,    ///< Mini-C++ secondary-oracle search (Section 4).
   Other,

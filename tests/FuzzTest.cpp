@@ -317,6 +317,51 @@ TEST_P(RandomOracleFuzz, RandomOracleNeverBreaksTheSearcher) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomOracleFuzz, ::testing::Range(0, 6));
 
+//===----------------------------------------------------------------------===//
+// Slice-guided search identity
+//===----------------------------------------------------------------------===//
+
+class SliceGuideFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SliceGuideFuzz, GuidedSearchMatchesSliceRankedOnRandomPrograms) {
+  // The error-slice pruning contract: slice-guided search must return the
+  // bit-identical ranked suggestion list as a slice-ranked (no pruning)
+  // run, while spending no more logical oracle calls. Budget-exhausted
+  // runs are exempt from the identity check -- pruning legitimately
+  // shifts where the cutoff lands.
+  int Examined = 0;
+  for (int I = 0; I < 200 && Examined < 25; ++I) {
+    uint64_t Seed = uint64_t(GetParam()) * 92821 + 17 + uint64_t(I) * 999959;
+    Rng R(Seed);
+    Program P = randomProgram(R, 3, 3);
+    if (typecheckProgram(P).ok())
+      continue;
+    ++Examined;
+
+    SeminalOptions Ranked;
+    Ranked.Search.ComputeSlice = true;
+    Ranked.Search.MaxOracleCalls = 3000;
+    SeminalOptions Guided = Ranked;
+    Guided.Search.SliceGuided = true;
+
+    SeminalReport RR = runSeminal(P, Ranked);
+    SeminalReport RG = runSeminal(P, Guided);
+
+    EXPECT_LE(RG.OracleCalls, RR.OracleCalls) << "seed " << Seed;
+    if (RR.BudgetExhausted || RG.BudgetExhausted)
+      continue;
+    ASSERT_EQ(RG.Suggestions.size(), RR.Suggestions.size())
+        << "seed " << Seed << "\n" << printProgram(P);
+    for (size_t J = 0; J < RR.Suggestions.size(); ++J)
+      EXPECT_EQ(renderSuggestion(RG.Suggestions[J]),
+                renderSuggestion(RR.Suggestions[J]))
+          << "seed " << Seed << ", rank " << J << "\n" << printProgram(P);
+  }
+  EXPECT_GT(Examined, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SliceGuideFuzz, ::testing::Range(0, 4));
+
 TEST(BudgetTest, SearchIsIdempotentOnWorkingCopy) {
   // Running the search twice on the same program yields identical
   // suggestion sets: the in-place editing restores everything.
