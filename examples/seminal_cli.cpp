@@ -6,15 +6,23 @@
 // deploy (the paper's data collection wrapped the compiler the same
 // way).
 //
+// Stream discipline: stdout carries the result -- human-readable
+// messages normally, exactly one RunReport JSON document under --json --
+// and nothing else; every diagnostic, progress note and observability
+// rendering (--metrics, trace summaries) goes to stderr. A script can
+// always pipe stdout without scrubbing.
+//
 // Usage:
-//   seminal_cli [--no-triage] [--max-suggestions=N] [--quiet]
-//               [--trace=FILE] [--metrics] [--slice] [--slice-guided]
-//               FILE.ml
+//   seminal_cli [--no-triage] [--max-suggestions=N] [--quiet] [--json]
+//               [--trace=FILE] [--telemetry=FILE] [--explore=FILE.html]
+//               [--metrics] [--slice] [--slice-guided] FILE.ml
 //   seminal_cli --expr 'let x = 1 + "two"'
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Seminal.h"
+#include "minicaml/Hash.h"
+#include "obs/Explorer.h"
 
 #include <cstdio>
 #include <cstring>
@@ -29,14 +37,27 @@ namespace {
 void usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--no-triage] [--max-suggestions=N] [--quiet] "
-               "[--trace=FILE] [--metrics] [--slice] [--slice-guided] "
-               "FILE.ml\n"
+               "[--json] [--trace=FILE] [--telemetry=FILE] "
+               "[--explore=FILE.html] [--metrics] [--slice] "
+               "[--slice-guided] FILE.ml\n"
                "       %s --expr 'PROGRAM TEXT'\n"
+               "  --json         print the run's RunReport as one JSON\n"
+               "                 document on stdout instead of the\n"
+               "                 human-readable messages (schema in\n"
+               "                 DESIGN.md section 10)\n"
                "  --trace=FILE   write a span trace of the run; FILE.json\n"
                "                 is Chrome trace_event format (load it in\n"
                "                 Perfetto / chrome://tracing), FILE.jsonl\n"
                "                 is one event object per line\n"
+               "  --telemetry=FILE\n"
+               "                 write the run's RunReport JSON to FILE\n"
+               "  --explore=FILE.html\n"
+               "                 write a self-contained search-explorer\n"
+               "                 page (search tree, oracle-call timeline,\n"
+               "                 slice overlay, ranked suggestions); opens\n"
+               "                 offline in any browser\n"
                "  --metrics      print per-layer latency/shape histograms\n"
+               "                 (stderr)\n"
                "  --slice        compute and print the provenance error\n"
                "                 slice (the program points that jointly\n"
                "                 cause the failure); also boosts in-slice\n"
@@ -57,9 +78,13 @@ bool endsWith(const std::string &S, const char *Suffix) {
 int main(int Argc, char **Argv) {
   SeminalOptions Opts;
   std::string Source;
+  std::string SourceName = "<expr>";
   std::string TracePath;
+  std::string TelemetryPath;
+  std::string ExplorePath;
   bool HaveSource = false;
   bool Quiet = false;
+  bool Json = false;
   bool WantMetrics = false;
   bool WantSlice = false;
 
@@ -77,10 +102,26 @@ int main(int Argc, char **Argv) {
       Opts.MaxSuggestions = size_t(N);
     } else if (std::strcmp(Arg, "--quiet") == 0) {
       Quiet = true;
+    } else if (std::strcmp(Arg, "--json") == 0) {
+      Json = true;
     } else if (std::strncmp(Arg, "--trace=", 8) == 0) {
       TracePath = Arg + 8;
       if (TracePath.empty()) {
         std::fprintf(stderr, "--trace needs a file path\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--telemetry=", 12) == 0) {
+      TelemetryPath = Arg + 12;
+      if (TelemetryPath.empty()) {
+        std::fprintf(stderr, "--telemetry needs a file path\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--explore=", 10) == 0) {
+      ExplorePath = Arg + 10;
+      if (ExplorePath.empty()) {
+        std::fprintf(stderr, "--explore needs a file path\n");
         usage(Argv[0]);
         return 2;
       }
@@ -111,6 +152,7 @@ int main(int Argc, char **Argv) {
       std::ostringstream Buf;
       Buf << In.rdbuf();
       Source = Buf.str();
+      SourceName = Arg;
       HaveSource = true;
     }
   }
@@ -121,13 +163,17 @@ int main(int Argc, char **Argv) {
 
   // Observability sinks outlive the run; they are attached by pointer and
   // exported after the report is in hand. Suggestions are byte-identical
-  // with and without them -- tracing only observes.
+  // with and without them -- they only observe.
   TraceSink Sink;
   Metrics Metric;
-  if (!TracePath.empty())
+  obs::TelemetrySink Telemetry;
+  bool WantReport = Json || !TelemetryPath.empty() || !ExplorePath.empty();
+  if (!TracePath.empty() || !ExplorePath.empty())
     Opts.Search.Trace = &Sink;
   if (WantMetrics)
     Opts.Search.Metric = &Metric;
+  if (WantReport)
+    Opts.Search.Telemetry = &Telemetry;
 
   SeminalReport Report = runSeminalOnSource(Source, Opts);
 
@@ -146,15 +192,61 @@ int main(int Argc, char **Argv) {
                    Sink.eventCount(), TracePath.c_str());
   }
 
-  int Exit = 1;
-  if (Report.SyntaxError) {
-    std::printf("%s\n", Report.bestMessage().c_str());
-    return 1;
+  obs::RunReport Run;
+  if (WantReport) {
+    Run.ProgramId = SourceName;
+    if (!Report.SyntaxError) {
+      caml::ParseResult PR = caml::parseProgram(Source);
+      if (PR.ok())
+        Run.SourceHash = caml::hashProgram(*PR.Prog);
+    }
+    fillRunReport(Run, Report, &Telemetry);
+
+    if (!TelemetryPath.empty()) {
+      std::ofstream Out(TelemetryPath);
+      if (!Out) {
+        std::fprintf(stderr, "cannot write telemetry to '%s'\n",
+                     TelemetryPath.c_str());
+        return 2;
+      }
+      Run.writeJson(Out, /*Pretty=*/true);
+      Out << "\n";
+      if (!Quiet)
+        std::fprintf(stderr, "wrote run report to %s\n",
+                     TelemetryPath.c_str());
+    }
+    if (!ExplorePath.empty()) {
+      std::ofstream Out(ExplorePath);
+      if (!Out) {
+        std::fprintf(stderr, "cannot write explorer to '%s'\n",
+                     ExplorePath.c_str());
+        return 2;
+      }
+      obs::ExplorerOptions EO;
+      EO.Title = "SEMINAL search explorer: " + SourceName;
+      obs::writeExplorerHtml(Out, Sink.snapshot(), Run, Source, EO);
+      if (!Quiet)
+        std::fprintf(stderr, "wrote search explorer to %s\n",
+                     ExplorePath.c_str());
+    }
   }
-  if (Report.InputTypechecks) {
+
+  int Exit;
+  if (Report.SyntaxError)
+    Exit = 1;
+  else
+    Exit = Report.InputTypechecks ? 0 : 1;
+
+  if (Json) {
+    // Machine mode: stdout is exactly one JSON document.
+    std::ostringstream OS;
+    Run.writeJson(OS, /*Pretty=*/true);
+    std::printf("%s\n", OS.str().c_str());
+  } else if (Report.SyntaxError) {
+    std::printf("%s\n", Report.bestMessage().c_str());
+  } else if (Report.InputTypechecks) {
     if (!Quiet)
       std::printf("No type errors.\n");
-    Exit = 0;
   } else {
     if (!Quiet) {
       std::printf("Type-checker:\n  %s\n\n",
@@ -185,9 +277,11 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (!Quiet && Report.Trace)
-    std::printf("%s", Report.Trace->render().c_str());
+  // Observability renderings are diagnostics, never results: stderr, so
+  // they cannot interleave with --json output or piped messages.
+  if (!Quiet && Report.Trace && Opts.Search.Trace)
+    std::fprintf(stderr, "%s", Report.Trace->render().c_str());
   if (WantMetrics && !Metric.empty())
-    std::printf("%s", Metric.render().c_str());
+    std::fprintf(stderr, "%s", Metric.render().c_str());
   return Exit;
 }

@@ -1,0 +1,153 @@
+//===- seminal_corpus.cpp - Corpus sweep with outcome telemetry ------------==//
+//
+// Runs the full evaluation pipeline (corpus generation -> three message
+// producers -> judge -> Figure-5 bucketing) and emits outcome telemetry:
+// one RunReport JSON object per analyzed file, plus the aggregate
+// quality snapshot that scripts/compare_telemetry.py diffs against
+// bench/BASELINE_telemetry.json in CI.
+//
+// Stream discipline: stdout carries exactly one JSON document (the
+// aggregate snapshot); progress and the human-readable summary go to
+// stderr. `seminal_corpus --scale=0.5 > snapshot.json` is always valid.
+//
+// Usage:
+//   seminal_corpus [--scale=F] [--seed=N] [--telemetry=DIR] [--no-triage]
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Runner.h"
+#include "obs/Aggregate.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace seminal;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scale=F] [--seed=N] [--telemetry=DIR] [--no-triage]\n"
+      "  --scale=F       corpus size multiplier (default 1.0; CI uses 0.5)\n"
+      "  --seed=N        corpus generation seed (default 20070611)\n"
+      "  --telemetry=DIR write DIR/telemetry.jsonl (one RunReport per\n"
+      "                  analyzed file) and DIR/telemetry_snapshot.json\n"
+      "                  (the aggregate also printed on stdout); DIR is\n"
+      "                  created if missing\n"
+      "  --no-triage     degrade the main configuration by disabling\n"
+      "                  triage -- the synthetic quality regression the\n"
+      "                  compare_telemetry.py CI gate is tested against\n"
+      "\n"
+      "stdout: the aggregate quality snapshot as one JSON document\n"
+      "        (\"bench\": \"telemetry\"); everything else on stderr.\n",
+      Prog);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CorpusOptions CorpusOpts;
+  std::string TelemetryDir;
+  bool NoTriage = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--scale=", 8) == 0) {
+      CorpusOpts.Scale = std::atof(Arg + 8);
+      if (CorpusOpts.Scale <= 0) {
+        std::fprintf(stderr, "--scale needs a positive factor\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--seed=", 7) == 0) {
+      CorpusOpts.Seed = std::strtoull(Arg + 7, nullptr, 10);
+    } else if (std::strncmp(Arg, "--telemetry=", 12) == 0) {
+      TelemetryDir = Arg + 12;
+      if (TelemetryDir.empty()) {
+        std::fprintf(stderr, "--telemetry needs a directory path\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--no-triage") == 0) {
+      NoTriage = true;
+    } else if (std::strcmp(Arg, "--help") == 0) {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg);
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+
+  Corpus TheCorpus = generateCorpus(CorpusOpts);
+  std::fprintf(stderr,
+               "corpus: %zu analyzed files (%u collected), scale %.2f, "
+               "seed %llu%s\n",
+               TheCorpus.Analyzed.size(), TheCorpus.TotalCollected,
+               CorpusOpts.Scale, (unsigned long long)CorpusOpts.Seed,
+               NoTriage ? ", TRIAGE DISABLED" : "");
+
+  std::ofstream Jsonl;
+  if (!TelemetryDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(TelemetryDir, EC);
+    if (EC) {
+      std::fprintf(stderr, "cannot create '%s': %s\n", TelemetryDir.c_str(),
+                   EC.message().c_str());
+      return 2;
+    }
+    Jsonl.open(TelemetryDir + "/telemetry.jsonl");
+    if (!Jsonl) {
+      std::fprintf(stderr, "cannot write %s/telemetry.jsonl\n",
+                   TelemetryDir.c_str());
+      return 2;
+    }
+  }
+
+  EvalOptions EvalOpts;
+  EvalOpts.BuildReports = true;
+  EvalOpts.DisableTriage = NoTriage;
+
+  obs::TelemetryAggregate Agg;
+  size_t Done = 0;
+  for (const CorpusFile &File : TheCorpus.Analyzed) {
+    FileOutcome Out = evaluateFile(File, EvalOpts);
+    Agg.add(Out.Report);
+    if (Jsonl.is_open()) {
+      Out.Report.writeJson(Jsonl);
+      Jsonl << "\n";
+    }
+    if (++Done % 50 == 0)
+      std::fprintf(stderr, "  ... %zu/%zu files\n", Done,
+                   TheCorpus.Analyzed.size());
+  }
+
+  obs::SnapshotInfo Info;
+  Info.Scale = CorpusOpts.Scale;
+  Info.Seed = CorpusOpts.Seed;
+  Info.Config = NoTriage ? "no-triage" : "full";
+
+  std::ostringstream Snapshot;
+  Agg.writeSnapshotJson(Snapshot, Info);
+
+  if (!TelemetryDir.empty()) {
+    std::ofstream Out(TelemetryDir + "/telemetry_snapshot.json");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s/telemetry_snapshot.json\n",
+                   TelemetryDir.c_str());
+      return 2;
+    }
+    Out << Snapshot.str();
+    std::fprintf(stderr, "wrote %s/telemetry.jsonl and telemetry_snapshot"
+                 ".json\n", TelemetryDir.c_str());
+  }
+
+  std::fputs(Snapshot.str().c_str(), stdout);
+  return 0;
+}

@@ -25,39 +25,38 @@ slice_ablation (bench_slice_ablation):
     driver's floor (min_reduction_pct, currently 25%): the slice has to
     keep paying for itself.
 
-Exit code 0 = healthy, 1 = regression, 2 = bad invocation/inputs.
+The quality-telemetry snapshot ("bench": "telemetry") has its own gate,
+scripts/compare_telemetry.py; both scripts share scripts/gate_common.py
+and its exit-code protocol: 0 = healthy, 1 = regression, 2 = bad
+invocation/inputs.
 """
 
-import json
 import sys
+
+from gate_common import (check_exact, check_floor, finish, load_snapshot,
+                         make_parser, require_kind, require_same_identity)
 
 REGRESSION_FRACTION = 0.9  # fail if speedup drops below 90% of baseline
 
 
-def load(path):
-    try:
-        with open(path) as f:
-            return json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"error: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
-
-
-def check_oracle_calls(base, fresh):
-    failures = []
-
+def config_rows(failures, base, fresh):
+    """Pairs up the per-configuration rows, flagging set changes."""
     base_rows = {r["name"]: r for r in base["configs"]}
     fresh_rows = {r["name"]: r for r in fresh["configs"]}
     if set(base_rows) != set(fresh_rows):
         failures.append(
             f"configuration set changed: {sorted(base_rows)} vs "
             f"{sorted(fresh_rows)}")
-    for name in sorted(set(base_rows) & set(fresh_rows)):
-        b, f = base_rows[name], fresh_rows[name]
-        if f["logical_calls"] != b["logical_calls"]:
-            failures.append(
-                f"[{name}] logical_calls {f['logical_calls']} != baseline "
-                f"{b['logical_calls']} (search behavior changed)")
+    return [(name, base_rows[name], fresh_rows[name])
+            for name in sorted(set(base_rows) & set(fresh_rows))]
+
+
+def check_oracle_calls(base, fresh):
+    failures = []
+    for name, b, f in config_rows(failures, base, fresh):
+        check_exact(failures, f"[{name}] logical_calls",
+                    f["logical_calls"], b["logical_calls"],
+                    "search behavior changed")
         if f["suggestion_mismatches"] != 0 or f["call_count_mismatches"] != 0:
             failures.append(
                 f"[{name}] diverged from its in-run baseline: "
@@ -67,13 +66,9 @@ def check_oracle_calls(base, fresh):
     base_speedup = base.get("speedup_wall", 0.0)
     fresh_speedup = fresh.get("speedup_wall", 0.0)
     floor = base_speedup * REGRESSION_FRACTION
-    if fresh_speedup < floor:
-        failures.append(
-            f"speedup_wall {fresh_speedup:.2f}x fell below "
-            f"{REGRESSION_FRACTION:.0%} of baseline {base_speedup:.2f}x "
-            f"(floor {floor:.2f}x) -- acceleration or the tracing-disabled "
-            f"fast path regressed >10%")
-
+    check_floor(failures, "speedup_wall", fresh_speedup, floor,
+                "acceleration or the tracing-disabled fast path "
+                "regressed >10%")
     print(f"baseline speedup {base_speedup:.2f}x, fresh "
           f"{fresh_speedup:.2f}x (floor {floor:.2f}x)")
     return failures
@@ -81,33 +76,20 @@ def check_oracle_calls(base, fresh):
 
 def check_slice_ablation(base, fresh):
     failures = []
-
-    base_rows = {r["name"]: r for r in base["configs"]}
-    fresh_rows = {r["name"]: r for r in fresh["configs"]}
-    if set(base_rows) != set(fresh_rows):
-        failures.append(
-            f"configuration set changed: {sorted(base_rows)} vs "
-            f"{sorted(fresh_rows)}")
-    for name in sorted(set(base_rows) & set(fresh_rows)):
-        b, f = base_rows[name], fresh_rows[name]
+    for name, b, f in config_rows(failures, base, fresh):
         for key in ("logical_calls", "issued_calls", "pruned_calls",
                     "files_sliced"):
-            if f[key] != b[key]:
-                failures.append(
-                    f"[{name}] {key} {f[key]} != baseline {b[key]} "
-                    f"(slice or search behavior changed)")
+            check_exact(failures, f"[{name}] {key}", f[key], b[key],
+                        "slice or search behavior changed")
         if f["suggestion_mismatches"] != 0:
             failures.append(
                 f"[{name}] {f['suggestion_mismatches']} suggestion "
                 f"mismatches vs slice-ranked -- pruning is unsound")
 
-    floor = fresh.get("min_reduction_pct", base.get("min_reduction_pct", 25.0))
+    floor = fresh.get("min_reduction_pct", base.get("min_reduction_pct",
+                                                    25.0))
     reduction = fresh.get("reduction_pct", 0.0)
-    if reduction < floor:
-        failures.append(
-            f"slice-guided reduction {reduction:.1f}% fell below the "
-            f"{floor:.0f}% floor")
-
+    check_floor(failures, "slice-guided reduction_pct", reduction, floor)
     print(f"baseline reduction {base.get('reduction_pct', 0.0):.1f}%, fresh "
           f"{reduction:.1f}% (floor {floor:.0f}%)")
     return failures
@@ -120,34 +102,27 @@ GATES = {
 
 
 def main():
-    if len(sys.argv) != 3:
-        print(f"usage: {sys.argv[0]} BASELINE.json FRESH.json",
-              file=sys.stderr)
-        sys.exit(2)
-    base = load(sys.argv[1])
-    fresh = load(sys.argv[2])
+    parser = make_parser(
+        description=__doc__,
+        epilog="examples:\n"
+               "  check_bench_regression.py bench/BASELINE_oracle_calls.json"
+               " BENCH_oracle_calls.json\n"
+               "  check_bench_regression.py "
+               "bench/BASELINE_slice_ablation.json "
+               "BENCH_slice_ablation.json\n")
+    args = parser.parse_args()
 
-    kind = base.get("bench")
-    if kind not in GATES:
-        print(f"error: {sys.argv[1]} has unknown bench kind {kind!r} "
-              f"(expected one of {sorted(GATES)})", file=sys.stderr)
-        sys.exit(2)
+    base = load_snapshot(args.baseline)
+    fresh = load_snapshot(args.fresh)
+
+    kind = require_kind(base, args.baseline, GATES)
     if fresh.get("bench") != kind:
-        print(f"error: {sys.argv[2]} is a {fresh.get('bench')!r} snapshot, "
+        print(f"error: {args.fresh} is a {fresh.get('bench')!r} snapshot, "
               f"baseline is {kind!r}", file=sys.stderr)
         sys.exit(2)
-    if (base.get("scale"), base.get("seed")) != (fresh.get("scale"),
-                                                 fresh.get("seed")):
-        print("error: baseline and fresh run used different --scale/--seed; "
-              "deterministic comparison is meaningless", file=sys.stderr)
-        sys.exit(2)
+    require_same_identity(base, fresh)
 
-    failures = GATES[kind](base, fresh)
-    if failures:
-        for f in failures:
-            print(f"REGRESSION: {f}", file=sys.stderr)
-        sys.exit(1)
-    print("bench regression gate: OK")
+    finish(GATES[kind](base, fresh), "bench regression gate")
 
 
 if __name__ == "__main__":

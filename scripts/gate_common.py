@@ -1,0 +1,98 @@
+"""Shared plumbing for the CI snapshot gates.
+
+Both gate scripts (check_bench_regression.py, compare_telemetry.py)
+compare a freshly produced JSON snapshot against a committed baseline
+and speak the same protocol:
+
+  exit 0  healthy
+  exit 1  regression / drift (the findings are printed to stderr,
+          prefixed REGRESSION:)
+  exit 2  bad invocation or incomparable inputs (unreadable JSON, wrong
+          snapshot kind, different --scale/--seed identity)
+
+This module holds the common pieces: JSON loading with exit-2 error
+handling, the snapshot-identity check, exact-equality comparison
+helpers, and the shared argument-parser scaffolding.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_snapshot(path):
+    """Reads a JSON snapshot; exits 2 on unreadable/invalid input."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def require_kind(snapshot, path, kinds):
+    """Exits 2 unless the snapshot's "bench" field is one of *kinds*."""
+    kind = snapshot.get("bench")
+    if kind not in kinds:
+        print(f"error: {path} has unknown bench kind {kind!r} "
+              f"(expected one of {sorted(kinds)})", file=sys.stderr)
+        sys.exit(2)
+    return kind
+
+
+def require_same_identity(base, fresh, keys=("scale", "seed")):
+    """Exits 2 when the two snapshots were produced under different
+    sweep identities; deterministic comparison is meaningless then."""
+    for key in keys:
+        if base.get(key) != fresh.get(key):
+            print(f"error: baseline and fresh run used different "
+                  f"{key!r} ({base.get(key)!r} vs {fresh.get(key)!r}); "
+                  f"deterministic comparison is meaningless",
+                  file=sys.stderr)
+            sys.exit(2)
+
+
+def check_exact(failures, label, fresh_value, base_value, why=""):
+    """Appends a failure when an exactly-deterministic field drifted."""
+    if fresh_value != base_value:
+        suffix = f" ({why})" if why else ""
+        failures.append(
+            f"{label}: {fresh_value!r} != baseline {base_value!r}{suffix}")
+
+
+def check_floor(failures, label, fresh_value, floor, why=""):
+    """Appends a failure when a ratio/percentage fell below its floor."""
+    if fresh_value < floor:
+        suffix = f" ({why})" if why else ""
+        failures.append(
+            f"{label}: {fresh_value:.2f} fell below the floor "
+            f"{floor:.2f}{suffix}")
+
+
+def make_parser(description, epilog=None):
+    """Argument parser shared by the gates: BASELINE and FRESH
+    positionals plus consistent --help formatting."""
+    parser = argparse.ArgumentParser(
+        description=description,
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "baseline",
+        metavar="BASELINE.json",
+        help="committed baseline snapshot (bench/BASELINE_*.json)")
+    parser.add_argument(
+        "fresh",
+        metavar="FRESH.json",
+        help="freshly produced snapshot to gate")
+    return parser
+
+
+def finish(failures, gate_name):
+    """Prints the verdict and exits with the protocol's code."""
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"{gate_name}: OK")
+    sys.exit(0)

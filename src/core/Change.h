@@ -37,6 +37,22 @@ enum class ChangeKind {
   PatternFix,
 };
 
+/// Stable lowercase name for a change kind ("constructive", ...), used
+/// by telemetry records and the run report.
+inline const char *changeKindName(ChangeKind K) {
+  switch (K) {
+  case ChangeKind::Constructive:
+    return "constructive";
+  case ChangeKind::Adaptation:
+    return "adaptation";
+  case ChangeKind::Removal:
+    return "removal";
+  case ChangeKind::PatternFix:
+    return "pattern-fix";
+  }
+  return "unknown";
+}
+
 /// One candidate edit produced by the enumerator.
 struct CandidateChange {
   /// The replacement subtree (already built; the searcher installs it at

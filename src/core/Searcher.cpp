@@ -20,6 +20,23 @@ bool Searcher::oracleSays() {
   return TheOracle.typechecks(Work);
 }
 
+void Searcher::note(const char *Layer, const char *Kind,
+                    const std::string &Description, const std::string &Path,
+                    bool Verdict, bool Probe, bool Batched, bool Pruned) {
+  if (!Opts.Telemetry)
+    return;
+  obs::CandidateOutcome O;
+  O.Layer = Layer;
+  O.Kind = Kind;
+  O.Description = Description;
+  O.Path = Path;
+  O.Verdict = Verdict;
+  O.Probe = Probe;
+  O.Batched = Batched;
+  O.Pruned = Pruned;
+  Opts.Telemetry->record(std::move(O));
+}
+
 bool Searcher::testWith(const NodePath &Path, ExprPtr &Replacement) {
   ExprPtr Old = replaceAtPath(Work, Path, std::move(Replacement));
   bool Ok = oracleSays();
@@ -70,6 +87,7 @@ bool Searcher::tryCandidates(const NodePath &Path,
     return tryCandidatesBatched(Path, std::move(Cands));
   TraceLayerScope Layer("constructive");
   const Expr *Node = guideActive() ? resolvePath(Work, Path) : nullptr;
+  const std::string PathStr = Opts.Telemetry ? Path.str() : std::string();
   bool Any = false;
   size_t Tried = 0;
   // The worklist grows as probes expand into follow-ups.
@@ -81,6 +99,9 @@ bool Searcher::tryCandidates(const NodePath &Path,
       // is a proven "no". Proceed exactly as a failed probe would.
       ++Guide->PrunedCandidates;
       Ok = false;
+      note("constructive", C.IsProbe ? "probe" : "constructive",
+           C.Description, PathStr, false, C.IsProbe, /*Batched=*/false,
+           /*Pruned=*/true);
     } else {
       TraceSpan Span(Opts.Trace, SpanKind::Candidate, "searcher.candidate");
       Ok = testWith(Path, C.Replacement);
@@ -91,6 +112,8 @@ bool Searcher::tryCandidates(const NodePath &Path,
         Span.attr("priority", C.Priority);
         Span.attr("verdict", Ok);
       }
+      note("constructive", C.IsProbe ? "probe" : "constructive",
+           C.Description, PathStr, Ok, C.IsProbe);
     }
     if (Ok && !C.IsProbe) {
       addSuggestion(ChangeKind::Constructive, Path, std::move(C.Replacement),
@@ -112,6 +135,7 @@ bool Searcher::tryCandidatesBatched(const NodePath &Path,
                                     std::vector<CandidateChange> Cands) {
   TraceLayerScope Layer("constructive");
   const Expr *Node = guideActive() ? resolvePath(Work, Path) : nullptr;
+  const std::string PathStr = Opts.Telemetry ? Path.str() : std::string();
   bool Any = false;
   size_t Tried = 0;
   size_t I = 0;
@@ -166,6 +190,9 @@ bool Searcher::tryCandidatesBatched(const NodePath &Path,
         Span.attr("batched", true);
       }
       Span.finish();
+      note("constructive", C.IsProbe ? "probe" : "constructive",
+           C.Description, PathStr, Ok, C.IsProbe, /*Batched=*/true,
+           /*Pruned=*/Doomed[J - I] != 0);
       if (Ok && !C.IsProbe) {
         addSuggestion(ChangeKind::Constructive, Path,
                       std::move(C.Replacement), C.Description,
@@ -196,6 +223,8 @@ bool Searcher::tryDeclChanges(unsigned DeclIndex) {
       break;
     std::swap(Work.Decls[DeclIndex], DC.Replacement);
     bool Ok = oracleSays();
+    note("decl-change", "constructive", DC.Description,
+         NodePath(DeclIndex).str(), Ok, /*Probe=*/false);
     if (Ok) {
       Suggestion S;
       S.Kind = ChangeKind::Constructive;
@@ -227,6 +256,8 @@ bool Searcher::searchExpr(const NodePath &Path) {
   // false below. Skipping the oracle call is behavior-identical.
   if (guideActive() && Guide->subtreeDoomed(*Node)) {
     ++Guide->PrunedSubtrees;
+    note("removal", "probe", "", Opts.Telemetry ? Path.str() : std::string(),
+         false, /*Probe=*/true, /*Batched=*/false, /*Pruned=*/true);
     return false;
   }
 
@@ -237,12 +268,16 @@ bool Searcher::searchExpr(const NodePath &Path) {
     Span.attr("line", int64_t(Node->Span.Begin.Line));
   }
 
+  const std::string PathStr = Opts.Telemetry ? Path.str() : std::string();
+
   // 1. Removal: can [[...]] here fix the program? If not, the error is
   // not confined to this subtree; stop (Section 2.1).
   ExprPtr Wild = makeWildcard();
   {
     TraceLayerScope Layer("removal");
-    if (!testWith(Path, Wild))
+    bool Ok = testWith(Path, Wild);
+    note("removal", "probe", "", PathStr, Ok, /*Probe=*/true);
+    if (!Ok)
       return false;
   }
 
@@ -253,12 +288,15 @@ bool Searcher::searchExpr(const NodePath &Path) {
   bool AdaptOk = false;
   if (guideActive() && Guide->adaptationDoomed(*Node)) {
     ++Guide->PrunedAdaptations;
+    note("adaptation", "adaptation", "", PathStr, false, /*Probe=*/false,
+         /*Batched=*/false, /*Pruned=*/true);
   } else {
     ExprPtr Adapted = makeAdapt(Node->clone());
     {
       TraceLayerScope Layer("adaptation");
       AdaptOk = testWith(Path, Adapted);
     }
+    note("adaptation", "adaptation", "", PathStr, AdaptOk, /*Probe=*/false);
     if (AdaptOk)
       addSuggestion(ChangeKind::Adaptation, Path, std::move(Adapted),
                     "the expression type-checks on its own but not in this "
@@ -353,6 +391,9 @@ bool Searcher::triageGeneric(const NodePath &Path) {
       PhaseSpan.attr("context_works", ContextWorks);
       PhaseSpan.attr("siblings_removed", int64_t(Removed.size()));
     }
+    note("triage", "probe", "focus child " + std::to_string(Focus),
+         Opts.Telemetry ? Path.str() : std::string(), ContextWorks,
+         /*Probe=*/true);
     if (Opts.Metric && ContextWorks)
       Opts.Metric->observe(metric::TriageRemovals, double(Removed.size()));
 
@@ -452,6 +493,9 @@ bool Searcher::triageMatch(const NodePath &Path) {
       PhaseSpan.attr("context_works", ContextWorks);
       PhaseSpan.attr("siblings_removed", int64_t(Removed.size()));
     }
+    note("triage", "probe", "focus match body " + std::to_string(Focus),
+         Opts.Telemetry ? Path.str() : std::string(), ContextWorks,
+         /*Probe=*/true);
     if (Opts.Metric && ContextWorks)
       Opts.Metric->observe(metric::TriageRemovals, double(Removed.size()));
     if (ContextWorks) {
@@ -557,6 +601,9 @@ bool Searcher::searchPatternFix(const NodePath &MatchPath,
     *Slot = makeWildPattern();
     bool Ok = oracleSays();
     *Slot = std::move(Old);
+    note("pattern-fix", "probe", "wildcard subpattern of arm",
+         Opts.Telemetry ? MatchPath.str() : std::string(), Ok,
+         /*Probe=*/true);
     if (Ok && (*Slot)->size() < BestSize) {
       Best = Slot;
       BestSize = (*Slot)->size();
@@ -662,6 +709,10 @@ SearchOutput Searcher::run(const Program &Input) {
       for (unsigned I = 0; I <= *Failing; ++I)
         Work.Decls.push_back(Input.Decls[I]->clone());
       LocalizationsSkipped = size_t(*Failing) + 1;
+      for (size_t P = 0; P < LocalizationsSkipped && Opts.Telemetry; ++P)
+        note("localize", "probe", "prefix pinned by internal inference", "",
+             /*Verdict=*/P + 1 < LocalizationsSkipped, /*Probe=*/true,
+             /*Batched=*/false, /*Pruned=*/true);
     }
   }
   if (!Failing) {
@@ -670,7 +721,10 @@ SearchOutput Searcher::run(const Program &Input) {
     TraceLayerScope Layer("localize");
     for (unsigned I = 0; I < Input.Decls.size(); ++I) {
       Work.Decls.push_back(Input.Decls[I]->clone());
-      if (!oracleSays()) {
+      bool Ok = oracleSays();
+      note("localize", "probe", "prefix through declaration", "", Ok,
+           /*Probe=*/true);
+      if (!Ok) {
         Failing = I;
         break;
       }

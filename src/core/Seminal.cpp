@@ -23,6 +23,66 @@ std::string SeminalReport::conventionalMessage() const {
   return renderConventional(CheckerError);
 }
 
+const char *seminal::suggestionLayer(const Suggestion &S) {
+  if (S.Kind == ChangeKind::Constructive && !S.Original)
+    return "decl-change"; // declaration-header tweaks carry no subtree
+  return changeKindName(S.Kind);
+}
+
+void seminal::fillRunReport(obs::RunReport &R, const SeminalReport &Report,
+                            const obs::TelemetrySink *Telemetry,
+                            double WallSeconds) {
+  R.Parsed = !Report.SyntaxError.has_value();
+  R.InputTypechecks = Report.InputTypechecks;
+  R.BudgetExhausted = Report.BudgetExhausted;
+  R.FailingDecl =
+      Report.FailingDeclIndex ? int(*Report.FailingDeclIndex) : -1;
+
+  R.Suggestions.clear();
+  for (size_t I = 0; I < Report.Suggestions.size(); ++I) {
+    const Suggestion &S = Report.Suggestions[I];
+    obs::SuggestionOutcome O;
+    O.Rank = int(I) + 1;
+    O.Kind = changeKindName(S.Kind);
+    O.Layer = suggestionLayer(S);
+    O.Description = S.Description;
+    O.Path = S.Path.str();
+    O.ViaTriage = S.ViaTriage;
+    O.InSlice = S.InSlice;
+    O.LikelyUnbound = S.LikelyUnboundVariable;
+    O.Priority = S.Priority;
+    O.OriginalSize = S.OriginalSize;
+    O.ReplacementSize = S.ReplacementSize;
+    R.Suggestions.push_back(std::move(O));
+  }
+  if (!R.Suggestions.empty()) {
+    R.WinningLayer = R.Suggestions.front().Layer;
+    R.WinningKind = R.Suggestions.front().Kind;
+  }
+
+  R.OracleCalls = Report.OracleCalls;
+  R.InferenceRuns = Report.InferenceRuns;
+  R.SlicePrunedCalls = Report.SlicePrunedCalls;
+  R.WallSeconds = WallSeconds;
+  R.Accel = Report.Accel;
+  if (Telemetry)
+    R.Layers = Telemetry->layerStats();
+  if (Report.Trace)
+    R.CallsByLayer = Report.Trace->CallsByLayer;
+
+  if (Report.Slice && Report.Slice->Valid) {
+    R.SliceValid = true;
+    R.SliceInfluence = Report.Slice->Influence.size();
+    R.SliceCore = Report.Slice->Core.size();
+    R.SliceCorePaths.clear();
+    R.SliceInfluencePaths.clear();
+    for (const caml::NodePath &P : Report.Slice->Core)
+      R.SliceCorePaths.push_back(P.str());
+    for (const caml::NodePath &P : Report.Slice->Influence)
+      R.SliceInfluencePaths.push_back(P.str());
+  }
+}
+
 SeminalReport seminal::runSeminal(const Program &Prog,
                                   const SeminalOptions &Opts) {
   SeminalReport Report;
@@ -55,6 +115,22 @@ SeminalReport seminal::runSeminal(const Program &Prog,
     }
     if (Report.Suggestions.size() > Opts.MaxSuggestions)
       Report.Suggestions.resize(Opts.MaxSuggestions);
+    // Post-ranking outcome records: one per ranked suggestion, carrying
+    // its final 1-based rank. layerStats() excludes these (the same
+    // outcomes were already recorded under their issuing layer).
+    if (Opts.Search.Telemetry) {
+      for (size_t I = 0; I < Report.Suggestions.size(); ++I) {
+        const Suggestion &S = Report.Suggestions[I];
+        obs::CandidateOutcome O;
+        O.Layer = "suggestion";
+        O.Kind = changeKindName(S.Kind);
+        O.Description = S.Description;
+        O.Path = S.Path.str();
+        O.Verdict = true;
+        O.Rank = int(I) + 1;
+        Opts.Search.Telemetry->record(std::move(O));
+      }
+    }
   }
   Report.OracleCalls = TheOracle.logicalCalls();
   Report.InferenceRuns = TheOracle.inferenceRuns();

@@ -27,6 +27,7 @@
 #include "core/Searcher.h"
 #include "minicaml/Infer.h"
 #include "minicaml/Parser.h"
+#include "obs/RunReport.h"
 #include "support/Stats.h"
 
 #include <optional>
@@ -96,6 +97,20 @@ struct SeminalReport {
   /// The conventional checker message (baseline presentation).
   std::string conventionalMessage() const;
 };
+
+/// Search layer credited with finding \p S ("constructive",
+/// "adaptation", "removal", "pattern-fix", "decl-change").
+const char *suggestionLayer(const Suggestion &S);
+
+/// Copies one run's outcome, effort and slice sections from \p Report
+/// into \p R (obs/RunReport.h). Identity and quality fields are the
+/// caller's job (the corpus sweep knows the mutation ground truth; the
+/// CLI knows the file name). \p Telemetry, when non-null, supplies the
+/// per-layer candidate tallies; \p WallSeconds stamps the run's measured
+/// wall-clock.
+void fillRunReport(obs::RunReport &R, const SeminalReport &Report,
+                   const obs::TelemetrySink *Telemetry = nullptr,
+                   double WallSeconds = 0.0);
 
 /// Runs search-based error-message generation on a parsed program.
 SeminalReport runSeminal(const caml::Program &Prog,

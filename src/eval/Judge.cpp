@@ -73,21 +73,16 @@ std::optional<unsigned> bestDistance(const NodePath &Path,
 
 } // namespace
 
-Quality seminal::judgeSeminal(const SeminalReport &Report,
-                              const std::vector<GroundTruth> &Truths) {
-  if (Report.Suggestions.empty())
-    return Quality::Poor;
-  const Suggestion &Top = Report.Suggestions.front();
-
+Quality seminal::judgeSuggestion(const Suggestion &S,
+                                 const std::vector<GroundTruth> &Truths) {
   // "Suggesting this entire code fragment be replaced does not help the
   // programmer" (Section 2.4): a removal or adaptation of a large
   // subtree is not a useful message no matter where it points.
-  if ((Top.Kind == ChangeKind::Removal ||
-       Top.Kind == ChangeKind::Adaptation) &&
-      Top.OriginalSize > 6)
+  if ((S.Kind == ChangeKind::Removal || S.Kind == ChangeKind::Adaptation) &&
+      S.OriginalSize > 6)
     return Quality::Poor;
 
-  auto D = bestDistance(Top.Path, Truths);
+  auto D = bestDistance(S.Path, Truths);
   if (!D)
     return Quality::Poor;
 
@@ -97,17 +92,32 @@ Quality seminal::judgeSeminal(const SeminalReport &Report,
   // draw the unbound conclusion at all (Section 3.3 lists it as a
   // straightforward improvement). This keeps the judge faithful to the
   // system the paper measured.
-  bool ProposesEdit = Top.Kind == ChangeKind::Constructive ||
-                      Top.Kind == ChangeKind::PatternFix;
+  bool ProposesEdit = S.Kind == ChangeKind::Constructive ||
+                      S.Kind == ChangeKind::PatternFix;
   // An adaptation pinned on exactly the mutated node names the expected
   // type at the right place -- as informative as an edit (Section 2.3).
-  if (Top.Kind == ChangeKind::Adaptation && *D == 0)
+  if (S.Kind == ChangeKind::Adaptation && *D == 0)
     ProposesEdit = true;
   if (*D <= 1 && ProposesEdit)
     return Quality::Accurate;
   if (*D <= 3)
     return Quality::GoodLocation;
   return Quality::Poor;
+}
+
+Quality seminal::judgeSeminal(const SeminalReport &Report,
+                              const std::vector<GroundTruth> &Truths) {
+  if (Report.Suggestions.empty())
+    return Quality::Poor;
+  return judgeSuggestion(Report.Suggestions.front(), Truths);
+}
+
+int seminal::rankOfTrueFix(const SeminalReport &Report,
+                           const std::vector<GroundTruth> &Truths) {
+  for (size_t I = 0; I < Report.Suggestions.size(); ++I)
+    if (judgeSuggestion(Report.Suggestions[I], Truths) == Quality::Accurate)
+      return int(I) + 1;
+  return 0;
 }
 
 Quality seminal::judgeChecker(Program &Prog,

@@ -55,9 +55,20 @@ std::optional<unsigned> pathDistance(const caml::NodePath &A,
 std::optional<caml::NodePath> pathAtOffset(caml::Program &Prog,
                                            uint32_t Offset);
 
+/// Judges one SEMINAL suggestion against the ground truth (the per-item
+/// criterion judgeSeminal applies to the top-ranked one).
+Quality judgeSuggestion(const Suggestion &S,
+                        const std::vector<GroundTruth> &Truths);
+
 /// Judges the top-ranked SEMINAL suggestion against the ground truth.
 Quality judgeSeminal(const SeminalReport &Report,
                      const std::vector<GroundTruth> &Truths);
+
+/// 1-based rank of the first suggestion judged Accurate against the
+/// ground truth -- the telemetry "rank of the true fix". 0 when no
+/// ranked suggestion is Accurate.
+int rankOfTrueFix(const SeminalReport &Report,
+                  const std::vector<GroundTruth> &Truths);
 
 /// Judges the conventional checker message against the ground truth.
 /// \p Prog must be parsed from the same source the error refers to.

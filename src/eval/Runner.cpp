@@ -3,6 +3,7 @@
 #include "eval/Runner.h"
 
 #include "core/Oracle.h"
+#include "minicaml/Hash.h"
 #include "minicaml/Parser.h"
 
 #include <cassert>
@@ -43,12 +44,19 @@ FileOutcome seminal::evaluateFile(const CorpusFile &File,
   auto CheckerError = O.conventionalError(Prog);
   Out.Checker = judgeChecker(Prog, CheckerError, File.Truths);
 
-  // SEMINAL, full configuration.
+  // SEMINAL, main configuration (full, unless the synthetic-regression
+  // knob degrades it by disabling triage).
   SeminalOptions Full;
+  Full.Search.EnableTriage = !Opts.DisableTriage;
+  obs::TelemetrySink Telemetry;
+  if (Opts.BuildReports)
+    Full.Search.Telemetry = &Telemetry;
   auto Start = std::chrono::steady_clock::now();
   SeminalReport RFull = runSeminal(Prog, Full);
   Out.FullSeconds = secondsSince(Start);
   Out.OracleCallsFull = RFull.OracleCalls;
+  Out.InferenceRunsFull = RFull.InferenceRuns;
+  Out.Accel = RFull.Accel;
   Out.Ours = judgeSeminal(RFull, File.Truths);
 
   // SEMINAL without triage.
@@ -57,6 +65,7 @@ FileOutcome seminal::evaluateFile(const CorpusFile &File,
   Start = std::chrono::steady_clock::now();
   SeminalReport RNoTriage = runSeminal(Prog, NoTriage);
   Out.NoTriageSeconds = secondsSince(Start);
+  Out.OracleCallsNoTriage = RNoTriage.OracleCalls;
   Out.OursNoTriage = judgeSeminal(RNoTriage, File.Truths);
 
   Out.Bucket = categorize(Out.Checker, Out.Ours, Out.OursNoTriage);
@@ -65,6 +74,25 @@ FileOutcome seminal::evaluateFile(const CorpusFile &File,
     SeminalOptions NoReparen;
     NoReparen.Search.Enum.EnableMatchReparen = false;
     Out.NoReparenSeconds = timeRun(File.Source, NoReparen);
+  }
+
+  if (Opts.BuildReports) {
+    obs::RunReport &R = Out.Report;
+    R.ProgramId = "p" + std::to_string(File.Programmer) + "/a" +
+                  std::to_string(File.Assignment) + "/c" +
+                  std::to_string(File.ClassId);
+    R.Programmer = File.Programmer;
+    R.Assignment = File.Assignment;
+    R.ClassId = File.ClassId;
+    R.SourceHash = hashProgram(Prog);
+    for (const GroundTruth &T : File.Truths)
+      R.MutationKinds.push_back(mutationKindName(T.Kind));
+    fillRunReport(R, RFull, &Telemetry, Out.FullSeconds);
+    R.QualityChecker = qualityName(Out.Checker);
+    R.QualityOurs = qualityName(Out.Ours);
+    R.QualityNoTriage = qualityName(Out.OursNoTriage);
+    R.Bucket = int(Out.Bucket);
+    R.RankOfTrueFix = rankOfTrueFix(RFull, File.Truths);
   }
   return Out;
 }

@@ -24,7 +24,11 @@
 
 namespace seminal {
 
-/// One evaluated file.
+/// One evaluated file. The effort counters (oracle calls, inference
+/// runs, acceleration counters, per-configuration wall-clock) are always
+/// recorded -- they are free byproducts of runs the evaluation performs
+/// anyway -- so telemetry consumers never see zero-filled fields;
+/// MeasureTimes only adds the extra no-reparen timing run of Figure 7.
 struct FileOutcome {
   int Programmer = 0;
   int Assignment = 0;
@@ -34,15 +38,34 @@ struct FileOutcome {
   Category Bucket = Category::TieNoTriage;
 
   size_t OracleCallsFull = 0;
+  size_t OracleCallsNoTriage = 0;
+  size_t InferenceRunsFull = 0;
+  /// Acceleration-layer counters of the full-configuration run.
+  AccelCounters Accel;
   double FullSeconds = 0;
   double NoReparenSeconds = 0; ///< Perf-bug change disabled.
   double NoTriageSeconds = 0;
+
+  /// Per-run telemetry record for the full-configuration run, populated
+  /// when EvalOptions::BuildReports is set (identity, quality and effort
+  /// sections all filled; see obs/RunReport.h).
+  obs::RunReport Report;
 };
 
 /// Evaluation-wide knobs.
 struct EvalOptions {
   /// Also measure wall-clock for the three Figure 7 configurations.
   bool MeasureTimes = false;
+
+  /// Build a full obs::RunReport per file (attaches a TelemetrySink to
+  /// the main run; observational only).
+  bool BuildReports = false;
+
+  /// Run the main configuration with triage disabled -- the synthetic
+  /// quality-regression knob the telemetry CI gate is tested against.
+  /// The "ours" judgment and the bucket then reflect the degraded
+  /// configuration.
+  bool DisableTriage = false;
 };
 
 struct EvalResults {

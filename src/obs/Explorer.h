@@ -1,0 +1,45 @@
+//===- Explorer.h - Offline search-explorer HTML generator ------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fuses one run's span trace (support/Trace.h) with its RunReport into
+/// a single self-contained HTML file: the search tree by layer, the
+/// oracle-call timeline, the slice overlay and the ranked suggestion
+/// list -- the debugging view the paper's authors describe assembling by
+/// hand in Section 3.1. The file embeds all data and script inline and
+/// opens standalone (no network, no external assets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_OBS_EXPLORER_H
+#define SEMINAL_OBS_EXPLORER_H
+
+#include "obs/RunReport.h"
+#include "support/Trace.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace seminal {
+namespace obs {
+
+/// Presentation knobs for the explorer page.
+struct ExplorerOptions {
+  std::string Title = "SEMINAL search explorer";
+};
+
+/// Writes the explorer page for one run. \p Events is the run's span
+/// stream (TraceSink::snapshot()); \p Report the matching RunReport;
+/// \p Source the program text shown in the source panel.
+void writeExplorerHtml(std::ostream &OS, const std::vector<TraceEvent> &Events,
+                       const RunReport &Report, const std::string &Source,
+                       const ExplorerOptions &Opts = {});
+
+} // namespace obs
+} // namespace seminal
+
+#endif // SEMINAL_OBS_EXPLORER_H

@@ -1,0 +1,44 @@
+//===- Telemetry.cpp - Outcome telemetry sink ------------------------------==//
+
+#include "obs/Telemetry.h"
+
+using namespace seminal;
+using namespace seminal::obs;
+
+void TelemetrySink::record(CandidateOutcome O) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Records.push_back(std::move(O));
+}
+
+size_t TelemetrySink::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Records.size();
+}
+
+std::vector<CandidateOutcome> TelemetrySink::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Records;
+}
+
+void TelemetrySink::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Records.clear();
+}
+
+std::map<std::string, LayerStats> TelemetrySink::layerStats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<std::string, LayerStats> Stats;
+  for (const CandidateOutcome &O : Records) {
+    if (O.Rank > 0)
+      continue; // post-ranking duplicate of an already-counted outcome
+    LayerStats &S = Stats[O.Layer];
+    if (O.Pruned) {
+      ++S.Pruned;
+    } else {
+      ++S.Tried;
+      if (O.Verdict)
+        ++S.Succeeded;
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,212 @@
+//===- JudgeTest.cpp - Unit tests for the message-quality judge -----------==//
+//
+// The judge mechanizes the paper's Section 3.1 manual analysis; these
+// tests pin its edge cases: pathDistance on same-node / divergent /
+// cross-declaration paths, the per-suggestion grading criteria (edit
+// kinds vs location-only hints, the large-removal penalty), best-match
+// judging against multiple mutations, and rank-of-true-fix.
+//
+//===----------------------------------------------------------------------==//
+
+#include "eval/Judge.h"
+
+#include <gtest/gtest.h>
+
+using namespace seminal;
+using caml::NodePath;
+
+namespace {
+
+NodePath makePath(unsigned Decl, std::initializer_list<unsigned> Steps) {
+  NodePath P(Decl);
+  for (unsigned S : Steps)
+    P = P.descend(S);
+  return P;
+}
+
+GroundTruth makeTruth(const NodePath &Path) {
+  GroundTruth T;
+  T.Kind = MutationKind::SwapCallArgs;
+  T.Path = Path;
+  return T;
+}
+
+Suggestion makeSuggestion(ChangeKind Kind, const NodePath &Path,
+                          unsigned OriginalSize = 1) {
+  Suggestion S;
+  S.Kind = Kind;
+  S.Path = Path;
+  S.OriginalSize = OriginalSize;
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// pathDistance
+//===----------------------------------------------------------------------===//
+
+TEST(PathDistanceTest, SameNodeIsZero) {
+  NodePath P = makePath(0, {1, 2});
+  EXPECT_EQ(pathDistance(P, P), std::optional<unsigned>(0));
+  // The empty path (a whole declaration) against itself, too.
+  EXPECT_EQ(pathDistance(NodePath(3), NodePath(3)),
+            std::optional<unsigned>(0));
+}
+
+TEST(PathDistanceTest, AncestorDistanceCountsEdges) {
+  NodePath Root = makePath(0, {});
+  NodePath Child = makePath(0, {1});
+  NodePath GrandChild = makePath(0, {1, 0});
+  EXPECT_EQ(pathDistance(Root, Child), std::optional<unsigned>(1));
+  EXPECT_EQ(pathDistance(Root, GrandChild), std::optional<unsigned>(2));
+  // Symmetric: descendant-to-ancestor is the same distance.
+  EXPECT_EQ(pathDistance(GrandChild, Root), std::optional<unsigned>(2));
+}
+
+TEST(PathDistanceTest, DifferentDeclarationsNeverCompare) {
+  EXPECT_EQ(pathDistance(makePath(0, {1}), makePath(1, {1})), std::nullopt);
+  // Even the trivial whole-declaration paths.
+  EXPECT_EQ(pathDistance(NodePath(0), NodePath(1)), std::nullopt);
+}
+
+TEST(PathDistanceTest, DivergentSubtreesNeverCompare) {
+  // Siblings: common ancestor, but neither is a prefix of the other.
+  EXPECT_EQ(pathDistance(makePath(0, {0}), makePath(0, {1})), std::nullopt);
+  // Diverge below a shared prefix.
+  EXPECT_EQ(pathDistance(makePath(0, {2, 0, 1}), makePath(0, {2, 1})),
+            std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// judgeSuggestion
+//===----------------------------------------------------------------------===//
+
+TEST(JudgeSuggestionTest, ConstructiveEditAtTruthIsAccurate) {
+  NodePath Truth = makePath(0, {1, 0});
+  std::vector<GroundTruth> Truths = {makeTruth(Truth)};
+  EXPECT_EQ(judgeSuggestion(makeSuggestion(ChangeKind::Constructive, Truth),
+                            Truths),
+            Quality::Accurate);
+  // One tree edge away still names the right place precisely enough.
+  EXPECT_EQ(judgeSuggestion(
+                makeSuggestion(ChangeKind::Constructive, makePath(0, {1})),
+                Truths),
+            Quality::Accurate);
+}
+
+TEST(JudgeSuggestionTest, RemovalIsAtBestGoodLocation) {
+  // A removal *hints* at the location but proposes no edit: even pinned
+  // on exactly the mutated node it grades GoodLocation (see Judge.cpp on
+  // Section 3.3's unbound-variable improvement).
+  NodePath Truth = makePath(0, {1});
+  std::vector<GroundTruth> Truths = {makeTruth(Truth)};
+  EXPECT_EQ(judgeSuggestion(makeSuggestion(ChangeKind::Removal, Truth),
+                            Truths),
+            Quality::GoodLocation);
+}
+
+TEST(JudgeSuggestionTest, AdaptationAccurateOnlyAtExactNode) {
+  NodePath Truth = makePath(0, {1});
+  std::vector<GroundTruth> Truths = {makeTruth(Truth)};
+  // Pinned exactly: names the expected type at the right place.
+  EXPECT_EQ(judgeSuggestion(makeSuggestion(ChangeKind::Adaptation, Truth),
+                            Truths),
+            Quality::Accurate);
+  // One edge off: location hint only.
+  EXPECT_EQ(judgeSuggestion(
+                makeSuggestion(ChangeKind::Adaptation, makePath(0, {})),
+                Truths),
+            Quality::GoodLocation);
+}
+
+TEST(JudgeSuggestionTest, LargeRemovalIsPoorEvenAtTruth) {
+  // "Suggesting this entire code fragment be replaced does not help the
+  // programmer" (Section 2.4).
+  NodePath Truth = makePath(0, {1});
+  std::vector<GroundTruth> Truths = {makeTruth(Truth)};
+  EXPECT_EQ(judgeSuggestion(
+                makeSuggestion(ChangeKind::Removal, Truth, /*OriginalSize=*/7),
+                Truths),
+            Quality::Poor);
+  EXPECT_EQ(judgeSuggestion(makeSuggestion(ChangeKind::Adaptation, Truth,
+                                           /*OriginalSize=*/7),
+                            Truths),
+            Quality::Poor);
+  // A constructive edit of the same size is not penalized.
+  EXPECT_EQ(judgeSuggestion(makeSuggestion(ChangeKind::Constructive, Truth,
+                                           /*OriginalSize=*/7),
+                            Truths),
+            Quality::Accurate);
+}
+
+TEST(JudgeSuggestionTest, DistanceBandsDegradeToPoor) {
+  NodePath Truth = makePath(0, {1, 0, 0, 0});
+  std::vector<GroundTruth> Truths = {makeTruth(Truth)};
+  // Three edges up: GoodLocation.
+  EXPECT_EQ(judgeSuggestion(
+                makeSuggestion(ChangeKind::Constructive, makePath(0, {1})),
+                Truths),
+            Quality::GoodLocation);
+  // Four edges up: Poor.
+  EXPECT_EQ(judgeSuggestion(
+                makeSuggestion(ChangeKind::Constructive, makePath(0, {})),
+                Truths),
+            Quality::Poor);
+  // Divergent subtree: Poor no matter how close in depth.
+  EXPECT_EQ(judgeSuggestion(
+                makeSuggestion(ChangeKind::Constructive,
+                               makePath(0, {1, 0, 0, 1})),
+                Truths),
+            Quality::Poor);
+}
+
+TEST(JudgeSuggestionTest, MultipleMutationsJudgeAgainstBestMatch) {
+  // Two injected mutations; the suggestion sits exactly on the second.
+  std::vector<GroundTruth> Truths = {makeTruth(makePath(0, {0})),
+                                     makeTruth(makePath(1, {2, 1}))};
+  EXPECT_EQ(judgeSuggestion(makeSuggestion(ChangeKind::Constructive,
+                                           makePath(1, {2, 1})),
+                            Truths),
+            Quality::Accurate);
+  // Near the first truth (one edge), divergent from the second: the
+  // *best* distance wins, so this is still Accurate.
+  EXPECT_EQ(judgeSuggestion(
+                makeSuggestion(ChangeKind::Constructive, makePath(0, {})),
+                Truths),
+            Quality::Accurate);
+  // In a declaration neither mutation touches: Poor.
+  EXPECT_EQ(judgeSuggestion(
+                makeSuggestion(ChangeKind::Constructive, makePath(2, {})),
+                Truths),
+            Quality::Poor);
+}
+
+//===----------------------------------------------------------------------===//
+// rankOfTrueFix
+//===----------------------------------------------------------------------===//
+
+TEST(RankOfTrueFixTest, FirstAccurateSuggestionWins) {
+  NodePath Truth = makePath(0, {1});
+  std::vector<GroundTruth> Truths = {makeTruth(Truth)};
+
+  SeminalReport Report;
+  // Rank 1: a removal at the truth -- GoodLocation, not the true fix.
+  Report.Suggestions.push_back(makeSuggestion(ChangeKind::Removal, Truth));
+  // Rank 2: the constructive edit at the truth -- Accurate.
+  Report.Suggestions.push_back(
+      makeSuggestion(ChangeKind::Constructive, Truth));
+  EXPECT_EQ(rankOfTrueFix(Report, Truths), 2);
+}
+
+TEST(RankOfTrueFixTest, ZeroWhenNoSuggestionIsAccurate) {
+  std::vector<GroundTruth> Truths = {makeTruth(makePath(0, {1}))};
+
+  SeminalReport Empty;
+  EXPECT_EQ(rankOfTrueFix(Empty, Truths), 0);
+
+  SeminalReport OffTarget;
+  OffTarget.Suggestions.push_back(
+      makeSuggestion(ChangeKind::Constructive, makePath(1, {0})));
+  EXPECT_EQ(rankOfTrueFix(OffTarget, Truths), 0);
+}

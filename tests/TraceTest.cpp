@@ -15,13 +15,13 @@
 //
 //===----------------------------------------------------------------------==//
 
+#include "JsonTestUtil.h"
 #include "core/Seminal.h"
 #include "minicaml/Printer.h"
 #include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cstring>
 #include <set>
 #include <sstream>
@@ -29,140 +29,6 @@
 using namespace seminal;
 
 namespace {
-
-//===----------------------------------------------------------------------===//
-// A minimal JSON validator (syntax only), enough to certify exporter
-// output without a JSON library dependency.
-//===----------------------------------------------------------------------===//
-
-class JsonValidator {
-public:
-  explicit JsonValidator(std::string Text) : S(std::move(Text)) {}
-
-  bool valid() {
-    skipWs();
-    if (!value())
-      return false;
-    skipWs();
-    return Pos == S.size();
-  }
-
-private:
-  std::string S;
-  size_t Pos = 0;
-
-  void skipWs() {
-    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
-      ++Pos;
-  }
-  bool consume(char C) {
-    if (Pos < S.size() && S[Pos] == C) {
-      ++Pos;
-      return true;
-    }
-    return false;
-  }
-  bool literal(const char *Lit) {
-    size_t N = std::strlen(Lit);
-    if (S.compare(Pos, N, Lit) != 0)
-      return false;
-    Pos += N;
-    return true;
-  }
-  bool string() {
-    if (!consume('"'))
-      return false;
-    while (Pos < S.size() && S[Pos] != '"') {
-      if (S[Pos] == '\\') {
-        ++Pos;
-        if (Pos >= S.size())
-          return false;
-        char E = S[Pos];
-        if (E == 'u') {
-          for (int I = 0; I < 4; ++I) {
-            ++Pos;
-            if (Pos >= S.size() ||
-                !std::isxdigit(static_cast<unsigned char>(S[Pos])))
-              return false;
-          }
-        } else if (!std::strchr("\"\\/bfnrt", E)) {
-          return false;
-        }
-      } else if (static_cast<unsigned char>(S[Pos]) < 0x20) {
-        return false; // unescaped control character
-      }
-      ++Pos;
-    }
-    return consume('"');
-  }
-  bool number() {
-    size_t Start = Pos;
-    if (Pos < S.size() && S[Pos] == '-')
-      ++Pos;
-    while (Pos < S.size() &&
-           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
-            std::strchr(".eE+-", S[Pos])))
-      ++Pos;
-    return Pos > Start;
-  }
-  bool value() {
-    skipWs();
-    if (Pos >= S.size())
-      return false;
-    char C = S[Pos];
-    if (C == '{')
-      return object();
-    if (C == '[')
-      return array();
-    if (C == '"')
-      return string();
-    if (C == 't')
-      return literal("true");
-    if (C == 'f')
-      return literal("false");
-    if (C == 'n')
-      return literal("null");
-    return number();
-  }
-  bool object() {
-    if (!consume('{'))
-      return false;
-    skipWs();
-    if (consume('}'))
-      return true;
-    for (;;) {
-      skipWs();
-      if (!string())
-        return false;
-      skipWs();
-      if (!consume(':'))
-        return false;
-      if (!value())
-        return false;
-      skipWs();
-      if (consume('}'))
-        return true;
-      if (!consume(','))
-        return false;
-    }
-  }
-  bool array() {
-    if (!consume('['))
-      return false;
-    skipWs();
-    if (consume(']'))
-      return true;
-    for (;;) {
-      if (!value())
-        return false;
-      skipWs();
-      if (consume(']'))
-        return true;
-      if (!consume(','))
-        return false;
-    }
-  }
-};
 
 /// The Figure 2 program: deep enough to exercise localization, decl
 /// changes, adaptation, constructive candidates, and type queries.
