@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+#include "core/CheckpointedOracle.h"
 #include "core/Oracle.h"
 #include "core/Seminal.h"
 #include "corpus/Generator.h"
@@ -20,7 +22,14 @@
 #include <sstream>
 
 using namespace seminal;
+using namespace seminal::bench;
 using namespace seminal::caml;
+
+// Heap-allocation accounting for the --json report below. Timing-mode
+// numbers from this binary therefore include the interposer's small
+// constant overhead; it is uniform across benchmarks, and the absolute
+// timings here are characterization, not a CI gate.
+SEMINAL_BENCH_COUNT_ALLOCATIONS()
 
 namespace {
 
@@ -144,6 +153,157 @@ void BM_MutateProgram(benchmark::State &State) {
 }
 BENCHMARK(BM_MutateProgram);
 
+//===----------------------------------------------------------------------===//
+// Allocation report (--json mode)
+//===----------------------------------------------------------------------===//
+//
+// Measures the allocator load of the candidate pipeline with the
+// hash-consed arena on vs off. The headline scenario drives repeated
+// candidate waves at a seeded oracle -- the searcher's steady state,
+// where the same edited declarations recur across probes, siblings and
+// follow-up families. The legacy path materializes and hashes a decl
+// clone per candidate per wave; the arena path interns once and then
+// answers every repeat with integer lookups, which is where the >10x
+// allocation reduction gated by scripts/check_bench_regression.py
+// comes from.
+
+struct AllocScenario {
+  const char *Name;
+  AllocReport R;
+};
+
+/// One candidate-wave workload: \p Waves batches of the same \p
+/// Replacements (each candidate appearing twice per wave, so intra-wave
+/// dedup is exercised) against a prefix-seeded oracle.
+AllocReport runCandidateWaves(bool UseArena, unsigned Waves) {
+  ParseResult P = parseProgram("let helper a b = a + b\n"
+                               "let target x = helper x 1\n");
+  OracleAccelOptions Accel;
+  Accel.ParallelBatch = true;
+  // Keep the measurement single-threaded and deterministic: batches
+  // this small run on the dispatching thread anyway, and a pool would
+  // add its own allocations.
+  Accel.MinParallelItems = 1u << 30;
+  Accel.Arena = UseArena;
+
+  // Candidate replacements for `target`'s initializer; built outside
+  // the measured scope, like the enumerator's candidates are built once
+  // per node while the oracle sees them wave after wave.
+  std::vector<ExprPtr> Owned;
+  for (int I = 0; I < 24; ++I)
+    Owned.push_back(makeApp(makeVar("helper"),
+                            [&] {
+                              std::vector<ExprPtr> Args;
+                              Args.push_back(makeVar("x"));
+                              Args.push_back(makeIntLit(I));
+                              return Args;
+                            }()));
+  std::vector<const Expr *> Reps;
+  for (const ExprPtr &E : Owned) {
+    Reps.push_back(E.get());
+    Reps.push_back(E.get()); // Intra-wave duplicate.
+  }
+
+  NodePath Path(1); // Empty Steps: replace the whole initializer.
+
+  CheckpointedOracle O(Accel);
+  O.seedPrefix(*P.Prog, 1);
+
+  AllocScope Scope;
+  for (unsigned W = 0; W < Waves; ++W) {
+    auto Verdicts = O.typecheckBatch(*P.Prog, Path, Reps);
+    benchmark::DoNotOptimize(Verdicts);
+  }
+  return Scope.finish();
+}
+
+/// End-to-end search allocation footprint (informational rows: the
+/// totals are dominated by inference, which the arena does not touch).
+AllocReport runSearchScenario(bool UseArena) {
+  std::string Source =
+      "let map2 f aList bList =\n"
+      "  List.map (fun (a, b) -> f a b) (List.combine aList bList)\n"
+      "let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n"
+      "let ans = List.filter (fun x -> x == 0) lst\n";
+  SeminalOptions Opts;
+  Opts.Search.Accel.Arena = UseArena;
+  AllocScope Scope;
+  SeminalReport R = runSeminalOnSource(Source, Opts);
+  benchmark::DoNotOptimize(R);
+  return Scope.finish();
+}
+
+int runAllocReport(const DriverOptions &Driver) {
+  if (!allocCountingActive()) {
+    std::fprintf(stderr, "allocation interposer not linked?\n");
+    return 1;
+  }
+  const unsigned Waves = 100;
+
+  std::vector<AllocScenario> Rows;
+  Rows.push_back({"candidate-waves legacy",
+                  runCandidateWaves(/*UseArena=*/false, Waves)});
+  Rows.push_back({"candidate-waves arena",
+                  runCandidateWaves(/*UseArena=*/true, Waves)});
+  Rows.push_back({"search-figure2 legacy", runSearchScenario(false)});
+  Rows.push_back({"search-figure2 arena", runSearchScenario(true)});
+
+  double Reduction =
+      Rows[1].R.Allocs
+          ? double(Rows[0].R.Allocs) / double(Rows[1].R.Allocs)
+          : 0.0;
+
+  header("Allocation report: candidate pipeline, arena off vs on");
+  std::printf("%-28s %12s %14s\n", "scenario", "allocs", "peak bytes");
+  rule();
+  for (const AllocScenario &Row : Rows)
+    std::printf("%-28s %12llu %14llu\n", Row.Name,
+                (unsigned long long)Row.R.Allocs,
+                (unsigned long long)Row.R.PeakBytes);
+  rule();
+  std::printf("candidate-wave allocation reduction: %.1fx\n", Reduction);
+
+  if (!Driver.JsonPath.empty()) {
+    std::FILE *F = std::fopen(Driver.JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Driver.JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(F, "{\n  \"bench\": \"micro_allocs\",\n");
+    std::fprintf(F, "  \"scale\": %g,\n  \"seed\": %llu,\n", Driver.Scale,
+                 (unsigned long long)Driver.Seed);
+    std::fprintf(F, "  \"waves\": %u,\n", Waves);
+    std::fprintf(F, "  \"alloc_reduction\": %.4f,\n", Reduction);
+    std::fprintf(F, "  \"scenarios\": [\n");
+    for (size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"allocs\": %llu, "
+                   "\"peak_bytes\": %llu}%s\n",
+                   Rows[I].Name, (unsigned long long)Rows[I].R.Allocs,
+                   (unsigned long long)Rows[I].R.PeakBytes,
+                   I + 1 < Rows.size() ? "," : "");
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", Driver.JsonPath.c_str());
+  }
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  // Driver-style arguments select the allocation report; anything else
+  // goes to google-benchmark (timing mode).
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--json", 6) == 0 ||
+        std::strncmp(Argv[I], "--scale", 7) == 0 ||
+        std::strncmp(Argv[I], "--seed", 6) == 0)
+      return runAllocReport(parseDriverArgs(Argc, Argv));
+
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,17 @@ oracle_calls_accel (bench_oracle_calls):
     acceleration layer (or the tracing-disabled fast path it sits on)
     regressed.
 
+micro_allocs (bench_micro --json):
+  * The candidate-wave allocation reduction (legacy vs arena pipeline,
+    measured in the same process by the counting operator-new
+    interposer) must stay above the hard 10x floor and above
+    REGRESSION_FRACTION of the baseline's ratio.
+  * The arena scenarios' absolute allocation counts are deterministic
+    for a given libstdc++, but not across toolchains, so they are gated
+    with a 1.25x tolerance rather than exact equality: enough slack for
+    container implementation drift, tight enough to catch reintroduced
+    per-candidate clone traffic.
+
 slice_ablation (bench_slice_ablation):
   * slice-guided must have produced byte-identical suggestion lists to
     slice-ranked on every file (pruning soundness).
@@ -74,6 +85,40 @@ def check_oracle_calls(base, fresh):
     return failures
 
 
+ALLOC_HARD_FLOOR = 10.0     # absolute floor on the candidate-wave ratio
+ALLOC_COUNT_TOLERANCE = 1.25  # per-scenario alloc-count drift allowance
+
+
+def check_micro_allocs(base, fresh):
+    failures = []
+    base_rows = {r["name"]: r for r in base["scenarios"]}
+    fresh_rows = {r["name"]: r for r in fresh["scenarios"]}
+    if set(base_rows) != set(fresh_rows):
+        failures.append(
+            f"scenario set changed: {sorted(base_rows)} vs "
+            f"{sorted(fresh_rows)}")
+    check_exact(failures, "waves", fresh.get("waves"), base.get("waves"),
+                "scenario shape changed; refresh the baseline deliberately")
+
+    for name in sorted(set(base_rows) & set(fresh_rows)):
+        ceiling = base_rows[name]["allocs"] * ALLOC_COUNT_TOLERANCE
+        allocs = fresh_rows[name]["allocs"]
+        if allocs > ceiling:
+            failures.append(
+                f"[{name}] allocs {allocs} exceeds {ceiling:.0f} "
+                f"({ALLOC_COUNT_TOLERANCE}x baseline "
+                f"{base_rows[name]['allocs']})")
+
+    base_ratio = base.get("alloc_reduction", 0.0)
+    fresh_ratio = fresh.get("alloc_reduction", 0.0)
+    floor = max(ALLOC_HARD_FLOOR, base_ratio * REGRESSION_FRACTION)
+    check_floor(failures, "alloc_reduction", fresh_ratio, floor,
+                "arena pipeline lost its copy-free property")
+    print(f"baseline alloc reduction {base_ratio:.1f}x, fresh "
+          f"{fresh_ratio:.1f}x (floor {floor:.1f}x)")
+    return failures
+
+
 def check_slice_ablation(base, fresh):
     failures = []
     for name, b, f in config_rows(failures, base, fresh):
@@ -97,6 +142,7 @@ def check_slice_ablation(base, fresh):
 
 GATES = {
     "oracle_calls_accel": check_oracle_calls,
+    "micro_allocs": check_micro_allocs,
     "slice_ablation": check_slice_ablation,
 }
 

@@ -112,6 +112,35 @@ bool SliceGuide::candidateDoomed(const Expr &Orig, const Expr &Repl) const {
   return diffConfined(Orig, Repl);
 }
 
+bool SliceGuide::diffConfinedIds(const Expr &Orig, AstArena::ExprId OrigId,
+                                 const Expr &Repl, AstArena::ExprId ReplId,
+                                 const AstArena &Arena) const {
+  // Identical interned subtrees: diffConfined would find equal heads all
+  // the way down and return true; one integer comparison settles it.
+  if (OrigId == ReplId)
+    return true;
+  if (headEquals(Orig, Repl)) {
+    // Equal heads with different ids: some child differs; recurse with
+    // the interned children so shared subtrees short-circuit again.
+    const std::vector<AstArena::ExprId> &OC = Arena.exprChildren(OrigId);
+    const std::vector<AstArena::ExprId> &RC = Arena.exprChildren(ReplId);
+    for (unsigned I = 0; I < Orig.numChildren(); ++I)
+      if (!diffConfinedIds(*Orig.child(I), OC[I], *Repl.child(I), RC[I],
+                           Arena))
+        return false;
+    return true;
+  }
+  return CoreClosureExprs.count(&Orig) == 0;
+}
+
+bool SliceGuide::candidateDoomed(const Expr &Orig, AstArena::ExprId OrigId,
+                                 const Expr &Repl, AstArena::ExprId ReplId,
+                                 const AstArena &Arena) const {
+  if (!WitnessOk || InfluenceExprs.empty())
+    return false;
+  return diffConfinedIds(Orig, OrigId, Repl, ReplId, Arena);
+}
+
 bool SliceGuide::argumentsDoomed(const Expr &App) const {
   if (InfluenceExprs.empty())
     return false;

@@ -21,6 +21,7 @@
 #define SEMINAL_ANALYSIS_SLICEGUIDE_H
 
 #include "analysis/Slice.h"
+#include "minicaml/Arena.h"
 #include "minicaml/Ast.h"
 
 #include <cstddef>
@@ -71,6 +72,15 @@ public:
   /// probe without the call.
   bool candidateDoomed(const caml::Expr &Orig, const caml::Expr &Repl) const;
 
+  /// Overlay-spine variant of candidateDoomed: \p OrigId / \p ReplId are
+  /// the two trees' interned ids in \p Arena. Identical subtrees compare
+  /// as one integer, so the walk visits only the edit spine where the
+  /// trees actually differ instead of re-diffing shared structure.
+  /// Result-identical to candidateDoomed (asserted by ArenaTest).
+  bool candidateDoomed(const caml::Expr &Orig, caml::AstArena::ExprId OrigId,
+                       const caml::Expr &Repl, caml::AstArena::ExprId ReplId,
+                       const caml::AstArena &Arena) const;
+
   /// True when \p Node is in the minimized core (the ranker's boost set).
   bool inCore(const caml::Expr &Node) const {
     return CoreExprs.count(&Node) != 0;
@@ -99,6 +109,9 @@ public:
 private:
   size_t influenceInside(const caml::Expr &Root) const;
   bool diffConfined(const caml::Expr &Orig, const caml::Expr &Repl) const;
+  bool diffConfinedIds(const caml::Expr &Orig, caml::AstArena::ExprId OrigId,
+                       const caml::Expr &Repl, caml::AstArena::ExprId ReplId,
+                       const caml::AstArena &Arena) const;
 
   std::unordered_set<const caml::Expr *> InfluenceExprs;
   std::unordered_set<const caml::Expr *> CoreExprs;

@@ -18,14 +18,52 @@
 #ifndef SEMINAL_CORE_CHANGE_H
 #define SEMINAL_CORE_CHANGE_H
 
+#include "minicaml/Arena.h"
 #include "minicaml/Ast.h"
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace seminal {
+
+/// A whole program held either eagerly (an owned clone) or as interned
+/// declaration ids over a shared hash-consing arena, materialized on
+/// first access. Suggestions carry their modified program this way so
+/// that confirming a candidate costs O(edit spine) interned nodes, not a
+/// deep copy; the tree is only built if something (the evaluation judge,
+/// a test) actually reads it. Converts implicitly to const Program&, so
+/// consumers are oblivious to which representation they got.
+class LazyProgram {
+public:
+  LazyProgram() = default;
+  LazyProgram(caml::Program P) : Cache(std::move(P)), Materialized(true) {}
+  LazyProgram(std::shared_ptr<caml::AstArena> Arena,
+              std::vector<caml::AstArena::DeclId> Decls)
+      : Arena(std::move(Arena)), DeclIds(std::move(Decls)) {}
+  LazyProgram(LazyProgram &&) = default;
+  LazyProgram &operator=(LazyProgram &&) = default;
+
+  operator const caml::Program &() const { return get(); }
+
+  const caml::Program &get() const {
+    if (!Materialized) {
+      Cache.Decls.reserve(DeclIds.size());
+      for (caml::AstArena::DeclId Id : DeclIds)
+        Cache.Decls.push_back(Arena->materializeDecl(Id));
+      Materialized = true;
+    }
+    return Cache;
+  }
+
+private:
+  std::shared_ptr<caml::AstArena> Arena;
+  std::vector<caml::AstArena::DeclId> DeclIds;
+  mutable caml::Program Cache;
+  mutable bool Materialized = false;
+};
 
 /// Classification of a successful change, in the ranker's preference
 /// order: Constructive > Adaptation > Removal (Sections 2.1-2.3);
@@ -122,8 +160,9 @@ struct Suggestion {
   bool InSlice = false;
 
   /// The whole modified program (for triage: includes sibling wildcards,
-  /// so it need not type-check by itself). Used by the evaluation judge.
-  caml::Program Modified;
+  /// so it need not type-check by itself). Used by the evaluation judge;
+  /// stored as arena overlays and materialized only when read.
+  LazyProgram Modified;
 
   Suggestion() = default;
   Suggestion(Suggestion &&) = default;

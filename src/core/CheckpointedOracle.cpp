@@ -10,8 +10,24 @@
 using namespace seminal;
 using namespace seminal::caml;
 
-CheckpointedOracle::CheckpointedOracle(const OracleAccelOptions &Accel)
-    : Accel(Accel) {}
+CheckpointedOracle::CheckpointedOracle(const OracleAccelOptions &Accel,
+                                       std::shared_ptr<AstArena> Arena)
+    : Accel(Accel), TheArena(std::move(Arena)) {
+  if (this->Accel.Arena && !TheArena)
+    TheArena = std::make_shared<AstArena>();
+  if (!this->Accel.Arena)
+    TheArena.reset(); // The toggle wins over an injected arena.
+}
+
+void CheckpointedOracle::syncArenaStats() {
+  const AstArena::Stats &S = TheArena->stats();
+  Counters.ArenaNodes = S.Nodes;
+  Counters.ArenaHits = S.Hits;
+  Counters.ArenaBytes = S.Bytes;
+  LastArenaNodes = S.Nodes;
+  LastArenaHits = S.Hits;
+  LastArenaBytes = S.Bytes;
+}
 
 CheckpointedOracle::~CheckpointedOracle() = default;
 
@@ -78,6 +94,9 @@ void CheckpointedOracle::clearPrefix() {
   Checkpoint.reset();
   WorkerCheckpoints.clear();
   VerdictCache.clear();
+  // Verdicts are relative to the prefix environment, so they go; the
+  // arena's interned nodes stay valid across prefixes (and requests).
+  VerdictById.clear();
 }
 
 void CheckpointedOracle::resetGrowth() {
@@ -215,6 +234,26 @@ bool CheckpointedOracle::typecheckImpl(const Program &Prog) {
   if (!Accel.VerdictCache)
     return inferEditedDecl(D, Prog);
 
+  if (TheArena) {
+    // Interning replaces hash-plus-deep-compare: the walk reuses existing
+    // nodes (near-zero allocation on repeats) and the resulting id *is*
+    // the structural identity, so the probe is one integer lookup.
+    AstArena::DeclId Id = TheArena->internDecl(D);
+    syncArenaStats();
+    auto Known = VerdictById.find(Id);
+    if (Known != VerdictById.end()) {
+      ++Counters.CacheHits;
+      LastServedBy = "verdict-cache";
+      LastCacheHit = true;
+      return Known->second;
+    }
+    ++Counters.CacheMisses;
+    bool Verdict = inferEditedDecl(D, Prog);
+    VerdictById.emplace(Id, Verdict);
+    syncArenaStats();
+    return Verdict;
+  }
+
   uint64_t H = hashDecl(D);
   if (const CacheEntry *E = cacheLookup(H, D)) {
     ++Counters.CacheHits;
@@ -286,6 +325,9 @@ std::vector<bool> CheckpointedOracle::typecheckBatchImpl(
   if (!Accel.ParallelBatch || !matchesSeed(Base) ||
       Path.DeclIndex != EditedIndex)
     return Oracle::typecheckBatchImpl(Base, Path, Replacements);
+
+  if (TheArena && Accel.VerdictCache)
+    return typecheckBatchArena(Base, Path, Replacements);
 
   size_t N = Replacements.size();
   ++Counters.BatchesDispatched;
@@ -449,5 +491,162 @@ std::vector<bool> CheckpointedOracle::typecheckBatchImpl(
     assert(Verdicts[I] >= 0 && "batch item left unresolved");
     Result[I] = Verdicts[I] != 0;
   }
+  return Result;
+}
+
+std::vector<bool> CheckpointedOracle::typecheckBatchArena(
+    const Program &Base, const NodePath &Path,
+    const std::vector<const Expr *> &Replacements) {
+  size_t N = Replacements.size();
+  ++Counters.BatchesDispatched;
+  Counters.BatchItems += N;
+
+  // Copy-free candidate construction: intern the edited declaration once
+  // (pure table hits after the first batch of a wave), then build each
+  // candidate as a path-copied overlay. No candidate program exists as a
+  // tree at this point -- only O(spine) interned nodes per novel edit.
+  AstArena &A = *TheArena;
+  AstArena::DeclId BaseId = A.internDecl(*Base.Decls[EditedIndex]);
+  std::vector<AstArena::DeclId> Ids(N, AstArena::InvalidId);
+  for (size_t I = 0; I < N; ++I)
+    Ids[I] =
+        A.overlayDecl(BaseId, Path.Steps, A.internExpr(*Replacements[I]));
+
+  // Tracing mirrors the hash-keyed batch: one OracleCall span per logical
+  // call, hits and duplicates emitted on the dispatching thread.
+  const char *Layer = traceCurrentLayer();
+  auto EmitItemSpan = [&](bool Verdict, const char *ServedBy, bool CacheHit,
+                          double LatencyUs) {
+    TraceSpan Span(TraceOut, SpanKind::OracleCall, "oracle.typecheck");
+    if (!Span.enabled())
+      return;
+    Span.setParent(BatchSpanId);
+    Span.attr("layer", Layer);
+    Span.attr("verdict", Verdict);
+    Span.attr("cache_hit", CacheHit);
+    Span.attr("served_by", ServedBy);
+    Span.attr("latency_us", LatencyUs);
+  };
+
+  // Serial pass: id lookups against the cache, then wave-level overlay
+  // dedup -- two candidates collapsing to the same interned tree are
+  // detected by comparing two integers (the legacy path needed a hash
+  // bucket scan plus deep equality). Only distinct misses materialize,
+  // here on the dispatching thread: pool workers never touch the arena.
+  std::vector<int> Verdicts(N, -1);
+  std::vector<size_t> Pending;            // Indices needing inference.
+  std::vector<DeclPtr> PendingDecls;      // Their materialized trees.
+  std::vector<size_t> DupOf(N, ~size_t(0)); // Intra-batch representative.
+  std::unordered_map<AstArena::DeclId, size_t> FreshById;
+  uint64_t Collapsed = 0;
+  for (size_t I = 0; I < N; ++I) {
+    auto Known = VerdictById.find(Ids[I]);
+    if (Known != VerdictById.end()) {
+      ++Counters.CacheHits;
+      Verdicts[I] = Known->second;
+      EmitItemSpan(Known->second, "verdict-cache", true, 0.0);
+      continue;
+    }
+    auto Fresh = FreshById.find(Ids[I]);
+    if (Fresh != FreshById.end()) {
+      // Same interned tree as an earlier candidate in this wave: billed
+      // as a cache hit exactly like the legacy dedup, plus the collapse
+      // counter the telemetry explorer reports per layer.
+      ++Counters.CacheHits;
+      ++Collapsed;
+      DupOf[I] = Fresh->second;
+      continue;
+    }
+    ++Counters.CacheMisses;
+    FreshById.emplace(Ids[I], I);
+    Pending.push_back(I);
+    PendingDecls.push_back(A.materializeDecl(Ids[I]));
+  }
+  Counters.WaveCollapsed += Collapsed;
+  LastWaveCollapsed = Collapsed;
+
+  // Parallel pass over the distinct misses; identical to the hash-keyed
+  // batch except items come from PendingDecls.
+  if (!Pending.empty()) {
+    std::vector<char> Ok(Pending.size(), 0);
+    std::vector<size_t> Allocated(Pending.size(), 0);
+    std::vector<char> Incremental(Pending.size(), 0);
+    bool Traced = TraceOut || MetricsOut;
+    auto CheckItem = [&](unsigned Worker, size_t Item) {
+      TraceSpan Span(TraceOut, SpanKind::OracleCall, "oracle.typecheck");
+      Span.setParent(BatchSpanId);
+      auto Start = Traced ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point();
+      const Decl &D = *PendingDecls[Item];
+      if (InferenceCheckpoint *CP = workerCheckpoint(Worker)) {
+        TypecheckResult R = CP->checkDecl(D);
+        Ok[Item] = R.ok();
+        Allocated[Item] = R.TypesAllocated;
+        Incremental[Item] = 1;
+      } else {
+        Program Variant = PrefixClone.clone();
+        Variant.Decls.push_back(D.clone());
+        TypecheckResult R = typecheckProgram(Variant);
+        Ok[Item] = R.ok();
+        Allocated[Item] = R.TypesAllocated;
+      }
+      if (!Traced)
+        return;
+      double Us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+      if (Span.enabled()) {
+        Span.attr("layer", Layer);
+        Span.attr("verdict", bool(Ok[Item]));
+        Span.attr("cache_hit", false);
+        Span.attr("served_by", Incremental[Item] ? "checkpoint-incremental"
+                                                 : "full-inference");
+        Span.attr("worker", int64_t(Worker));
+        Span.attr("latency_us", Us);
+      }
+      if (MetricsOut) {
+        MetricsOut->observe(metric::OracleLatencyUs, Us);
+        if (Incremental[Item])
+          MetricsOut->observe(metric::CheckpointReuseDepth,
+                              double(EditedIndex));
+      }
+    };
+    if (Pending.size() < Accel.MinParallelItems) {
+      for (size_t Item = 0; Item < Pending.size(); ++Item)
+        CheckItem(0, Item);
+    } else {
+      if (!Pool)
+        Pool = std::make_unique<ThreadPool>(Accel.Threads);
+      if (WorkerCheckpoints.size() + 1 < Pool->numThreads())
+        WorkerCheckpoints.resize(Pool->numThreads() - 1);
+      Pool->parallelFor(Pending.size(), CheckItem);
+    }
+    for (size_t Item = 0; Item < Pending.size(); ++Item) {
+      size_t I = Pending[Item];
+      Verdicts[I] = Ok[Item];
+      Counters.TypesAllocated += Allocated[Item];
+      if (Incremental[Item]) {
+        ++Counters.IncrementalInferences;
+        Counters.DeclInferencesSaved += EditedIndex;
+      } else {
+        ++Counters.FullInferences;
+        if (Accel.Checkpoint)
+          ++Counters.CheckpointFallbacks;
+      }
+      VerdictById.emplace(Ids[I], Ok[Item] != 0);
+    }
+  }
+
+  // Settle intra-batch duplicates off their representatives.
+  std::vector<bool> Result(N);
+  for (size_t I = 0; I < N; ++I) {
+    if (DupOf[I] != ~size_t(0)) {
+      Verdicts[I] = Verdicts[DupOf[I]];
+      EmitItemSpan(Verdicts[I] != 0, "batch-dedup", true, 0.0);
+    }
+    assert(Verdicts[I] >= 0 && "batch item left unresolved");
+    Result[I] = Verdicts[I] != 0;
+  }
+  syncArenaStats();
   return Result;
 }

@@ -21,6 +21,14 @@
 ///      change collections regenerate identical candidates, e.g. wildcard
 ///      placements revisited across phases); hash hits are confirmed with
 ///      a deep equality check, so a collision can never flip a verdict.
+///      With the hash-consing arena enabled (OracleAccelOptions::Arena,
+///      minicaml/Arena.h) the cache is keyed on interned node ids
+///      instead: a probe is one integer lookup with no stored clones, and
+///      batch candidates are built as path-copied overlays over the
+///      interned base declaration rather than cloned programs, so two
+///      candidates collapsing to the same tree are found by comparing two
+///      integers (counted as WaveCollapsed). Verdicts and hit/miss
+///      accounting are bit-identical to the hash-keyed path.
 ///   3. Batched parallel evaluation -- typecheckBatch() fans independent
 ///      candidates out over a thread pool, one inference checkpoint per
 ///      worker, collecting verdicts rank-stably in input order.
@@ -44,6 +52,7 @@
 #define SEMINAL_CORE_CHECKPOINTEDORACLE_H
 
 #include "core/Oracle.h"
+#include "minicaml/Arena.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
@@ -56,8 +65,17 @@ namespace seminal {
 /// Drop-in replacement for CamlOracle with the acceleration layer.
 class CheckpointedOracle : public Oracle {
 public:
-  explicit CheckpointedOracle(const OracleAccelOptions &Accel = {});
+  /// \p Arena may be shared with the searcher (so suggestion overlays and
+  /// verdict-cache keys live in one store); when null and Accel.Arena is
+  /// set the oracle creates a private arena. The arena outlives every
+  /// seedPrefix/clearPrefix cycle -- interned nodes are immortal, which
+  /// is what lets a future daemon share them across requests.
+  explicit CheckpointedOracle(const OracleAccelOptions &Accel = {},
+                              std::shared_ptr<caml::AstArena> Arena = nullptr);
   ~CheckpointedOracle() override;
+
+  /// The hash-consing arena (null when the layer is disabled).
+  const std::shared_ptr<caml::AstArena> &arena() const { return TheArena; }
 
   // Oracle interface --------------------------------------------------------
   std::optional<caml::TypeError>
@@ -81,6 +99,15 @@ protected:
       override;
 
 private:
+  /// The copy-free batch: candidates become arena overlays of the interned
+  /// base declaration; only distinct verdict-cache misses are materialized
+  /// (serially, before fan-out) for inference.
+  std::vector<bool>
+  typecheckBatchArena(const caml::Program &Base, const caml::NodePath &Path,
+                      const std::vector<const caml::Expr *> &Replacements);
+
+  /// Mirrors arena occupancy into Counters and the batch-span fields.
+  void syncArenaStats();
   /// One memoized verdict; the clone confirms hash hits structurally.
   struct CacheEntry {
     caml::DeclPtr EditedDecl;
@@ -136,6 +163,13 @@ private:
   std::unique_ptr<caml::InferenceCheckpoint> Checkpoint;
   std::vector<std::unique_ptr<caml::InferenceCheckpoint>> WorkerCheckpoints;
   std::unordered_map<uint64_t, std::vector<CacheEntry>> VerdictCache;
+
+  /// Arena-keyed verdict cache: canonical declaration id -> verdict. Id
+  /// equality is structural equality, so no confirming deep compare and
+  /// no stored clones. Cleared with the prefix (verdicts depend on the
+  /// prefix environment); the arena itself persists.
+  std::shared_ptr<caml::AstArena> TheArena;
+  std::unordered_map<caml::AstArena::DeclId, bool> VerdictById;
 
   std::unique_ptr<ThreadPool> Pool; ///< Created on first batch.
 };

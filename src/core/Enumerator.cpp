@@ -40,6 +40,66 @@ std::vector<std::vector<unsigned>> nonIdentityPermutations(unsigned N) {
   return Result;
 }
 
+/// The argument-permutation family for application \p Node (arity
+/// \p NumArgs), minus the permutations cheaper passes already tried.
+std::vector<CandidateChange> emitArgPermutations(const Expr &Node,
+                                                 unsigned NumArgs) {
+  std::vector<CandidateChange> Perms;
+  for (const auto &Perm : nonIdentityPermutations(NumArgs)) {
+    // Skip adjacent swaps and the full reversal: already tried.
+    bool IsAdjacentSwap = false;
+    unsigned Diffs = 0;
+    for (unsigned I = 0; I < NumArgs; ++I)
+      if (Perm[I] != I)
+        ++Diffs;
+    if (Diffs == 2)
+      IsAdjacentSwap = true; // any transposition of two positions
+    bool IsReversal = true;
+    for (unsigned I = 0; I < NumArgs; ++I)
+      if (Perm[I] != NumArgs - 1 - I)
+        IsReversal = false;
+    if (IsAdjacentSwap || IsReversal)
+      continue;
+    std::vector<ExprPtr> Args;
+    for (unsigned I = 0; I < NumArgs; ++I)
+      Args.push_back(Node.child(Perm[I] + 1)->clone());
+    Perms.push_back(change(makeApp(Node.child(0)->clone(), std::move(Args)),
+                           "permute the call's arguments"));
+  }
+  return Perms;
+}
+
+/// The component-permutation family for tuple \p Node (arity \p N).
+std::vector<CandidateChange> emitTuplePermutations(const Expr &Node,
+                                                   unsigned N) {
+  std::vector<CandidateChange> Perms;
+  for (const auto &Perm : nonIdentityPermutations(N)) {
+    std::vector<ExprPtr> Elems;
+    for (unsigned I = 0; I < N; ++I)
+      Elems.push_back(Node.child(Perm[I])->clone());
+    Perms.push_back(change(makeTuple(std::move(Elems)),
+                           "permute the tuple's components"));
+  }
+  return Perms;
+}
+
+/// A thunk that rebuilds \p Node on demand for a deferred follow-up
+/// family. With an arena the closure captures the overlay spine (shared
+/// arena + interned id) and materializes only if the family actually
+/// fires; without one it falls back to owning a clone for its lifetime.
+std::function<std::vector<CandidateChange>()>
+deferredFamily(const Expr &Node, const EnumeratorOptions &Opts,
+               std::vector<CandidateChange> (*Emit)(const Expr &, unsigned),
+               unsigned Arity) {
+  if (Opts.Arena) {
+    std::shared_ptr<AstArena> A = Opts.Arena;
+    AstArena::ExprId Id = A->internExpr(Node);
+    return [A, Id, Emit, Arity]() { return Emit(*A->materializeExpr(Id), Arity); };
+  }
+  auto NodeCopy = std::shared_ptr<Expr>(Node.clone().release());
+  return [NodeCopy, Emit, Arity]() { return Emit(*NodeCopy, Arity); };
+}
+
 //===----------------------------------------------------------------------===//
 // Function applications (most of Figure 3)
 //===----------------------------------------------------------------------===//
@@ -100,33 +160,7 @@ void appChanges(const Expr &Node, const EnumeratorOptions &Opts,
   // Full permutations, gated behind an all-wildcards probe: if
   // `f [[...]] ... [[...]]` fails, no permutation can succeed.
   if (NumArgs >= 3 && NumArgs <= Opts.MaxPermutationArity) {
-    auto NodeCopy = std::shared_ptr<Expr>(Node.clone().release());
-    auto EmitPerms = [NodeCopy, NumArgs]() {
-      std::vector<CandidateChange> Perms;
-      for (const auto &Perm : nonIdentityPermutations(NumArgs)) {
-        // Skip adjacent swaps and the full reversal: already tried.
-        bool IsAdjacentSwap = false;
-        unsigned Diffs = 0;
-        for (unsigned I = 0; I < NumArgs; ++I)
-          if (Perm[I] != I)
-            ++Diffs;
-        if (Diffs == 2)
-          IsAdjacentSwap = true; // any transposition of two positions
-        bool IsReversal = true;
-        for (unsigned I = 0; I < NumArgs; ++I)
-          if (Perm[I] != NumArgs - 1 - I)
-            IsReversal = false;
-        if (IsAdjacentSwap || IsReversal)
-          continue;
-        std::vector<ExprPtr> Args;
-        for (unsigned I = 0; I < NumArgs; ++I)
-          Args.push_back(NodeCopy->child(Perm[I] + 1)->clone());
-        Perms.push_back(change(
-            makeApp(NodeCopy->child(0)->clone(), std::move(Args)),
-            "permute the call's arguments"));
-      }
-      return Perms;
-    };
+    auto EmitPerms = deferredFamily(Node, Opts, emitArgPermutations, NumArgs);
 
     if (Opts.GateExpensiveChanges) {
       // Slice feasibility pre-probe: when the guide proves no argument
@@ -330,18 +364,7 @@ void tupleChanges(const Expr &Node, const EnumeratorOptions &Opts,
   // Permute components, gated behind the paper's example probe:
   // (e1, e2, e3) -> ([[...]], [[...]], [[...]]).
   if (N >= 2 && N <= Opts.MaxPermutationArity) {
-    auto NodeCopy = std::shared_ptr<Expr>(Node.clone().release());
-    auto EmitPerms = [NodeCopy, N]() {
-      std::vector<CandidateChange> Perms;
-      for (const auto &Perm : nonIdentityPermutations(N)) {
-        std::vector<ExprPtr> Elems;
-        for (unsigned I = 0; I < N; ++I)
-          Elems.push_back(NodeCopy->child(Perm[I])->clone());
-        Perms.push_back(change(makeTuple(std::move(Elems)),
-                               "permute the tuple's components"));
-      }
-      return Perms;
-    };
+    auto EmitPerms = deferredFamily(Node, Opts, emitTuplePermutations, N);
     if (Opts.GateExpensiveChanges) {
       CandidateChange Probe;
       std::vector<ExprPtr> Holes;

@@ -81,8 +81,21 @@ Oracle::typecheckBatchTraced(const Program &Base, const NodePath &Path,
   if (MetricsOut)
     MetricsOut->observe(metric::BatchItems, double(Replacements.size()));
   BatchSpanId = Span.id();
+  LastWaveCollapsed = 0;
   std::vector<bool> Verdicts = typecheckBatchImpl(Base, Path, Replacements);
   BatchSpanId = 0;
+  if (Span.enabled() && LastArenaNodes) {
+    Span.attr("dedup.wave_collapsed", int64_t(LastWaveCollapsed));
+    Span.attr("arena.nodes", int64_t(LastArenaNodes));
+    Span.attr("arena.hits", int64_t(LastArenaHits));
+    Span.attr("arena.bytes", int64_t(LastArenaBytes));
+  }
+  if (MetricsOut && LastArenaNodes) {
+    MetricsOut->observe(metric::WaveCollapsed, double(LastWaveCollapsed));
+    MetricsOut->observe(metric::ArenaNodes, double(LastArenaNodes));
+    MetricsOut->observe(metric::ArenaHits, double(LastArenaHits));
+    MetricsOut->observe(metric::ArenaBytes, double(LastArenaBytes));
+  }
   return Verdicts;
 }
 

@@ -63,6 +63,15 @@ struct OracleAccelOptions {
   /// under ParallelBatch: dispatch overhead swamps sub-millisecond
   /// inference. Verdicts are identical either way.
   unsigned MinParallelItems = 8;
+
+  /// Hash-cons candidate declarations into a shared AST arena
+  /// (minicaml/Arena.h) and key the verdict cache on interned node ids
+  /// instead of structural hashes: probes become integer lookups and
+  /// candidates that collapse to the same tree are detected by id. Only
+  /// effective together with VerdictCache; verdicts, logical-call counts
+  /// and cache hit/miss accounting are bit-identical either way (the
+  /// toggle exists for ablation and for the arena/legacy identity tests).
+  bool Arena = true;
 };
 
 /// Black-box type-check oracle over mini-Caml programs.
@@ -165,6 +174,14 @@ protected:
   /// Parent span id for per-item spans emitted inside a traced batch
   /// (0 outside a batch or when tracing is off).
   uint64_t BatchSpanId = 0;
+  /// Batch-level accounting stamped onto the oracle.batch span by the
+  /// traced wrapper: overlays that collapsed to another candidate's
+  /// interned tree in the batch just served, and arena occupancy after
+  /// it. All stay zero when the arena path is off.
+  uint64_t LastWaveCollapsed = 0;
+  uint64_t LastArenaNodes = 0;
+  uint64_t LastArenaHits = 0;
+  uint64_t LastArenaBytes = 0;
 
   TraceSink *TraceOut = nullptr;
   Metrics *MetricsOut = nullptr;

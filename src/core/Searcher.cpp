@@ -37,6 +37,16 @@ void Searcher::note(const char *Layer, const char *Kind,
   Opts.Telemetry->record(std::move(O));
 }
 
+LazyProgram Searcher::captureModified() {
+  if (!Arena)
+    return LazyProgram(Work.clone());
+  std::vector<AstArena::DeclId> Ids;
+  Ids.reserve(Work.Decls.size());
+  for (const DeclPtr &D : Work.Decls)
+    Ids.push_back(Arena->internDecl(*D));
+  return LazyProgram(Arena, std::move(Ids));
+}
+
 bool Searcher::testWith(const NodePath &Path, ExprPtr &Replacement) {
   ExprPtr Old = replaceAtPath(Work, Path, std::move(Replacement));
   bool Ok = oracleSays();
@@ -70,7 +80,7 @@ void Searcher::addSuggestion(ChangeKind Kind, const NodePath &Path,
   const Expr *Installed = Replacement.get();
   ExprPtr Old = replaceAtPath(Work, Path, std::move(Replacement));
   S.ContextAfter = printDecl(*Work.Decls[Path.DeclIndex]);
-  S.Modified = Work.clone();
+  S.Modified = captureModified();
   {
     TraceLayerScope Layer("type-query");
     S.ReplacementType = TheOracle.typeOfNode(Work, Installed);
@@ -87,6 +97,11 @@ bool Searcher::tryCandidates(const NodePath &Path,
     return tryCandidatesBatched(Path, std::move(Cands));
   TraceLayerScope Layer("constructive");
   const Expr *Node = guideActive() ? resolvePath(Work, Path) : nullptr;
+  // With an arena the per-candidate diff walks interned ids (shared
+  // subtrees compare as integers); interned once per node, reused for
+  // every candidate and by the oracle's overlay construction.
+  AstArena::ExprId NodeId =
+      Node && Arena ? Arena->internExpr(*Node) : AstArena::InvalidId;
   const std::string PathStr = Opts.Telemetry ? Path.str() : std::string();
   bool Any = false;
   size_t Tried = 0;
@@ -94,7 +109,11 @@ bool Searcher::tryCandidates(const NodePath &Path,
   for (size_t I = 0; I < Cands.size() && !OutOfBudget; ++I) {
     CandidateChange &C = Cands[I];
     bool Ok;
-    if (Node && Guide->candidateDoomed(*Node, *C.Replacement)) {
+    if (Node &&
+        (Arena ? Guide->candidateDoomed(*Node, NodeId, *C.Replacement,
+                                        Arena->internExpr(*C.Replacement),
+                                        *Arena)
+               : Guide->candidateDoomed(*Node, *C.Replacement))) {
       // The replacement only rewrites core-disjoint subtrees; its verdict
       // is a proven "no". Proceed exactly as a failed probe would.
       ++Guide->PrunedCandidates;
@@ -135,6 +154,8 @@ bool Searcher::tryCandidatesBatched(const NodePath &Path,
                                     std::vector<CandidateChange> Cands) {
   TraceLayerScope Layer("constructive");
   const Expr *Node = guideActive() ? resolvePath(Work, Path) : nullptr;
+  AstArena::ExprId NodeId =
+      Node && Arena ? Arena->internExpr(*Node) : AstArena::InvalidId;
   const std::string PathStr = Opts.Telemetry ? Path.str() : std::string();
   bool Any = false;
   size_t Tried = 0;
@@ -159,7 +180,12 @@ bool Searcher::tryCandidatesBatched(const NodePath &Path,
     std::vector<const Expr *> Replacements;
     Replacements.reserve(WaveEnd - I);
     for (size_t J = I; J < WaveEnd; ++J) {
-      if (Node && Guide->candidateDoomed(*Node, *Cands[J].Replacement)) {
+      if (Node &&
+          (Arena
+               ? Guide->candidateDoomed(
+                     *Node, NodeId, *Cands[J].Replacement,
+                     Arena->internExpr(*Cands[J].Replacement), *Arena)
+               : Guide->candidateDoomed(*Node, *Cands[J].Replacement))) {
         Doomed[J - I] = 1;
         ++Guide->PrunedCandidates;
       } else {
@@ -231,7 +257,7 @@ bool Searcher::tryDeclChanges(unsigned DeclIndex) {
       S.Path = NodePath(DeclIndex);
       S.Description = DC.Description;
       S.ContextAfter = printDecl(*Work.Decls[DeclIndex]);
-      S.Modified = Work.clone();
+      S.Modified = captureModified();
       S.OriginalSize = 1; // a declaration-header tweak is a tiny change
       S.ReplacementSize = 1;
       Suggestions.push_back(std::move(S));
@@ -307,6 +333,7 @@ bool Searcher::searchExpr(const NodePath &Path) {
   // rides along (guided mode, outside triage) so the enumerator can skip
   // permutation probes whose failure is already proven.
   EnumeratorOptions EnumOpts = Opts.Enum;
+  EnumOpts.Arena = Arena;
   if (guideActive())
     EnumOpts.Guide = Guide.get();
   bool AnyConstructive = tryCandidates(Path, enumerateChanges(*Node, EnumOpts));
@@ -626,7 +653,7 @@ bool Searcher::searchPatternFix(const NodePath &MatchPath,
   PatternPtr Old = std::move(*Best);
   *Best = makeWildPattern();
   S.ContextAfter = printDecl(*Work.Decls[MatchPath.DeclIndex]);
-  S.Modified = Work.clone();
+  S.Modified = captureModified();
   *Best = std::move(Old);
 
   Suggestions.push_back(std::move(S));

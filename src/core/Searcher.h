@@ -146,8 +146,16 @@ struct SearchOutput {
 /// Runs the search procedure against \p TheOracle.
 class Searcher {
 public:
-  Searcher(Oracle &TheOracle, const SearchOptions &Opts)
-      : TheOracle(TheOracle), Opts(Opts) {}
+  /// \p Arena, when non-null, is the hash-consing arena shared with the
+  /// accelerated oracle: suggestions capture their modified program as
+  /// interned declaration ids (materialized only if read), enumerator
+  /// follow-ups capture overlay spines instead of cloned subtrees, and
+  /// slice-guide candidate diffs walk interned ids. With a null arena
+  /// every capture falls back to deep clones; search behavior and
+  /// suggestion lists are bit-identical either way.
+  Searcher(Oracle &TheOracle, const SearchOptions &Opts,
+           std::shared_ptr<caml::AstArena> Arena = nullptr)
+      : TheOracle(TheOracle), Opts(Opts), Arena(std::move(Arena)) {}
 
   SearchOutput run(const caml::Program &Input);
 
@@ -201,8 +209,14 @@ private:
                      const std::string &Description,
                      bool LikelyUnbound = false, int Priority = 0);
 
+  /// Captures Work for a Suggestion: interned ids over the arena when one
+  /// is attached (allocation only for previously unseen spine nodes), a
+  /// deep clone otherwise.
+  LazyProgram captureModified();
+
   Oracle &TheOracle;
   SearchOptions Opts;
+  std::shared_ptr<caml::AstArena> Arena;
 
   caml::Program Work;      ///< Prefix clone being edited in place.
   unsigned FocusDecl = 0;  ///< Declaration under scrutiny.

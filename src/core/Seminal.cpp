@@ -89,6 +89,10 @@ SeminalReport seminal::runSeminal(const Program &Prog,
 
   CheckpointedOracle TheOracle(Opts.Search.Accel);
   TheOracle.setInstrumentation(Opts.Search.Trace, Opts.Search.Metric);
+  // One arena per run, shared by oracle and searcher: the searcher's
+  // candidate overlays hit the oracle's interned base nodes, and
+  // suggestion captures reuse both. Null when the arena is toggled off.
+  std::shared_ptr<caml::AstArena> Arena = TheOracle.arena();
   Report.CheckerError = TheOracle.conventionalError(Prog);
 
   {
@@ -98,7 +102,7 @@ SeminalReport seminal::runSeminal(const Program &Prog,
     if (RootSpan.enabled())
       RootSpan.attr("decls", int64_t(Prog.Decls.size()));
 
-    Searcher S(TheOracle, Opts.Search);
+    Searcher S(TheOracle, Opts.Search, Arena);
     SearchOutput Out = S.run(Prog);
 
     Report.InputTypechecks = Out.InputTypechecks;

@@ -27,6 +27,26 @@
 namespace seminal {
 namespace caml {
 
+/// The combine primitives behind the structural hashes, exposed so other
+/// layers can reproduce a node's hash from already-hashed parts. The
+/// hash-consing arena (minicaml/Arena.h) builds each interned node's hash
+/// from its children's cached hashes with exactly these functions, which
+/// is what guarantees arena hashes equal hashExpr/hashDecl of the
+/// materialized tree without walking it.
+namespace hashing {
+
+/// Initial accumulator for every node hash (the FNV-1a offset basis).
+inline constexpr uint64_t Seed = 1469598103934665603ull;
+
+/// Folds \p V into accumulator \p H (FNV-1a step with a splitmix-style
+/// finisher so shallow trees still diffuse well).
+uint64_t mix(uint64_t H, uint64_t V);
+
+/// Folds string \p S (content and length) into accumulator \p H.
+uint64_t mixString(uint64_t H, const std::string &S);
+
+} // namespace hashing
+
 /// Structural hash of an expression subtree (spans ignored).
 uint64_t hashExpr(const Expr &E);
 

@@ -21,6 +21,13 @@ AccelCounters &AccelCounters::operator+=(const AccelCounters &Other) {
   BatchesDispatched += Other.BatchesDispatched;
   BatchItems += Other.BatchItems;
   TypesAllocated += Other.TypesAllocated;
+  WaveCollapsed += Other.WaveCollapsed;
+  // Arena occupancy is a gauge, not a counter: the arena is shared across
+  // everything that accumulates into this object, so take the max rather
+  // than double-counting the same nodes.
+  ArenaNodes = std::max(ArenaNodes, Other.ArenaNodes);
+  ArenaHits = std::max(ArenaHits, Other.ArenaHits);
+  ArenaBytes = std::max(ArenaBytes, Other.ArenaBytes);
   return *this;
 }
 
@@ -37,7 +44,10 @@ std::string AccelCounters::render() const {
      << "  checkpoints: " << CheckpointSeeds << " seeded, "
      << CheckpointFallbacks << " fallbacks to full inference\n"
      << "  batches: " << BatchesDispatched << " dispatched carrying "
-     << BatchItems << " candidates\n"
+     << BatchItems << " candidates, " << WaveCollapsed
+     << " wave-collapsed overlays\n"
+     << "  arena: " << ArenaNodes << " nodes, " << ArenaHits << " hits, "
+     << ArenaBytes << " bytes\n"
      << "  type allocations: " << TypesAllocated << "\n";
   return OS.str();
 }

@@ -50,6 +50,16 @@ struct AccelCounters {
   /// Unification-variable allocations across all inference performed; a
   /// hardware-independent work proxy (TypecheckResult::TypesAllocated).
   uint64_t TypesAllocated = 0;
+  /// Batch items whose overlay collapsed to another candidate's interned
+  /// tree in the same wave (still billed as logical calls + cache hits;
+  /// this counts the collapses separately).
+  uint64_t WaveCollapsed = 0;
+  /// Hash-consing arena occupancy at last sync (minicaml/Arena.h):
+  /// distinct nodes stored, intern requests answered by an existing node,
+  /// and approximate retained bytes.
+  uint64_t ArenaNodes = 0;
+  uint64_t ArenaHits = 0;
+  uint64_t ArenaBytes = 0;
 
   /// Inference actually performed, as opposed to logical search effort.
   uint64_t inferenceRuns() const {

@@ -1,0 +1,368 @@
+//===- ArenaTest.cpp - Hash-consed arena and overlay tests -----------------==//
+//
+// The arena's contract (DESIGN.md section 11) is that it is invisible:
+// interning is structural (clones collapse to the same id), cached hashes
+// equal minicaml/Hash of the materialized tree, overlays materialize to
+// exactly what the old clone-and-replaceAtPath mutation produced, and a
+// full search with the arena enabled is byte-identical to one without it.
+// These tests pin each of those properties, including on random programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Change.h"
+#include "core/Seminal.h"
+#include "corpus/RandomAst.h"
+#include "minicaml/Arena.h"
+#include "minicaml/Hash.h"
+#include "minicaml/Parser.h"
+#include "minicaml/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace seminal;
+using namespace seminal::caml;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  ParseResult R = parseProgram(Source);
+  EXPECT_TRUE(R.ok()) << Source;
+  return std::move(*R.Prog);
+}
+
+/// Sources chosen to exercise every expression and pattern kind the
+/// parser can produce: literals, operators, tuples, lists, conses,
+/// lambdas, match arms with guards, let-in, records, references,
+/// sequencing, and non-let declarations.
+const char *SampleSources[] = {
+    "let map2 f aList bList =\n"
+    "  List.map (fun (a, b) -> f a b) (List.combine aList bList)\n"
+    "let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n",
+    "let rec fold f acc l =\n"
+    "  match l with\n"
+    "    [] -> acc\n"
+    "  | x :: rest -> fold f (f acc x) rest\n",
+    "let f y =\n"
+    "  let x = \"oops\" in\n"
+    "  (x + 1) + (x + 2) + (x + 3) + (x + 4)\n",
+    "let f x = print x; x + 1\nlet g = if true then f 1 else f 2\n",
+    "let r = ref 0\nlet step () = r := !r + 1\n",
+    "let f x y =\n"
+    "  let n = List.length y in\n"
+    "  match (x, y) with\n"
+    "    (0, []) -> []\n"
+    "  | (m, []) -> [m]\n"
+    "  | (_, h :: _) -> [h + n]\n",
+    "let s = \"a\" ^ \"b\"\nlet t = (1, true, ())\n",
+};
+
+/// Walks every expression node of a declaration's right-hand side,
+/// preorder, calling \p Fn with each node's path steps.
+void forEachExprNode(
+    const Expr &Root,
+    const std::function<void(const Expr &, const std::vector<unsigned> &)> &Fn) {
+  std::vector<std::pair<const Expr *, std::vector<unsigned>>> Work;
+  Work.push_back({&Root, {}});
+  while (!Work.empty()) {
+    auto [Node, Steps] = Work.back();
+    Work.pop_back();
+    Fn(*Node, Steps);
+    for (unsigned C = 0; C < Node->numChildren(); ++C) {
+      std::vector<unsigned> Child = Steps;
+      Child.push_back(C);
+      Work.push_back({Node->child(C), Child});
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interning: structural identity and cached hashes
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaTest, InternCollapsesClones) {
+  AstArena A;
+  for (const char *Src : SampleSources) {
+    Program P = parse(Src);
+    for (const DeclPtr &D : P.Decls) {
+      AstArena::DeclId Id = A.internDecl(*D);
+      DeclPtr Clone = D->clone();
+      EXPECT_EQ(A.internDecl(*Clone), Id) << printDecl(*D);
+      if (!D->Rhs)
+        continue;
+      forEachExprNode(*D->Rhs, [&](const Expr &E, const std::vector<unsigned> &) {
+        AstArena::ExprId EId = A.internExpr(E);
+        ExprPtr EClone = E.clone();
+        EXPECT_EQ(A.internExpr(*EClone), EId) << printExpr(E);
+      });
+    }
+  }
+  // Every second intern above was a clone of an already-interned tree.
+  EXPECT_GT(A.stats().Hits, 0u);
+  EXPECT_GT(A.stats().Nodes, 0u);
+  EXPECT_GT(A.stats().Bytes, 0u);
+}
+
+TEST(ArenaTest, DistinctTreesGetDistinctIds) {
+  AstArena A;
+  Program P = parse("let a = 1 + 2\nlet b = 1 + 3\nlet c = 2 + 1\n");
+  AstArena::DeclId IA = A.internDecl(*P.Decls[0]);
+  AstArena::DeclId IB = A.internDecl(*P.Decls[1]);
+  AstArena::DeclId IC = A.internDecl(*P.Decls[2]);
+  EXPECT_NE(IA, IB);
+  EXPECT_NE(IA, IC);
+  EXPECT_NE(IB, IC);
+}
+
+TEST(ArenaTest, CachedHashesMatchTreeHashes) {
+  AstArena A;
+  for (const char *Src : SampleSources) {
+    Program P = parse(Src);
+    for (const DeclPtr &D : P.Decls) {
+      EXPECT_EQ(A.declHash(A.internDecl(*D)), hashDecl(*D)) << printDecl(*D);
+      if (!D->Rhs)
+        continue;
+      forEachExprNode(*D->Rhs, [&](const Expr &E, const std::vector<unsigned> &) {
+        EXPECT_EQ(A.exprHash(A.internExpr(E)), hashExpr(E)) << printExpr(E);
+      });
+    }
+  }
+}
+
+TEST(ArenaTest, RandomTreesInternAndHashConsistently) {
+  for (int Round = 0; Round < 40; ++Round) {
+    Rng R(uint64_t(Round) * 9176 + 3);
+    AstArena A;
+    ExprPtr E = randomExpr(R, 5);
+    AstArena::ExprId Id = A.internExpr(*E);
+    EXPECT_EQ(A.internExpr(*E->clone()), Id);
+    EXPECT_EQ(A.exprHash(Id), hashExpr(*E));
+    PatternPtr Pat = randomPattern(R, 4);
+    AstArena::PatternId PId = A.internPattern(*Pat);
+    EXPECT_EQ(A.internPattern(*Pat->clone()), PId);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Materialization round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaTest, MaterializeRoundTripsByteForByte) {
+  AstArena A;
+  for (const char *Src : SampleSources) {
+    Program P = parse(Src);
+    for (const DeclPtr &D : P.Decls) {
+      DeclPtr Back = A.materializeDecl(A.internDecl(*D));
+      ASSERT_TRUE(Back);
+      EXPECT_TRUE(Back->equals(*D)) << printDecl(*D);
+      EXPECT_EQ(printDecl(*Back), printDecl(*D));
+      EXPECT_EQ(hashDecl(*Back), hashDecl(*D));
+    }
+  }
+}
+
+TEST(ArenaTest, ExprChildrenFollowAstLayout) {
+  AstArena A;
+  Program P = parse("let x = (1 + 2, f 3 4)\n");
+  const Expr &Rhs = *P.Decls[0]->Rhs;
+  AstArena::ExprId Id = A.internExpr(Rhs);
+  const std::vector<AstArena::ExprId> &Kids = A.exprChildren(Id);
+  ASSERT_EQ(Kids.size(), Rhs.numChildren());
+  for (unsigned C = 0; C < Rhs.numChildren(); ++C) {
+    EXPECT_EQ(Kids[C], A.internExpr(*Rhs.child(C)));
+    EXPECT_EQ(A.exprKind(Kids[C]), Rhs.child(C)->kind());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Overlays vs the old deep-copy mutation
+//===----------------------------------------------------------------------===//
+
+// For every node of every sample declaration, building the overlay
+// "replace this node with a fresh literal" must materialize to exactly
+// the tree the pre-arena pipeline built by cloning the program and
+// calling replaceAtPath on the copy.
+TEST(ArenaTest, OverlayEqualsCloneAndReplace) {
+  AstArena A;
+  for (const char *Src : SampleSources) {
+    Program P = parse(Src);
+    for (unsigned DI = 0; DI < P.Decls.size(); ++DI) {
+      const Decl &D = *P.Decls[DI];
+      if (D.kind() != Decl::Kind::Let || !D.Rhs)
+        continue;
+      AstArena::DeclId Base = A.internDecl(D);
+      forEachExprNode(
+          *D.Rhs, [&](const Expr &, const std::vector<unsigned> &Steps) {
+            ExprPtr Repl = makeIntLit(42);
+            AstArena::ExprId ReplId = A.internExpr(*Repl);
+            AstArena::DeclId Over = A.overlayDecl(Base, Steps, ReplId);
+
+            Program Copy = P.clone();
+            NodePath Path(DI);
+            Path.Steps = Steps;
+            replaceAtPath(Copy, Path, std::move(Repl));
+            const Decl &Expected = *Copy.Decls[DI];
+
+            DeclPtr Got = A.materializeDecl(Over);
+            ASSERT_TRUE(Got);
+            EXPECT_TRUE(Got->equals(Expected)) << printDecl(Expected);
+            EXPECT_EQ(printDecl(*Got), printDecl(Expected));
+            EXPECT_EQ(A.declHash(Over), hashDecl(Expected));
+          });
+    }
+  }
+}
+
+TEST(ArenaTest, NoOpOverlayReturnsBaseId) {
+  AstArena A;
+  Program P = parse("let f x = (x + 1) * 2\n");
+  const Decl &D = *P.Decls[0];
+  AstArena::DeclId Base = A.internDecl(D);
+  forEachExprNode(*D.Rhs, [&](const Expr &E, const std::vector<unsigned> &Steps) {
+    // Replacing a subtree with itself must collapse to the base id: this
+    // is what lets the oracle detect no-op candidates by comparing ints.
+    EXPECT_EQ(A.overlayDecl(Base, Steps, A.internExpr(E)), Base);
+  });
+}
+
+TEST(ArenaTest, OverlaysWithSameResultCollapse) {
+  AstArena A;
+  Program P = parse("let y = 1 + 1\n");
+  AstArena::DeclId Base = A.internDecl(*P.Decls[0]);
+  // Replacing either addend with the other's value yields the same tree,
+  // so the two overlay ids must be equal (wave-level dedup relies on it).
+  AstArena::ExprId One = A.internExpr(*makeIntLit(1));
+  AstArena::DeclId L = A.overlayDecl(Base, {0}, One);
+  AstArena::DeclId R = A.overlayDecl(Base, {1}, One);
+  EXPECT_EQ(L, R);
+  EXPECT_EQ(L, Base); // ... and both are the unchanged tree here.
+}
+
+//===----------------------------------------------------------------------===//
+// LazyProgram: deferred materialization equals the eager program
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaTest, LazyProgramMaterializesToEagerProgram) {
+  auto A = std::make_shared<AstArena>();
+  Program P = parse(SampleSources[0]);
+  std::vector<AstArena::DeclId> Ids;
+  for (const DeclPtr &D : P.Decls)
+    Ids.push_back(A->internDecl(*D));
+
+  LazyProgram Lazy(A, std::move(Ids));
+  const Program &Got = Lazy;
+  EXPECT_TRUE(Got.equals(P));
+  EXPECT_EQ(printProgram(Got), printProgram(P));
+  EXPECT_EQ(hashProgram(Got), hashProgram(P));
+
+  LazyProgram Eager(P.clone());
+  EXPECT_EQ(printProgram(Eager), printProgram(Lazy));
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-search identity: arena on vs off
+//===----------------------------------------------------------------------===//
+
+/// Byte-exact fingerprint of a ranked report (mirrors AccelTest's).
+std::string fingerprint(const SeminalReport &R) {
+  std::string Out;
+  Out += "typechecks=" + std::to_string(R.InputTypechecks);
+  Out += " failing=" +
+         (R.FailingDeclIndex ? std::to_string(*R.FailingDeclIndex)
+                             : std::string("none"));
+  Out += " calls=" + std::to_string(R.OracleCalls);
+  Out += " budget=" + std::to_string(R.BudgetExhausted);
+  Out += "\n";
+  for (const Suggestion &S : R.Suggestions) {
+    Out += "[" + std::to_string(int(S.Kind)) + "/" + S.Path.str() + "/p" +
+           std::to_string(S.Priority) + "] ";
+    if (S.Original)
+      Out += printExpr(*S.Original);
+    Out += " => ";
+    if (S.Replacement)
+      Out += printExpr(*S.Replacement);
+    Out += " :: " + S.Description;
+    Out += " :: ctx " + S.ContextAfter;
+    Out += " :: " + std::to_string(hashProgram(S.Modified));
+    Out += "\n";
+  }
+  return Out;
+}
+
+SeminalOptions withArena(bool Arena, bool ParallelBatch = false) {
+  SeminalOptions Opts;
+  Opts.Search.Accel.Arena = Arena;
+  Opts.Search.Accel.ParallelBatch = ParallelBatch;
+  Opts.Search.Accel.Threads = ParallelBatch ? 4 : 0;
+  if (ParallelBatch)
+    Opts.Search.Accel.MinParallelItems = 1;
+  return Opts;
+}
+
+TEST(ArenaIdentityTest, PaperExamplesMatchWithArenaOff) {
+  const char *Sources[] = {
+      "let map2 f aList bList =\n"
+      "  List.map (fun (a, b) -> f a b) (List.combine aList bList)\n"
+      "let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]\n"
+      "let ans = List.filter (fun x -> x == 0) lst\n",
+      "let e1 x = x ^ \"!\"\nlet e2 = \"s\"\nlet t = if e1 e2 then 1 else 2\n",
+      "let f x = print x; x + 1\n",
+      "let go y =\n"
+      "  let x = 3 + true in\n"
+      "  let z = y + 1 in\n"
+      "  let w = 4 + \"hi\" in\n"
+      "  z\n",
+      "let f (x, y) = x + y\nlet z = f 1 2",
+  };
+  for (const char *Src : Sources) {
+    SeminalReport Off = runSeminalOnSource(Src, withArena(false));
+    SeminalReport On = runSeminalOnSource(Src, withArena(true));
+    EXPECT_EQ(fingerprint(On), fingerprint(Off)) << Src;
+    EXPECT_EQ(On.OracleCalls, Off.OracleCalls) << Src;
+    EXPECT_EQ(On.InferenceRuns, Off.InferenceRuns) << Src;
+    // The arena actually engaged: nodes were interned and re-used.
+    EXPECT_GT(On.Accel.ArenaNodes, 0u) << Src;
+    EXPECT_GT(On.Accel.ArenaHits, 0u) << Src;
+    EXPECT_EQ(Off.Accel.ArenaNodes, 0u) << Src;
+  }
+}
+
+TEST(ArenaIdentityTest, ParallelBatchMatchesWithArena) {
+  // Run under tsan in CI: the batched oracle materializes candidate
+  // trees before fanning out, so workers never touch the arena.
+  const char *Src =
+      "let f y =\n"
+      "  let x = \"oops\" in\n"
+      "  (x + 1) + (x + 2) + (x + 3) + (x + 4)\n";
+  SeminalReport Serial = runSeminalOnSource(Src, withArena(true));
+  SeminalReport Par =
+      runSeminalOnSource(Src, withArena(true, /*ParallelBatch=*/true));
+  EXPECT_EQ(fingerprint(Par), fingerprint(Serial));
+  EXPECT_EQ(Par.OracleCalls, Serial.OracleCalls);
+}
+
+/// Seeded random programs: whatever the generator produces -- well-typed,
+/// ill-typed, or unsearchable -- the arena run must match the non-arena
+/// run byte for byte.
+class ArenaFuzzIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArenaFuzzIdentity, RandomProgramsMatch) {
+  for (int Iter = 0; Iter < 8; ++Iter) {
+    uint64_t Seed = uint64_t(GetParam()) * 7919 + uint64_t(Iter) * 104729 + 1;
+    Rng R(Seed);
+    Program P = randomProgram(R, 4, 4);
+    SeminalReport Off = runSeminal(P, withArena(false));
+    SeminalReport On = runSeminal(P, withArena(true));
+    EXPECT_EQ(fingerprint(On), fingerprint(Off))
+        << "seed " << Seed << "\n" << printProgram(P);
+    EXPECT_EQ(On.OracleCalls, Off.OracleCalls) << "seed " << Seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaFuzzIdentity, ::testing::Range(0, 6));
+
+} // namespace
