@@ -17,18 +17,30 @@
 //               [--trace=FILE] [--telemetry=FILE] [--explore=FILE.html]
 //               [--metrics] [--slice] [--slice-guided] FILE.ml
 //   seminal_cli --expr 'let x = 1 + "two"'
+//   seminal_cli --connect=/tmp/seminal.sock --session=mybuf FILE.ml
+//
+// With --connect the check runs inside a seminal_serverd daemon instead
+// of in-process: resubmitting after an edit reuses the session's warm
+// search state, so the editor loop only pays for what changed. Output
+// and exit codes match the local mode.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Seminal.h"
 #include "minicaml/Hash.h"
 #include "obs/Explorer.h"
+#include "support/Json.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace seminal;
 
@@ -64,13 +76,152 @@ void usage(const char *Prog) {
                "                 suggestions in the ranking\n"
                "  --slice-guided like --slice, and additionally skip\n"
                "                 oracle calls the slice proves futile;\n"
-               "                 suggestions are identical, just cheaper\n",
+               "                 suggestions are identical, just cheaper\n"
+               "  --connect=PATH run the check in the seminal_serverd\n"
+               "                 daemon listening on Unix socket PATH;\n"
+               "                 repeated checks of the same --session\n"
+               "                 reuse its warm search state\n"
+               "  --session=NAME session name for --connect (default:\n"
+               "                 \"default\")\n",
                Prog, Prog);
 }
 
 bool endsWith(const std::string &S, const char *Suffix) {
   size_t N = std::strlen(Suffix);
   return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+// Client mode: ship one check request to a seminal_serverd daemon over
+// its Unix socket and render the reply the way the local path would.
+int runConnected(const std::string &SocketPath, const std::string &Session,
+                 const std::string &Source, size_t MaxSuggestions, bool Quiet,
+                 bool Json) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::perror("socket");
+    return 2;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", SocketPath.c_str());
+    ::close(Fd);
+    return 2;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::fprintf(stderr, "cannot connect to '%s': %s\n", SocketPath.c_str(),
+                 std::strerror(errno));
+    ::close(Fd);
+    return 2;
+  }
+
+  std::string Req = "{\"method\":\"check\",\"id\":1,\"session\":\"";
+  Req += jsonEscape(Session);
+  Req += "\",\"source\":\"";
+  Req += jsonEscape(Source);
+  Req += "\"";
+  if (MaxSuggestions) {
+    Req += ",\"max_suggestions\":";
+    Req += std::to_string(MaxSuggestions);
+  }
+  if (Json)
+    Req += ",\"report\":true";
+  Req += "}\n";
+  size_t Off = 0;
+  while (Off < Req.size()) {
+    ssize_t N = ::send(Fd, Req.data() + Off, Req.size() - Off, 0);
+    if (N <= 0) {
+      std::fprintf(stderr, "send failed: %s\n", std::strerror(errno));
+      ::close(Fd);
+      return 2;
+    }
+    Off += size_t(N);
+  }
+
+  std::string Reply;
+  char Chunk[4096];
+  while (Reply.find('\n') == std::string::npos) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break;
+    Reply.append(Chunk, size_t(N));
+  }
+  ::close(Fd);
+  size_t Eol = Reply.find('\n');
+  if (Eol == std::string::npos) {
+    std::fprintf(stderr, "daemon closed the connection without replying\n");
+    return 2;
+  }
+  Reply.resize(Eol);
+
+  json::ParseResult P = json::parse(Reply);
+  if (!P.ok() || !P.Doc->isObject()) {
+    std::fprintf(stderr, "unparseable daemon reply: %s\n", Reply.c_str());
+    return 2;
+  }
+  const json::Value &Doc = *P.Doc;
+  if (!Doc.getBool("ok", false)) {
+    std::fprintf(stderr, "daemon error: %s\n",
+                 Doc.getString("error", "unknown").c_str());
+    return 2;
+  }
+
+  std::string SyntaxError = Doc.getString("syntax_error");
+  if (!SyntaxError.empty()) {
+    std::printf("%s\n", SyntaxError.c_str());
+    return 1;
+  }
+  if (Json) {
+    // Machine mode mirrors the local --json contract: stdout is exactly
+    // one JSON document (here the daemon's RunReport). The report is the
+    // response's final member, spliced in as raw JSON text; print the
+    // slice verbatim to avoid a lossy round-trip through doubles.
+    size_t Pos = Reply.find("\"report\":");
+    if (!Doc.member("report") || Pos == std::string::npos) {
+      std::fprintf(stderr, "daemon reply carried no report\n");
+      return 2;
+    }
+    std::printf("%s\n",
+                Reply.substr(Pos + 9, Reply.size() - Pos - 10).c_str());
+    return Doc.getBool("input_typechecks", false) ? 0 : 1;
+  }
+  if (Doc.getBool("input_typechecks", false)) {
+    if (!Quiet)
+      std::printf("No type errors.\n");
+    return 0;
+  }
+  if (!Quiet) {
+    std::printf("Type-checker:\n  %s\n\n",
+                Doc.getString("conventional").c_str());
+    int64_t Calls = Doc.getInt("oracle_calls", 0);
+    std::printf("Suggestions (best first, %lld oracle calls):\n\n",
+                static_cast<long long>(Calls));
+  }
+  const json::Value *Suggestions = Doc.member("suggestions");
+  if (!Suggestions || !Suggestions->isArray() ||
+      Suggestions->arrayValue().empty()) {
+    std::printf("%s\n", Doc.getString("conventional").c_str());
+  } else {
+    size_t I = 0;
+    for (const json::Value &S : Suggestions->arrayValue()) {
+      std::printf("[%zu] %s\n\n", ++I, S.getString("message").c_str());
+      if (Quiet)
+        break;
+    }
+  }
+  if (!Quiet) {
+    if (const json::Value *Warm = Doc.member("warm"))
+      std::fprintf(stderr,
+                   "warm reuse: %lld prefix hits, %lld verdict reuses, "
+                   "%lld seed adoptions, %lld conv memo hits\n",
+                   static_cast<long long>(Warm->getInt("prefix_hits", 0)),
+                   static_cast<long long>(Warm->getInt("verdict_reuses", 0)),
+                   static_cast<long long>(Warm->getInt("seed_adoptions", 0)),
+                   static_cast<long long>(Warm->getInt("conv_memo_hits", 0)));
+  }
+  return 1;
 }
 
 } // namespace
@@ -82,6 +233,8 @@ int main(int Argc, char **Argv) {
   std::string TracePath;
   std::string TelemetryPath;
   std::string ExplorePath;
+  std::string ConnectPath;
+  std::string SessionName = "default";
   bool HaveSource = false;
   bool Quiet = false;
   bool Json = false;
@@ -133,6 +286,20 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Arg, "--slice-guided") == 0) {
       WantSlice = true;
       Opts.Search.SliceGuided = true;
+    } else if (std::strncmp(Arg, "--connect=", 10) == 0) {
+      ConnectPath = Arg + 10;
+      if (ConnectPath.empty()) {
+        std::fprintf(stderr, "--connect needs a socket path\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--session=", 10) == 0) {
+      SessionName = Arg + 10;
+      if (SessionName.empty()) {
+        std::fprintf(stderr, "--session needs a name\n");
+        usage(Argv[0]);
+        return 2;
+      }
     } else if (std::strcmp(Arg, "--expr") == 0 && I + 1 < Argc) {
       Source = Argv[++I];
       HaveSource = true;
@@ -160,6 +327,9 @@ int main(int Argc, char **Argv) {
     usage(Argv[0]);
     return 2;
   }
+  if (!ConnectPath.empty())
+    return runConnected(ConnectPath, SessionName, Source, Opts.MaxSuggestions,
+                        Quiet, Json);
 
   // Observability sinks outlive the run; they are attached by pointer and
   // exported after the report is in hand. Suggestions are byte-identical

@@ -1,0 +1,139 @@
+//===- seminal_serverd.cpp - Search-as-a-service daemon ---------------------==//
+//
+// The long-lived counterpart of seminal_cli (DESIGN.md section 13): one
+// process holds every editor session's warm search state -- prefix
+// checkpoints, interned-AST verdict caches, conventional-error memos --
+// so an edit-resubmit only pays for the suffix that changed. Requests
+// are one JSON object per line on stdin (--stdio, the default) or on a
+// Unix domain socket (--socket=PATH); both transports can run at once.
+//
+// Sessions are sharded across worker threads by name, so concurrent
+// clients never contend: each session's requests run FIFO on one
+// worker, and suggestions are bit-identical to a cold seminal_cli run
+// of the same source.
+//
+// Usage:
+//   seminal_serverd [--stdio] [--socket=PATH] [--threads=N]
+//                   [--evict-bytes=N] [--max-suggestions=N]
+//
+// Try it (pipe a request line into --stdio mode):
+//   printf '%s\n' '{"method":"check","id":1,"source":"..."}' | seminal_serverd
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+using namespace seminal;
+using namespace seminal::server;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [--stdio] [--socket=PATH] [--threads=N]\n"
+               "          [--evict-bytes=N] [--max-suggestions=N]\n"
+               "  --stdio            serve JSONL requests on stdin/stdout\n"
+               "                     (default when --socket is absent)\n"
+               "  --socket=PATH      also accept connections on a Unix\n"
+               "                     domain socket at PATH\n"
+               "  --threads=N        worker (= session shard) count;\n"
+               "                     default: hardware concurrency\n"
+               "  --evict-bytes=N    per-session arena watermark; crossing\n"
+               "                     it drops that session's warm state\n"
+               "                     (default 64 MiB)\n"
+               "  --max-suggestions=N\n"
+               "                     default suggestion cap per check\n"
+               "                     (requests may override)\n",
+               Prog);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions Opts;
+  std::string SocketPath;
+  bool Stdio = false;
+  bool SawTransport = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--stdio") == 0) {
+      Stdio = true;
+      SawTransport = true;
+    } else if (std::strncmp(Arg, "--socket=", 9) == 0) {
+      SocketPath = Arg + 9;
+      SawTransport = true;
+      if (SocketPath.empty()) {
+        std::fprintf(stderr, "--socket needs a path\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--threads=", 10) == 0) {
+      int N = std::atoi(Arg + 10);
+      if (N <= 0) {
+        std::fprintf(stderr, "--threads needs a positive count\n");
+        usage(Argv[0]);
+        return 2;
+      }
+      Opts.Threads = unsigned(N);
+    } else if (std::strncmp(Arg, "--evict-bytes=", 14) == 0) {
+      long long N = std::atoll(Arg + 14);
+      if (N <= 0) {
+        std::fprintf(stderr, "--evict-bytes needs a positive byte count\n");
+        usage(Argv[0]);
+        return 2;
+      }
+      Opts.Session.ArenaEvictBytes = uint64_t(N);
+    } else if (std::strncmp(Arg, "--max-suggestions=", 18) == 0) {
+      int N = std::atoi(Arg + 18);
+      if (N <= 0) {
+        std::fprintf(stderr, "--max-suggestions needs a positive count\n");
+        usage(Argv[0]);
+        return 2;
+      }
+      Opts.Session.Base.MaxSuggestions = size_t(N);
+    } else if (std::strcmp(Arg, "--help") == 0) {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg);
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+  if (!SawTransport)
+    Stdio = true;
+
+  ServerEngine Engine(Opts);
+
+  UnixSocketServer Socket(Engine, SocketPath);
+  if (!SocketPath.empty()) {
+    std::string Error;
+    if (!Socket.start(Error)) {
+      std::fprintf(stderr, "seminal_serverd: %s\n", Error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "seminal_serverd: listening on %s (%u shards)\n",
+                 SocketPath.c_str(), Engine.shards());
+  }
+
+  if (Stdio) {
+    serveStdio(Engine, std::cin, std::cout);
+  } else {
+    // Socket-only mode: park until a client sends "shutdown".
+    while (!Engine.shutdownRequested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  if (!SocketPath.empty())
+    Socket.stop();
+  Engine.drain();
+  return 0;
+}

@@ -36,6 +36,17 @@ slice_ablation (bench_slice_ablation):
     driver's floor (min_reduction_pct, currently 25%): the slice has to
     keep paying for itself.
 
+server (bench_server):
+  * Warm responses must be byte-identical to cold one-shot runs
+    (suggestion_mismatches pinned to zero) and every deterministic
+    warm-reuse counter (prefix hits, verdict reuses, seed adoptions,
+    conv-memo hits, inference runs) must match the baseline exactly.
+  * The warm/cold p50 ratio (within-run, hardware-independent) must stay
+    above max(10x, 50% of the baseline ratio): 10x is the daemon's
+    edit-resubmit contract, the relative bound tracks the trajectory.
+    The fraction is looser than the others because warm requests are
+    sub-millisecond and jitter accordingly.
+
 The quality-telemetry snapshot ("bench": "telemetry") has its own gate,
 scripts/compare_telemetry.py; both scripts share scripts/gate_common.py
 and its exit-code protocol: 0 = healthy, 1 = regression, 2 = bad
@@ -140,10 +151,43 @@ def check_slice_ablation(base, fresh):
     return failures
 
 
+SERVER_SPEEDUP_HARD_FLOOR = 10.0  # the daemon's warm-resubmit contract
+SERVER_SPEEDUP_FRACTION = 0.5     # warm p50 is sub-millisecond, so the
+                                  # ratio jitters more than the others;
+                                  # the hard floor carries the contract
+
+
+def check_server(base, fresh):
+    failures = []
+    # Scenario shape and everything the search actually did are
+    # deterministic in (scale, seed): same program, same localization
+    # probes, same candidate waves, same warm reuse. Exact equality.
+    for key in ("decls", "iterations", "cold_inference_runs",
+                "warm_inference_runs", "warm_prefix_hits",
+                "warm_verdict_reuses", "warm_seed_adoptions",
+                "warm_conv_memo_hits"):
+        check_exact(failures, key, fresh.get(key), base.get(key),
+                    "server warm-reuse behavior changed")
+    check_exact(failures, "suggestion_mismatches",
+                fresh.get("suggestion_mismatches"), 0,
+                "warm responses diverged from cold one-shot runs")
+
+    base_speedup = base.get("speedup_warm", 0.0)
+    fresh_speedup = fresh.get("speedup_warm", 0.0)
+    floor = max(SERVER_SPEEDUP_HARD_FLOOR,
+                base_speedup * SERVER_SPEEDUP_FRACTION)
+    check_floor(failures, "speedup_warm", fresh_speedup, floor,
+                "warm edit-resubmits stopped paying for themselves")
+    print(f"baseline warm speedup {base_speedup:.1f}x, fresh "
+          f"{fresh_speedup:.1f}x (floor {floor:.1f}x)")
+    return failures
+
+
 GATES = {
     "oracle_calls_accel": check_oracle_calls,
     "micro_allocs": check_micro_allocs,
     "slice_ablation": check_slice_ablation,
+    "server": check_server,
 }
 
 

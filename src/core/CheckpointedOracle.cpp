@@ -31,8 +31,81 @@ void CheckpointedOracle::syncArenaStats() {
 
 CheckpointedOracle::~CheckpointedOracle() = default;
 
+void CheckpointedOracle::setSessionRetention(bool Enabled) {
+  // Retention needs the arena (ids key the stash), the checkpoint layer
+  // (the stash *is* a checkpoint) and the verdict cache (what the stash
+  // carries). Without them the toggle is inert rather than an error so a
+  // server built with ablated acceleration still runs, just cold.
+  SessionRetention =
+      Enabled && TheArena && Accel.Checkpoint && Accel.VerdictCache;
+  if (!SessionRetention)
+    resetSession();
+}
+
+void CheckpointedOracle::primeConventional(std::string Source) {
+  CurrentSource = std::move(Source);
+  HaveCurrentSource = true;
+  WalkIds.clear();
+}
+
+void CheckpointedOracle::resetSession() {
+  Retained = RetainedSeed();
+  SessionConv = RetainedConv();
+  CurrentSource.clear();
+  HaveCurrentSource = false;
+  SeedPrefixIds.clear();
+  SeedFailingId = AstArena::InvalidId;
+  WalkIds.clear();
+  resetGrowth();
+  ConvClone = Program();
+  HasConvMemo = false;
+  ConvOk = false;
+}
+
+bool CheckpointedOracle::convMemoApplies(const Program &Prog) const {
+  const RetainedConv &M = SessionConv;
+  // PrefixEnd == 0 means the memoized program carried no usable spans;
+  // never match on it (an empty byte prefix would match everything).
+  if (M.PrefixEnd == 0 || CurrentSource.size() < M.PrefixEnd ||
+      Prog.Decls.size() <= M.ErrIdx)
+    return false;
+  if (CurrentSource.compare(0, M.PrefixEnd, M.Source, 0, M.PrefixEnd) != 0)
+    return false;
+  // Identical bytes up to the start of the declaration after the failure
+  // mean the error region re-lexed identically; the parse of its last
+  // declaration could still differ through lookahead into the changed
+  // suffix, so confirm span + structure. Equal spans over equal bytes
+  // pin the inner spans too, making the replayed diagnostic
+  // bit-identical to a fresh inference run.
+  for (unsigned I = 0; I <= M.ErrIdx; ++I) {
+    const Decl &A = *Prog.Decls[I];
+    const Decl &B = *M.Clones[I];
+    if (A.Span.Begin.Offset != B.Span.Begin.Offset ||
+        A.Span.EndOffset != B.Span.EndOffset || !A.equals(B))
+      return false;
+  }
+  return true;
+}
+
 std::optional<TypeError>
 CheckpointedOracle::conventionalError(const Program &Prog) {
+  WalkIds.clear(); // Request boundary: Work pointers from the previous
+                   // run's localization walk are gone.
+  // Session fast path: an edit past the failing declaration cannot change
+  // the diagnostic (the checker aborts at the first error), so replay it.
+  if (SessionRetention && SessionConv.Valid && HaveCurrentSource &&
+      convMemoApplies(Prog)) {
+    ++Counters.SessionConvMemoHits;
+    if (Accel.VerdictCache) {
+      // The searcher's opening whole-program probe still gets its memo.
+      ConvClone = Prog.clone();
+      ConvOk = false;
+      HasConvMemo = true;
+    }
+    HaveCurrentSource = false;
+    return SessionConv.Error;
+  }
+
   // Rendered once per run to show the baseline message; not search work,
   // so it stays out of the counters.
   TypecheckResult R = typecheckProgram(Prog);
@@ -43,6 +116,28 @@ CheckpointedOracle::conventionalError(const Program &Prog) {
     ConvOk = R.ok();
     HasConvMemo = true;
   }
+  // (Re)build the cross-request memo for the next edit-resubmit. Only a
+  // parsed program qualifies: the byte-prefix validity check needs real
+  // spans, and a synthesized next-declaration offset of 0 is rejected.
+  SessionConv = RetainedConv();
+  if (SessionRetention && HaveCurrentSource && R.Error && R.ErrorDeclIndex &&
+      *R.ErrorDeclIndex < Prog.Decls.size()) {
+    unsigned ErrIdx = *R.ErrorDeclIndex;
+    size_t PrefixEnd = ErrIdx + 1 < Prog.Decls.size()
+                           ? size_t(Prog.Decls[ErrIdx + 1]->Span.Begin.Offset)
+                           : CurrentSource.size();
+    if (PrefixEnd > 0 && PrefixEnd <= CurrentSource.size()) {
+      SessionConv.Valid = true;
+      SessionConv.Source = CurrentSource;
+      SessionConv.PrefixEnd = PrefixEnd;
+      SessionConv.ErrIdx = ErrIdx;
+      SessionConv.Clones.reserve(ErrIdx + 1);
+      for (unsigned I = 0; I <= ErrIdx; ++I)
+        SessionConv.Clones.push_back(Prog.Decls[I]->clone());
+      SessionConv.Error = R.Error;
+    }
+  }
+  HaveCurrentSource = false;
   return R.Error;
 }
 
@@ -55,6 +150,20 @@ void CheckpointedOracle::seedPrefix(const Program &Prog, unsigned EditedDecl) {
   PrefixIdentity.reserve(EditedDecl);
   for (unsigned I = 0; I < EditedDecl; ++I)
     PrefixIdentity.push_back(Prog.Decls[I].get());
+
+  // Session mode: intern the seed's identity once. The ids key this
+  // request's eventual stash, and matching them against the retained ids
+  // decides whether last request's caches still apply (id equality is
+  // tree equality, so the comparison is EditedDecl integer compares).
+  bool SessionMatch = false;
+  if (SessionRetention && TheArena) {
+    SeedPrefixIds.clear();
+    SeedPrefixIds.reserve(EditedDecl);
+    for (unsigned I = 0; I < EditedDecl; ++I)
+      SeedPrefixIds.push_back(TheArena->internDecl(*Prog.Decls[I]));
+    SeedFailingId = TheArena->internDecl(*Prog.Decls[EditedDecl]);
+    SessionMatch = Retained.Valid && Retained.PrefixIds == SeedPrefixIds;
+  }
 
   // If localization just grew an environment that covers exactly this
   // prefix, adopt it -- seeding costs nothing. Structural equality is the
@@ -72,8 +181,25 @@ void CheckpointedOracle::seedPrefix(const Program &Prog, unsigned EditedDecl) {
       PrefixClone.Decls = std::move(GrowthClones);
       resetGrowth();
       ++Counters.CheckpointSeeds;
+      // The environment came from this request's walk, but last
+      // request's verdicts and worker checkpoints are conditioned on
+      // this same prefix -- take them too.
+      if (SessionMatch)
+        adoptRetainedCaches();
       return;
     }
+  }
+
+  // Session adoption: the previous request seeded this exact prefix and
+  // its whole warm state -- environment, worker environments, verdict
+  // cache -- transfers wholesale. This is the edit-resubmit hot path.
+  if (SessionMatch && Retained.Checkpoint &&
+      Retained.Checkpoint->prefixLength() == EditedDecl) {
+    Checkpoint = std::move(Retained.Checkpoint);
+    PrefixClone = std::move(Retained.PrefixClone);
+    ++Counters.CheckpointSeeds;
+    adoptRetainedCaches();
+    return;
   }
 
   PrefixClone.Decls.reserve(EditedDecl);
@@ -86,7 +212,34 @@ void CheckpointedOracle::seedPrefix(const Program &Prog, unsigned EditedDecl) {
   }
 }
 
+void CheckpointedOracle::adoptRetainedCaches() {
+  VerdictById = std::move(Retained.Verdicts);
+  WorkerCheckpoints = std::move(Retained.WorkerCheckpoints);
+  Retained = RetainedSeed();
+  ++Counters.SessionSeedAdoptions;
+}
+
+void CheckpointedOracle::stashSessionState() {
+  Retained = RetainedSeed();
+  // Only a seed with a live environment snapshot is worth keeping, and
+  // only one whose identity was interned at seedPrefix (retention was on
+  // when this request seeded).
+  if (!Checkpoint || SeedPrefixIds.size() != EditedIndex)
+    return;
+  Retained.Valid = true;
+  Retained.PrefixIds = std::move(SeedPrefixIds);
+  Retained.FailingId = SeedFailingId;
+  Retained.Checkpoint = std::move(Checkpoint);
+  Retained.PrefixClone = std::move(PrefixClone);
+  Retained.WorkerCheckpoints = std::move(WorkerCheckpoints);
+  for (auto &KV : VerdictById)
+    KV.second |= RetainedBit;
+  Retained.Verdicts = std::move(VerdictById);
+}
+
 void CheckpointedOracle::clearPrefix() {
+  if (SessionRetention && Seeded && TheArena)
+    stashSessionState();
   Seeded = false;
   EditedIndex = 0;
   PrefixIdentity.clear();
@@ -97,6 +250,9 @@ void CheckpointedOracle::clearPrefix() {
   // Verdicts are relative to the prefix environment, so they go; the
   // arena's interned nodes stay valid across prefixes (and requests).
   VerdictById.clear();
+  SeedPrefixIds.clear();
+  SeedFailingId = AstArena::InvalidId;
+  WalkIds.clear();
 }
 
 void CheckpointedOracle::resetGrowth() {
@@ -123,6 +279,82 @@ bool CheckpointedOracle::growthExtend(const Decl &D, bool &Verdict) {
     // table entries behind; the environment can no longer be trusted.
     resetGrowth();
   return true;
+}
+
+bool CheckpointedOracle::trySessionProbe(const Program &Prog, bool &Verdict) {
+  if (!SessionRetention || !Retained.Valid || Seeded || !TheArena ||
+      !Accel.Checkpoint)
+    return false;
+  const size_t N = Prog.Decls.size();
+  const size_t P = Retained.PrefixIds.size();
+  if (N == 0 || N > P + 1)
+    return false;
+  // Intern the probe's declarations through the walk memo: the searcher
+  // appends one declaration per localization round and never mutates the
+  // earlier ones, so every round interns exactly one new tree.
+  for (size_t I = 0; I < N; ++I) {
+    const Decl *D = Prog.Decls[I].get();
+    if (I < WalkIds.size() && WalkIds[I].first == D)
+      continue;
+    WalkIds.resize(I);
+    WalkIds.emplace_back(D, TheArena->internDecl(*D));
+  }
+  syncArenaStats();
+  // Everything but (possibly) the last declaration must match the
+  // retained known-good prefix; an interior divergence means this is not
+  // a walk over the program the session knows.
+  size_t Match = 0;
+  while (Match < N && Match < P &&
+         WalkIds[Match].second == Retained.PrefixIds[Match])
+    ++Match;
+  if (Match + 1 < N)
+    return false;
+  if (Match == N) {
+    // Wholly inside the prefix the previous request proved good.
+    ++Counters.SessionPrefixHits;
+    LastServedBy = "session-prefix";
+    LastCacheHit = true;
+    Verdict = true;
+    return true;
+  }
+  const AstArena::DeclId LastId = WalkIds[N - 1].second;
+  if (N == P + 1 && LastId == Retained.FailingId) {
+    // The previous request proved exactly this declaration fails on top
+    // of exactly this prefix.
+    ++Counters.SessionPrefixHits;
+    LastServedBy = "session-prefix";
+    LastCacheHit = true;
+    Verdict = false;
+    return true;
+  }
+  // A novel last declaration over a known-good prefix: the user edited
+  // the failing declaration (N == P + 1) or a prefix declaration
+  // (N <= P). Build a growth environment so this probe and the rest of
+  // the walk run incrementally instead of falling to full inference.
+  if (Growth)
+    return false; // A walk is already growing; let it serve.
+  if (N == P + 1 && Retained.Checkpoint &&
+      Retained.Checkpoint->prefixLength() == P) {
+    // The retained environment covers the whole prefix -- it becomes the
+    // growth environment directly (its verdict cache stays retained: if
+    // the edited declaration still fails, seedPrefix re-adopts it).
+    Growth = std::move(Retained.Checkpoint);
+    GrowthClones = std::move(Retained.PrefixClone.Decls);
+    Retained.PrefixClone = Program();
+    return growthExtend(*Prog.Decls[N - 1], Verdict);
+  }
+  // Prefix edit: the declarations before the divergence are known good,
+  // so snapshot them in one pass and grow from there. (Cold behavior
+  // here would re-infer the full prefix on every remaining probe.)
+  auto Rebuilt = InferenceCheckpoint::create(Prog, unsigned(N - 1));
+  if (!Rebuilt)
+    return false;
+  Growth = std::move(Rebuilt);
+  GrowthClones.clear();
+  GrowthClones.reserve(N - 1);
+  for (size_t I = 0; I + 1 < N; ++I)
+    GrowthClones.push_back(Prog.Decls[I]->clone());
+  return growthExtend(*Prog.Decls[N - 1], Verdict);
 }
 
 bool CheckpointedOracle::tryGrowthPath(const Program &Prog, bool &Verdict) {
@@ -220,6 +452,8 @@ bool CheckpointedOracle::typecheckImpl(const Program &Prog) {
       return ConvOk;
     }
     bool Verdict;
+    if (trySessionProbe(Prog, Verdict))
+      return Verdict;
     if (tryGrowthPath(Prog, Verdict))
       return Verdict;
     if (Seeded)
@@ -243,13 +477,15 @@ bool CheckpointedOracle::typecheckImpl(const Program &Prog) {
     auto Known = VerdictById.find(Id);
     if (Known != VerdictById.end()) {
       ++Counters.CacheHits;
+      if (Known->second & RetainedBit)
+        ++Counters.SessionVerdictReuses;
       LastServedBy = "verdict-cache";
       LastCacheHit = true;
-      return Known->second;
+      return (Known->second & VerdictBit) != 0;
     }
     ++Counters.CacheMisses;
     bool Verdict = inferEditedDecl(D, Prog);
-    VerdictById.emplace(Id, Verdict);
+    VerdictById.emplace(Id, Verdict ? VerdictBit : uint8_t(0));
     syncArenaStats();
     return Verdict;
   }
@@ -543,8 +779,11 @@ std::vector<bool> CheckpointedOracle::typecheckBatchArena(
     auto Known = VerdictById.find(Ids[I]);
     if (Known != VerdictById.end()) {
       ++Counters.CacheHits;
-      Verdicts[I] = Known->second;
-      EmitItemSpan(Known->second, "verdict-cache", true, 0.0);
+      if (Known->second & RetainedBit)
+        ++Counters.SessionVerdictReuses;
+      bool KnownVerdict = (Known->second & VerdictBit) != 0;
+      Verdicts[I] = KnownVerdict;
+      EmitItemSpan(KnownVerdict, "verdict-cache", true, 0.0);
       continue;
     }
     auto Fresh = FreshById.find(Ids[I]);
@@ -633,7 +872,7 @@ std::vector<bool> CheckpointedOracle::typecheckBatchArena(
         if (Accel.Checkpoint)
           ++Counters.CheckpointFallbacks;
       }
-      VerdictById.emplace(Ids[I], Ok[Item] != 0);
+      VerdictById.emplace(Ids[I], Ok[Item] ? VerdictBit : uint8_t(0));
     }
   }
 

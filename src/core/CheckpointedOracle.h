@@ -46,6 +46,19 @@
 /// Every layer toggles independently via OracleAccelOptions so the
 /// ablation benches can attribute savings.
 ///
+/// Server mode (setSessionRetention) keeps the oracle alive across
+/// requests: instead of discarding the seed checkpoint, the id-keyed
+/// verdict cache and the conventional-error memo at clearPrefix(), they
+/// are stashed keyed on the prefix's interned declaration ids and
+/// re-adopted when a later request seeds an id-identical prefix. An
+/// edit-resubmit from an editor then costs near-zero inference: the
+/// localization walk is answered from the retained known-good prefix
+/// (SessionPrefixHits), seeding re-installs the retained environment
+/// (SessionSeedAdoptions), candidate verdicts replay from the retained
+/// cache (SessionVerdictReuses), and the conventional message replays
+/// from a source-prefix memo (SessionConvMemoHits). Verdicts and ranked
+/// suggestions stay bit-identical to a cold run; only the work changes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEMINAL_CORE_CHECKPOINTEDORACLE_H
@@ -88,6 +101,30 @@ public:
   /// Layer-by-layer instrumentation (hits, misses, saved work).
   const AccelCounters &counters() const { return Counters; }
   void resetCounters() { Counters.reset(); }
+
+  // Session retention (server mode) -----------------------------------------
+  /// Keep warm state across seedPrefix/clearPrefix cycles: the seed
+  /// checkpoint, worker checkpoints, the id-keyed verdict cache and the
+  /// conventional-error memo survive into the next request and are
+  /// re-adopted when its prefix interns to the same declaration ids.
+  /// Requires the arena, checkpoint and verdict-cache layers; toggle
+  /// between requests, never mid-request. Turning it off drops all
+  /// retained state.
+  void setSessionRetention(bool Enabled);
+  bool sessionRetention() const { return SessionRetention; }
+
+  /// Announces the source text the next conventionalError() call's
+  /// program was parsed from. With session retention on, a request whose
+  /// source is byte-identical up to the start of the declaration after
+  /// the previous failure (and whose error-region parse is span- and
+  /// structure-identical) replays the memoized diagnostic without
+  /// inference. The caller must pass the exact text \p Prog came from.
+  void primeConventional(std::string Source);
+
+  /// Drops every piece of retained session state (the eviction path:
+  /// the server calls this before clearing or swapping the arena, since
+  /// retained verdicts are keyed on arena ids).
+  void resetSession();
 
 protected:
   bool typecheckImpl(const caml::Program &Prog) override;
@@ -139,6 +176,24 @@ private:
   bool growthExtend(const caml::Decl &D, bool &Verdict);
   void resetGrowth();
 
+  /// Serves a localization probe from the previous request's retained
+  /// prefix knowledge: probes wholly inside the retained known-good
+  /// prefix are answered true without inference, the retained failing
+  /// declaration is answered false, and a novel last declaration turns
+  /// the retained checkpoint into a growth environment so the rest of
+  /// the walk runs incrementally. \returns true when handled.
+  bool trySessionProbe(const caml::Program &Prog, bool &Verdict);
+  /// Moves the live seed state (checkpoint, prefix clone, worker
+  /// checkpoints, verdict cache) into Retained, keyed on the seed's
+  /// interned prefix ids; called from clearPrefix in session mode.
+  void stashSessionState();
+  /// Moves the retained verdict cache and worker checkpoints back into
+  /// the live seed state (the adopting seed's prefix ids matched).
+  void adoptRetainedCaches();
+  /// True when the retained conventional-error memo provably applies to
+  /// the program the current source text parsed to.
+  bool convMemoApplies(const caml::Program &Prog) const;
+
   OracleAccelOptions Accel;
   AccelCounters Counters;
 
@@ -164,12 +219,67 @@ private:
   std::vector<std::unique_ptr<caml::InferenceCheckpoint>> WorkerCheckpoints;
   std::unordered_map<uint64_t, std::vector<CacheEntry>> VerdictCache;
 
-  /// Arena-keyed verdict cache: canonical declaration id -> verdict. Id
+  /// Arena-keyed verdict cache: canonical declaration id -> flags. Id
   /// equality is structural equality, so no confirming deep compare and
   /// no stored clones. Cleared with the prefix (verdicts depend on the
-  /// prefix environment); the arena itself persists.
+  /// prefix environment); the arena itself persists. In session mode the
+  /// map is stashed at clearPrefix and re-adopted by a later request
+  /// whose prefix interns to the same ids; RetainedBit marks entries
+  /// that crossed a request boundary so reuse is countable.
+  static constexpr uint8_t VerdictBit = 1;  ///< The candidate type-checks.
+  static constexpr uint8_t RetainedBit = 2; ///< From an earlier request.
   std::shared_ptr<caml::AstArena> TheArena;
-  std::unordered_map<caml::AstArena::DeclId, bool> VerdictById;
+  std::unordered_map<caml::AstArena::DeclId, uint8_t> VerdictById;
+
+  // Session retention state (server mode) ------------------------------
+  bool SessionRetention = false;
+  /// Seed state stashed at clearPrefix, keyed on the prefix's interned
+  /// ids. Everything here is conditioned on exactly that prefix: the
+  /// checkpoint and worker checkpoints snapshot its environment, the
+  /// verdict flags answer "does this edited declaration type-check after
+  /// it", and FailingId is the declaration known to fail on top of it.
+  struct RetainedSeed {
+    bool Valid = false;
+    std::vector<caml::AstArena::DeclId> PrefixIds;
+    caml::AstArena::DeclId FailingId = caml::AstArena::InvalidId;
+    std::unique_ptr<caml::InferenceCheckpoint> Checkpoint;
+    caml::Program PrefixClone;
+    std::vector<std::unique_ptr<caml::InferenceCheckpoint>> WorkerCheckpoints;
+    std::unordered_map<caml::AstArena::DeclId, uint8_t> Verdicts;
+  };
+  RetainedSeed Retained;
+
+  /// Cross-request conventional-error memo. Valid when the next source
+  /// is byte-identical on [0, PrefixEnd) -- PrefixEnd is the start of
+  /// the declaration after the failure (or the whole file when the
+  /// failure was in the last declaration) -- and the re-parse of decls
+  /// 0..ErrIdx is span- and structure-identical to Clones. The checker
+  /// aborts at the first error, so nothing past PrefixEnd can change the
+  /// diagnostic (Infer.h's ErrorDeclIndex contract).
+  struct RetainedConv {
+    bool Valid = false;
+    std::string Source;
+    size_t PrefixEnd = 0;
+    unsigned ErrIdx = 0;
+    std::vector<caml::DeclPtr> Clones;
+    std::optional<caml::TypeError> Error;
+  };
+  RetainedConv SessionConv;
+  std::string CurrentSource; ///< From primeConventional, one request.
+  bool HaveCurrentSource = false;
+
+  /// The live seed's interned identity (prefix ids + failing decl id),
+  /// computed once at seedPrefix in session mode for the later stash.
+  std::vector<caml::AstArena::DeclId> SeedPrefixIds;
+  caml::AstArena::DeclId SeedFailingId = caml::AstArena::InvalidId;
+
+  /// Per-localization-walk intern memo: the searcher's Work program
+  /// appends one declaration per probe and never mutates earlier ones,
+  /// so (pointer, id) pairs make each probe intern exactly one new tree
+  /// instead of the whole prefix. Cleared at every request boundary
+  /// (primeConventional/conventionalError/clearPrefix) so pointers never
+  /// dangle across programs.
+  std::vector<std::pair<const caml::Decl *, caml::AstArena::DeclId>> WalkIds;
 
   std::unique_ptr<ThreadPool> Pool; ///< Created on first batch.
 };

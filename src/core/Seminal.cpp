@@ -85,9 +85,20 @@ void seminal::fillRunReport(obs::RunReport &R, const SeminalReport &Report,
 
 SeminalReport seminal::runSeminal(const Program &Prog,
                                   const SeminalOptions &Opts) {
+  CheckpointedOracle TheOracle(Opts.Search.Accel);
+  return runSeminalWithOracle(TheOracle, Prog, Opts);
+}
+
+SeminalReport seminal::runSeminalWithOracle(CheckpointedOracle &TheOracle,
+                                            const Program &Prog,
+                                            const SeminalOptions &Opts) {
   SeminalReport Report;
 
-  CheckpointedOracle TheOracle(Opts.Search.Accel);
+  // Per-request reset boundary: a long-lived oracle carries logical-call
+  // and counter totals from earlier requests, but the budget and the
+  // report are per-request quantities.
+  TheOracle.resetCallCount();
+  TheOracle.resetCounters();
   TheOracle.setInstrumentation(Opts.Search.Trace, Opts.Search.Metric);
   // One arena per run, shared by oracle and searcher: the searcher's
   // candidate overlays hit the oracle's interned base nodes, and

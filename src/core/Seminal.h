@@ -116,6 +116,22 @@ void fillRunReport(obs::RunReport &R, const SeminalReport &Report,
 SeminalReport runSeminal(const caml::Program &Prog,
                          const SeminalOptions &Opts = {});
 
+class CheckpointedOracle;
+
+/// Runs one request against a caller-owned (typically long-lived) oracle.
+/// This is the server entry point: the oracle keeps its arena, retained
+/// session checkpoints and verdict caches across calls, while everything
+/// per-request is reset at entry -- the logical-call count (so
+/// SearchOptions::MaxOracleCalls budgets each request, not the session)
+/// and the AccelCounters (so SeminalReport::Accel describes this request
+/// only; accumulate across requests caller-side). Suggestions and
+/// verdicts are bit-identical to a one-shot runSeminal with the same
+/// options; Opts.Search.Accel is ignored here (the oracle was built with
+/// its own acceleration configuration).
+SeminalReport runSeminalWithOracle(CheckpointedOracle &TheOracle,
+                                   const caml::Program &Prog,
+                                   const SeminalOptions &Opts = {});
+
 /// Convenience: parse then run.
 SeminalReport runSeminalOnSource(const std::string &Source,
                                  const SeminalOptions &Opts = {});

@@ -573,3 +573,15 @@ DeclPtr AstArena::materializeDecl(DeclId Id) const {
   D->Rhs = materializeExpr(N.Rhs);
   return D;
 }
+
+void AstArena::clear() {
+  ExprNodes.clear();
+  PatternNodes.clear();
+  DeclNodes.clear();
+  ExprTable.clear();
+  PatternTable.clear();
+  DeclTable.clear();
+  TheStats = Stats();
+  PatStack.clear();
+  ExprStack.clear();
+}

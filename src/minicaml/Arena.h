@@ -107,6 +107,15 @@ public:
   };
   const Stats &stats() const { return TheStats; }
 
+  /// Drops every interned node and resets the occupancy stats, returning
+  /// the arena to its freshly-constructed state. Every previously issued
+  /// id becomes invalid -- the caller must guarantee nothing holds one
+  /// (no live LazyPrograms, no id-keyed verdict caches). This is the
+  /// eviction path for long-lived arenas: the search daemon clears a
+  /// session's arena when retained bytes cross the session watermark
+  /// (DESIGN.md section 13), after dropping the caches keyed on it.
+  void clear();
+
 private:
   /// One interned expression. Children/patterns are ids, not owned
   /// subtrees: the node is O(fanout) regardless of subtree size.

@@ -1,0 +1,128 @@
+//===- Protocol.cpp - JSONL search-service protocol -------------------------==//
+
+#include "server/Protocol.h"
+
+#include "support/Trace.h" // jsonEscape
+
+#include <cmath>
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::server;
+
+std::string server::renderValue(const json::Value &V) {
+  switch (V.kind()) {
+  case json::Value::Kind::Null:
+    return "null";
+  case json::Value::Kind::Bool:
+    return V.boolValue() ? "true" : "false";
+  case json::Value::Kind::Number: {
+    double N = V.numberValue();
+    // Ids are almost always small integers; render them without a
+    // decimal point so the echo matches what the client sent.
+    if (std::floor(N) == N && std::abs(N) < 1e15) {
+      std::ostringstream OS;
+      OS << static_cast<long long>(N);
+      return OS.str();
+    }
+    std::ostringstream OS;
+    OS << N;
+    return OS.str();
+  }
+  case json::Value::Kind::String: {
+    std::string Out = "\"";
+    Out += jsonEscape(V.stringValue());
+    Out += "\"";
+    return Out;
+  }
+  case json::Value::Kind::Array: {
+    std::string Out = "[";
+    bool First = true;
+    for (const json::Value &E : V.arrayValue()) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += renderValue(E);
+    }
+    return Out + "]";
+  }
+  case json::Value::Kind::Object: {
+    std::string Out = "{";
+    bool First = true;
+    for (const auto &KV : V.objectValue()) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += "\"";
+      Out += jsonEscape(KV.first);
+      Out += "\":";
+      Out += renderValue(KV.second);
+    }
+    return Out + "}";
+  }
+  }
+  return "null";
+}
+
+Request server::parseRequest(const std::string &Line) {
+  Request R;
+  json::ParseResult P = json::parse(Line);
+  if (!P.ok()) {
+    std::ostringstream OS;
+    OS << "malformed request: " << P.Error << " (byte " << P.ErrorOffset
+       << ")";
+    R.Error = OS.str();
+    return R;
+  }
+  const json::Value &Doc = *P.Doc;
+  if (!Doc.isObject()) {
+    R.Error = "malformed request: expected a JSON object";
+    return R;
+  }
+  if (const json::Value *Id = Doc.member("id"))
+    R.Id = renderValue(*Id);
+
+  std::string Method = Doc.getString("method");
+  if (Method.empty()) {
+    R.Error = "malformed request: missing \"method\"";
+    return R;
+  }
+
+  R.Session = Doc.getString("session", "default");
+  if (Method == "check") {
+    const json::Value *Source = Doc.member("source");
+    if (!Source || !Source->isString()) {
+      R.Error = "malformed request: \"check\" needs a string \"source\"";
+      return R;
+    }
+    R.TheMethod = Request::Method::Check;
+    R.Source = Source->stringValue();
+    int64_t MaxSuggestions = Doc.getInt("max_suggestions", 0);
+    int64_t MaxCalls = Doc.getInt("max_oracle_calls", 0);
+    R.MaxSuggestions = MaxSuggestions > 0 ? size_t(MaxSuggestions) : 0;
+    R.MaxOracleCalls = MaxCalls > 0 ? size_t(MaxCalls) : 0;
+    R.WantReport = Doc.getBool("report", false);
+  } else if (Method == "reset") {
+    R.TheMethod = Request::Method::Reset;
+  } else if (Method == "stats") {
+    R.TheMethod = Request::Method::Stats;
+  } else if (Method == "ping") {
+    R.TheMethod = Request::Method::Ping;
+  } else if (Method == "shutdown") {
+    R.TheMethod = Request::Method::Shutdown;
+  } else {
+    R.Error = "malformed request: unknown method \"" + Method + "\"";
+  }
+  return R;
+}
+
+std::string server::errorResponse(const std::string &Id,
+                                  const std::string &Message) {
+  return "{\"id\":" + Id + ",\"ok\":false,\"error\":\"" +
+         jsonEscape(Message) + "\"}";
+}
+
+std::string server::okResponse(const std::string &Id,
+                               const std::string &ExtraMembers) {
+  return "{\"id\":" + Id + ",\"ok\":true" + ExtraMembers + "}";
+}

@@ -1,0 +1,375 @@
+//===- Server.cpp - Search-as-a-service engine and transports ---------------==//
+
+#include "server/Server.h"
+
+#include "server/Protocol.h"
+#include "support/Trace.h" // jsonEscape
+
+#include <algorithm>
+#include <condition_variable>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace seminal;
+using namespace seminal::server;
+
+std::string ServerStats::renderJsonMembers() const {
+  std::ostringstream OS;
+  OS << ",\"requests\":" << Requests << ",\"checks\":" << Checks
+     << ",\"resets\":" << Resets << ",\"pings\":" << Pings
+     << ",\"malformed\":" << Malformed
+     << ",\"sessions_created\":" << SessionsCreated
+     << ",\"evictions\":" << Evictions << ",\"oracle_calls\":" << OracleCalls
+     << ",\"inference_runs\":" << InferenceRuns
+     << ",\"cache_hits\":" << Accel.CacheHits
+     << ",\"cache_misses\":" << Accel.CacheMisses
+     << ",\"warm\":{\"prefix_hits\":" << Accel.SessionPrefixHits
+     << ",\"verdict_reuses\":" << Accel.SessionVerdictReuses
+     << ",\"seed_adoptions\":" << Accel.SessionSeedAdoptions
+     << ",\"conv_memo_hits\":" << Accel.SessionConvMemoHits << "}";
+  return OS.str();
+}
+
+std::string server::renderCheckResponse(const std::string &Id,
+                                        const CheckOutcome &O) {
+  std::ostringstream M;
+  if (!O.SyntaxError.empty()) {
+    M << ",\"syntax_error\":\"" << jsonEscape(O.SyntaxError) << "\"";
+    return okResponse(Id, M.str());
+  }
+  M << ",\"input_typechecks\":" << (O.InputTypechecks ? "true" : "false")
+    << ",\"failing_decl\":" << O.FailingDecl << ",\"budget_exhausted\":"
+    << (O.BudgetExhausted ? "true" : "false") << ",\"conventional\":\""
+    << jsonEscape(O.Conventional) << "\",\"suggestions\":[";
+  for (size_t I = 0; I < O.Suggestions.size(); ++I) {
+    const CheckOutcome::RenderedSuggestion &S = O.Suggestions[I];
+    if (I)
+      M << ",";
+    M << "{\"rank\":" << S.Rank << ",\"kind\":\"" << jsonEscape(S.Kind)
+      << "\",\"layer\":\"" << jsonEscape(S.Layer) << "\",\"description\":\""
+      << jsonEscape(S.Description) << "\",\"path\":\"" << jsonEscape(S.Path)
+      << "\",\"message\":\"" << jsonEscape(S.Message) << "\"}";
+  }
+  M << "],\"oracle_calls\":" << O.OracleCalls
+    << ",\"inference_runs\":" << O.InferenceRuns
+    << ",\"warm\":{\"prefix_hits\":" << O.Accel.SessionPrefixHits
+    << ",\"verdict_reuses\":" << O.Accel.SessionVerdictReuses
+    << ",\"seed_adoptions\":" << O.Accel.SessionSeedAdoptions
+    << ",\"conv_memo_hits\":" << O.Accel.SessionConvMemoHits
+    << "},\"wall_seconds\":" << O.WallSeconds
+    << ",\"evicted\":" << (O.Evicted ? "true" : "false");
+  if (!O.ReportJson.empty())
+    M << ",\"report\":" << O.ReportJson;
+  return okResponse(Id, M.str());
+}
+
+ServerEngine::ServerEngine(const ServerOptions &Opts) : Opts(Opts) {
+  Pool = std::make_unique<ThreadPool>(Opts.Threads);
+}
+
+ServerEngine::~ServerEngine() {
+  // Posted handlers reference the engine (stats rollup) and sessions;
+  // run them all down before any member dies.
+  Pool->drainPosted();
+  Pool.reset();
+}
+
+unsigned ServerEngine::shards() const { return Pool->numThreads(); }
+
+size_t ServerEngine::shardOf(const std::string &SessionName) const {
+  return std::hash<std::string>()(SessionName) % Pool->numThreads();
+}
+
+std::shared_ptr<Session> ServerEngine::sessionFor(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Sessions.find(Name);
+  if (It != Sessions.end())
+    return It->second;
+  auto S = std::make_shared<Session>(Name, Opts.Session);
+  Sessions.emplace(Name, S);
+  ++Stats.SessionsCreated;
+  return S;
+}
+
+void ServerEngine::finishCheck(const CheckOutcome &Out) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.Checks;
+  Stats.OracleCalls += Out.OracleCalls;
+  Stats.InferenceRuns += Out.InferenceRuns;
+  Stats.Accel += Out.Accel;
+  if (Out.Evicted)
+    ++Stats.Evictions;
+}
+
+void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.Requests;
+  }
+  Request R = parseRequest(Line);
+  switch (R.TheMethod) {
+  case Request::Method::Invalid: {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Stats.Malformed;
+    }
+    Reply(errorResponse(R.Id, R.Error));
+    return;
+  }
+  case Request::Method::Ping: {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Stats.Pings;
+    }
+    Reply(okResponse(R.Id, ",\"pong\":true"));
+    return;
+  }
+  case Request::Method::Stats: {
+    std::ostringstream Extra;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Extra << Stats.renderJsonMembers()
+            << ",\"sessions\":" << Sessions.size();
+    }
+    Extra << ",\"shards\":" << shards();
+    Reply(okResponse(R.Id, Extra.str()));
+    return;
+  }
+  case Request::Method::Shutdown: {
+    Shutdown.store(true);
+    Reply(okResponse(R.Id, ",\"shutting_down\":true"));
+    return;
+  }
+  case Request::Method::Reset: {
+    std::shared_ptr<Session> S = sessionFor(R.Session);
+    std::string Id = R.Id;
+    Pool->post(shardOf(R.Session),
+               [this, S, Id, Reply = std::move(Reply)] {
+                 S->reset();
+                 {
+                   std::lock_guard<std::mutex> Lock(Mutex);
+                   ++Stats.Resets;
+                 }
+                 Reply(okResponse(Id, ",\"reset\":true"));
+               });
+    return;
+  }
+  case Request::Method::Check: {
+    std::shared_ptr<Session> S = sessionFor(R.Session);
+    CheckOptions CO;
+    CO.MaxSuggestions = R.MaxSuggestions;
+    CO.MaxOracleCalls = R.MaxOracleCalls;
+    CO.WantReport = R.WantReport;
+    std::string Id = R.Id;
+    std::string Source = std::move(R.Source);
+    Pool->post(shardOf(R.Session), [this, S, Id, Source = std::move(Source),
+                                    CO, Reply = std::move(Reply)] {
+      CheckOutcome Out = S->check(Source, CO);
+      finishCheck(Out);
+      Reply(renderCheckResponse(Id, Out));
+    });
+    return;
+  }
+  }
+}
+
+std::string ServerEngine::handle(const std::string &Line) {
+  std::mutex M;
+  std::condition_variable CV;
+  bool Done = false;
+  std::string Result;
+  submit(Line, [&](const std::string &Response) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Result = Response;
+      Done = true;
+    }
+    CV.notify_one();
+  });
+  std::unique_lock<std::mutex> Lock(M);
+  CV.wait(Lock, [&] { return Done; });
+  return Result;
+}
+
+void ServerEngine::drain() { Pool->drainPosted(); }
+
+ServerStats ServerEngine::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+void server::serveStdio(ServerEngine &Engine, std::istream &In,
+                        std::ostream &Out) {
+  // One mutex serializes reply lines; responses from different sessions
+  // may interleave in any order (clients correlate by id), but each
+  // line is written atomically and flushed so a pipe reader never
+  // blocks on a partial response.
+  std::mutex WriteMutex;
+  auto Reply = [&WriteMutex, &Out](const std::string &Line) {
+    std::lock_guard<std::mutex> Lock(WriteMutex);
+    Out << Line << "\n";
+    Out.flush();
+  };
+  std::string Line;
+  while (!Engine.shutdownRequested() && std::getline(In, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    Engine.submit(Line, Reply);
+  }
+  Engine.drain();
+}
+
+// UnixSocketServer -----------------------------------------------------------
+
+UnixSocketServer::UnixSocketServer(ServerEngine &Engine, std::string Path)
+    : Engine(Engine), Path(std::move(Path)) {}
+
+UnixSocketServer::~UnixSocketServer() { stop(); }
+
+bool UnixSocketServer::start(std::string &Error) {
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + Path;
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  ::unlink(Path.c_str()); // A stale socket from a previous run.
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Error = "bind " + Path + ": " + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  if (::listen(ListenFd, 16) < 0) {
+    Error = "listen " + Path + ": " + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void UnixSocketServer::stop() {
+  if (ListenFd < 0)
+    return;
+  Stopping.store(true);
+  // Unblock accept(); connection readers unblock through their fds.
+  ::shutdown(ListenFd, SHUT_RDWR);
+  ::close(ListenFd);
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (int Fd : LiveFds)
+      ::shutdown(Fd, SHUT_RDWR);
+    Threads.swap(ConnThreads);
+  }
+  if (Acceptor.joinable())
+    Acceptor.join();
+  for (std::thread &T : Threads)
+    if (T.joinable())
+      T.join();
+  ::unlink(Path.c_str());
+  ListenFd = -1;
+}
+
+void UnixSocketServer::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR && !Stopping.load())
+        continue;
+      return;
+    }
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    if (Stopping.load()) {
+      ::close(Fd);
+      return;
+    }
+    LiveFds.push_back(Fd);
+    ConnThreads.emplace_back([this, Fd] { connectionLoop(Fd); });
+  }
+}
+
+void UnixSocketServer::connectionLoop(int Fd) {
+  // Replies may arrive from pool workers after this reader exits (the
+  // client disconnected mid-request). Alive is flipped under the write
+  // lock before the fd closes, so a late reply is dropped instead of
+  // racing onto a closed -- or worse, recycled -- descriptor. The
+  // session's warm state is unaffected either way.
+  auto WriteLock = std::make_shared<std::mutex>();
+  auto Alive = std::make_shared<bool>(true);
+  auto Reply = [Fd, WriteLock, Alive](const std::string &Line) {
+    std::lock_guard<std::mutex> Lock(*WriteLock);
+    if (!*Alive)
+      return;
+    std::string Out = Line;
+    Out.push_back('\n');
+    size_t Off = 0;
+    while (Off < Out.size()) {
+      ssize_t N =
+          ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+      if (N <= 0) {
+        *Alive = false; // Client went away; drop the rest.
+        return;
+      }
+      Off += size_t(N);
+    }
+  };
+
+  std::string Buf;
+  char Chunk[4096];
+  bool SawShutdown = false;
+  while (!SawShutdown) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break;
+    Buf.append(Chunk, size_t(N));
+    size_t Pos;
+    while ((Pos = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, Pos);
+      Buf.erase(0, Pos + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (!Line.empty())
+        Engine.submit(Line, Reply);
+      if (Engine.shutdownRequested()) {
+        SawShutdown = true;
+        break;
+      }
+    }
+  }
+  // Let in-flight requests of this connection deliver their replies
+  // before the fd goes away; other connections' work is drained too,
+  // which is acceptable at editor request rates.
+  Engine.drain();
+  {
+    std::lock_guard<std::mutex> Lock(*WriteLock);
+    *Alive = false;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    LiveFds.erase(std::remove(LiveFds.begin(), LiveFds.end(), Fd),
+                  LiveFds.end());
+  }
+  ::close(Fd);
+}

@@ -1,0 +1,164 @@
+//===- Server.h - Search-as-a-service engine and transports -----*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon behind `seminal_serverd` (DESIGN.md section 13). A
+/// ServerEngine owns the session table and a ThreadPool; every request
+/// line is parsed on the submitting thread, then routed:
+///
+///   * check/reset are posted to the owning session's *shard* -- shard =
+///     hash(session name) mod workers, served FIFO by exactly one worker
+///     (support/ThreadPool.h's post()). Requests of one session never
+///     run concurrently, so Session needs no locks and warm-state reuse
+///     is deterministic; requests of different sessions proceed in
+///     parallel without contention.
+///   * ping/stats/shutdown are answered inline (they only read the
+///     rollup or flip the shutdown flag).
+///
+/// Replies are delivered through a callback, possibly on a pool worker;
+/// transports serialize writes themselves. The engine never drops a
+/// request silently: malformed lines get an error reply and are counted
+/// in ServerStats::Malformed.
+///
+/// Transports: serveStdio() pumps one istream/ostream pair (the
+/// daemon's --stdio mode and the socketpair-driven tests);
+/// UnixSocketServer accepts editor connections on a Unix domain socket,
+/// one reader thread per connection, replies serialized per connection.
+/// A client disconnecting mid-request only loses its reply; the session
+/// and its warm state survive for the reconnect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_SERVER_SERVER_H
+#define SEMINAL_SERVER_SERVER_H
+
+#include "server/Session.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace seminal {
+namespace server {
+
+struct ServerOptions {
+  /// Worker (= shard) count; 0 picks hardware concurrency.
+  unsigned Threads = 0;
+  /// Configuration applied to every session.
+  SessionConfig Session;
+};
+
+/// Server-wide rollup, updated after every request and served by the
+/// "stats" method. All counters are totals since the engine started.
+struct ServerStats {
+  uint64_t Requests = 0;
+  uint64_t Checks = 0;
+  uint64_t Resets = 0;
+  uint64_t Pings = 0;
+  uint64_t Malformed = 0;
+  uint64_t SessionsCreated = 0;
+  uint64_t Evictions = 0;
+  uint64_t OracleCalls = 0;
+  uint64_t InferenceRuns = 0;
+  /// Acceleration counters accumulated across every check of every
+  /// session (per-request counters are scoped by runSeminalWithOracle;
+  /// this is their sum, the satellite's "ServerStats rollup").
+  AccelCounters Accel;
+
+  /// Members of the stats response, pre-rendered as ',"k":v' JSON text.
+  std::string renderJsonMembers() const;
+};
+
+class ServerEngine {
+public:
+  explicit ServerEngine(const ServerOptions &Opts = {});
+  ~ServerEngine();
+
+  /// A reply sink; invoked exactly once per submitted line with one
+  /// response line (no trailing newline), possibly on a pool worker.
+  using ReplyFn = std::function<void(const std::string &)>;
+
+  /// Routes one request line (see file comment).
+  void submit(const std::string &Line, ReplyFn Reply);
+
+  /// Synchronous convenience for tests and simple clients: submits,
+  /// waits for every in-flight request to finish, returns the reply.
+  std::string handle(const std::string &Line);
+
+  /// Blocks until every posted request has been served.
+  void drain();
+
+  /// Snapshot of the rollup.
+  ServerStats stats() const;
+
+  /// A shutdown request was received; transports should stop accepting
+  /// input, drain and exit.
+  bool shutdownRequested() const { return Shutdown.load(); }
+
+  unsigned shards() const;
+  /// The shard a session name pins to (exposed for tests).
+  size_t shardOf(const std::string &SessionName) const;
+
+private:
+  std::shared_ptr<Session> sessionFor(const std::string &Name);
+  void finishCheck(const CheckOutcome &Out);
+
+  ServerOptions Opts;
+  std::unique_ptr<ThreadPool> Pool;
+  mutable std::mutex Mutex; ///< Guards Sessions and Stats.
+  std::unordered_map<std::string, std::shared_ptr<Session>> Sessions;
+  ServerStats Stats;
+  std::atomic<bool> Shutdown{false};
+};
+
+/// Builds the full JSON response line for one check outcome (shared by
+/// the engine and the tests that assert response shape).
+std::string renderCheckResponse(const std::string &Id, const CheckOutcome &O);
+
+/// Pumps a JSONL request stream until EOF or shutdown: reads lines from
+/// \p In, writes reply lines to \p Out (serialized, flushed per line).
+/// Returns when the stream ends or a shutdown request was served, after
+/// draining in-flight requests.
+void serveStdio(ServerEngine &Engine, std::istream &In, std::ostream &Out);
+
+/// Unix-domain-socket transport. start() binds, listens and spawns the
+/// accept thread; stop() (and the destructor) closes every connection
+/// and joins. Connections are independent JSONL streams into the shared
+/// engine, so two editors can address the same session by name.
+class UnixSocketServer {
+public:
+  UnixSocketServer(ServerEngine &Engine, std::string Path);
+  ~UnixSocketServer();
+
+  /// \returns false with \p Error set when the socket cannot be bound.
+  bool start(std::string &Error);
+  void stop();
+
+private:
+  void acceptLoop();
+  void connectionLoop(int Fd);
+
+  ServerEngine &Engine;
+  std::string Path;
+  int ListenFd = -1;
+  std::atomic<bool> Stopping{false};
+  std::thread Acceptor;
+  std::mutex ConnMutex; ///< Guards ConnThreads and LiveFds.
+  std::vector<std::thread> ConnThreads;
+  std::vector<int> LiveFds;
+};
+
+} // namespace server
+} // namespace seminal
+
+#endif // SEMINAL_SERVER_SERVER_H

@@ -1,0 +1,132 @@
+//===- Session.cpp - One client's warm search state --------------------------==//
+
+#include "server/Session.h"
+
+#include "core/CheckpointedOracle.h"
+#include "core/Message.h"
+#include "minicaml/Hash.h"
+#include "minicaml/Parser.h"
+
+#include <chrono>
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::server;
+
+Session::Session(std::string Name, const SessionConfig &Config)
+    : Name(std::move(Name)), Config(Config) {
+  // Session retention needs the arena-keyed caches; force the layers on
+  // regardless of what the caller left in Accel so a session is never
+  // silently cold. (Ablation experiments drive the oracle directly.)
+  this->Config.Accel.Arena = true;
+  this->Config.Accel.Checkpoint = true;
+  this->Config.Accel.VerdictCache = true;
+  rebuildOracle();
+}
+
+Session::~Session() = default;
+
+void Session::rebuildOracle() {
+  std::shared_ptr<caml::AstArena> Arena;
+  if (Oracle) {
+    Arena = Oracle->arena();
+    Oracle.reset();
+    // Reuse the node storage when nothing else holds an id into it;
+    // otherwise start a fresh arena and let the old one die with its
+    // last holder (ids must stay valid for whoever kept them).
+    if (Arena && Arena.use_count() == 1)
+      Arena->clear();
+    else
+      Arena = std::make_shared<caml::AstArena>();
+  } else {
+    Arena = std::make_shared<caml::AstArena>();
+  }
+  Oracle = std::make_unique<CheckpointedOracle>(Config.Accel, Arena);
+  Oracle->setSessionRetention(true);
+}
+
+void Session::reset() {
+  ++Requests;
+  rebuildOracle();
+}
+
+CheckOutcome Session::check(const std::string &Source,
+                            const CheckOptions &Opts) {
+  auto Start = std::chrono::steady_clock::now();
+  CheckOutcome Out;
+  ++Requests;
+  ++Checks;
+
+  caml::ParseResult PR = caml::parseProgram(Source);
+  if (!PR.ok()) {
+    // A syntax error is a normal outcome; warm state stays valid for the
+    // next (hopefully parseable) resubmit.
+    Out.SyntaxError = PR.Error->str();
+    return Out;
+  }
+
+  SeminalOptions RunOpts = Config.Base;
+  if (Opts.MaxSuggestions)
+    RunOpts.MaxSuggestions = Opts.MaxSuggestions;
+  if (Opts.MaxOracleCalls)
+    RunOpts.Search.MaxOracleCalls = Opts.MaxOracleCalls;
+  RunOpts.Search.Metric = &SessionMetrics;
+
+  // Announce the raw text so the oracle's cross-request conventional
+  // memo can prove byte-prefix validity, then run against the warm
+  // oracle. runSeminalWithOracle resets the call count and counters, so
+  // everything the report carries is this request's.
+  Oracle->primeConventional(Source);
+  SeminalReport R = runSeminalWithOracle(*Oracle, *PR.Prog, RunOpts);
+
+  Out.InputTypechecks = R.InputTypechecks;
+  Out.FailingDecl = R.FailingDeclIndex ? int(*R.FailingDeclIndex) : -1;
+  Out.BudgetExhausted = R.BudgetExhausted;
+  if (!R.InputTypechecks)
+    Out.Conventional = R.conventionalMessage();
+  Out.Suggestions.reserve(R.Suggestions.size());
+  for (size_t I = 0; I < R.Suggestions.size(); ++I) {
+    const Suggestion &S = R.Suggestions[I];
+    CheckOutcome::RenderedSuggestion RS;
+    RS.Rank = int(I) + 1;
+    RS.Kind = changeKindName(S.Kind);
+    RS.Layer = suggestionLayer(S);
+    RS.Description = S.Description;
+    RS.Path = S.Path.str();
+    RS.Message = renderSuggestion(S, RunOpts.Message);
+    Out.Suggestions.push_back(std::move(RS));
+  }
+  Out.OracleCalls = R.OracleCalls;
+  Out.InferenceRuns = R.InferenceRuns;
+  Out.Accel = R.Accel;
+  Out.WallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+
+  if (Opts.WantReport) {
+    obs::RunReport Run;
+    Run.ProgramId = Name + "#" + std::to_string(Checks);
+    Run.SourceHash = caml::hashProgram(*PR.Prog);
+    fillRunReport(Run, R, /*Telemetry=*/nullptr, Out.WallSeconds);
+    std::ostringstream OS;
+    Run.writeJson(OS);
+    Out.ReportJson = OS.str();
+  }
+
+  Accumulated += R.Accel;
+  TotalOracleCalls += R.OracleCalls;
+  TotalInferenceRuns += R.InferenceRuns;
+
+  // Eviction check. Suggestions hold lazily-materialized programs that
+  // reference the arena; drop the report (everything the response needs
+  // is already rendered into Out) before deciding, so an in-place clear
+  // is possible.
+  R = SeminalReport();
+  if (Oracle->arena() &&
+      Oracle->arena()->stats().Bytes > Config.ArenaEvictBytes) {
+    rebuildOracle();
+    ++Evictions;
+    Out.Evicted = true;
+  }
+  return Out;
+}

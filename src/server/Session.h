@@ -1,0 +1,147 @@
+//===- Session.h - One client's warm search state ---------------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Session is the unit of warm-state reuse in the search daemon: one
+/// long-lived CheckpointedOracle in session-retention mode, its shared
+/// hash-consing arena, and a per-session Metrics sink. Requests from the
+/// same editor hit the same Session, so an edit-resubmit re-adopts the
+/// previous request's prefix checkpoint and verdict cache instead of
+/// re-inferring from scratch (CheckpointedOracle.h's server-mode notes).
+///
+/// Scoping rules (DESIGN.md section 13): AccelCounters are per-request
+/// -- runSeminalWithOracle resets them at entry and the Session folds
+/// each request's counters into its own rollup; Metrics are per-session
+/// (one sink per Session, never shared across sessions); the arena is
+/// per-session and persists across requests until the eviction
+/// watermark. A Session is single-threaded by construction: the server
+/// pins it to one ThreadPool shard and its requests run FIFO there, so
+/// no member needs a lock.
+///
+/// Eviction: interned arena nodes are immortal, so a session that keeps
+/// submitting different programs grows its arena without bound. When
+/// retained bytes cross SessionConfig::ArenaEvictBytes after a request,
+/// the Session drops all id-keyed warm state and clears the arena in
+/// place (or swaps in a fresh one if anything still holds a reference).
+/// The next request on the session runs cold; correctness is unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_SERVER_SESSION_H
+#define SEMINAL_SERVER_SESSION_H
+
+#include "core/Seminal.h"
+#include "support/Metrics.h"
+#include "support/Stats.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace seminal {
+namespace server {
+
+/// Configuration shared by every session of one server.
+struct SessionConfig {
+  /// Oracle acceleration for the long-lived oracle. ParallelBatch stays
+  /// off by default: server concurrency comes from sharding sessions
+  /// across workers, and nested pools would oversubscribe.
+  OracleAccelOptions Accel;
+
+  /// Baseline run options; per-request limits override copies of this.
+  SeminalOptions Base;
+
+  /// Arena eviction watermark in retained bytes (see file comment).
+  uint64_t ArenaEvictBytes = 64ull << 20;
+};
+
+/// Per-request options (zero/false = inherit the session default).
+struct CheckOptions {
+  size_t MaxSuggestions = 0;
+  size_t MaxOracleCalls = 0;
+  bool WantReport = false;
+};
+
+/// Everything one check produced, pre-rendered so the response can be
+/// written without keeping arena-referencing Suggestion objects alive.
+struct CheckOutcome {
+  std::string SyntaxError; ///< Nonempty = the source failed to parse.
+  bool InputTypechecks = false;
+  int FailingDecl = -1;
+  bool BudgetExhausted = false;
+  std::string Conventional; ///< Rendered baseline checker message.
+
+  struct RenderedSuggestion {
+    int Rank = 0;
+    std::string Kind;
+    std::string Layer;
+    std::string Description;
+    std::string Path;
+    std::string Message; ///< renderSuggestion() output.
+  };
+  std::vector<RenderedSuggestion> Suggestions;
+
+  uint64_t OracleCalls = 0;
+  uint64_t InferenceRuns = 0;
+  /// Per-request acceleration counters (includes the Session* warm-reuse
+  /// fields that the protocol surfaces as "warm").
+  AccelCounters Accel;
+  double WallSeconds = 0.0;
+  /// Compact RunReport JSON (empty unless CheckOptions::WantReport).
+  std::string ReportJson;
+  /// The arena watermark was crossed and the session went cold.
+  bool Evicted = false;
+};
+
+class Session {
+public:
+  Session(std::string Name, const SessionConfig &Config);
+  ~Session();
+
+  const std::string &name() const { return Name; }
+
+  /// Runs one request. Never throws; a syntax error is an outcome, not a
+  /// failure, and leaves the warm state untouched.
+  CheckOutcome check(const std::string &Source, const CheckOptions &Opts);
+
+  /// Drops all warm state (retained checkpoints, verdict caches, memos,
+  /// arena contents). The session identity and rollup counters survive.
+  void reset();
+
+  // Rollup (read by the server's stats method) -------------------------
+  const AccelCounters &accumulated() const { return Accumulated; }
+  uint64_t requests() const { return Requests; }
+  uint64_t checks() const { return Checks; }
+  uint64_t evictions() const { return Evictions; }
+  uint64_t totalOracleCalls() const { return TotalOracleCalls; }
+  uint64_t totalInferenceRuns() const { return TotalInferenceRuns; }
+  const Metrics &metrics() const { return SessionMetrics; }
+
+private:
+  /// (Re)creates the oracle, reusing the arena storage when this session
+  /// holds the only reference and swapping in a fresh arena otherwise.
+  void rebuildOracle();
+
+  std::string Name;
+  SessionConfig Config;
+  std::unique_ptr<CheckpointedOracle> Oracle;
+  /// Per-session metric sink (satellite scoping rule: metrics never
+  /// bleed across sessions).
+  Metrics SessionMetrics;
+
+  AccelCounters Accumulated;
+  uint64_t Requests = 0;
+  uint64_t Checks = 0;
+  uint64_t Evictions = 0;
+  uint64_t TotalOracleCalls = 0;
+  uint64_t TotalInferenceRuns = 0;
+};
+
+} // namespace server
+} // namespace seminal
+
+#endif // SEMINAL_SERVER_SESSION_H

@@ -22,6 +22,10 @@ AccelCounters &AccelCounters::operator+=(const AccelCounters &Other) {
   BatchItems += Other.BatchItems;
   TypesAllocated += Other.TypesAllocated;
   WaveCollapsed += Other.WaveCollapsed;
+  SessionPrefixHits += Other.SessionPrefixHits;
+  SessionVerdictReuses += Other.SessionVerdictReuses;
+  SessionSeedAdoptions += Other.SessionSeedAdoptions;
+  SessionConvMemoHits += Other.SessionConvMemoHits;
   // Arena occupancy is a gauge, not a counter: the arena is shared across
   // everything that accumulates into this object, so take the max rather
   // than double-counting the same nodes.
@@ -49,6 +53,12 @@ std::string AccelCounters::render() const {
      << "  arena: " << ArenaNodes << " nodes, " << ArenaHits << " hits, "
      << ArenaBytes << " bytes\n"
      << "  type allocations: " << TypesAllocated << "\n";
+  if (SessionPrefixHits || SessionVerdictReuses || SessionSeedAdoptions ||
+      SessionConvMemoHits)
+    OS << "  session reuse: " << SessionPrefixHits << " prefix probes, "
+       << SessionVerdictReuses << " retained verdicts, "
+       << SessionSeedAdoptions << " seed adoptions, " << SessionConvMemoHits
+       << " conventional-error memos\n";
   return OS.str();
 }
 

@@ -60,6 +60,16 @@ struct AccelCounters {
   uint64_t ArenaNodes = 0;
   uint64_t ArenaHits = 0;
   uint64_t ArenaBytes = 0;
+  /// Session warm-state reuse (server mode; all zero for one-shot runs).
+  /// Localization probes answered from a prefix the session already
+  /// proved (no inference), verdicts served from a verdict cache retained
+  /// from an earlier request with an id-identical prefix, prefix
+  /// checkpoints re-adopted wholesale at seedPrefix, and conventional
+  /// errors served from the session's source-prefix memo.
+  uint64_t SessionPrefixHits = 0;
+  uint64_t SessionVerdictReuses = 0;
+  uint64_t SessionSeedAdoptions = 0;
+  uint64_t SessionConvMemoHits = 0;
 
   /// Inference actually performed, as opposed to logical search effort.
   uint64_t inferenceRuns() const {

@@ -9,6 +9,7 @@ using namespace seminal;
 ThreadPool::ThreadPool(unsigned Threads) {
   if (Threads == 0)
     Threads = std::max(1u, std::thread::hardware_concurrency());
+  Queues.resize(Threads);
   Workers.reserve(Threads);
   for (unsigned I = 0; I < Threads; ++I)
     Workers.emplace_back([this, I] { workerMain(I); });
@@ -39,24 +40,55 @@ void ThreadPool::parallelFor(size_t NumItems,
   Job = nullptr;
 }
 
+void ThreadPool::post(size_t Shard, std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queues[Shard % Queues.size()].push_back(std::move(Task));
+    ++PostedPending;
+  }
+  // All workers share one condition variable; waking them all is cheap at
+  // request-queue rates and keeps the wait predicate simple.
+  WorkReady.notify_all();
+}
+
+void ThreadPool::drainPosted() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  WorkDone.wait(Lock, [this] { return PostedPending == 0; });
+}
+
 void ThreadPool::workerMain(unsigned WorkerIndex) {
   uint64_t SeenGeneration = 0;
   std::unique_lock<std::mutex> Lock(Mutex);
   for (;;) {
     WorkReady.wait(Lock, [&] {
-      return ShuttingDown || (Job && Generation != SeenGeneration);
+      return ShuttingDown || !Queues[WorkerIndex].empty() ||
+             (Job && Generation != SeenGeneration);
     });
-    if (ShuttingDown)
-      return;
-    SeenGeneration = Generation;
-    while (NextItem < JobSize) {
-      size_t Item = NextItem++;
-      const auto *Fn = Job;
+    // Shard queue first: posted tasks are interactive request handlers,
+    // parallelFor items are batch work. On shutdown the queue is still
+    // drained -- a posted task is a promise to the poster.
+    while (!Queues[WorkerIndex].empty()) {
+      std::function<void()> Task = std::move(Queues[WorkerIndex].front());
+      Queues[WorkerIndex].pop_front();
       Lock.unlock();
-      (*Fn)(WorkerIndex, Item);
+      Task();
       Lock.lock();
-      if (--ItemsLeft == 0)
-        WorkDone.notify_one();
+      if (--PostedPending == 0)
+        WorkDone.notify_all();
     }
+    if (Job && Generation != SeenGeneration) {
+      SeenGeneration = Generation;
+      while (NextItem < JobSize) {
+        size_t Item = NextItem++;
+        const auto *Fn = Job;
+        Lock.unlock();
+        (*Fn)(WorkerIndex, Item);
+        Lock.lock();
+        if (--ItemsLeft == 0)
+          WorkDone.notify_one();
+      }
+    }
+    if (ShuttingDown && Queues[WorkerIndex].empty())
+      return;
   }
 }

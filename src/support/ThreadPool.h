@@ -5,15 +5,25 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small fixed-size thread pool with a single entry point: parallelFor
-/// over an index range. The batched oracle (core/CheckpointedOracle.h)
-/// uses it to evaluate independent candidate programs concurrently; each
-/// callback receives its worker index so callers can keep per-worker
-/// state (one inference checkpoint per worker) without locking.
+/// A small fixed-size thread pool with two entry points:
 ///
-/// Determinism note: items are claimed dynamically, so *completion* order
-/// varies between runs, but results are written to per-index slots and
-/// consumed in index order -- scheduling never leaks into output order.
+///   * parallelFor over an index range -- the batched oracle
+///     (core/CheckpointedOracle.h) uses it to evaluate independent
+///     candidate programs concurrently; each callback receives its worker
+///     index so callers can keep per-worker state (one inference
+///     checkpoint per worker) without locking.
+///   * post(Shard, Task) -- a per-worker FIFO task queue. The search
+///     daemon (src/server) pins every session to one shard, so all
+///     requests touching a session's warm caches execute on the same
+///     worker in submission order: session state needs no locks, and
+///     concurrent clients on different shards never contend on each
+///     other's caches.
+///
+/// Determinism note: parallelFor items are claimed dynamically, so
+/// *completion* order varies between runs, but results are written to
+/// per-index slots and consumed in index order -- scheduling never leaks
+/// into output order. Posted tasks are FIFO per shard; ordering across
+/// shards is unspecified (by design -- shards are independent).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +32,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -50,6 +61,22 @@ public:
   void parallelFor(size_t NumItems,
                    const std::function<void(unsigned, size_t)> &Fn);
 
+  /// Enqueues \p Task on the FIFO queue of worker Shard % numThreads()
+  /// and returns immediately. Tasks posted to the same shard run on the
+  /// same worker thread in submission order; tasks on different shards
+  /// run concurrently. Thread-safe (any thread may post, including a
+  /// worker posting to another shard -- posting to its *own* shard from
+  /// inside a task is allowed too, the task just runs later). Posted
+  /// tasks and parallelFor items share the workers; a long-running
+  /// posted task delays parallelFor progress on that worker.
+  void post(size_t Shard, std::function<void()> Task);
+
+  /// Blocks until every task posted so far has finished executing.
+  /// Tasks posted concurrently with the drain may or may not be waited
+  /// for. Must not be called from inside a posted task (it would wait
+  /// for itself).
+  void drainPosted();
+
 private:
   void workerMain(unsigned WorkerIndex);
 
@@ -64,6 +91,12 @@ private:
   size_t ItemsLeft = 0;
   uint64_t Generation = 0;
   bool ShuttingDown = false;
+
+  /// One FIFO per worker; guarded by Mutex. PostedPending counts tasks
+  /// accepted but not yet finished (queued + running), so drainPosted
+  /// waits for completion, not merely dequeueing.
+  std::vector<std::deque<std::function<void()>>> Queues;
+  size_t PostedPending = 0;
 };
 
 } // namespace seminal

@@ -1,0 +1,426 @@
+//===- ServerTest.cpp - Search-as-a-service daemon tests -------------------==//
+//
+// The server's contract (DESIGN.md section 13): suggestions served from
+// a warm session are byte-identical to a cold one-shot runSeminal of
+// the same source -- session retention only skips work, never changes
+// answers -- and warm-reuse counters actually rise on an edit-resubmit.
+// Also pins the protocol (malformed lines get an error reply, never a
+// dropped connection), the stdio and Unix-socket transports, and the
+// mid-stream-disconnect behavior (the session survives, only the reply
+// is lost).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "server/Server.h"
+#include "server/Session.h"
+
+#include "core/Message.h"
+#include "core/Seminal.h"
+#include "support/Json.h"
+#include "support/Trace.h" // jsonEscape
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace seminal;
+using namespace seminal::server;
+
+namespace {
+
+// A three-decl program whose error sits in the last decl, plus an
+// edited variant that only touches that failing decl: the shape the
+// editor loop produces, and the one session retention accelerates.
+const char *BaseSource = "let inc x = x + 1\n"
+                         "let twice f y = f (f y)\n"
+                         "let out = twice inc true\n";
+const char *EditedSource = "let inc x = x + 1\n"
+                           "let twice f y = f (f y)\n"
+                           "let out = twice inc false\n";
+
+/// Renders a one-shot (cold, oracle-per-run) report the way Session
+/// does, so the comparison is string equality end to end.
+std::vector<std::string> oneShotMessages(const std::string &Source,
+                                         std::string *Conventional) {
+  SeminalOptions Opts;
+  SeminalReport R = runSeminalOnSource(Source, Opts);
+  EXPECT_FALSE(R.SyntaxError.has_value());
+  EXPECT_FALSE(R.InputTypechecks);
+  if (Conventional)
+    *Conventional = R.conventionalMessage();
+  std::vector<std::string> Out;
+  for (const Suggestion &S : R.Suggestions)
+    Out.push_back(renderSuggestion(S, Opts.Message));
+  return Out;
+}
+
+std::vector<std::string> outcomeMessages(const CheckOutcome &O) {
+  std::vector<std::string> Out;
+  for (const auto &S : O.Suggestions)
+    Out.push_back(S.Message);
+  return Out;
+}
+
+uint64_t warmTotal(const AccelCounters &C) {
+  return C.SessionPrefixHits + C.SessionVerdictReuses +
+         C.SessionSeedAdoptions + C.SessionConvMemoHits;
+}
+
+json::Value parseReply(const std::string &Line) {
+  json::ParseResult P = json::parse(Line);
+  EXPECT_TRUE(P.ok()) << Line;
+  EXPECT_TRUE(P.Doc->isObject()) << Line;
+  return std::move(*P.Doc);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ServerProtocolTest, ParsesCheckRequest) {
+  Request R = parseRequest("{\"method\":\"check\",\"id\":7,\"session\":\"s\","
+                           "\"source\":\"let x = 1\",\"max_suggestions\":3,"
+                           "\"report\":true}");
+  EXPECT_EQ(R.TheMethod, Request::Method::Check);
+  EXPECT_EQ(R.Id, "7");
+  EXPECT_EQ(R.Session, "s");
+  EXPECT_EQ(R.Source, "let x = 1");
+  EXPECT_EQ(R.MaxSuggestions, 3u);
+  EXPECT_TRUE(R.WantReport);
+}
+
+TEST(ServerProtocolTest, EchoesStringAndMissingIds) {
+  EXPECT_EQ(parseRequest("{\"method\":\"ping\",\"id\":\"a-1\"}").Id,
+            "\"a-1\"");
+  EXPECT_EQ(parseRequest("{\"method\":\"ping\"}").Id, "null");
+}
+
+TEST(ServerProtocolTest, MalformedLinesComeBackAsInvalid) {
+  EXPECT_EQ(parseRequest("not json").TheMethod, Request::Method::Invalid);
+  EXPECT_EQ(parseRequest("[1,2]").TheMethod, Request::Method::Invalid);
+  EXPECT_EQ(parseRequest("{\"id\":1}").TheMethod, Request::Method::Invalid);
+  EXPECT_EQ(parseRequest("{\"method\":\"nope\"}").TheMethod,
+            Request::Method::Invalid);
+  // A check without a source is malformed but keeps its id for the
+  // error reply.
+  Request R = parseRequest("{\"method\":\"check\",\"id\":4}");
+  EXPECT_EQ(R.TheMethod, Request::Method::Invalid);
+  EXPECT_EQ(R.Id, "4");
+  EXPECT_FALSE(R.Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Session: warm answers must equal cold answers
+//===----------------------------------------------------------------------===//
+
+TEST(ServerSessionTest, ColdCheckMatchesOneShot) {
+  std::string Conventional;
+  std::vector<std::string> Expected =
+      oneShotMessages(BaseSource, &Conventional);
+
+  Session S("t", SessionConfig());
+  CheckOutcome Out = S.check(BaseSource, CheckOptions());
+  EXPECT_TRUE(Out.SyntaxError.empty());
+  EXPECT_FALSE(Out.InputTypechecks);
+  EXPECT_EQ(Out.Conventional, Conventional);
+  EXPECT_EQ(outcomeMessages(Out), Expected);
+  EXPECT_EQ(warmTotal(Out.Accel), 0u) << "first request cannot be warm";
+}
+
+TEST(ServerSessionTest, WarmResubmitIsByteIdenticalAndCounted) {
+  Session S("t", SessionConfig());
+  CheckOutcome Cold = S.check(BaseSource, CheckOptions());
+  ASSERT_FALSE(Cold.Suggestions.empty());
+
+  // Edit only the failing decl and resubmit: the session must reuse the
+  // prefix it proved last time and still answer exactly like a cold
+  // one-shot run of the edited program.
+  std::string Conventional;
+  std::vector<std::string> Expected =
+      oneShotMessages(EditedSource, &Conventional);
+  CheckOutcome Warm = S.check(EditedSource, CheckOptions());
+  EXPECT_EQ(Warm.Conventional, Conventional);
+  EXPECT_EQ(outcomeMessages(Warm), Expected);
+  EXPECT_GT(Warm.Accel.SessionPrefixHits, 0u);
+  EXPECT_GT(Warm.Accel.SessionSeedAdoptions, 0u);
+  EXPECT_GT(Warm.Accel.SessionVerdictReuses, 0u);
+  EXPECT_LT(Warm.InferenceRuns, Cold.InferenceRuns)
+      << "the warm resubmit must do strictly less inference";
+
+  // An identical resubmit additionally replays the conventional error
+  // from the cross-request memo.
+  CheckOutcome Replay = S.check(EditedSource, CheckOptions());
+  EXPECT_GT(Replay.Accel.SessionConvMemoHits, 0u);
+  EXPECT_EQ(Replay.Conventional, Conventional);
+  EXPECT_EQ(outcomeMessages(Replay), Expected);
+}
+
+TEST(ServerSessionTest, CountersAreScopedPerRequest) {
+  Session S("t", SessionConfig());
+  CheckOutcome First = S.check(BaseSource, CheckOptions());
+  CheckOutcome Second = S.check(EditedSource, CheckOptions());
+  // Per-request scoping: the second outcome's counters describe only
+  // the second request (no bleed from the first), while the session
+  // rollup accumulates both.
+  EXPECT_EQ(S.totalInferenceRuns(), First.InferenceRuns + Second.InferenceRuns);
+  EXPECT_EQ(S.totalOracleCalls(), First.OracleCalls + Second.OracleCalls);
+  EXPECT_EQ(S.accumulated().SessionPrefixHits,
+            First.Accel.SessionPrefixHits + Second.Accel.SessionPrefixHits);
+}
+
+TEST(ServerSessionTest, SyntaxErrorLeavesWarmStateIntact) {
+  Session S("t", SessionConfig());
+  S.check(BaseSource, CheckOptions());
+  CheckOutcome Bad = S.check("let x = ", CheckOptions());
+  EXPECT_FALSE(Bad.SyntaxError.empty());
+  CheckOutcome Warm = S.check(EditedSource, CheckOptions());
+  EXPECT_GT(warmTotal(Warm.Accel), 0u)
+      << "a syntax error in between must not cool the session";
+}
+
+TEST(ServerSessionTest, ResetDropsWarmState) {
+  Session S("t", SessionConfig());
+  S.check(BaseSource, CheckOptions());
+  S.reset();
+  CheckOutcome Out = S.check(EditedSource, CheckOptions());
+  EXPECT_EQ(warmTotal(Out.Accel), 0u);
+}
+
+TEST(ServerSessionTest, EvictionGoesColdButStaysCorrect) {
+  SessionConfig Config;
+  Config.ArenaEvictBytes = 1; // every request crosses the watermark
+  Session S("t", Config);
+  CheckOutcome First = S.check(BaseSource, CheckOptions());
+  EXPECT_TRUE(First.Evicted);
+  std::vector<std::string> Expected = oneShotMessages(EditedSource, nullptr);
+  CheckOutcome Second = S.check(EditedSource, CheckOptions());
+  EXPECT_EQ(warmTotal(Second.Accel), 0u) << "evicted sessions run cold";
+  EXPECT_EQ(outcomeMessages(Second), Expected);
+  EXPECT_EQ(S.evictions(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine: routing, stats, malformed input
+//===----------------------------------------------------------------------===//
+
+TEST(ServerEngineTest, ChecksMatchOneShotThroughTheWire) {
+  std::string Conventional;
+  std::vector<std::string> Expected =
+      oneShotMessages(BaseSource, &Conventional);
+
+  ServerEngine Engine;
+  std::string Line = "{\"method\":\"check\",\"id\":1,\"session\":\"e\","
+                     "\"source\":\"";
+  Line += jsonEscape(BaseSource);
+  Line += "\"}";
+  json::Value Reply = parseReply(Engine.handle(Line));
+  EXPECT_TRUE(Reply.getBool("ok", false));
+  EXPECT_EQ(Reply.getString("conventional"), Conventional);
+  const json::Value *Suggestions = Reply.member("suggestions");
+  ASSERT_TRUE(Suggestions && Suggestions->isArray());
+  ASSERT_EQ(Suggestions->arrayValue().size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(Suggestions->arrayValue()[I].getString("message"), Expected[I]);
+}
+
+TEST(ServerEngineTest, WarmCountersRiseInResponses) {
+  ServerEngine Engine;
+  auto CheckLine = [](const char *Source) {
+    std::string Line = "{\"method\":\"check\",\"id\":1,\"session\":\"w\","
+                       "\"source\":\"";
+    Line += jsonEscape(Source);
+    Line += "\"}";
+    return Line;
+  };
+  json::Value Cold = parseReply(Engine.handle(CheckLine(BaseSource)));
+  const json::Value *ColdWarm = Cold.member("warm");
+  ASSERT_TRUE(ColdWarm);
+  EXPECT_EQ(ColdWarm->getInt("prefix_hits", -1), 0);
+
+  json::Value Warm = parseReply(Engine.handle(CheckLine(EditedSource)));
+  const json::Value *W = Warm.member("warm");
+  ASSERT_TRUE(W);
+  EXPECT_GT(W->getInt("prefix_hits", 0), 0);
+  EXPECT_GT(W->getInt("seed_adoptions", 0), 0);
+  EXPECT_GT(W->getInt("verdict_reuses", 0), 0);
+
+  // The server-wide rollup accumulated both requests' counters.
+  ServerStats Stats = Engine.stats();
+  EXPECT_EQ(Stats.Checks, 2u);
+  EXPECT_GT(Stats.Accel.SessionPrefixHits, 0u);
+}
+
+TEST(ServerEngineTest, MalformedLineGetsErrorReplyAndSessionSurvives) {
+  ServerEngine Engine;
+  std::string Line = "{\"method\":\"check\",\"id\":1,\"session\":\"m\","
+                     "\"source\":\"";
+  Line += jsonEscape(BaseSource);
+  Line += "\"}";
+  Engine.handle(Line);
+
+  json::Value Err = parseReply(Engine.handle("{\"oops\""));
+  EXPECT_FALSE(Err.getBool("ok", true));
+  EXPECT_FALSE(Err.getString("error").empty());
+  json::Value Err2 = parseReply(
+      Engine.handle("{\"method\":\"frobnicate\",\"id\":2}"));
+  EXPECT_FALSE(Err2.getBool("ok", true));
+
+  std::string Edited = "{\"method\":\"check\",\"id\":3,\"session\":\"m\","
+                       "\"source\":\"";
+  Edited += jsonEscape(EditedSource);
+  Edited += "\"}";
+  json::Value Warm = parseReply(Engine.handle(Edited));
+  ASSERT_TRUE(Warm.member("warm"));
+  EXPECT_GT(Warm.member("warm")->getInt("prefix_hits", 0), 0)
+      << "malformed lines in between must not disturb the session";
+  EXPECT_EQ(Engine.stats().Malformed, 2u);
+}
+
+TEST(ServerEngineTest, SessionsShardDeterministically) {
+  ServerEngine Engine;
+  EXPECT_EQ(Engine.shardOf("alpha"), Engine.shardOf("alpha"));
+  EXPECT_LT(Engine.shardOf("alpha"), Engine.shards());
+}
+
+TEST(ServerEngineTest, PingStatsAndShutdown) {
+  ServerEngine Engine;
+  json::Value Pong = parseReply(Engine.handle("{\"method\":\"ping\",\"id\":1}"));
+  EXPECT_TRUE(Pong.getBool("pong", false));
+  json::Value Stats = parseReply(
+      Engine.handle("{\"method\":\"stats\",\"id\":2}"));
+  EXPECT_EQ(Stats.getInt("pings", -1), 1);
+  EXPECT_FALSE(Engine.shutdownRequested());
+  Engine.handle("{\"method\":\"shutdown\",\"id\":3}");
+  EXPECT_TRUE(Engine.shutdownRequested());
+}
+
+//===----------------------------------------------------------------------===//
+// Transports
+//===----------------------------------------------------------------------===//
+
+TEST(ServerStdioTest, ServesJsonlStreams) {
+  ServerEngine Engine;
+  std::string Input = "{\"method\":\"ping\",\"id\":1}\n"
+                      "this is not json\n"
+                      "{\"method\":\"check\",\"id\":2,\"source\":\"";
+  Input += jsonEscape(BaseSource);
+  Input += "\"}\n";
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  serveStdio(Engine, In, Out);
+
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  size_t Replies = 0;
+  bool SawError = false, SawCheck = false;
+  while (std::getline(Lines, Line)) {
+    ++Replies;
+    json::Value Reply = parseReply(Line);
+    if (!Reply.getBool("ok", true))
+      SawError = true;
+    if (Reply.member("suggestions"))
+      SawCheck = true;
+  }
+  EXPECT_EQ(Replies, 3u) << "every line gets exactly one reply";
+  EXPECT_TRUE(SawError);
+  EXPECT_TRUE(SawCheck);
+}
+
+class SocketClient {
+public:
+  explicit SocketClient(const std::string &Path) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Path.c_str());
+    Connected = Fd >= 0 && ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                                     sizeof(Addr)) == 0;
+  }
+  ~SocketClient() { close(); }
+
+  bool send(const std::string &Line) {
+    std::string Out = Line + "\n";
+    size_t Off = 0;
+    while (Off < Out.size()) {
+      ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off, 0);
+      if (N <= 0)
+        return false;
+      Off += size_t(N);
+    }
+    return true;
+  }
+
+  std::string recvLine() {
+    std::string Buf;
+    char C;
+    while (::recv(Fd, &C, 1, 0) == 1) {
+      if (C == '\n')
+        return Buf;
+      Buf.push_back(C);
+    }
+    return Buf;
+  }
+
+  void close() {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+  }
+
+  bool Connected = false;
+
+private:
+  int Fd = -1;
+};
+
+TEST(ServerSocketTest, MidStreamDisconnectLeavesSessionIntact) {
+  std::string Path =
+      "/tmp/seminal_servertest_" + std::to_string(::getpid()) + ".sock";
+  ServerEngine Engine;
+  UnixSocketServer Socket(Engine, Path);
+  std::string Error;
+  ASSERT_TRUE(Socket.start(Error)) << Error;
+
+  std::string CheckBase = "{\"method\":\"check\",\"id\":1,"
+                          "\"session\":\"d\",\"source\":\"";
+  CheckBase += jsonEscape(BaseSource);
+  CheckBase += "\"}";
+
+  // Client 1 submits a check and vanishes without reading the reply.
+  {
+    SocketClient C1(Path);
+    ASSERT_TRUE(C1.Connected);
+    ASSERT_TRUE(C1.send(CheckBase));
+    C1.close();
+  }
+  Engine.drain();
+
+  // Client 2 reconnects to the same session: the work client 1 paid for
+  // is still warm, and the server is still serving.
+  SocketClient C2(Path);
+  ASSERT_TRUE(C2.Connected);
+  std::string Edited = "{\"method\":\"check\",\"id\":2,\"session\":\"d\","
+                       "\"source\":\"";
+  Edited += jsonEscape(EditedSource);
+  Edited += "\"}";
+  ASSERT_TRUE(C2.send(Edited));
+  json::Value Reply = parseReply(C2.recvLine());
+  EXPECT_TRUE(Reply.getBool("ok", false));
+  ASSERT_TRUE(Reply.member("warm"));
+  EXPECT_GT(Reply.member("warm")->getInt("prefix_hits", 0), 0)
+      << "the disconnected client's warm state must survive";
+  C2.close();
+
+  Socket.stop();
+  EXPECT_EQ(Engine.stats().Checks, 2u);
+}
+
+} // namespace

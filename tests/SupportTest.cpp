@@ -324,3 +324,43 @@ TEST(ThreadPoolTest, ReusableAcrossCallsAndZeroItemsIsFine) {
     Pool.parallelFor(10, [&](unsigned, size_t) { Total.fetch_add(1); });
   EXPECT_EQ(Total.load(), 500u);
 }
+
+TEST(ThreadPoolTest, PostedTasksRunFifoPerShard) {
+  // The server's sharding contract: tasks posted to one shard run in
+  // submission order on a single worker, so a shard-pinned session
+  // never sees two of its requests concurrently.
+  ThreadPool Pool(4);
+  constexpr size_t Shards = 4, PerShard = 200;
+  std::vector<std::vector<size_t>> Order(Shards);
+  for (size_t I = 0; I < PerShard; ++I)
+    for (size_t Shard = 0; Shard < Shards; ++Shard)
+      Pool.post(Shard, [&Order, Shard, I] { Order[Shard].push_back(I); });
+  Pool.drainPosted();
+  for (size_t Shard = 0; Shard < Shards; ++Shard) {
+    ASSERT_EQ(Order[Shard].size(), PerShard) << "shard " << Shard;
+    for (size_t I = 0; I < PerShard; ++I)
+      EXPECT_EQ(Order[Shard][I], I) << "shard " << Shard;
+  }
+}
+
+TEST(ThreadPoolTest, PostedTasksCoexistWithParallelFor) {
+  ThreadPool Pool(3);
+  std::atomic<size_t> Posted{0};
+  std::atomic<size_t> Items{0};
+  for (size_t I = 0; I < 100; ++I)
+    Pool.post(I, [&] { Posted.fetch_add(1); });
+  Pool.parallelFor(100, [&](unsigned, size_t) { Items.fetch_add(1); });
+  Pool.drainPosted();
+  EXPECT_EQ(Posted.load(), 100u);
+  EXPECT_EQ(Items.load(), 100u);
+}
+
+TEST(ThreadPoolTest, DrainPostedWithNothingPostedReturns) {
+  ThreadPool Pool(2);
+  Pool.drainPosted();
+  std::atomic<int> Ran{0};
+  Pool.post(0, [&] { Ran.fetch_add(1); });
+  Pool.drainPosted();
+  Pool.drainPosted();
+  EXPECT_EQ(Ran.load(), 1);
+}
