@@ -1,0 +1,261 @@
+//===- bench_obs.cpp - Observability overhead measurements -----------------==//
+//
+// Prices the live-observability layer (DESIGN.md section 14) so the
+// "<1% on the warm path" budget is a measured number, not a hope. Two
+// sections:
+//
+//   * instrument microcosts: ns per LogHistogram::record, per counter
+//     inc, per Metrics::observe on a hot (histogram-backed) vs exact
+//     (vector-backed) series, per suppressed log event, and per
+//     registry scrape while records are flowing.
+//   * end-to-end warm p50: the bench_server warm edit-resubmit loop run
+//     through a ServerEngine under increasing observability configs --
+//     registry only (always on), + info logging, + tail tracing with a
+//     threshold nothing crosses, + capture-everything tracing. The
+//     overhead_pct numbers compare each config's warm p50 against the
+//     registry-only baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "obs/Log.h"
+#include "obs/OpsRegistry.h"
+#include "obs/SlowTraceRing.h"
+#include "server/Server.h"
+#include "support/Histogram.h"
+#include "support/Metrics.h"
+#include "support/Trace.h" // jsonEscape
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace seminal;
+using namespace seminal::bench;
+using namespace seminal::server;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+double percentile(std::vector<double> Samples, double P) {
+  if (Samples.empty())
+    return 0.0;
+  std::sort(Samples.begin(), Samples.end());
+  size_t Index = size_t(P * double(Samples.size() - 1) + 0.5);
+  return Samples[std::min(Index, Samples.size() - 1)];
+}
+
+/// Times \p Body over \p Iters calls and returns ns per call. The
+/// returned accumulator value keeps the loop observable.
+template <typename Fn> double nsPerOp(size_t Iters, Fn &&Body) {
+  Clock::time_point Start = Clock::now();
+  for (size_t I = 0; I < Iters; ++I)
+    Body(I);
+  double Ms = msSince(Start);
+  return Ms * 1e6 / double(Iters);
+}
+
+// Same synthetic editor program as bench_server (see its comment for
+// the cost-asymmetry rationale), so warm p50s are comparable across the
+// two benches.
+std::string makeProgram(size_t Decls, int TailValue) {
+  const size_t Depth = 4;
+  std::string Out;
+  size_t Emitted = 0;
+  for (size_t Chain = 0; Emitted + 3 < Decls; ++Chain) {
+    std::string C = "c" + std::to_string(Chain) + "_";
+    Out += "let " + C + "0 x = (x, x)\n";
+    ++Emitted;
+    for (size_t I = 1; I <= Depth && Emitted + 3 < Decls; ++I, ++Emitted) {
+      std::string N = std::to_string(I), P = std::to_string(I - 1);
+      Out += "let " + C + N + " x = " + C + P + " (" + C + P + " x)\n";
+    }
+  }
+  Out += "let helper n = n + 1\n";
+  Out += "let broken = helper true\n";
+  Out += "let tail = " + std::to_string(TailValue) + "\n";
+  return Out;
+}
+
+struct ConfigRow {
+  std::string Name;
+  double WarmP50Ms = 0.0;
+  double WarmP95Ms = 0.0;
+  double OverheadPct = 0.0;
+};
+
+/// Runs the warm edit-resubmit loop under one observability config and
+/// returns its latency profile.
+ConfigRow measureConfig(const std::string &Name, size_t Decls,
+                        size_t Iterations, obs::Logger *Log,
+                        obs::SlowTraceRing *Ring, double TraceSlowMs) {
+  ServerOptions SO;
+  SO.Threads = 1; // One shard: measure the request path, not scheduling.
+  SO.Log = Log;
+  SO.SlowTraces = Ring;
+  SO.TraceSlowMs = TraceSlowMs;
+  ServerEngine Engine(SO);
+
+  auto CheckLine = [&](int Tail) {
+    std::string Line =
+        "{\"method\":\"check\",\"id\":1,\"session\":\"w\",\"source\":\"";
+    Line += jsonEscape(makeProgram(Decls, Tail));
+    Line += "\"}";
+    return Line;
+  };
+
+  Engine.handle(CheckLine(0)); // Prime: steady state is warm.
+  std::vector<double> WarmMs;
+  for (size_t I = 0; I < Iterations; ++I) {
+    std::string Line = CheckLine(int(I % 2) + 1);
+    Clock::time_point Start = Clock::now();
+    Engine.handle(Line);
+    WarmMs.push_back(msSince(Start));
+  }
+
+  ConfigRow Row;
+  Row.Name = Name;
+  Row.WarmP50Ms = percentile(WarmMs, 0.50);
+  Row.WarmP95Ms = percentile(WarmMs, 0.95);
+  return Row;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions Opts = parseDriverArgs(Argc, Argv);
+  const size_t MicroIters = std::max<size_t>(100000, size_t(2e6 * Opts.Scale));
+  const size_t Decls = std::max<size_t>(10, size_t(120 * Opts.Scale));
+  const size_t Iterations = std::max<size_t>(6, size_t(20 * Opts.Scale));
+
+  header("Instrument microcosts (" + std::to_string(MicroIters) +
+         " iterations)");
+
+  LogHistogram Hist;
+  double RecordNs =
+      nsPerOp(MicroIters, [&](size_t I) { Hist.record(I & 0xffff); });
+
+  obs::OpsRegistry Registry;
+  obs::OpsCounter &Counter = Registry.counter("bench_total");
+  double CounterNs = nsPerOp(MicroIters, [&](size_t) { Counter.inc(); });
+
+  Metrics M;
+  double HotObserveNs = nsPerOp(MicroIters, [&](size_t I) {
+    M.observe("bench.latency_us", double(I & 0xffff));
+  });
+  // The exact series keeps every sample; cap the iterations so the
+  // vector does not dominate the bench's own memory.
+  size_t ExactIters = std::min<size_t>(MicroIters, 1u << 20);
+  double ExactObserveNs = nsPerOp(ExactIters, [&](size_t I) {
+    M.observe("bench.samples", double(I & 0xffff));
+  });
+
+  std::ostringstream Devnull;
+  obs::Logger Quiet(Devnull, obs::LogLevel::Warn);
+  double SuppressedLogNs = nsPerOp(MicroIters, [&](size_t I) {
+    if (Quiet.enabled(obs::LogLevel::Debug))
+      Quiet.debug(obs::LogEvent("bench").num("i", uint64_t(I)));
+  });
+
+  // A scrape while the histogram holds samples: the cost a Prometheus
+  // poll imposes on the daemon.
+  obs::OpsRegistry ScrapeReg;
+  LogHistogram &SH = ScrapeReg.histogram("bench_latency_us");
+  for (size_t I = 0; I < 100000; ++I)
+    SH.record(I & 0xffff);
+  ScrapeReg.counter("bench_requests_total").inc(100000);
+  size_t ScrapeIters = 1000;
+  size_t ScrapeBytes = 0;
+  double ScrapeUs = nsPerOp(ScrapeIters, [&](size_t) {
+                      ScrapeBytes = ScrapeReg.renderPrometheus().size();
+                    }) /
+                    1000.0;
+
+  std::printf("%-34s %8.1f ns/op\n", "LogHistogram::record", RecordNs);
+  std::printf("%-34s %8.1f ns/op\n", "OpsCounter::inc", CounterNs);
+  std::printf("%-34s %8.1f ns/op\n", "Metrics::observe (histogram-backed)",
+              HotObserveNs);
+  std::printf("%-34s %8.1f ns/op\n", "Metrics::observe (exact samples)",
+              ExactObserveNs);
+  std::printf("%-34s %8.1f ns/op\n", "suppressed log event", SuppressedLogNs);
+  std::printf("%-34s %8.1f us/scrape (%zu bytes)\n", "renderPrometheus",
+              ScrapeUs, ScrapeBytes);
+  uint64_t KeepAlive = Hist.count() + Counter.value(); // defeat DCE
+  if (KeepAlive == 0)
+    std::printf("(unreachable)\n");
+
+  header("Warm edit-resubmit p50 by observability config (" +
+         std::to_string(Decls) + " decls, " + std::to_string(Iterations) +
+         " iterations)");
+
+  std::string TraceDir =
+      "/tmp/seminal_bench_obs_" + std::to_string(::getpid());
+  std::string Cleanup = "rm -rf '" + TraceDir + "'";
+  std::ostringstream LogSink; // Absorbs log output without touching disk.
+  obs::Logger InfoLog(LogSink, obs::LogLevel::Info);
+  obs::SlowTraceRing Ring(TraceDir, 4);
+
+  std::vector<ConfigRow> Configs;
+  Configs.push_back(
+      measureConfig("registry_only", Decls, Iterations, nullptr, nullptr,
+                    -1.0));
+  Configs.push_back(measureConfig("with_logging", Decls, Iterations, &InfoLog,
+                                  nullptr, -1.0));
+  Configs.push_back(measureConfig("with_tail_tracing", Decls, Iterations,
+                                  &InfoLog, &Ring, 1e9));
+  Configs.push_back(measureConfig("capture_everything", Decls, Iterations,
+                                  &InfoLog, &Ring, 0.0));
+
+  double Baseline = Configs[0].WarmP50Ms;
+  for (ConfigRow &Row : Configs) {
+    Row.OverheadPct =
+        Baseline > 0 ? (Row.WarmP50Ms / Baseline - 1.0) * 100.0 : 0.0;
+    std::printf("%-22s p50 %9.3f ms   p95 %9.3f ms   overhead %+6.2f%%\n",
+                Row.Name.c_str(), Row.WarmP50Ms, Row.WarmP95Ms,
+                Row.OverheadPct);
+  }
+  (void)std::system(Cleanup.c_str());
+
+  if (!Opts.JsonPath.empty()) {
+    std::ofstream Out(Opts.JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", Opts.JsonPath.c_str());
+      return 2;
+    }
+    Out << "{\n"
+        << "  \"bench\": \"obs\",\n"
+        << "  \"scale\": " << Opts.Scale << ",\n"
+        << "  \"seed\": " << Opts.Seed << ",\n"
+        << "  \"record_ns\": " << RecordNs << ",\n"
+        << "  \"counter_inc_ns\": " << CounterNs << ",\n"
+        << "  \"observe_hot_ns\": " << HotObserveNs << ",\n"
+        << "  \"observe_exact_ns\": " << ExactObserveNs << ",\n"
+        << "  \"suppressed_log_ns\": " << SuppressedLogNs << ",\n"
+        << "  \"scrape_us\": " << ScrapeUs << ",\n"
+        << "  \"scrape_bytes\": " << ScrapeBytes << ",\n"
+        << "  \"configs\": [";
+    for (size_t I = 0; I < Configs.size(); ++I) {
+      const ConfigRow &Row = Configs[I];
+      Out << (I ? "," : "") << "\n    {\"name\": \"" << Row.Name
+          << "\", \"warm_p50_ms\": " << Row.WarmP50Ms
+          << ", \"warm_p95_ms\": " << Row.WarmP95Ms
+          << ", \"overhead_pct\": " << Row.OverheadPct << "}";
+    }
+    Out << "\n  ]\n}\n";
+  }
+  return 0;
+}

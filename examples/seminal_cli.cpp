@@ -82,7 +82,16 @@ void usage(const char *Prog) {
                "                 repeated checks of the same --session\n"
                "                 reuse its warm search state\n"
                "  --session=NAME session name for --connect (default:\n"
-               "                 \"default\")\n",
+               "                 \"default\")\n"
+               "  --server-metrics[=FMT]\n"
+               "                 with --connect: fetch the daemon's live\n"
+               "                 metrics snapshot and print it on stdout\n"
+               "                 (FMT: json, the default, or prometheus);\n"
+               "                 no source file needed\n"
+               "  --ops-snapshot=FILE\n"
+               "                 with --explore: embed a saved metrics\n"
+               "                 snapshot (JSON from --server-metrics or\n"
+               "                 GET /metrics.json) as a live-ops panel\n",
                Prog, Prog);
 }
 
@@ -91,15 +100,15 @@ bool endsWith(const std::string &S, const char *Suffix) {
   return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
 }
 
-// Client mode: ship one check request to a seminal_serverd daemon over
-// its Unix socket and render the reply the way the local path would.
-int runConnected(const std::string &SocketPath, const std::string &Session,
-                 const std::string &Source, size_t MaxSuggestions, bool Quiet,
-                 bool Json) {
+// One round-trip on the daemon's Unix socket: send \p Request (one
+// line), read one reply line into \p Reply. Returns false after
+// printing the failure to stderr.
+bool socketRoundTrip(const std::string &SocketPath, const std::string &Request,
+                     std::string &Reply) {
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0) {
     std::perror("socket");
-    return 2;
+    return false;
   }
   sockaddr_un Addr;
   std::memset(&Addr, 0, sizeof(Addr));
@@ -107,16 +116,84 @@ int runConnected(const std::string &SocketPath, const std::string &Session,
   if (SocketPath.size() >= sizeof(Addr.sun_path)) {
     std::fprintf(stderr, "socket path too long: %s\n", SocketPath.c_str());
     ::close(Fd);
-    return 2;
+    return false;
   }
   std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
   if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
     std::fprintf(stderr, "cannot connect to '%s': %s\n", SocketPath.c_str(),
                  std::strerror(errno));
     ::close(Fd);
+    return false;
+  }
+  size_t Off = 0;
+  while (Off < Request.size()) {
+    ssize_t N = ::send(Fd, Request.data() + Off, Request.size() - Off, 0);
+    if (N <= 0) {
+      std::fprintf(stderr, "send failed: %s\n", std::strerror(errno));
+      ::close(Fd);
+      return false;
+    }
+    Off += size_t(N);
+  }
+  Reply.clear();
+  char Chunk[4096];
+  while (Reply.find('\n') == std::string::npos) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break;
+    Reply.append(Chunk, size_t(N));
+  }
+  ::close(Fd);
+  size_t Eol = Reply.find('\n');
+  if (Eol == std::string::npos) {
+    std::fprintf(stderr, "daemon closed the connection without replying\n");
+    return false;
+  }
+  Reply.resize(Eol);
+  return true;
+}
+
+// --server-metrics: fetch the daemon's live ops snapshot and print it.
+int fetchServerMetrics(const std::string &SocketPath,
+                       const std::string &Format) {
+  std::string Req = "{\"method\":\"metrics\",\"id\":1";
+  if (Format == "prometheus")
+    Req += ",\"format\":\"prometheus\"";
+  Req += "}\n";
+  std::string Reply;
+  if (!socketRoundTrip(SocketPath, Req, Reply))
+    return 2;
+  json::ParseResult P = json::parse(Reply);
+  if (!P.ok() || !P.Doc->isObject()) {
+    std::fprintf(stderr, "unparseable daemon reply: %s\n", Reply.c_str());
     return 2;
   }
+  if (!P.Doc->getBool("ok", false)) {
+    std::fprintf(stderr, "daemon error: %s\n",
+                 P.Doc->getString("error", "unknown").c_str());
+    return 2;
+  }
+  if (Format == "prometheus") {
+    std::printf("%s", P.Doc->getString("exposition").c_str());
+    return 0;
+  }
+  // Print the snapshot verbatim (it is the response's final member), so
+  // the output round-trips into --ops-snapshot without re-rendering.
+  size_t Pos = Reply.find("\"metrics\":");
+  if (!P.Doc->member("metrics") || Pos == std::string::npos) {
+    std::fprintf(stderr, "daemon reply carried no metrics\n");
+    return 2;
+  }
+  std::printf("%s\n",
+              Reply.substr(Pos + 10, Reply.size() - Pos - 11).c_str());
+  return 0;
+}
 
+// Client mode: ship one check request to a seminal_serverd daemon over
+// its Unix socket and render the reply the way the local path would.
+int runConnected(const std::string &SocketPath, const std::string &Session,
+                 const std::string &Source, size_t MaxSuggestions, bool Quiet,
+                 bool Json) {
   std::string Req = "{\"method\":\"check\",\"id\":1,\"session\":\"";
   Req += jsonEscape(Session);
   Req += "\",\"source\":\"";
@@ -129,32 +206,9 @@ int runConnected(const std::string &SocketPath, const std::string &Session,
   if (Json)
     Req += ",\"report\":true";
   Req += "}\n";
-  size_t Off = 0;
-  while (Off < Req.size()) {
-    ssize_t N = ::send(Fd, Req.data() + Off, Req.size() - Off, 0);
-    if (N <= 0) {
-      std::fprintf(stderr, "send failed: %s\n", std::strerror(errno));
-      ::close(Fd);
-      return 2;
-    }
-    Off += size_t(N);
-  }
-
   std::string Reply;
-  char Chunk[4096];
-  while (Reply.find('\n') == std::string::npos) {
-    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
-    if (N <= 0)
-      break;
-    Reply.append(Chunk, size_t(N));
-  }
-  ::close(Fd);
-  size_t Eol = Reply.find('\n');
-  if (Eol == std::string::npos) {
-    std::fprintf(stderr, "daemon closed the connection without replying\n");
+  if (!socketRoundTrip(SocketPath, Req, Reply))
     return 2;
-  }
-  Reply.resize(Eol);
 
   json::ParseResult P = json::parse(Reply);
   if (!P.ok() || !P.Doc->isObject()) {
@@ -235,11 +289,14 @@ int main(int Argc, char **Argv) {
   std::string ExplorePath;
   std::string ConnectPath;
   std::string SessionName = "default";
+  std::string OpsSnapshotPath;
   bool HaveSource = false;
   bool Quiet = false;
   bool Json = false;
   bool WantMetrics = false;
   bool WantSlice = false;
+  bool WantServerMetrics = false;
+  std::string ServerMetricsFormat = "json";
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -300,6 +357,25 @@ int main(int Argc, char **Argv) {
         usage(Argv[0]);
         return 2;
       }
+    } else if (std::strcmp(Arg, "--server-metrics") == 0) {
+      WantServerMetrics = true;
+    } else if (std::strncmp(Arg, "--server-metrics=", 17) == 0) {
+      WantServerMetrics = true;
+      ServerMetricsFormat = Arg + 17;
+      if (ServerMetricsFormat != "json" &&
+          ServerMetricsFormat != "prometheus") {
+        std::fprintf(stderr,
+                     "--server-metrics: format must be json or prometheus\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--ops-snapshot=", 15) == 0) {
+      OpsSnapshotPath = Arg + 15;
+      if (OpsSnapshotPath.empty()) {
+        std::fprintf(stderr, "--ops-snapshot needs a file path\n");
+        usage(Argv[0]);
+        return 2;
+      }
     } else if (std::strcmp(Arg, "--expr") == 0 && I + 1 < Argc) {
       Source = Argv[++I];
       HaveSource = true;
@@ -321,6 +397,31 @@ int main(int Argc, char **Argv) {
       Source = Buf.str();
       SourceName = Arg;
       HaveSource = true;
+    }
+  }
+  if (WantServerMetrics) {
+    if (ConnectPath.empty()) {
+      std::fprintf(stderr, "--server-metrics needs --connect=PATH\n");
+      usage(Argv[0]);
+      return 2;
+    }
+    return fetchServerMetrics(ConnectPath, ServerMetricsFormat);
+  }
+  std::string OpsJson;
+  if (!OpsSnapshotPath.empty()) {
+    std::ifstream In(OpsSnapshotPath);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", OpsSnapshotPath.c_str());
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    OpsJson = Buf.str();
+    json::ParseResult P = json::parse(OpsJson);
+    if (!P.ok()) {
+      std::fprintf(stderr, "--ops-snapshot: '%s' is not valid JSON: %s\n",
+                   OpsSnapshotPath.c_str(), P.Error.c_str());
+      return 2;
     }
   }
   if (!HaveSource) {
@@ -394,6 +495,7 @@ int main(int Argc, char **Argv) {
       }
       obs::ExplorerOptions EO;
       EO.Title = "SEMINAL search explorer: " + SourceName;
+      EO.OpsJson = OpsJson;
       obs::writeExplorerHtml(Out, Sink.snapshot(), Run, Source, EO);
       if (!Quiet)
         std::fprintf(stderr, "wrote search explorer to %s\n",

@@ -12,15 +12,26 @@
 // worker, and suggestions are bit-identical to a cold seminal_cli run
 // of the same source.
 //
+// Observability (DESIGN.md section 14): --metrics-port serves
+// GET /metrics (Prometheus) and /healthz on localhost; --log-level
+// emits structured per-request lines on stderr (--log-json for JSONL);
+// --trace-slow-ms captures Chrome traces of slow requests into a
+// bounded ring of files under --trace-dir.
+//
 // Usage:
 //   seminal_serverd [--stdio] [--socket=PATH] [--threads=N]
 //                   [--evict-bytes=N] [--max-suggestions=N]
+//                   [--metrics-port=N] [--log-level=LVL] [--log-json]
+//                   [--trace-slow-ms=N] [--trace-dir=PATH] [--trace-ring=N]
 //
 // Try it (pipe a request line into --stdio mode):
 //   printf '%s\n' '{"method":"check","id":1,"source":"..."}' | seminal_serverd
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Log.h"
+#include "obs/SlowTraceRing.h"
+#include "server/MetricsHttp.h"
 #include "server/Server.h"
 
 #include <chrono>
@@ -28,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 using namespace seminal;
@@ -39,6 +51,9 @@ void usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--stdio] [--socket=PATH] [--threads=N]\n"
                "          [--evict-bytes=N] [--max-suggestions=N]\n"
+               "          [--metrics-port=N] [--log-level=LVL] [--log-json]\n"
+               "          [--trace-slow-ms=N] [--trace-dir=PATH]\n"
+               "          [--trace-ring=N]\n"
                "  --stdio            serve JSONL requests on stdin/stdout\n"
                "                     (default when --socket is absent)\n"
                "  --socket=PATH      also accept connections on a Unix\n"
@@ -50,7 +65,19 @@ void usage(const char *Prog) {
                "                     (default 64 MiB)\n"
                "  --max-suggestions=N\n"
                "                     default suggestion cap per check\n"
-               "                     (requests may override)\n",
+               "                     (requests may override)\n"
+               "  --metrics-port=N   serve GET /metrics, /metrics.json and\n"
+               "                     /healthz on 127.0.0.1:N (0 = ephemeral;\n"
+               "                     the bound port is printed to stderr)\n"
+               "  --log-level=LVL    structured request log on stderr:\n"
+               "                     debug|info|warn|error|off (default warn)\n"
+               "  --log-json         log JSON lines instead of logfmt\n"
+               "  --trace-slow-ms=N  capture a Chrome trace of any request\n"
+               "                     slower than N ms (0 = every request)\n"
+               "  --trace-dir=PATH   slow-trace directory (default\n"
+               "                     seminal-slow-traces)\n"
+               "  --trace-ring=N     keep at most N slow-trace files\n"
+               "                     (default 8)\n",
                Prog);
 }
 
@@ -61,6 +88,12 @@ int main(int Argc, char **Argv) {
   std::string SocketPath;
   bool Stdio = false;
   bool SawTransport = false;
+  int MetricsPort = -1;
+  obs::LogLevel Level = obs::LogLevel::Warn;
+  bool LogJson = false;
+  double TraceSlowMs = -1.0;
+  std::string TraceDir = "seminal-slow-traces";
+  size_t TraceRing = 8;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -99,6 +132,45 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opts.Session.Base.MaxSuggestions = size_t(N);
+    } else if (std::strncmp(Arg, "--metrics-port=", 15) == 0) {
+      int N = std::atoi(Arg + 15);
+      if (N < 0 || N > 65535 ||
+          (N == 0 && std::strcmp(Arg + 15, "0") != 0)) {
+        std::fprintf(stderr, "--metrics-port needs a port number (0-65535)\n");
+        usage(Argv[0]);
+        return 2;
+      }
+      MetricsPort = N;
+    } else if (std::strncmp(Arg, "--log-level=", 12) == 0) {
+      if (!obs::parseLogLevel(Arg + 12, Level)) {
+        std::fprintf(stderr, "--log-level: unknown level '%s'\n", Arg + 12);
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--log-json") == 0) {
+      LogJson = true;
+    } else if (std::strncmp(Arg, "--trace-slow-ms=", 16) == 0) {
+      TraceSlowMs = std::atof(Arg + 16);
+      if (TraceSlowMs < 0) {
+        std::fprintf(stderr, "--trace-slow-ms needs a threshold >= 0\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--trace-dir=", 12) == 0) {
+      TraceDir = Arg + 12;
+      if (TraceDir.empty()) {
+        std::fprintf(stderr, "--trace-dir needs a path\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--trace-ring=", 13) == 0) {
+      int N = std::atoi(Arg + 13);
+      if (N <= 0) {
+        std::fprintf(stderr, "--trace-ring needs a positive count\n");
+        usage(Argv[0]);
+        return 2;
+      }
+      TraceRing = size_t(N);
     } else if (std::strcmp(Arg, "--help") == 0) {
       usage(Argv[0]);
       return 0;
@@ -110,6 +182,15 @@ int main(int Argc, char **Argv) {
   }
   if (!SawTransport)
     Stdio = true;
+
+  obs::Logger Log(std::cerr, Level, LogJson);
+  Opts.Log = &Log;
+  std::unique_ptr<obs::SlowTraceRing> SlowTraces;
+  if (TraceSlowMs >= 0) {
+    SlowTraces = std::make_unique<obs::SlowTraceRing>(TraceDir, TraceRing);
+    Opts.SlowTraces = SlowTraces.get();
+    Opts.TraceSlowMs = TraceSlowMs;
+  }
 
   ServerEngine Engine(Opts);
 
@@ -124,6 +205,17 @@ int main(int Argc, char **Argv) {
                  SocketPath.c_str(), Engine.shards());
   }
 
+  MetricsHttpServer Metrics(Engine, uint16_t(MetricsPort < 0 ? 0 : MetricsPort));
+  if (MetricsPort >= 0) {
+    std::string Error;
+    if (!Metrics.start(Error)) {
+      std::fprintf(stderr, "seminal_serverd: metrics: %s\n", Error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "seminal_serverd: metrics on http://127.0.0.1:%u/metrics\n",
+                 unsigned(Metrics.port()));
+  }
+
   if (Stdio) {
     serveStdio(Engine, std::cin, std::cout);
   } else {
@@ -132,6 +224,8 @@ int main(int Argc, char **Argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
+  if (MetricsPort >= 0)
+    Metrics.stop();
   if (!SocketPath.empty())
     Socket.stop();
   Engine.drain();

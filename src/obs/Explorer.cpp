@@ -414,6 +414,75 @@ const inflSet = new Set(R.slice.influence_paths);
     "are tinted"));
 })();
 
+// --- Live ops panel -----------------------------------------------------
+// Renders a scraped OpsRegistry snapshot (DATA.ops): headline tiles for
+// traffic and latency, then the full instrument table. Absent when the
+// page was built without --ops-snapshot.
+(() => {
+  const ops = DATA.ops;
+  const box = document.getElementById("ops");
+  if (!ops) {
+    document.getElementById("ops-h").style.display = "none";
+    box.style.display = "none";
+    return;
+  }
+  const tiles = el("div", "tiles");
+  const tile = (k, v) => {
+    const t = el("div", "tile");
+    t.appendChild(el("div", "v", v));
+    t.appendChild(el("div", "k", k));
+    tiles.appendChild(t);
+  };
+  const counterVal = (n) => {
+    const f = ops[n];
+    return f && f.values.length ? f.values[0].value : null;
+  };
+  for (const [name, label] of [["seminal_requests_total", "requests"],
+                               ["seminal_checks_total", "checks"],
+                               ["seminal_warm_hits_total", "warm hits"],
+                               ["seminal_sessions", "sessions"],
+                               ["seminal_evictions_total", "evictions"],
+                               ["seminal_slow_traces_total", "slow traces"]]) {
+    const v = counterVal(name);
+    if (v !== null) tile(label, fmt(v));
+  }
+  const lat = ops["seminal_request_latency_us"];
+  if (lat) for (const inst of lat.values) {
+    if (!inst.count) continue;
+    const state = inst.labels.state || "?";
+    tile(`${state} p50 / p95 (ms)`,
+         `${(inst.p50 / 1000).toFixed(1)} / ${(inst.p95 / 1000).toFixed(1)}`);
+  }
+  box.appendChild(tiles);
+  const tbl = el("table", "kinds");
+  const hdr = el("tr");
+  for (const h of ["metric", "labels", "value / p50", "p95", "p99", "count"])
+    hdr.appendChild(el("th", null, h));
+  tbl.appendChild(hdr);
+  for (const name of Object.keys(ops).sort()) {
+    const f = ops[name];
+    for (const inst of f.values) {
+      const tr = el("tr");
+      tr.appendChild(el("td", null, name));
+      tr.appendChild(el("td", null,
+        Object.entries(inst.labels).map(([k, v]) => `${k}=${v}`).join(",")));
+      if (f.type === "histogram") {
+        tr.appendChild(el("td", null, fmt(inst.p50)));
+        tr.appendChild(el("td", null, fmt(inst.p95)));
+        tr.appendChild(el("td", null, fmt(inst.p99)));
+        tr.appendChild(el("td", null, fmt(inst.count)));
+      } else {
+        tr.appendChild(el("td", null, fmt(inst.value)));
+        tr.appendChild(el("td", null, ""));
+        tr.appendChild(el("td", null, ""));
+        tr.appendChild(el("td", null, ""));
+      }
+      tbl.appendChild(tr);
+    }
+  }
+  box.appendChild(tbl);
+})();
+
 // --- Source panel -------------------------------------------------------
 document.getElementById("src").textContent = DATA.source;
 
@@ -442,6 +511,7 @@ void obs::writeExplorerHtml(std::ostream &OS,
   Report.writeJson(Data);
   Data << ",\"source\":\"" << jsonEscape(Source) << "\",\"events\":";
   writeEventsJson(Data, Events);
+  Data << ",\"ops\":" << (Opts.OpsJson.empty() ? "null" : Opts.OpsJson);
   Data << "}";
 
   OS << PageHead;
@@ -461,6 +531,8 @@ void obs::writeExplorerHtml(std::ostream &OS,
         "<div id=\"timeline-box\"></div>\n"
         "<h2>Error slice</h2>\n"
         "<div id=\"slice\"></div>\n"
+        "<h2 id=\"ops-h\">Live ops</h2>\n"
+        "<div id=\"ops\"></div>\n"
         "<h2>Source</h2>\n"
         "<pre class=\"src\" id=\"src\"></pre>\n";
   OS << "<script>const DATA = " << htmlSafe(Data.str()) << ";</script>\n";

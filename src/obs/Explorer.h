@@ -30,6 +30,10 @@ namespace obs {
 /// Presentation knobs for the explorer page.
 struct ExplorerOptions {
   std::string Title = "SEMINAL search explorer";
+  /// A scraped OpsRegistry JSON snapshot (the daemon's `metrics` verb or
+  /// `GET /metrics.json`), embedded verbatim and rendered as a live-ops
+  /// panel. Must be valid JSON text; empty = panel omitted.
+  std::string OpsJson;
 };
 
 /// Writes the explorer page for one run. \p Events is the run's span

@@ -1,0 +1,196 @@
+//===- Log.cpp - Structured per-request logging ----------------------------==//
+
+#include "obs/Log.h"
+
+#include "support/Trace.h" // jsonEscape
+
+#include <cstdio>
+#include <ctime>
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::obs;
+
+bool obs::parseLogLevel(const std::string &S, LogLevel &Out) {
+  if (S == "debug")
+    Out = LogLevel::Debug;
+  else if (S == "info")
+    Out = LogLevel::Info;
+  else if (S == "warn" || S == "warning")
+    Out = LogLevel::Warn;
+  else if (S == "error")
+    Out = LogLevel::Error;
+  else if (S == "off" || S == "none")
+    Out = LogLevel::Off;
+  else
+    return false;
+  return true;
+}
+
+const char *obs::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "?";
+}
+
+LogEvent &LogEvent::str(const std::string &Key, const std::string &Value) {
+  Field F;
+  F.K = FieldKind::Str;
+  F.Key = Key;
+  F.Str = Value;
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+LogEvent &LogEvent::num(const std::string &Key, int64_t Value) {
+  Field F;
+  F.K = FieldKind::Num;
+  F.Key = Key;
+  F.Int = Value;
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+LogEvent &LogEvent::num(const std::string &Key, uint64_t Value) {
+  Field F;
+  F.K = FieldKind::Num;
+  F.Key = Key;
+  F.UInt = Value;
+  F.IsUnsigned = true;
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+LogEvent &LogEvent::real(const std::string &Key, double Value) {
+  Field F;
+  F.K = FieldKind::Real;
+  F.Key = Key;
+  F.Real = Value;
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+LogEvent &LogEvent::boolean(const std::string &Key, bool Value) {
+  Field F;
+  F.K = FieldKind::Bool;
+  F.Key = Key;
+  F.Bool = Value;
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+namespace {
+
+/// ISO-8601 UTC with millisecond precision, e.g. 2026-08-09T14:03:21.045Z.
+std::string timestampUtc() {
+  std::timespec TS{};
+  std::timespec_get(&TS, TIME_UTC);
+  std::tm TM{};
+  gmtime_r(&TS.tv_sec, &TM);
+  char Buf[40];
+  size_t N = std::strftime(Buf, sizeof(Buf), "%Y-%m-%dT%H:%M:%S", &TM);
+  std::snprintf(Buf + N, sizeof(Buf) - N, ".%03ldZ", TS.tv_nsec / 1000000);
+  return Buf;
+}
+
+bool needsLogfmtQuoting(const std::string &S) {
+  if (S.empty())
+    return true;
+  for (char C : S)
+    if (C == ' ' || C == '"' || C == '=' || C == '\n' || C == '\t')
+      return true;
+  return false;
+}
+
+std::string logfmtValue(const std::string &S) {
+  if (!needsLogfmtQuoting(S))
+    return S;
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '\\' || C == '"')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out + "\"";
+}
+
+std::string realText(double V) {
+  std::ostringstream OS;
+  OS << V;
+  return OS.str();
+}
+
+} // namespace
+
+void Logger::log(LogLevel L, const LogEvent &E) {
+  if (!enabled(L))
+    return;
+  std::ostringstream Line;
+  if (Json) {
+    Line << "{\"ts\":\"" << timestampUtc() << "\",\"level\":\""
+         << logLevelName(L) << "\",\"event\":\"" << jsonEscape(E.Event)
+         << "\"";
+    for (const auto &F : E.Fields) {
+      Line << ",\"" << jsonEscape(F.Key) << "\":";
+      switch (F.K) {
+      case LogEvent::FieldKind::Str:
+        Line << "\"" << jsonEscape(F.Str) << "\"";
+        break;
+      case LogEvent::FieldKind::Num:
+        if (F.IsUnsigned)
+          Line << F.UInt;
+        else
+          Line << F.Int;
+        break;
+      case LogEvent::FieldKind::Real:
+        Line << realText(F.Real);
+        break;
+      case LogEvent::FieldKind::Bool:
+        Line << (F.Bool ? "true" : "false");
+        break;
+      }
+    }
+    Line << "}";
+  } else {
+    Line << "ts=" << timestampUtc() << " level=" << logLevelName(L)
+         << " event=" << logfmtValue(E.Event);
+    for (const auto &F : E.Fields) {
+      Line << " " << F.Key << "=";
+      switch (F.K) {
+      case LogEvent::FieldKind::Str:
+        Line << logfmtValue(F.Str);
+        break;
+      case LogEvent::FieldKind::Num:
+        if (F.IsUnsigned)
+          Line << F.UInt;
+        else
+          Line << F.Int;
+        break;
+      case LogEvent::FieldKind::Real:
+        Line << realText(F.Real);
+        break;
+      case LogEvent::FieldKind::Bool:
+        Line << (F.Bool ? "true" : "false");
+        break;
+      }
+    }
+  }
+  Line << "\n";
+  std::lock_guard<std::mutex> Lock(Mutex);
+  *OS << Line.str();
+  OS->flush();
+}

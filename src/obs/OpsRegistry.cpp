@@ -1,0 +1,237 @@
+//===- OpsRegistry.cpp - Live counters, gauges and histograms --------------==//
+
+#include "obs/OpsRegistry.h"
+
+#include "support/Trace.h" // jsonEscape
+
+#include <sstream>
+
+using namespace seminal;
+using namespace seminal::obs;
+
+std::string obs::promEscapeLabel(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string obs::promSanitizeName(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 1);
+  for (char C : S) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out += Ok ? C : '_';
+  }
+  if (Out.empty() || (Out[0] >= '0' && Out[0] <= '9'))
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+namespace {
+
+bool sameLabels(const OpsLabels &A, const OpsLabels &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I] != B[I])
+      return false;
+  return true;
+}
+
+/// {label="value",...} -- empty string for no labels. \p Extra appends
+/// one more pair (the quantile label on summary lines).
+std::string labelBlock(const OpsLabels &Labels, const char *ExtraKey = nullptr,
+                       const std::string &ExtraValue = "") {
+  if (Labels.empty() && !ExtraKey)
+    return "";
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &KV : Labels) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += promSanitizeName(KV.first) + "=\"" + promEscapeLabel(KV.second) +
+           "\"";
+  }
+  if (ExtraKey) {
+    if (!First)
+      Out += ",";
+    Out += std::string(ExtraKey) + "=\"" + promEscapeLabel(ExtraValue) + "\"";
+  }
+  return Out + "}";
+}
+
+} // namespace
+
+OpsRegistry::Instrument &OpsRegistry::instrument(Kind K,
+                                                 const std::string &Name,
+                                                 const std::string &Help,
+                                                 const OpsLabels &Labels) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto MakeInstrument = [&] {
+    auto I = std::make_unique<Instrument>();
+    I->Labels = Labels;
+    switch (K) {
+    case Kind::Counter:
+      I->C = std::make_unique<OpsCounter>();
+      break;
+    case Kind::Gauge:
+      I->G = std::make_unique<OpsGauge>();
+      break;
+    case Kind::Histogram:
+      I->H = std::make_unique<LogHistogram>();
+      break;
+    }
+    return I;
+  };
+
+  auto It = Families.find(Name);
+  if (It == Families.end()) {
+    Family F;
+    F.K = K;
+    F.Help = Help;
+    It = Families.emplace(Name, std::move(F)).first;
+  } else if (It->second.K != K) {
+    // Type confusion on a metric name: keep the family intact and hand
+    // back a detached instrument the renderers never see.
+    Detached.push_back(MakeInstrument());
+    return *Detached.back();
+  }
+  for (auto &I : It->second.Instruments)
+    if (sameLabels(I->Labels, Labels))
+      return *I;
+  It->second.Instruments.push_back(MakeInstrument());
+  return *It->second.Instruments.back();
+}
+
+OpsCounter &OpsRegistry::counter(const std::string &Name,
+                                 const std::string &Help,
+                                 const OpsLabels &Labels) {
+  return *instrument(Kind::Counter, Name, Help, Labels).C;
+}
+
+OpsGauge &OpsRegistry::gauge(const std::string &Name, const std::string &Help,
+                             const OpsLabels &Labels) {
+  return *instrument(Kind::Gauge, Name, Help, Labels).G;
+}
+
+LogHistogram &OpsRegistry::histogram(const std::string &Name,
+                                     const std::string &Help,
+                                     const OpsLabels &Labels) {
+  return *instrument(Kind::Histogram, Name, Help, Labels).H;
+}
+
+std::string OpsRegistry::renderPrometheus() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::ostringstream OS;
+  for (const auto &KV : Families) {
+    const std::string Name = promSanitizeName(KV.first);
+    const Family &F = KV.second;
+    if (!F.Help.empty())
+      OS << "# HELP " << Name << " " << F.Help << "\n";
+    const char *Type = F.K == Kind::Counter  ? "counter"
+                       : F.K == Kind::Gauge  ? "gauge"
+                                             : "summary";
+    OS << "# TYPE " << Name << " " << Type << "\n";
+    for (const auto &I : F.Instruments) {
+      switch (F.K) {
+      case Kind::Counter:
+        OS << Name << labelBlock(I->Labels) << " " << I->C->value() << "\n";
+        break;
+      case Kind::Gauge:
+        OS << Name << labelBlock(I->Labels) << " " << I->G->value() << "\n";
+        break;
+      case Kind::Histogram: {
+        HistogramSummary S = I->H->summarize();
+        OS << Name << labelBlock(I->Labels, "quantile", "0.5") << " " << S.P50
+           << "\n";
+        OS << Name << labelBlock(I->Labels, "quantile", "0.9") << " " << S.P90
+           << "\n";
+        OS << Name << labelBlock(I->Labels, "quantile", "0.95") << " "
+           << S.P95 << "\n";
+        OS << Name << labelBlock(I->Labels, "quantile", "0.99") << " "
+           << S.P99 << "\n";
+        OS << Name << "_sum" << labelBlock(I->Labels) << " " << S.Sum << "\n";
+        OS << Name << "_count" << labelBlock(I->Labels) << " " << S.Count
+           << "\n";
+        break;
+      }
+      }
+    }
+  }
+  return OS.str();
+}
+
+void OpsRegistry::writeJson(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  OS << "{";
+  bool FirstFamily = true;
+  for (const auto &KV : Families) {
+    const Family &F = KV.second;
+    if (!FirstFamily)
+      OS << ",";
+    FirstFamily = false;
+    const char *Type = F.K == Kind::Counter  ? "counter"
+                       : F.K == Kind::Gauge  ? "gauge"
+                                             : "histogram";
+    OS << "\"" << jsonEscape(KV.first) << "\":{\"type\":\"" << Type
+       << "\",\"help\":\"" << jsonEscape(F.Help) << "\",\"values\":[";
+    bool FirstInstr = true;
+    for (const auto &I : F.Instruments) {
+      if (!FirstInstr)
+        OS << ",";
+      FirstInstr = false;
+      OS << "{\"labels\":{";
+      bool FirstLabel = true;
+      for (const auto &L : I->Labels) {
+        if (!FirstLabel)
+          OS << ",";
+        FirstLabel = false;
+        OS << "\"" << jsonEscape(L.first) << "\":\"" << jsonEscape(L.second)
+           << "\"";
+      }
+      OS << "}";
+      switch (F.K) {
+      case Kind::Counter:
+        OS << ",\"value\":" << I->C->value();
+        break;
+      case Kind::Gauge:
+        OS << ",\"value\":" << I->G->value();
+        break;
+      case Kind::Histogram: {
+        HistogramSummary S = I->H->summarize();
+        OS << ",\"count\":" << S.Count << ",\"sum\":" << S.Sum
+           << ",\"min\":" << S.Min << ",\"max\":" << S.Max
+           << ",\"mean\":" << S.Mean << ",\"p50\":" << S.P50
+           << ",\"p90\":" << S.P90 << ",\"p95\":" << S.P95
+           << ",\"p99\":" << S.P99;
+        break;
+      }
+      }
+      OS << "}";
+    }
+    OS << "]}";
+  }
+  OS << "}";
+}
+
+OpsRegistry &OpsRegistry::process() {
+  static OpsRegistry R;
+  return R;
+}

@@ -1,0 +1,151 @@
+//===- OpsRegistry.h - Live counters, gauges and histograms -----*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide registry behind the daemon's live observability
+/// (DESIGN.md section 14). Everything the existing obs layer records is
+/// offline -- RunReports and traces written to files after a one-shot
+/// run. OpsRegistry is the *live* counterpart: named counters, gauges
+/// and log-bucketed latency histograms (support/Histogram.h) that the
+/// server updates on every request and that two renderers read while
+/// traffic is flowing:
+///
+///   * renderPrometheus() -- text exposition format (version 0.0.4),
+///     served by `GET /metrics` and scrapeable by any Prometheus-
+///     compatible collector. Histograms render as summaries with
+///     quantile labels plus _sum/_count.
+///   * writeJson() -- one compact JSON object in the tree's existing
+///     JSON style, served by the `metrics` protocol verb and consumed
+///     by the Explorer's live-ops panel.
+///
+/// Instruments are created on first use and live as long as the
+/// registry; the returned references are stable, so hot paths resolve
+/// their instruments once and then pay only atomic operations -- no map
+/// lookups, no locks, no allocation per update. Families are typed: one
+/// metric name is a counter, a gauge or a histogram forever (re-asking
+/// with the same kind returns the same instrument; labels select
+/// instances within the family).
+///
+/// Naming conventions (section 14): `seminal_` prefix, snake_case,
+/// unit suffix (`_us`, `_bytes`, `_seconds`), `_total` on counters;
+/// per-shard series carry a `shard="N"` label, request-latency series a
+/// `state="cold"|"warm"` label.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_OBS_OPSREGISTRY_H
+#define SEMINAL_OBS_OPSREGISTRY_H
+
+#include "support/Histogram.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace seminal {
+namespace obs {
+
+/// Monotonic event count. Lock-free.
+class OpsCounter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Instantaneous level (queue depth, retained bytes, session count).
+/// Lock-free; may go up and down.
+class OpsGauge {
+public:
+  void set(int64_t Value) { V.store(Value, std::memory_order_relaxed); }
+  void add(int64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Label set attached to one instrument instance, e.g. {{"shard","0"}}.
+/// Order is preserved in the exposition.
+using OpsLabels = std::vector<std::pair<std::string, std::string>>;
+
+class OpsRegistry {
+public:
+  OpsRegistry() = default;
+  OpsRegistry(const OpsRegistry &) = delete;
+  OpsRegistry &operator=(const OpsRegistry &) = delete;
+
+  /// Finds or creates the instrument; the reference stays valid for the
+  /// registry's lifetime. \p Help is recorded on first use of the name.
+  /// Asking for an existing name with a different kind is a programming
+  /// error; the call returns a detached instrument that renders nowhere
+  /// rather than corrupting the family.
+  OpsCounter &counter(const std::string &Name, const std::string &Help = "",
+                      const OpsLabels &Labels = {});
+  OpsGauge &gauge(const std::string &Name, const std::string &Help = "",
+                  const OpsLabels &Labels = {});
+  LogHistogram &histogram(const std::string &Name,
+                          const std::string &Help = "",
+                          const OpsLabels &Labels = {});
+
+  /// Prometheus text exposition format 0.0.4 (see file comment).
+  std::string renderPrometheus() const;
+
+  /// One compact JSON object (no newlines): name -> {"type","help",
+  /// "values":[{"labels":{..},"value":n}]} for counters/gauges, and
+  /// {"labels","count","sum","min","max","mean","p50","p90","p95",
+  /// "p99"} entries for histograms.
+  void writeJson(std::ostream &OS) const;
+
+  /// Shared registry for code without an obvious owner; the server
+  /// engine prefers its own instance.
+  static OpsRegistry &process();
+
+private:
+  enum class Kind { Counter, Gauge, Histogram };
+
+  struct Instrument {
+    OpsLabels Labels;
+    std::unique_ptr<OpsCounter> C;
+    std::unique_ptr<OpsGauge> G;
+    std::unique_ptr<LogHistogram> H;
+  };
+  struct Family {
+    Kind K = Kind::Counter;
+    std::string Help;
+    std::vector<std::unique_ptr<Instrument>> Instruments;
+  };
+
+  Instrument &instrument(Kind K, const std::string &Name,
+                         const std::string &Help, const OpsLabels &Labels);
+
+  mutable std::mutex Mutex;
+  std::map<std::string, Family> Families;
+  /// Kind-mismatched requests park here so the returned reference is
+  /// still safe to use (see counter()).
+  std::vector<std::unique_ptr<Instrument>> Detached;
+};
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string promEscapeLabel(const std::string &S);
+
+/// Replaces every character outside [a-zA-Z0-9_:] with '_' (and prefixes
+/// '_' if the name starts with a digit) so the result is a valid
+/// Prometheus metric name.
+std::string promSanitizeName(const std::string &S);
+
+} // namespace obs
+} // namespace seminal
+
+#endif // SEMINAL_OBS_OPSREGISTRY_H

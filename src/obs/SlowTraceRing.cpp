@@ -1,0 +1,71 @@
+//===- SlowTraceRing.cpp - Bounded ring of slow-request traces -------------==//
+
+#include "obs/SlowTraceRing.h"
+
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+using namespace seminal;
+using namespace seminal::obs;
+
+std::string obs::sanitizeRequestId(const std::string &RequestId) {
+  std::string Out;
+  for (char C : RequestId) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-';
+    if (Ok)
+      Out += C;
+    else if (C != '"') // JSON string ids arrive quoted; drop the quotes.
+      Out += '_';
+    if (Out.size() >= 48)
+      break;
+  }
+  // Collapse to a stable placeholder when the id carried nothing usable.
+  bool AllUnderscore = true;
+  for (char C : Out)
+    if (C != '_')
+      AllUnderscore = false;
+  if (Out.empty() || AllUnderscore)
+    return "req";
+  return Out;
+}
+
+std::string SlowTraceRing::capture(const std::string &RequestId,
+                                   const TraceSink &Sink) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ::mkdir(Dir.c_str(), 0755); // Best-effort; open() reports real failures.
+  char Name[96];
+  std::snprintf(Name, sizeof(Name), "slow-%06llu-%s.trace.json",
+                (unsigned long long)Seq,
+                sanitizeRequestId(RequestId).c_str());
+  std::string Path = Dir + "/" + Name;
+  {
+    std::ofstream OS(Path, std::ios::trunc);
+    if (!OS)
+      return "";
+    Sink.writeChromeTrace(OS);
+    if (!OS)
+      return "";
+  }
+  ++Seq;
+  Files.push_back(Path);
+  while (Files.size() > Capacity) {
+    std::remove(Files.front().c_str());
+    Files.pop_front();
+  }
+  return Path;
+}
+
+size_t SlowTraceRing::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Files.size();
+}
+
+uint64_t SlowTraceRing::captured() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Seq;
+}

@@ -1,0 +1,66 @@
+//===- SlowTraceRing.h - Bounded ring of slow-request traces ----*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tail sampling for the daemon (DESIGN.md section 14): every request
+/// records into a TraceSink regardless, and only requests that exceeded
+/// the `--trace-slow-ms` threshold export their trace. Exports land in a
+/// bounded ring of Chrome-trace files named
+/// `slow-<seq>-<request-id>.trace.json`; once the ring holds
+/// `--trace-ring` files the oldest is deleted, so a long-lived daemon
+/// with a pathological workload keeps the *most recent* slow traces and
+/// a bounded disk footprint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_OBS_SLOWTRACERING_H
+#define SEMINAL_OBS_SLOWTRACERING_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace seminal {
+class TraceSink;
+
+namespace obs {
+
+class SlowTraceRing {
+public:
+  /// \p Dir is created (one level) on first capture if missing.
+  /// \p Capacity bounds the number of trace files kept on disk.
+  SlowTraceRing(std::string Dir, size_t Capacity)
+      : Dir(std::move(Dir)), Capacity(Capacity ? Capacity : 1) {}
+
+  /// Writes \p Sink as a Chrome trace named after \p RequestId (rendered
+  /// request-id JSON text; sanitized for the filesystem), evicting the
+  /// oldest file beyond capacity. Returns the file path, or "" if the
+  /// directory could not be created or the file could not be written.
+  /// Thread-safe.
+  std::string capture(const std::string &RequestId, const TraceSink &Sink);
+
+  size_t size() const;
+  const std::string &dir() const { return Dir; }
+  uint64_t captured() const;
+
+private:
+  std::string Dir;
+  size_t Capacity;
+  mutable std::mutex Mutex;
+  std::deque<std::string> Files; ///< Oldest first.
+  uint64_t Seq = 0;
+};
+
+/// Maps \p RequestId to a filesystem-safe token: [A-Za-z0-9._-] kept,
+/// everything else (quotes from JSON string ids, slashes, spaces)
+/// becomes '_'; truncated to 48 chars; "req" when nothing survives.
+std::string sanitizeRequestId(const std::string &RequestId);
+
+} // namespace obs
+} // namespace seminal
+
+#endif // SEMINAL_OBS_SLOWTRACERING_H

@@ -1,0 +1,153 @@
+//===- MetricsHttp.cpp - Minimal HTTP listener for /metrics ----------------==//
+
+#include "server/MetricsHttp.h"
+
+#include "server/Server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace seminal;
+using namespace seminal::server;
+
+MetricsHttpServer::MetricsHttpServer(ServerEngine &Engine, uint16_t Port)
+    : Engine(Engine), RequestedPort(Port) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start(std::string &Error) {
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // Operator port: local only.
+  Addr.sin_port = htons(RequestedPort);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Error = "bind 127.0.0.1:" + std::to_string(RequestedPort) + ": " +
+            std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) ==
+      0)
+    BoundPort = ntohs(Addr.sin_port);
+  if (::listen(ListenFd, 16) < 0) {
+    Error = "listen: " + std::string(std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (ListenFd < 0)
+    return;
+  Stopping.store(true);
+  ::shutdown(ListenFd, SHUT_RDWR);
+  ::close(ListenFd);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  ListenFd = -1;
+}
+
+void MetricsHttpServer::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR && !Stopping.load())
+        continue;
+      return;
+    }
+    if (Stopping.load()) {
+      ::close(Fd);
+      return;
+    }
+    // Rendering a snapshot is milliseconds; scrapers poll in seconds.
+    // Serving inline keeps the server to one thread and zero queues.
+    serveConnection(Fd);
+  }
+}
+
+namespace {
+
+void sendAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0)
+      return;
+    Off += size_t(N);
+  }
+}
+
+std::string httpResponse(const char *Status, const char *ContentType,
+                         const std::string &Body) {
+  std::ostringstream OS;
+  OS << "HTTP/1.0 " << Status << "\r\n"
+     << "Content-Type: " << ContentType << "\r\n"
+     << "Content-Length: " << Body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << Body;
+  return OS.str();
+}
+
+} // namespace
+
+void MetricsHttpServer::serveConnection(int Fd) {
+  // Read until the end of the request head; we only need the first line.
+  std::string Head;
+  char Chunk[1024];
+  while (Head.find("\r\n\r\n") == std::string::npos && Head.size() < 8192) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break;
+    Head.append(Chunk, size_t(N));
+  }
+  size_t LineEnd = Head.find("\r\n");
+  std::string RequestLine =
+      LineEnd == std::string::npos ? Head : Head.substr(0, LineEnd);
+  std::istringstream RL(RequestLine);
+  std::string Method, Path;
+  RL >> Method >> Path;
+  // Ignore a query string; scrapers sometimes append cache busters.
+  size_t Query = Path.find('?');
+  if (Query != std::string::npos)
+    Path.resize(Query);
+
+  std::string Response;
+  if (Method != "GET") {
+    Response = httpResponse("405 Method Not Allowed", "text/plain",
+                            "only GET is supported\n");
+  } else if (Path == "/metrics") {
+    Response = httpResponse("200 OK",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            Engine.metricsPrometheus());
+  } else if (Path == "/metrics.json") {
+    Response =
+        httpResponse("200 OK", "application/json", Engine.metricsJson());
+  } else if (Path == "/healthz") {
+    Response = httpResponse("200 OK", "application/json", "{\"ok\":true}\n");
+  } else {
+    Response = httpResponse("404 Not Found", "text/plain",
+                            "routes: /metrics /metrics.json /healthz\n");
+  }
+  sendAll(Fd, Response);
+  ::close(Fd);
+}

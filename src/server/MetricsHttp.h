@@ -1,0 +1,66 @@
+//===- MetricsHttp.h - Minimal HTTP listener for /metrics -------*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's scrape endpoint (`--metrics-port`, DESIGN.md section
+/// 14). A deliberately tiny HTTP/1.0-style server on 127.0.0.1 serving
+/// exactly three GET routes:
+///
+///   /metrics       Prometheus text exposition of the engine registry
+///   /metrics.json  the same snapshot as compact JSON (Explorer panel)
+///   /healthz       {"ok":true} liveness probe
+///
+/// One accept thread, one request per connection, connection closed
+/// after the response -- the shape every scraper handles and small
+/// enough to audit. This is an operator port, not a client transport;
+/// the JSONL protocol stays on the Unix socket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_SERVER_METRICSHTTP_H
+#define SEMINAL_SERVER_METRICSHTTP_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace seminal {
+namespace server {
+
+class ServerEngine;
+
+class MetricsHttpServer {
+public:
+  /// \p Port 0 asks the kernel for an ephemeral port (tests); read the
+  /// actual port back with port().
+  MetricsHttpServer(ServerEngine &Engine, uint16_t Port);
+  ~MetricsHttpServer();
+
+  /// Binds 127.0.0.1:<port>, listens and spawns the accept thread.
+  /// \returns false with \p Error set on failure.
+  bool start(std::string &Error);
+  void stop();
+
+  /// The bound port (valid after a successful start()).
+  uint16_t port() const { return BoundPort; }
+
+private:
+  void acceptLoop();
+  void serveConnection(int Fd);
+
+  ServerEngine &Engine;
+  uint16_t RequestedPort;
+  uint16_t BoundPort = 0;
+  int ListenFd = -1;
+  std::atomic<bool> Stopping{false};
+  std::thread Acceptor;
+};
+
+} // namespace server
+} // namespace seminal
+
+#endif // SEMINAL_SERVER_METRICSHTTP_H

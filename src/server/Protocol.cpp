@@ -106,6 +106,14 @@ Request server::parseRequest(const std::string &Line) {
     R.TheMethod = Request::Method::Reset;
   } else if (Method == "stats") {
     R.TheMethod = Request::Method::Stats;
+  } else if (Method == "metrics") {
+    R.TheMethod = Request::Method::Metrics;
+    R.Format = Doc.getString("format");
+    if (!R.Format.empty() && R.Format != "json" && R.Format != "prometheus") {
+      R.TheMethod = Request::Method::Invalid;
+      R.Error = "malformed request: unknown metrics format \"" + R.Format +
+                "\" (expected \"json\" or \"prometheus\")";
+    }
   } else if (Method == "ping") {
     R.TheMethod = Request::Method::Ping;
   } else if (Method == "shutdown") {

@@ -18,7 +18,11 @@
 ///             "max_suggestions":8,"max_oracle_calls":200000,
 ///             "report":true}
 ///   reset    drop a session's warm state (checkpoints, caches, arena)
-///   stats    server-wide rollup (requests, sessions, warm-reuse totals)
+///   stats    server-wide rollup (requests, sessions, warm-reuse totals,
+///            per-shard breakdown)
+///   metrics  live ops snapshot from the OpsRegistry; default JSON,
+///            {"format":"prometheus"} returns the text exposition as an
+///            "exposition" string member
 ///   ping     liveness probe
 ///   shutdown ask the daemon to exit after draining in-flight requests
 ///
@@ -41,7 +45,7 @@ namespace server {
 
 /// One parsed request line.
 struct Request {
-  enum class Method { Check, Reset, Stats, Ping, Shutdown, Invalid };
+  enum class Method { Check, Reset, Stats, Metrics, Ping, Shutdown, Invalid };
 
   Method TheMethod = Method::Invalid;
   /// The request id re-rendered as JSON text ("1", "\"abc\"", "null"),
@@ -54,6 +58,8 @@ struct Request {
   size_t MaxOracleCalls = 0;
   /// Embed the full RunReport JSON in the check response.
   bool WantReport = false;
+  /// "metrics" only: "" (JSON snapshot) or "prometheus".
+  std::string Format;
   /// Why the line failed to parse (set iff TheMethod == Invalid).
   std::string Error;
 };

@@ -6,6 +6,7 @@
 #include "support/Trace.h" // jsonEscape
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cerrno>
 #include <cstring>
@@ -34,6 +35,15 @@ std::string ServerStats::renderJsonMembers() const {
      << ",\"verdict_reuses\":" << Accel.SessionVerdictReuses
      << ",\"seed_adoptions\":" << Accel.SessionSeedAdoptions
      << ",\"conv_memo_hits\":" << Accel.SessionConvMemoHits << "}";
+  OS << ",\"shards\":[";
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    if (I)
+      OS << ",";
+    OS << "{\"shard\":" << I << ",\"requests\":" << Shards[I].Requests
+       << ",\"queue_depth\":" << Shards[I].QueueDepth
+       << ",\"busy_seconds\":" << Shards[I].BusySeconds << "}";
+  }
+  OS << "]";
   return OS.str();
 }
 
@@ -65,13 +75,85 @@ std::string server::renderCheckResponse(const std::string &Id,
     << ",\"conv_memo_hits\":" << O.Accel.SessionConvMemoHits
     << "},\"wall_seconds\":" << O.WallSeconds
     << ",\"evicted\":" << (O.Evicted ? "true" : "false");
+  if (!O.SlowTracePath.empty())
+    M << ",\"slow_trace\":\"" << jsonEscape(O.SlowTracePath) << "\"";
   if (!O.ReportJson.empty())
     M << ",\"report\":" << O.ReportJson;
   return okResponse(Id, M.str());
 }
 
+namespace {
+
+uint64_t warmTotal(const AccelCounters &A) {
+  return A.SessionPrefixHits + A.SessionVerdictReuses +
+         A.SessionSeedAdoptions + A.SessionConvMemoHits;
+}
+
+uint64_t microsSince(std::chrono::steady_clock::time_point Start) {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count());
+}
+
+} // namespace
+
 ServerEngine::ServerEngine(const ServerOptions &Opts) : Opts(Opts) {
   Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  // Sessions do the actual slow-request capture; hand them the ring.
+  this->Opts.Session.TraceSlowMs = Opts.TraceSlowMs;
+  this->Opts.Session.SlowTraces = Opts.SlowTraces;
+
+  // Resolve every instrument once (naming conventions: DESIGN.md
+  // section 14). Hot paths touch only these cached pointers.
+  Ops.Requests = &Registry.counter("seminal_requests_total",
+                                   "Request lines received, all methods");
+  Ops.Checks =
+      &Registry.counter("seminal_checks_total", "Check requests served");
+  Ops.Resets =
+      &Registry.counter("seminal_resets_total", "Reset requests served");
+  Ops.Pings = &Registry.counter("seminal_pings_total", "Ping requests served");
+  Ops.Malformed = &Registry.counter("seminal_malformed_total",
+                                    "Request lines that failed to parse");
+  Ops.SessionsCreated = &Registry.counter("seminal_sessions_created_total",
+                                          "Sessions created since start");
+  Ops.Evictions = &Registry.counter("seminal_evictions_total",
+                                    "Arena watermark evictions");
+  Ops.OracleCalls = &Registry.counter("seminal_oracle_calls_total",
+                                      "Logical oracle calls across checks");
+  Ops.InferenceRuns = &Registry.counter("seminal_inference_runs_total",
+                                        "Full inference runs across checks");
+  Ops.WarmHits = &Registry.counter(
+      "seminal_warm_hits_total",
+      "Session warm-state reuses (prefix + verdict + seed + memo)");
+  Ops.SlowTraces = &Registry.counter("seminal_slow_traces_total",
+                                     "Requests that exported a slow trace");
+  Ops.Sessions = &Registry.gauge("seminal_sessions", "Live sessions");
+  Ops.ArenaBytes = &Registry.gauge(
+      "seminal_arena_bytes", "Retained arena bytes across all sessions");
+  Ops.LatencyCold = &Registry.histogram(
+      "seminal_request_latency_us",
+      "Check latency submit-to-reply in microseconds, by warmth",
+      {{"state", "cold"}});
+  Ops.LatencyWarm = &Registry.histogram("seminal_request_latency_us", "",
+                                        {{"state", "warm"}});
+  Ops.OracleCallsPerRequest =
+      &Registry.histogram("seminal_oracle_calls_per_request",
+                          "Logical oracle calls made by one check");
+  Ops.Shards.resize(Pool->numThreads());
+  for (size_t S = 0; S < Ops.Shards.size(); ++S) {
+    obs::OpsLabels L{{"shard", std::to_string(S)}};
+    Ops.Shards[S].Requests = &Registry.counter(
+        "seminal_shard_requests_total", "Check/reset requests run per shard",
+        L);
+    Ops.Shards[S].BusyUs = &Registry.counter(
+        "seminal_shard_busy_us_total", "Microseconds spent running requests",
+        L);
+    Ops.Shards[S].QueueDepth = &Registry.gauge(
+        "seminal_shard_queue_depth", "Requests posted but not yet started",
+        L);
+    Ops.Shards[S].QueueWaitUs = &Registry.histogram(
+        "seminal_shard_queue_wait_us", "Microseconds from post to start", L);
+  }
 }
 
 ServerEngine::~ServerEngine() {
@@ -95,24 +177,72 @@ std::shared_ptr<Session> ServerEngine::sessionFor(const std::string &Name) {
   auto S = std::make_shared<Session>(Name, Opts.Session);
   Sessions.emplace(Name, S);
   ++Stats.SessionsCreated;
+  Ops.SessionsCreated->inc();
+  Ops.Sessions->set(int64_t(Sessions.size()));
   return S;
 }
 
-void ServerEngine::finishCheck(const CheckOutcome &Out) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  ++Stats.Checks;
-  Stats.OracleCalls += Out.OracleCalls;
-  Stats.InferenceRuns += Out.InferenceRuns;
-  Stats.Accel += Out.Accel;
+void ServerEngine::finishCheck(const std::string &SessionName, size_t Shard,
+                               uint64_t LatencyUs, const CheckOutcome &Out) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.Checks;
+    Stats.OracleCalls += Out.OracleCalls;
+    Stats.InferenceRuns += Out.InferenceRuns;
+    Stats.Accel += Out.Accel;
+    if (Out.Evicted)
+      ++Stats.Evictions;
+    // Process-wide retained-bytes gauge, tracked as a sum of per-session
+    // deltas so one request updates it in O(1).
+    uint64_t &Prev = ArenaBySession[SessionName];
+    TotalArenaBytes += Out.ArenaBytes - Prev;
+    Prev = Out.ArenaBytes;
+    Ops.ArenaBytes->set(int64_t(TotalArenaBytes));
+  }
+  Ops.Checks->inc();
+  Ops.OracleCalls->inc(Out.OracleCalls);
+  Ops.InferenceRuns->inc(Out.InferenceRuns);
+  uint64_t Warm = warmTotal(Out.Accel);
+  if (Warm)
+    Ops.WarmHits->inc(Warm);
   if (Out.Evicted)
-    ++Stats.Evictions;
+    Ops.Evictions->inc();
+  if (!Out.SlowTracePath.empty())
+    Ops.SlowTraces->inc();
+  (Warm ? Ops.LatencyWarm : Ops.LatencyCold)->record(LatencyUs);
+  Ops.OracleCallsPerRequest->record(Out.OracleCalls);
+  (void)Shard;
+}
+
+void ServerEngine::logCheck(const std::string &Id,
+                            const std::string &SessionName, size_t Shard,
+                            uint64_t LatencyUs, const CheckOutcome &Out) {
+  if (!Opts.Log || !Opts.Log->enabled(obs::LogLevel::Info))
+    return;
+  obs::LogEvent E("check");
+  E.str("id", Id)
+      .str("session", SessionName)
+      .num("shard", uint64_t(Shard))
+      .real("latency_ms", double(LatencyUs) / 1000.0)
+      .num("oracle_calls", Out.OracleCalls)
+      .num("inference_runs", Out.InferenceRuns)
+      .num("warm_hits", warmTotal(Out.Accel))
+      .num("suggestions", uint64_t(Out.Suggestions.size()))
+      .boolean("evicted", Out.Evicted);
+  if (!Out.SyntaxError.empty())
+    E.boolean("syntax_error", true);
+  if (!Out.SlowTracePath.empty())
+    E.str("slow_trace", Out.SlowTracePath);
+  Opts.Log->info(E);
 }
 
 void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
+  auto Submitted = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Stats.Requests;
   }
+  Ops.Requests->inc();
   Request R = parseRequest(Line);
   switch (R.TheMethod) {
   case Request::Method::Invalid: {
@@ -120,6 +250,10 @@ void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
       std::lock_guard<std::mutex> Lock(Mutex);
       ++Stats.Malformed;
     }
+    Ops.Malformed->inc();
+    if (Opts.Log && Opts.Log->enabled(obs::LogLevel::Warn))
+      Opts.Log->warn(
+          obs::LogEvent("malformed").str("id", R.Id).str("error", R.Error));
     Reply(errorResponse(R.Id, R.Error));
     return;
   }
@@ -128,37 +262,72 @@ void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
       std::lock_guard<std::mutex> Lock(Mutex);
       ++Stats.Pings;
     }
+    Ops.Pings->inc();
+    if (Opts.Log && Opts.Log->enabled(obs::LogLevel::Debug))
+      Opts.Log->debug(obs::LogEvent("ping").str("id", R.Id));
     Reply(okResponse(R.Id, ",\"pong\":true"));
     return;
   }
   case Request::Method::Stats: {
+    ServerStats Snapshot = stats();
     std::ostringstream Extra;
+    Extra << Snapshot.renderJsonMembers();
     {
       std::lock_guard<std::mutex> Lock(Mutex);
-      Extra << Stats.renderJsonMembers()
-            << ",\"sessions\":" << Sessions.size();
+      Extra << ",\"sessions\":" << Sessions.size();
     }
-    Extra << ",\"shards\":" << shards();
+    Extra << ",\"shard_count\":" << shards();
+    if (Opts.Log && Opts.Log->enabled(obs::LogLevel::Debug))
+      Opts.Log->debug(obs::LogEvent("stats").str("id", R.Id));
     Reply(okResponse(R.Id, Extra.str()));
+    return;
+  }
+  case Request::Method::Metrics: {
+    std::string Extra;
+    if (R.Format == "prometheus") {
+      Extra = ",\"format\":\"prometheus\",\"exposition\":\"" +
+              jsonEscape(metricsPrometheus()) + "\"";
+    } else {
+      Extra = ",\"metrics\":" + metricsJson();
+    }
+    if (Opts.Log && Opts.Log->enabled(obs::LogLevel::Debug))
+      Opts.Log->debug(obs::LogEvent("metrics").str("id", R.Id));
+    Reply(okResponse(R.Id, Extra));
     return;
   }
   case Request::Method::Shutdown: {
     Shutdown.store(true);
+    if (Opts.Log && Opts.Log->enabled(obs::LogLevel::Info))
+      Opts.Log->info(obs::LogEvent("shutdown").str("id", R.Id));
     Reply(okResponse(R.Id, ",\"shutting_down\":true"));
     return;
   }
   case Request::Method::Reset: {
     std::shared_ptr<Session> S = sessionFor(R.Session);
     std::string Id = R.Id;
-    Pool->post(shardOf(R.Session),
-               [this, S, Id, Reply = std::move(Reply)] {
-                 S->reset();
-                 {
-                   std::lock_guard<std::mutex> Lock(Mutex);
-                   ++Stats.Resets;
-                 }
-                 Reply(okResponse(Id, ",\"reset\":true"));
-               });
+    size_t Shard = shardOf(R.Session);
+    ShardInstruments &SI = Ops.Shards[Shard];
+    SI.QueueDepth->add(1);
+    Pool->post(Shard, [this, S, Id, Shard, Submitted, &SI,
+                       Reply = std::move(Reply)] {
+      SI.QueueDepth->add(-1);
+      SI.QueueWaitUs->record(microsSince(Submitted));
+      SI.Requests->inc();
+      auto RunStart = std::chrono::steady_clock::now();
+      S->reset();
+      SI.BusyUs->inc(microsSince(RunStart));
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Stats.Resets;
+      }
+      Ops.Resets->inc();
+      if (Opts.Log && Opts.Log->enabled(obs::LogLevel::Info))
+        Opts.Log->info(obs::LogEvent("reset")
+                           .str("id", Id)
+                           .str("session", S->name())
+                           .num("shard", uint64_t(Shard)));
+      Reply(okResponse(Id, ",\"reset\":true"));
+    });
     return;
   }
   case Request::Method::Check: {
@@ -167,12 +336,26 @@ void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
     CO.MaxSuggestions = R.MaxSuggestions;
     CO.MaxOracleCalls = R.MaxOracleCalls;
     CO.WantReport = R.WantReport;
+    CO.RequestId = R.Id;
     std::string Id = R.Id;
     std::string Source = std::move(R.Source);
-    Pool->post(shardOf(R.Session), [this, S, Id, Source = std::move(Source),
-                                    CO, Reply = std::move(Reply)] {
+    size_t Shard = shardOf(R.Session);
+    ShardInstruments &SI = Ops.Shards[Shard];
+    SI.QueueDepth->add(1);
+    Pool->post(Shard, [this, S, Id, Shard, Submitted, &SI,
+                       Source = std::move(Source), CO,
+                       Reply = std::move(Reply)] {
+      SI.QueueDepth->add(-1);
+      SI.QueueWaitUs->record(microsSince(Submitted));
+      SI.Requests->inc();
+      auto RunStart = std::chrono::steady_clock::now();
       CheckOutcome Out = S->check(Source, CO);
-      finishCheck(Out);
+      SI.BusyUs->inc(microsSince(RunStart));
+      // Latency is submit-to-reply: queue wait included, so a backed-up
+      // shard shows up in the histogram, not just in queue_wait.
+      uint64_t LatencyUs = microsSince(Submitted);
+      finishCheck(S->name(), Shard, LatencyUs, Out);
+      logCheck(Id, S->name(), Shard, LatencyUs, Out);
       Reply(renderCheckResponse(Id, Out));
     });
     return;
@@ -201,8 +384,27 @@ std::string ServerEngine::handle(const std::string &Line) {
 void ServerEngine::drain() { Pool->drainPosted(); }
 
 ServerStats ServerEngine::stats() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Stats;
+  ServerStats Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Out = Stats;
+  }
+  // The shard breakdown reads the registry instruments directly -- the
+  // same atomics /metrics scrapes -- so both views always agree.
+  Out.Shards.resize(Ops.Shards.size());
+  for (size_t S = 0; S < Ops.Shards.size(); ++S) {
+    Out.Shards[S].Requests = Ops.Shards[S].Requests->value();
+    Out.Shards[S].QueueDepth = Ops.Shards[S].QueueDepth->value();
+    Out.Shards[S].BusySeconds =
+        double(Ops.Shards[S].BusyUs->value()) / 1e6;
+  }
+  return Out;
+}
+
+std::string ServerEngine::metricsJson() {
+  std::ostringstream OS;
+  Registry.writeJson(OS);
+  return OS.str();
 }
 
 void server::serveStdio(ServerEngine &Engine, std::istream &In,
@@ -251,6 +453,23 @@ bool UnixSocketServer::start(std::string &Error) {
     return false;
   }
   std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  // Distinguish a *stale* socket file (previous daemon died without
+  // cleanup -- safe to unlink) from a *live* one (another daemon is
+  // serving it -- unlinking would silently steal its address and strand
+  // its clients): a probe connect succeeds only on a live socket.
+  int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Probe >= 0) {
+    bool Live = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                          sizeof(Addr)) == 0;
+    ::close(Probe);
+    if (Live) {
+      Error = "bind " + Path + ": address already in use "
+              "(another daemon is serving this socket)";
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+  }
   ::unlink(Path.c_str()); // A stale socket from a previous run.
   if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
       0) {

@@ -35,6 +35,8 @@
 #ifndef SEMINAL_SERVER_SERVER_H
 #define SEMINAL_SERVER_SERVER_H
 
+#include "obs/Log.h"
+#include "obs/OpsRegistry.h"
 #include "server/Session.h"
 #include "support/ThreadPool.h"
 
@@ -56,6 +58,18 @@ struct ServerOptions {
   unsigned Threads = 0;
   /// Configuration applied to every session.
   SessionConfig Session;
+
+  // Observability (DESIGN.md section 14); everything defaults to off
+  // and costs one branch when off. ---------------------------------
+  /// Structured per-request log lines (not owned; must outlive the
+  /// engine). Null = no logging.
+  obs::Logger *Log = nullptr;
+  /// Tail-sampled slow-request tracing: requests slower than
+  /// TraceSlowMs milliseconds export their trace into this ring (not
+  /// owned). Negative threshold or null ring = off. Copied into the
+  /// SessionConfig handed to every session.
+  obs::SlowTraceRing *SlowTraces = nullptr;
+  double TraceSlowMs = -1.0;
 };
 
 /// Server-wide rollup, updated after every request and served by the
@@ -75,7 +89,18 @@ struct ServerStats {
   /// this is their sum, the satellite's "ServerStats rollup").
   AccelCounters Accel;
 
-  /// Members of the stats response, pre-rendered as ',"k":v' JSON text.
+  /// Per-shard breakdown, read from the same OpsRegistry instruments
+  /// the /metrics exposition serves, so the two views reconcile by
+  /// construction.
+  struct ShardStats {
+    uint64_t Requests = 0;   ///< check+reset requests served here.
+    int64_t QueueDepth = 0;  ///< Posted but not yet started.
+    double BusySeconds = 0.0;
+  };
+  std::vector<ShardStats> Shards;
+
+  /// Members of the stats response, pre-rendered as ',"k":v' JSON text
+  /// (includes the "shards" array).
   std::string renderJsonMembers() const;
 };
 
@@ -109,14 +134,59 @@ public:
   /// The shard a session name pins to (exposed for tests).
   size_t shardOf(const std::string &SessionName) const;
 
+  /// The live instrument registry (the "metrics" verb, the HTTP
+  /// endpoint and tests read it; the engine updates it per request).
+  obs::OpsRegistry &registry() { return Registry; }
+  /// Prometheus text exposition of the registry.
+  std::string metricsPrometheus() { return Registry.renderPrometheus(); }
+  /// Compact JSON snapshot of the registry.
+  std::string metricsJson();
+
 private:
+  /// Cached instrument pointers: resolved once at construction, so hot
+  /// paths never touch the registry map.
+  struct ShardInstruments {
+    obs::OpsCounter *Requests = nullptr;
+    obs::OpsCounter *BusyUs = nullptr;
+    obs::OpsGauge *QueueDepth = nullptr;
+    LogHistogram *QueueWaitUs = nullptr;
+  };
+  struct Instruments {
+    obs::OpsCounter *Requests = nullptr;
+    obs::OpsCounter *Checks = nullptr;
+    obs::OpsCounter *Resets = nullptr;
+    obs::OpsCounter *Pings = nullptr;
+    obs::OpsCounter *Malformed = nullptr;
+    obs::OpsCounter *SessionsCreated = nullptr;
+    obs::OpsCounter *Evictions = nullptr;
+    obs::OpsCounter *OracleCalls = nullptr;
+    obs::OpsCounter *InferenceRuns = nullptr;
+    obs::OpsCounter *WarmHits = nullptr;
+    obs::OpsCounter *SlowTraces = nullptr;
+    obs::OpsGauge *Sessions = nullptr;
+    obs::OpsGauge *ArenaBytes = nullptr;
+    LogHistogram *LatencyCold = nullptr;
+    LogHistogram *LatencyWarm = nullptr;
+    LogHistogram *OracleCallsPerRequest = nullptr;
+    std::vector<ShardInstruments> Shards;
+  };
+
   std::shared_ptr<Session> sessionFor(const std::string &Name);
-  void finishCheck(const CheckOutcome &Out);
+  void finishCheck(const std::string &SessionName, size_t Shard,
+                   uint64_t LatencyUs, const CheckOutcome &Out);
+  void logCheck(const std::string &Id, const std::string &SessionName,
+                size_t Shard, uint64_t LatencyUs, const CheckOutcome &Out);
 
   ServerOptions Opts;
   std::unique_ptr<ThreadPool> Pool;
-  mutable std::mutex Mutex; ///< Guards Sessions and Stats.
+  obs::OpsRegistry Registry;
+  Instruments Ops;
+  mutable std::mutex Mutex; ///< Guards Sessions, Stats and ArenaBySession.
   std::unordered_map<std::string, std::shared_ptr<Session>> Sessions;
+  /// Last reported retained arena bytes per session, so the process-wide
+  /// seminal_arena_bytes gauge can track the sum incrementally.
+  std::unordered_map<std::string, uint64_t> ArenaBySession;
+  uint64_t TotalArenaBytes = 0;
   ServerStats Stats;
   std::atomic<bool> Shutdown{false};
 };

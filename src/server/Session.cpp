@@ -6,6 +6,7 @@
 #include "core/Message.h"
 #include "minicaml/Hash.h"
 #include "minicaml/Parser.h"
+#include "support/Trace.h"
 
 #include <chrono>
 #include <sstream>
@@ -72,6 +73,17 @@ CheckOutcome Session::check(const std::string &Source,
     RunOpts.Search.MaxOracleCalls = Opts.MaxOracleCalls;
   RunOpts.Search.Metric = &SessionMetrics;
 
+  // Tail sampling: record every request when enabled, export only the
+  // slow ones (the decision needs the wall time, which exists only
+  // after the fact). Tracing is observational, so attaching the sink
+  // cannot change the outcome.
+  bool WantSlowTrace = Config.TraceSlowMs >= 0.0 && Config.SlowTraces;
+  std::unique_ptr<TraceSink> Sink;
+  if (WantSlowTrace) {
+    Sink = std::make_unique<TraceSink>();
+    RunOpts.Search.Trace = Sink.get();
+  }
+
   // Announce the raw text so the oracle's cross-request conventional
   // memo can prove byte-prefix validity, then run against the warm
   // oracle. runSeminalWithOracle resets the call count and counters, so
@@ -128,5 +140,10 @@ CheckOutcome Session::check(const std::string &Source,
     ++Evictions;
     Out.Evicted = true;
   }
+  if (Oracle->arena())
+    Out.ArenaBytes = Oracle->arena()->stats().Bytes;
+
+  if (WantSlowTrace && Out.WallSeconds * 1000.0 >= Config.TraceSlowMs)
+    Out.SlowTracePath = Config.SlowTraces->capture(Opts.RequestId, *Sink);
   return Out;
 }

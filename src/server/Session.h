@@ -34,6 +34,7 @@
 #define SEMINAL_SERVER_SESSION_H
 
 #include "core/Seminal.h"
+#include "obs/SlowTraceRing.h"
 #include "support/Metrics.h"
 #include "support/Stats.h"
 
@@ -57,6 +58,14 @@ struct SessionConfig {
 
   /// Arena eviction watermark in retained bytes (see file comment).
   uint64_t ArenaEvictBytes = 64ull << 20;
+
+  /// Tail-sampled slow-request tracing (DESIGN.md section 14): when
+  /// TraceSlowMs is non-negative and SlowTraces is set, every check
+  /// records a trace and requests slower than the threshold export it
+  /// into the ring. Negative = tracing off (the default; checks run
+  /// with a null sink exactly as before).
+  double TraceSlowMs = -1.0;
+  obs::SlowTraceRing *SlowTraces = nullptr;
 };
 
 /// Per-request options (zero/false = inherit the session default).
@@ -64,6 +73,8 @@ struct CheckOptions {
   size_t MaxSuggestions = 0;
   size_t MaxOracleCalls = 0;
   bool WantReport = false;
+  /// Rendered request-id JSON text; names the slow-trace file.
+  std::string RequestId;
 };
 
 /// Everything one check produced, pre-rendered so the response can be
@@ -95,6 +106,11 @@ struct CheckOutcome {
   std::string ReportJson;
   /// The arena watermark was crossed and the session went cold.
   bool Evicted = false;
+  /// Retained arena bytes after this request (post-eviction).
+  uint64_t ArenaBytes = 0;
+  /// File the slow-trace ring captured for this request ("" = not slow
+  /// or tracing disabled).
+  std::string SlowTracePath;
 };
 
 class Session {

@@ -1,0 +1,130 @@
+//===- Histogram.cpp - Lock-free log-bucketed latency histogram ------------==//
+
+#include "support/Histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+using namespace seminal;
+
+size_t LogHistogram::bucketIndex(uint64_t Value) {
+  if (Value < 2 * SubBucketCount)
+    return size_t(Value); // Exact width-1 buckets for 0..63.
+  unsigned Exp = 63u - unsigned(std::countl_zero(Value));
+  if (Exp > MaxExp)
+    return NumBuckets - 1; // Overflow bucket.
+  unsigned Sub = unsigned((Value >> (Exp - SubBits)) & (SubBucketCount - 1));
+  return 2 * SubBucketCount + size_t(Exp - SubBits - 1) * SubBucketCount +
+         Sub;
+}
+
+uint64_t LogHistogram::bucketLowerBound(size_t Index) {
+  if (Index < 2 * SubBucketCount)
+    return uint64_t(Index);
+  if (Index >= NumBuckets - 1)
+    return uint64_t(1) << (MaxExp + 1); // Overflow bucket.
+  size_t Rel = Index - 2 * SubBucketCount;
+  unsigned Exp = unsigned(Rel / SubBucketCount) + SubBits + 1;
+  unsigned Sub = unsigned(Rel % SubBucketCount);
+  return (uint64_t(SubBucketCount) + Sub) << (Exp - SubBits);
+}
+
+void LogHistogram::record(uint64_t Value) {
+  Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  uint64_t Seen = MinSeen.load(std::memory_order_relaxed);
+  while (Value < Seen && !MinSeen.compare_exchange_weak(
+                             Seen, Value, std::memory_order_relaxed))
+    ;
+  Seen = MaxSeen.load(std::memory_order_relaxed);
+  while (Value > Seen && !MaxSeen.compare_exchange_weak(
+                             Seen, Value, std::memory_order_relaxed))
+    ;
+}
+
+uint64_t LogHistogram::min() const {
+  uint64_t V = MinSeen.load(std::memory_order_relaxed);
+  return V == UINT64_MAX ? 0 : V;
+}
+
+uint64_t LogHistogram::quantile(double Q) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  uint64_t Rank = std::max<uint64_t>(1, uint64_t(std::ceil(Q * double(Total))));
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    Cum += bucketLoad(I);
+    if (Cum >= Rank)
+      return bucketLowerBound(I);
+  }
+  // Concurrent records made Count run ahead of the buckets; the last
+  // populated bucket is the best consistent answer.
+  for (size_t I = NumBuckets; I-- > 0;)
+    if (bucketLoad(I))
+      return bucketLowerBound(I);
+  return 0;
+}
+
+HistogramSummary LogHistogram::summarize() const {
+  HistogramSummary S;
+  // Copy the buckets once so every quantile answers against the same
+  // snapshot even while shards keep recording.
+  uint64_t Local[NumBuckets];
+  uint64_t Total = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    Local[I] = bucketLoad(I);
+    Total += Local[I];
+  }
+  S.Count = Total;
+  S.Sum = sum();
+  S.Min = min();
+  S.Max = max();
+  if (Total == 0)
+    return S;
+  S.Mean = double(S.Sum) / double(Total);
+  const double Qs[4] = {0.50, 0.90, 0.95, 0.99};
+  uint64_t *Out[4] = {&S.P50, &S.P90, &S.P95, &S.P99};
+  size_t Bucket = 0;
+  uint64_t Cum = 0;
+  for (int QI = 0; QI < 4; ++QI) {
+    uint64_t Rank =
+        std::max<uint64_t>(1, uint64_t(std::ceil(Qs[QI] * double(Total))));
+    while (Bucket < NumBuckets && Cum + Local[Bucket] < Rank)
+      Cum += Local[Bucket++];
+    *Out[QI] = bucketLowerBound(std::min(Bucket, NumBuckets - 1));
+  }
+  return S;
+}
+
+void LogHistogram::merge(const LogHistogram &Other) {
+  for (size_t I = 0; I < NumBuckets; ++I)
+    if (uint64_t N = Other.bucketLoad(I))
+      Buckets[I].fetch_add(N, std::memory_order_relaxed);
+  Count.fetch_add(Other.count(), std::memory_order_relaxed);
+  Sum.fetch_add(Other.sum(), std::memory_order_relaxed);
+  if (Other.count()) {
+    uint64_t V = Other.MinSeen.load(std::memory_order_relaxed);
+    uint64_t Seen = MinSeen.load(std::memory_order_relaxed);
+    while (V < Seen && !MinSeen.compare_exchange_weak(
+                           Seen, V, std::memory_order_relaxed))
+      ;
+    V = Other.max();
+    Seen = MaxSeen.load(std::memory_order_relaxed);
+    while (V > Seen && !MaxSeen.compare_exchange_weak(
+                           Seen, V, std::memory_order_relaxed))
+      ;
+  }
+}
+
+void LogHistogram::reset() {
+  for (size_t I = 0; I < NumBuckets; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  MinSeen.store(UINT64_MAX, std::memory_order_relaxed);
+  MaxSeen.store(0, std::memory_order_relaxed);
+}

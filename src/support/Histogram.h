@@ -1,0 +1,120 @@
+//===- Histogram.h - Lock-free log-bucketed latency histogram ---*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, HDR-style latency histogram for the server's live
+/// observability layer (DESIGN.md section 14). support/Metrics keeps
+/// every sample in a vector and sorts on query, which is fine for
+/// one-shot bench runs but wrong for a daemon: memory grows without
+/// bound and a scrape pays O(n log n) while requests are in flight.
+/// LogHistogram instead buckets values logarithmically into a fixed
+/// array of atomic counters:
+///
+///   * record() is lock-free and wait-free on x86: one bit-scan to find
+///     the bucket, then relaxed fetch_adds (plus CAS loops for min/max).
+///     No allocation, ever -- safe to call from any shard worker.
+///   * Values 0..63 land in exact width-1 buckets; beyond that each
+///     power of two is split into 32 sub-buckets, so any recorded value
+///     is off by at most 1/32 (~3.1%) of itself. Values at or above
+///     2^40 (about 12.7 days when recording microseconds) clamp into a
+///     single overflow bucket; min/max still track the raw values.
+///   * Histograms merge by bucket-wise addition, so per-shard recording
+///     with a merge at scrape time is bit-identical to recording the
+///     interleaved stream into one histogram (pinned by tests).
+///
+/// Quantiles walk the bucket array (1153 entries) and return the lower
+/// bound of the bucket holding the requested rank: exact for values
+/// below 64, never more than one sub-bucket below the true value
+/// otherwise. Concurrent record() during a query can skew a quantile by
+/// the in-flight samples; counts are never lost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_SUPPORT_HISTOGRAM_H
+#define SEMINAL_SUPPORT_HISTOGRAM_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace seminal {
+
+/// One consistent view of a LogHistogram, extracted in a single bucket
+/// walk so the quantiles agree with the count.
+struct HistogramSummary {
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = 0; ///< Raw (unbucketed) minimum; 0 when empty.
+  uint64_t Max = 0; ///< Raw (unbucketed) maximum; 0 when empty.
+  double Mean = 0.0;
+  uint64_t P50 = 0;
+  uint64_t P90 = 0;
+  uint64_t P95 = 0;
+  uint64_t P99 = 0;
+};
+
+class LogHistogram {
+public:
+  /// Sub-bucket resolution: each power of two splits into 2^SubBits
+  /// buckets, bounding relative error at 2^-SubBits.
+  static constexpr unsigned SubBits = 5;
+  static constexpr unsigned SubBucketCount = 1u << SubBits;
+  /// Largest exponent with its own sub-buckets; values >= 2^(MaxExp+1)
+  /// clamp into the overflow bucket.
+  static constexpr unsigned MaxExp = 39;
+  static constexpr size_t NumBuckets =
+      2 * SubBucketCount + (MaxExp - SubBits) * SubBucketCount + 1;
+
+  LogHistogram() = default;
+  LogHistogram(const LogHistogram &) = delete;
+  LogHistogram &operator=(const LogHistogram &) = delete;
+
+  /// Records one sample. Lock-free; callable from any thread.
+  void record(uint64_t Value);
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// Raw minimum/maximum recorded value (not bucket-quantized); 0 when
+  /// no samples were recorded.
+  uint64_t min() const;
+  uint64_t max() const { return MaxSeen.load(std::memory_order_relaxed); }
+
+  /// \p Q in [0, 1]; nearest-rank quantile over the bucket array. 0 when
+  /// empty. Returns the lower bound of the selected bucket (exact below
+  /// 64, at most one sub-bucket low otherwise).
+  uint64_t quantile(double Q) const;
+
+  /// Count/sum/min/max plus p50/p90/p95/p99 from one bucket walk.
+  HistogramSummary summarize() const;
+
+  /// Adds \p Other's samples bucket-wise. Merging per-shard histograms
+  /// equals recording the union stream into one histogram.
+  void merge(const LogHistogram &Other);
+
+  /// Drops all samples. Not atomic with respect to concurrent record();
+  /// meant for bench loops and tests.
+  void reset();
+
+  // Bucket introspection (tests and exposition) ------------------------
+  static size_t bucketIndex(uint64_t Value);
+  /// Smallest value mapping to bucket \p Index.
+  static uint64_t bucketLowerBound(size_t Index);
+  uint64_t bucketLoad(size_t Index) const {
+    return Buckets[Index].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  /// UINT64_MAX = "nothing recorded yet" sentinel.
+  std::atomic<uint64_t> MinSeen{UINT64_MAX};
+  std::atomic<uint64_t> MaxSeen{0};
+};
+
+} // namespace seminal
+
+#endif // SEMINAL_SUPPORT_HISTOGRAM_H

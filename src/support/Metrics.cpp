@@ -2,12 +2,34 @@
 
 #include "support/Metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
 using namespace seminal;
 
+bool Metrics::isHotSeries(const std::string &Name) {
+  static constexpr const char Suffix[] = ".latency_us";
+  static constexpr size_t SuffixLen = sizeof(Suffix) - 1;
+  return Name.size() >= SuffixLen &&
+         Name.compare(Name.size() - SuffixLen, SuffixLen, Suffix) == 0;
+}
+
 void Metrics::observe(const char *Name, double Value) {
+  if (isHotSeries(Name)) {
+    LogHistogram *H;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      auto &Slot = HotSeries[Name];
+      if (!Slot)
+        Slot = std::make_unique<LogHistogram>();
+      H = Slot.get();
+    }
+    // Latencies are non-negative microseconds; round to the nearest
+    // integer and record outside the registry lock (record is lock-free).
+    H->record(Value <= 0.0 ? 0 : uint64_t(Value + 0.5));
+    return;
+  }
   std::lock_guard<std::mutex> Lock(Mutex);
   Series[Name].add(Value);
 }
@@ -15,9 +37,12 @@ void Metrics::observe(const char *Name, double Value) {
 std::vector<std::string> Metrics::names() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   std::vector<std::string> Out;
-  Out.reserve(Series.size());
+  Out.reserve(Series.size() + HotSeries.size());
   for (const auto &KV : Series)
     Out.push_back(KV.first);
+  for (const auto &KV : HotSeries)
+    Out.push_back(KV.first);
+  std::sort(Out.begin(), Out.end());
   return Out;
 }
 
@@ -25,6 +50,18 @@ MetricSummary Metrics::summary(const std::string &Name) const {
   Samples Copy;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
+    auto Hot = HotSeries.find(Name);
+    if (Hot != HotSeries.end()) {
+      HistogramSummary H = Hot->second->summarize();
+      MetricSummary S;
+      S.Count = size_t(H.Count);
+      S.Min = double(H.Min);
+      S.Mean = H.Mean;
+      S.P50 = double(H.P50);
+      S.P95 = double(H.P95);
+      S.Max = double(H.Max);
+      return S;
+    }
     auto It = Series.find(Name);
     if (It == Series.end())
       return MetricSummary();
@@ -78,10 +115,11 @@ void Metrics::writeJson(std::ostream &OS) const {
 
 bool Metrics::empty() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Series.empty();
+  return Series.empty() && HotSeries.empty();
 }
 
 void Metrics::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Series.clear();
+  HotSeries.clear();
 }

@@ -12,14 +12,22 @@
 /// a Metrics collector is attached by pointer and null means disabled:
 /// instrumentation sites pay one branch when no collector is attached.
 ///
+/// Hot series -- names ending in ".latency_us", observed once per oracle
+/// call -- are backed by a fixed-size LogHistogram (support/Histogram.h)
+/// instead of a sample vector: bounded memory in a long-lived daemon and
+/// O(buckets) summaries instead of a sort per query, at the price of
+/// <= 3.1% quantile quantization. All other series keep exact samples.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEMINAL_SUPPORT_METRICS_H
 #define SEMINAL_SUPPORT_METRICS_H
 
+#include "support/Histogram.h"
 #include "support/Stats.h"
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -77,9 +85,14 @@ public:
   bool empty() const;
   void clear();
 
+  /// True when \p Name is routed to a LogHistogram (see file comment).
+  static bool isHotSeries(const std::string &Name);
+
 private:
   mutable std::mutex Mutex;
   std::map<std::string, Samples> Series;
+  /// unique_ptr: a LogHistogram is ~9 KiB of atomics and non-copyable.
+  std::map<std::string, std::unique_ptr<LogHistogram>> HotSeries;
 };
 
 } // namespace seminal

@@ -11,23 +11,31 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "server/MetricsHttp.h"
 #include "server/Protocol.h"
 #include "server/Server.h"
 #include "server/Session.h"
 
 #include "core/Message.h"
 #include "core/Seminal.h"
+#include "obs/Log.h"
+#include "obs/SlowTraceRing.h"
 #include "support/Json.h"
 #include "support/Trace.h" // jsonEscape
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -421,6 +429,296 @@ TEST(ServerSocketTest, MidStreamDisconnectLeavesSessionIntact) {
 
   Socket.stop();
   EXPECT_EQ(Engine.stats().Checks, 2u);
+}
+
+TEST(ServerSocketTest, SecondDaemonOnSameSocketFailsCleanly) {
+  std::string Path =
+      "/tmp/seminal_sockclash_" + std::to_string(::getpid()) + ".sock";
+  ServerEngine EngineA;
+  UnixSocketServer A(EngineA, Path);
+  std::string Error;
+  ASSERT_TRUE(A.start(Error)) << Error;
+
+  // A second daemon must refuse the live socket instead of stealing it.
+  ServerEngine EngineB;
+  UnixSocketServer B(EngineB, Path);
+  std::string ErrorB;
+  EXPECT_FALSE(B.start(ErrorB));
+  EXPECT_NE(ErrorB.find("already in use"), std::string::npos) << ErrorB;
+  EXPECT_NE(ErrorB.find(Path), std::string::npos)
+      << "the error must name the contested path: " << ErrorB;
+
+  // The refusal left daemon A fully operational.
+  SocketClient C(Path);
+  ASSERT_TRUE(C.Connected);
+  ASSERT_TRUE(C.send("{\"method\":\"ping\",\"id\":1}"));
+  EXPECT_TRUE(parseReply(C.recvLine()).getBool("pong", false));
+  C.close();
+  A.stop();
+
+  // A *stale* file (owner died without cleanup) is safe to replace: the
+  // probe connect fails, so the next daemon unlinks and binds.
+  int Stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Stale, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Path.c_str());
+  ASSERT_EQ(::bind(Stale, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  ::close(Stale); // No unlink: the file lingers with nobody listening.
+  ServerEngine EngineC;
+  UnixSocketServer Recovered(EngineC, Path);
+  std::string ErrorC;
+  EXPECT_TRUE(Recovered.start(ErrorC)) << ErrorC;
+  Recovered.stop();
+  ::unlink(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Observability: metrics verb, per-shard stats, slow traces, HTTP scrape
+//===----------------------------------------------------------------------===//
+
+std::string checkLine(int Id, const char *SessionName, const char *Source) {
+  std::string Line = "{\"method\":\"check\",\"id\":" + std::to_string(Id) +
+                     ",\"session\":\"" + SessionName + "\",\"source\":\"";
+  Line += jsonEscape(Source);
+  Line += "\"}";
+  return Line;
+}
+
+TEST(ServerObsTest, MetricsReconcileExactlyWithStats) {
+  ServerOptions Opts;
+  Opts.Threads = 2;
+  ServerEngine Engine(Opts);
+  Engine.handle(checkLine(1, "alpha", BaseSource));
+  Engine.handle(checkLine(2, "alpha", EditedSource)); // warm
+  Engine.handle(checkLine(3, "beta", BaseSource));
+  Engine.handle("{\"method\":\"ping\",\"id\":4}");
+  Engine.handle("{\"method\":\"reset\",\"id\":5,\"session\":\"beta\"}");
+  Engine.drain();
+
+  // The stats rollup and the registry are updated at the same code
+  // sites; every shared total must agree exactly.
+  ServerStats S = Engine.stats();
+  obs::OpsRegistry &R = Engine.registry();
+  EXPECT_EQ(S.Checks, 3u);
+  EXPECT_EQ(R.counter("seminal_requests_total").value(), S.Requests);
+  EXPECT_EQ(R.counter("seminal_checks_total").value(), S.Checks);
+  EXPECT_EQ(R.counter("seminal_resets_total").value(), S.Resets);
+  EXPECT_EQ(R.counter("seminal_pings_total").value(), S.Pings);
+  EXPECT_EQ(R.counter("seminal_oracle_calls_total").value(), S.OracleCalls);
+  EXPECT_EQ(R.counter("seminal_inference_runs_total").value(),
+            S.InferenceRuns);
+  EXPECT_EQ(R.counter("seminal_sessions_created_total").value(),
+            S.SessionsCreated);
+  EXPECT_EQ(R.counter("seminal_evictions_total").value(), S.Evictions);
+  uint64_t Warm = S.Accel.SessionPrefixHits + S.Accel.SessionVerdictReuses +
+                  S.Accel.SessionSeedAdoptions + S.Accel.SessionConvMemoHits;
+  EXPECT_EQ(R.counter("seminal_warm_hits_total").value(), Warm);
+  EXPECT_GT(Warm, 0u) << "the alpha resubmit must have run warm";
+
+  // Every check records into exactly one latency series.
+  LogHistogram &Cold =
+      R.histogram("seminal_request_latency_us", "", {{"state", "cold"}});
+  LogHistogram &WarmH =
+      R.histogram("seminal_request_latency_us", "", {{"state", "warm"}});
+  EXPECT_EQ(Cold.count() + WarmH.count(), S.Checks);
+  EXPECT_EQ(Cold.count(), 2u);
+  EXPECT_EQ(WarmH.count(), 1u);
+  EXPECT_EQ(R.histogram("seminal_oracle_calls_per_request").count(),
+            S.Checks);
+
+  // The per-shard breakdown covers every routed request and is idle
+  // after a drain.
+  ASSERT_EQ(S.Shards.size(), size_t(Engine.shards()));
+  uint64_t ShardRequests = 0;
+  for (const ServerStats::ShardStats &Sh : S.Shards) {
+    ShardRequests += Sh.Requests;
+    EXPECT_EQ(Sh.QueueDepth, 0) << "drained engine must have empty queues";
+    EXPECT_GE(Sh.BusySeconds, 0.0);
+  }
+  EXPECT_EQ(ShardRequests, S.Checks + S.Resets);
+}
+
+TEST(ServerObsTest, MetricsVerbServesJsonAndPrometheus) {
+  ServerEngine Engine;
+  Engine.handle(checkLine(1, "m", BaseSource));
+
+  json::Value Reply =
+      parseReply(Engine.handle("{\"method\":\"metrics\",\"id\":2}"));
+  EXPECT_TRUE(Reply.getBool("ok", false));
+  const json::Value *Metrics = Reply.member("metrics");
+  ASSERT_TRUE(Metrics && Metrics->isObject());
+  const json::Value *Checks = Metrics->member("seminal_checks_total");
+  ASSERT_TRUE(Checks);
+  const json::Value *Vals = Checks->member("values");
+  ASSERT_TRUE(Vals && Vals->isArray());
+  ASSERT_EQ(Vals->arrayValue().size(), 1u);
+  EXPECT_EQ(Vals->arrayValue()[0].getInt("value", -1), 1);
+
+  json::Value Prom = parseReply(Engine.handle(
+      "{\"method\":\"metrics\",\"id\":3,\"format\":\"prometheus\"}"));
+  EXPECT_EQ(Prom.getString("format"), "prometheus");
+  std::string Text = Prom.getString("exposition");
+  EXPECT_NE(Text.find("# TYPE seminal_checks_total counter"),
+            std::string::npos);
+  EXPECT_NE(Text.find("seminal_checks_total 1"), std::string::npos);
+  EXPECT_NE(
+      Text.find("# TYPE seminal_request_latency_us summary"),
+      std::string::npos);
+
+  // An unknown format is malformed, not silently defaulted.
+  json::Value Bad = parseReply(Engine.handle(
+      "{\"method\":\"metrics\",\"id\":4,\"format\":\"xml\"}"));
+  EXPECT_FALSE(Bad.getBool("ok", true));
+}
+
+TEST(ServerObsTest, StatsVerbCarriesShardArray) {
+  ServerOptions Opts;
+  Opts.Threads = 3;
+  ServerEngine Engine(Opts);
+  Engine.handle(checkLine(1, "s", BaseSource));
+  json::Value Stats =
+      parseReply(Engine.handle("{\"method\":\"stats\",\"id\":2}"));
+  EXPECT_EQ(Stats.getInt("shard_count", -1), 3);
+  const json::Value *Shards = Stats.member("shards");
+  ASSERT_TRUE(Shards && Shards->isArray());
+  ASSERT_EQ(Shards->arrayValue().size(), 3u);
+  uint64_t Total = 0;
+  for (size_t I = 0; I < 3; ++I) {
+    const json::Value &Sh = Shards->arrayValue()[I];
+    EXPECT_EQ(Sh.getInt("shard", -1), int64_t(I));
+    Total += uint64_t(Sh.getInt("requests", 0));
+    EXPECT_TRUE(Sh.member("queue_depth"));
+    EXPECT_TRUE(Sh.member("busy_seconds"));
+  }
+  EXPECT_EQ(Total, 1u);
+}
+
+TEST(ServerObsTest, SlowRequestsExportBoundedTraces) {
+  std::string Dir =
+      "/tmp/seminal_slowtrace_srv_" + std::to_string(::getpid());
+  std::string Cmd = "rm -rf '" + Dir + "'";
+  (void)std::system(Cmd.c_str());
+
+  obs::SlowTraceRing Ring(Dir, 2);
+  ServerOptions Opts;
+  Opts.SlowTraces = &Ring;
+  Opts.TraceSlowMs = 0.0; // Tail-sample everything: every check is "slow".
+  ServerEngine Engine(Opts);
+
+  json::Value Reply = parseReply(Engine.handle(checkLine(7, "t", BaseSource)));
+  std::string Path = Reply.getString("slow_trace");
+  ASSERT_FALSE(Path.empty()) << "threshold 0 must capture every request";
+  EXPECT_NE(Path.find("-7.trace.json"), std::string::npos)
+      << "the file is named after the request id: " << Path;
+  EXPECT_EQ(Engine.registry().counter("seminal_slow_traces_total").value(),
+            1u);
+
+  // The exported file is a loadable Chrome trace with real spans.
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << Path;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  json::ParseResult P = json::parse(Buf.str());
+  ASSERT_TRUE(P.ok());
+  const json::Value *Events = P.Doc->member("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  EXPECT_FALSE(Events->arrayValue().empty());
+
+  // The ring caps disk: three more captures, never more than two files.
+  Engine.handle(checkLine(8, "t", EditedSource));
+  Engine.handle(checkLine(9, "t", EditedSource));
+  Engine.handle(checkLine(10, "t", BaseSource));
+  EXPECT_EQ(Ring.captured(), 4u);
+  EXPECT_EQ(Ring.size(), 2u);
+
+  (void)std::system(Cmd.c_str());
+}
+
+TEST(ServerObsTest, StructuredLogsFollowTheRequestStream) {
+  std::ostringstream LogOut;
+  obs::Logger Log(LogOut, obs::LogLevel::Info);
+  ServerOptions Opts;
+  Opts.Log = &Log;
+  ServerEngine Engine(Opts);
+  Engine.handle(checkLine(1, "alice", BaseSource));
+  Engine.handle("{\"method\":\"ping\",\"id\":2}"); // debug: suppressed at info
+  Engine.handle("{not json");
+
+  std::string Text = LogOut.str();
+  EXPECT_NE(Text.find("event=check"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("session=alice"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("latency_ms="), std::string::npos) << Text;
+  EXPECT_NE(Text.find("event=malformed"), std::string::npos) << Text;
+  EXPECT_EQ(Text.find("event=ping"), std::string::npos)
+      << "debug events must not leak through an info logger: " << Text;
+}
+
+/// Minimal HTTP/1.0 GET against 127.0.0.1:port; returns the full
+/// response (status line + headers + body).
+std::string httpGet(uint16_t Port, const std::string &Target,
+                    const char *Verb = "GET") {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return "";
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return "";
+  }
+  std::string Req = std::string(Verb) + " " + Target + " HTTP/1.0\r\n\r\n";
+  (void)!::send(Fd, Req.data(), Req.size(), 0);
+  std::string Out;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+    Out.append(Buf, size_t(N));
+  ::close(Fd);
+  return Out;
+}
+
+TEST(ServerObsTest, HttpEndpointServesMetricsAndHealth) {
+  ServerEngine Engine;
+  Engine.handle(checkLine(1, "h", BaseSource));
+
+  MetricsHttpServer Http(Engine, 0); // 0: ephemeral port
+  std::string Error;
+  ASSERT_TRUE(Http.start(Error)) << Error;
+  ASSERT_NE(Http.port(), 0u);
+
+  std::string Metrics = httpGet(Http.port(), "/metrics");
+  EXPECT_NE(Metrics.find("200 OK"), std::string::npos) << Metrics;
+  EXPECT_NE(Metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(Metrics.find("seminal_checks_total 1"), std::string::npos);
+
+  std::string MetricsJson = httpGet(Http.port(), "/metrics.json");
+  EXPECT_NE(MetricsJson.find("200 OK"), std::string::npos);
+  size_t BodyAt = MetricsJson.find("\r\n\r\n");
+  ASSERT_NE(BodyAt, std::string::npos);
+  json::ParseResult P = json::parse(MetricsJson.substr(BodyAt + 4));
+  ASSERT_TRUE(P.ok());
+  EXPECT_TRUE(P.Doc->member("seminal_checks_total"));
+
+  std::string Health = httpGet(Http.port(), "/healthz");
+  EXPECT_NE(Health.find("200 OK"), std::string::npos);
+  EXPECT_NE(Health.find("{\"ok\":true}"), std::string::npos);
+
+  EXPECT_NE(httpGet(Http.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_NE(httpGet(Http.port(), "/metrics", "POST").find("405"),
+            std::string::npos);
+
+  // The scrape and the stats verb agree: same registry, same totals.
+  json::Value Stats =
+      parseReply(Engine.handle("{\"method\":\"stats\",\"id\":2}"));
+  std::string Scrape = httpGet(Http.port(), "/metrics");
+  std::string Needle = "seminal_checks_total " +
+                       std::to_string(Stats.getInt("checks", -1));
+  EXPECT_NE(Scrape.find(Needle), std::string::npos) << Scrape;
+  Http.stop();
 }
 
 } // namespace
