@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Token-level invariant lint for src/ (DESIGN.md section 15).
+
+Three invariants, enforced fail-closed in CI (lint job) and as a ctest:
+
+  1. sync-primitives: no raw std::mutex / std::shared_mutex /
+     std::condition_variable (or their lock guards, or pthread mutexes)
+     outside support/Sync.h. Everything synchronizes through the
+     annotated, ranked seminal::sync wrappers, or the thread-safety
+     analysis and the lock-rank checker have holes.
+  2. determinism: no rand()/srand()/random_device, no wall-clock
+     (time(), gettimeofday, timespec_get, system_clock) in src/.
+     Ranked suggestions must be byte-identical across runs and thread
+     counts; the only sanctioned randomness is the seeded support/Rng.h
+     and the only sanctioned wall-clock is log-line timestamps
+     (steady_clock, which never flows into results, stays allowed).
+  3. stdout: no std::cout / printf / puts in src/. Library code reports
+     through return values, streams handed in by the caller, or the
+     logger; stdout belongs to the CLI entry points outside src/.
+
+Matching is token-ish: comments and string/char literals are stripped
+first, so prose mentioning std::mutex stays legal. Allowlists are
+narrow, per-rule, per-file, and live here so a reviewer sees every
+exemption in one place.
+
+Exit 0 when clean; prints one "file:line: [rule] token" per finding and
+exits 1 otherwise. Run from anywhere: paths resolve relative to the
+repo root (this script's parent's parent).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+RULES = [
+    (
+        "sync-primitives",
+        re.compile(
+            r"std\s*::\s*(?:recursive_|timed_|recursive_timed_)?mutex\b"
+            r"|std\s*::\s*shared_(?:mutex|timed_mutex)\b"
+            r"|std\s*::\s*condition_variable(?:_any)?\b"
+            r"|std\s*::\s*(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+            r"|\bpthread_(?:mutex|rwlock|cond)_"
+        ),
+        # The one home for raw primitives: the wrappers themselves.
+        {"support/Sync.h"},
+    ),
+    (
+        "determinism",
+        re.compile(
+            r"\b(?:s?rand|rand_r)\s*\("
+            r"|std\s*::\s*random_device\b"
+            r"|system_clock\b"
+            r"|\btime\s*\("
+            r"|\b(?:gettimeofday|timespec_get)\s*\("
+            r"|clock_gettime\s*\(\s*CLOCK_REALTIME"
+        ),
+        # Log lines carry wall-clock timestamps by design; nothing from
+        # Log.cpp flows back into search results.
+        {"obs/Log.cpp"},
+    ),
+    (
+        "stdout",
+        re.compile(
+            r"std\s*::\s*cout\b"
+            r"|\b(?:printf|puts|putchar)\s*\("
+            r"|\bfprintf\s*\(\s*stdout"
+            r"|\bf(?:puts|write)\s*\(\s*[^,)]*,\s*stdout\s*\)"
+        ),
+        set(),
+    ),
+]
+
+STRIP_RE = re.compile(
+    r"""
+    //[^\n]*                     # line comment
+    | /\*.*?\*/                  # block comment
+    | "(?:[^"\\\n]|\\.)*"        # string literal
+    | '(?:[^'\\\n]|\\.)*'        # char literal
+    """,
+    re.DOTALL | re.VERBOSE,
+)
+
+
+def stripped_lines(text):
+    """Text with comments and literals blanked (newlines kept, so line
+    numbers survive), split into lines."""
+
+    def blank(m):
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    return STRIP_RE.sub(blank, text).splitlines()
+
+
+def main():
+    findings = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in {".h", ".cpp", ".inc", ".def"}:
+            continue
+        rel = path.relative_to(SRC).as_posix()
+        lines = stripped_lines(path.read_text(encoding="utf-8"))
+        for rule, pattern, allow in RULES:
+            if rel in allow:
+                continue
+            for lineno, line in enumerate(lines, 1):
+                for m in pattern.finditer(line):
+                    findings.append(
+                        f"src/{rel}:{lineno}: [{rule}] {m.group(0).strip()}"
+                    )
+    if findings:
+        print(f"check_invariants: {len(findings)} violation(s):")
+        for f in findings:
+            print("  " + f)
+        print(
+            "see DESIGN.md section 15 (concurrency contract) and the "
+            "rule docstrings in scripts/check_invariants.py"
+        )
+        return 1
+    print("check_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

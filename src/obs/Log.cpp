@@ -190,7 +190,7 @@ void Logger::log(LogLevel L, const LogEvent &E) {
     }
   }
   Line << "\n";
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   *OS << Line.str();
   OS->flush();
 }

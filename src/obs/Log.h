@@ -18,8 +18,10 @@
 #ifndef SEMINAL_OBS_LOG_H
 #define SEMINAL_OBS_LOG_H
 
+#include "support/Sync.h"
+
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -78,11 +80,24 @@ class Logger {
 public:
   explicit Logger(std::ostream &OS, LogLevel Level = LogLevel::Warn,
                   bool Json = false)
-      : OS(&OS), Level(Level), Json(Json) {}
+      : OS(&OS), Level(int(Level)), Json(Json) {}
 
-  bool enabled(LogLevel L) const { return L >= Level && Level != LogLevel::Off; }
-  LogLevel level() const { return Level; }
-  void setLevel(LogLevel L) { Level = L; }
+  /// Reads the level with a relaxed atomic load: enabled() is the
+  /// suppressed-event fast path and runs on every shard worker while
+  /// setLevel() may flip the level from another thread. (Before the
+  /// concurrency-contract migration this was a benign-in-practice data
+  /// race on a plain enum; -Wthread-safety has no capability to tie it
+  /// to, so the fix is the atomic, documented in DESIGN.md section 15.)
+  bool enabled(LogLevel L) const {
+    int Lv = Level.load(std::memory_order_relaxed);
+    return int(L) >= Lv && Lv != int(LogLevel::Off);
+  }
+  LogLevel level() const {
+    return LogLevel(Level.load(std::memory_order_relaxed));
+  }
+  void setLevel(LogLevel L) {
+    Level.store(int(L), std::memory_order_relaxed);
+  }
   bool json() const { return Json; }
 
   void log(LogLevel L, const LogEvent &E);
@@ -93,10 +108,13 @@ public:
   void error(const LogEvent &E) { log(LogLevel::Error, E); }
 
 private:
-  std::ostream *OS;
-  LogLevel Level;
-  bool Json;
-  std::mutex Mutex;
+  /// One formatted line per write, emitted under Mutex so lines never
+  /// interleave across shard workers; the stream pointee is what the
+  /// lock actually protects.
+  std::ostream *OS SEMINAL_PT_GUARDED_BY(Mutex);
+  std::atomic<int> Level;
+  const bool Json;
+  sync::Mutex Mutex{sync::LockRank::Log, "log"};
 };
 
 } // namespace obs

@@ -83,7 +83,7 @@ OpsRegistry::Instrument &OpsRegistry::instrument(Kind K,
                                                  const std::string &Name,
                                                  const std::string &Help,
                                                  const OpsLabels &Labels) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   auto MakeInstrument = [&] {
     auto I = std::make_unique<Instrument>();
     I->Labels = Labels;
@@ -138,7 +138,7 @@ LogHistogram &OpsRegistry::histogram(const std::string &Name,
 }
 
 std::string OpsRegistry::renderPrometheus() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   std::ostringstream OS;
   for (const auto &KV : Families) {
     const std::string Name = promSanitizeName(KV.first);
@@ -179,7 +179,7 @@ std::string OpsRegistry::renderPrometheus() const {
 }
 
 void OpsRegistry::writeJson(std::ostream &OS) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   OS << "{";
   bool FirstFamily = true;
   for (const auto &KV : Families) {

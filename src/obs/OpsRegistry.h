@@ -40,12 +40,12 @@
 #define SEMINAL_OBS_OPSREGISTRY_H
 
 #include "support/Histogram.h"
+#include "support/Sync.h"
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -130,11 +130,14 @@ private:
   Instrument &instrument(Kind K, const std::string &Name,
                          const std::string &Help, const OpsLabels &Labels);
 
-  mutable std::mutex Mutex;
-  std::map<std::string, Family> Families;
+  mutable sync::Mutex Mutex{sync::LockRank::OpsRegistry, "ops.registry"};
+  /// The maps are guarded; the instruments they own are lock-free
+  /// atomics updated through the stable references handed out, with no
+  /// lock held.
+  std::map<std::string, Family> Families SEMINAL_GUARDED_BY(Mutex);
   /// Kind-mismatched requests park here so the returned reference is
   /// still safe to use (see counter()).
-  std::vector<std::unique_ptr<Instrument>> Detached;
+  std::vector<std::unique_ptr<Instrument>> Detached SEMINAL_GUARDED_BY(Mutex);
 };
 
 /// Escapes a Prometheus label value (backslash, double quote, newline).

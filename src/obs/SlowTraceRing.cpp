@@ -36,7 +36,7 @@ std::string obs::sanitizeRequestId(const std::string &RequestId) {
 
 std::string SlowTraceRing::capture(const std::string &RequestId,
                                    const TraceSink &Sink) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   ::mkdir(Dir.c_str(), 0755); // Best-effort; open() reports real failures.
   char Name[96];
   std::snprintf(Name, sizeof(Name), "slow-%06llu-%s.trace.json",
@@ -61,11 +61,11 @@ std::string SlowTraceRing::capture(const std::string &RequestId,
 }
 
 size_t SlowTraceRing::size() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   return Files.size();
 }
 
 uint64_t SlowTraceRing::captured() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   return Seq;
 }

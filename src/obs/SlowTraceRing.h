@@ -19,9 +19,10 @@
 #ifndef SEMINAL_OBS_SLOWTRACERING_H
 #define SEMINAL_OBS_SLOWTRACERING_H
 
+#include "support/Sync.h"
+
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 
 namespace seminal {
@@ -48,11 +49,14 @@ public:
   uint64_t captured() const;
 
 private:
+  /// Immutable after construction.
   std::string Dir;
   size_t Capacity;
-  mutable std::mutex Mutex;
-  std::deque<std::string> Files; ///< Oldest first.
-  uint64_t Seq = 0;
+  /// Held across the export write, which drains the request's TraceSink
+  /// -- hence ranked below LockRank::Trace (see the rank table).
+  mutable sync::Mutex Mutex{sync::LockRank::SlowTraceRing, "slowtrace.ring"};
+  std::deque<std::string> Files SEMINAL_GUARDED_BY(Mutex); ///< Oldest first.
+  uint64_t Seq SEMINAL_GUARDED_BY(Mutex) = 0;
 };
 
 /// Maps \p RequestId to a filesystem-safe token: [A-Za-z0-9._-] kept,

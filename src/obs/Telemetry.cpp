@@ -6,27 +6,27 @@ using namespace seminal;
 using namespace seminal::obs;
 
 void TelemetrySink::record(CandidateOutcome O) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   Records.push_back(std::move(O));
 }
 
 size_t TelemetrySink::size() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   return Records.size();
 }
 
 std::vector<CandidateOutcome> TelemetrySink::snapshot() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   return Records;
 }
 
 void TelemetrySink::clear() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   Records.clear();
 }
 
 std::map<std::string, LayerStats> TelemetrySink::layerStats() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   std::map<std::string, LayerStats> Stats;
   for (const CandidateOutcome &O : Records) {
     if (O.Rank > 0)

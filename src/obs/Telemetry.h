@@ -25,9 +25,10 @@
 #ifndef SEMINAL_OBS_TELEMETRY_H
 #define SEMINAL_OBS_TELEMETRY_H
 
+#include "support/Sync.h"
+
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -90,8 +91,8 @@ public:
   std::map<std::string, LayerStats> layerStats() const;
 
 private:
-  mutable std::mutex Mutex;
-  std::vector<CandidateOutcome> Records;
+  mutable sync::Mutex Mutex{sync::LockRank::Telemetry, "telemetry.sink"};
+  std::vector<CandidateOutcome> Records SEMINAL_GUARDED_BY(Mutex);
 };
 
 } // namespace obs

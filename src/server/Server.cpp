@@ -7,7 +7,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cerrno>
 #include <cstring>
 #include <istream>
@@ -95,6 +94,51 @@ uint64_t microsSince(std::chrono::steady_clock::time_point Start) {
                       .count());
 }
 
+/// Per-connection write side, shared (via shared_ptr) between the
+/// reader thread and any pool worker still holding a reply callback
+/// after the reader is gone. Alive-under-WriteLock is the teardown
+/// contract: Alive is read and flipped only with WriteLock held, and
+/// the reader closes the fd only *after* marking the writer dead under
+/// the lock -- so a late reply is dropped instead of racing onto a
+/// closed, or worse, recycled descriptor.
+struct ConnWriter {
+  explicit ConnWriter(int Fd) : Fd(Fd) {}
+
+  /// Ranked ServerWrite: reply callbacks run with an empty held-set
+  /// (inline methods) or after the pool mutex was dropped (workers), so
+  /// any rank would do; ServerWrite documents "write-side, innermost of
+  /// the server layer".
+  sync::Mutex WriteLock{sync::LockRank::ServerWrite, "server.conn.write"};
+  bool Alive SEMINAL_GUARDED_BY(WriteLock) = true;
+  const int Fd;
+
+  /// Flips the connection dead. The REQUIRES contract is the point:
+  /// callers must already hold WriteLock, which orders the flip before
+  /// any close() that follows the release.
+  void markDead() SEMINAL_REQUIRES(WriteLock) { Alive = false; }
+
+  /// Writes one reply line (newline appended). Dropped silently when
+  /// the connection is already dead; a short or failed send marks it
+  /// dead for every later reply.
+  void sendLine(const std::string &Line) SEMINAL_EXCLUDES(WriteLock) {
+    sync::MutexLock Lock(WriteLock);
+    if (!Alive)
+      return;
+    std::string Out = Line;
+    Out.push_back('\n');
+    size_t Off = 0;
+    while (Off < Out.size()) {
+      ssize_t N =
+          ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+      if (N <= 0) {
+        markDead(); // Client went away; drop the rest.
+        return;
+      }
+      Off += size_t(N);
+    }
+  }
+};
+
 } // namespace
 
 ServerEngine::ServerEngine(const ServerOptions &Opts) : Opts(Opts) {
@@ -170,7 +214,7 @@ size_t ServerEngine::shardOf(const std::string &SessionName) const {
 }
 
 std::shared_ptr<Session> ServerEngine::sessionFor(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   auto It = Sessions.find(Name);
   if (It != Sessions.end())
     return It->second;
@@ -185,7 +229,7 @@ std::shared_ptr<Session> ServerEngine::sessionFor(const std::string &Name) {
 void ServerEngine::finishCheck(const std::string &SessionName, size_t Shard,
                                uint64_t LatencyUs, const CheckOutcome &Out) {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    sync::MutexLock Lock(Mutex);
     ++Stats.Checks;
     Stats.OracleCalls += Out.OracleCalls;
     Stats.InferenceRuns += Out.InferenceRuns;
@@ -239,7 +283,7 @@ void ServerEngine::logCheck(const std::string &Id,
 void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
   auto Submitted = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    sync::MutexLock Lock(Mutex);
     ++Stats.Requests;
   }
   Ops.Requests->inc();
@@ -247,7 +291,7 @@ void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
   switch (R.TheMethod) {
   case Request::Method::Invalid: {
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      sync::MutexLock Lock(Mutex);
       ++Stats.Malformed;
     }
     Ops.Malformed->inc();
@@ -259,7 +303,7 @@ void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
   }
   case Request::Method::Ping: {
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      sync::MutexLock Lock(Mutex);
       ++Stats.Pings;
     }
     Ops.Pings->inc();
@@ -273,7 +317,7 @@ void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
     std::ostringstream Extra;
     Extra << Snapshot.renderJsonMembers();
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      sync::MutexLock Lock(Mutex);
       Extra << ",\"sessions\":" << Sessions.size();
     }
     Extra << ",\"shard_count\":" << shards();
@@ -317,7 +361,7 @@ void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
       S->reset();
       SI.BusyUs->inc(microsSince(RunStart));
       {
-        std::lock_guard<std::mutex> Lock(Mutex);
+        sync::MutexLock Lock(Mutex);
         ++Stats.Resets;
       }
       Ops.Resets->inc();
@@ -364,20 +408,24 @@ void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
 }
 
 std::string ServerEngine::handle(const std::string &Line) {
-  std::mutex M;
-  std::condition_variable CV;
+  // Leaf-ranked: the reply callback runs either inline (no locks held)
+  // or on a pool worker after the pool mutex was dropped, so this is
+  // always the innermost acquisition.
+  sync::Mutex M(sync::LockRank::Leaf, "server.handle");
+  sync::CondVar CV;
   bool Done = false;
   std::string Result;
   submit(Line, [&](const std::string &Response) {
     {
-      std::lock_guard<std::mutex> Lock(M);
+      sync::MutexLock Lock(M);
       Result = Response;
       Done = true;
     }
     CV.notify_one();
   });
-  std::unique_lock<std::mutex> Lock(M);
-  CV.wait(Lock, [&] { return Done; });
+  sync::MutexLock Lock(M);
+  while (!Done)
+    CV.wait(M);
   return Result;
 }
 
@@ -386,7 +434,7 @@ void ServerEngine::drain() { Pool->drainPosted(); }
 ServerStats ServerEngine::stats() const {
   ServerStats Out;
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    sync::MutexLock Lock(Mutex);
     Out = Stats;
   }
   // The shard breakdown reads the registry instruments directly -- the
@@ -413,9 +461,9 @@ void server::serveStdio(ServerEngine &Engine, std::istream &In,
   // may interleave in any order (clients correlate by id), but each
   // line is written atomically and flushed so a pipe reader never
   // blocks on a partial response.
-  std::mutex WriteMutex;
+  sync::Mutex WriteMutex(sync::LockRank::ServerWrite, "server.stdio.write");
   auto Reply = [&WriteMutex, &Out](const std::string &Line) {
-    std::lock_guard<std::mutex> Lock(WriteMutex);
+    sync::MutexLock Lock(WriteMutex);
     Out << Line << "\n";
     Out.flush();
   };
@@ -497,7 +545,7 @@ void UnixSocketServer::stop() {
   ::close(ListenFd);
   std::vector<std::thread> Threads;
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    sync::MutexLock Lock(ConnMutex);
     for (int Fd : LiveFds)
       ::shutdown(Fd, SHUT_RDWR);
     Threads.swap(ConnThreads);
@@ -519,7 +567,7 @@ void UnixSocketServer::acceptLoop() {
         continue;
       return;
     }
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    sync::MutexLock Lock(ConnMutex);
     if (Stopping.load()) {
       ::close(Fd);
       return;
@@ -531,29 +579,11 @@ void UnixSocketServer::acceptLoop() {
 
 void UnixSocketServer::connectionLoop(int Fd) {
   // Replies may arrive from pool workers after this reader exits (the
-  // client disconnected mid-request). Alive is flipped under the write
-  // lock before the fd closes, so a late reply is dropped instead of
-  // racing onto a closed -- or worse, recycled -- descriptor. The
-  // session's warm state is unaffected either way.
-  auto WriteLock = std::make_shared<std::mutex>();
-  auto Alive = std::make_shared<bool>(true);
-  auto Reply = [Fd, WriteLock, Alive](const std::string &Line) {
-    std::lock_guard<std::mutex> Lock(*WriteLock);
-    if (!*Alive)
-      return;
-    std::string Out = Line;
-    Out.push_back('\n');
-    size_t Off = 0;
-    while (Off < Out.size()) {
-      ssize_t N =
-          ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
-      if (N <= 0) {
-        *Alive = false; // Client went away; drop the rest.
-        return;
-      }
-      Off += size_t(N);
-    }
-  };
+  // client disconnected mid-request); ConnWriter's Alive-under-WriteLock
+  // contract keeps those late replies off the closed fd. The session's
+  // warm state is unaffected either way.
+  auto Writer = std::make_shared<ConnWriter>(Fd);
+  auto Reply = [Writer](const std::string &Line) { Writer->sendLine(Line); };
 
   std::string Buf;
   char Chunk[4096];
@@ -582,11 +612,12 @@ void UnixSocketServer::connectionLoop(int Fd) {
   // which is acceptable at editor request rates.
   Engine.drain();
   {
-    std::lock_guard<std::mutex> Lock(*WriteLock);
-    *Alive = false;
+    // Teardown ordering: dead under the lock first, close after release.
+    sync::MutexLock Lock(Writer->WriteLock);
+    Writer->markDead();
   }
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    sync::MutexLock Lock(ConnMutex);
     LiveFds.erase(std::remove(LiveFds.begin(), LiveFds.end(), Fd),
                   LiveFds.end());
   }

@@ -38,13 +38,13 @@
 #include "obs/Log.h"
 #include "obs/OpsRegistry.h"
 #include "server/Session.h"
+#include "support/Sync.h"
 #include "support/ThreadPool.h"
 
 #include <atomic>
 #include <functional>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -177,17 +177,22 @@ private:
   void logCheck(const std::string &Id, const std::string &SessionName,
                 size_t Shard, uint64_t LatencyUs, const CheckOutcome &Out);
 
+  /// Immutable after construction (Opts, Pool, Registry, the cached
+  /// instrument pointers in Ops); the instruments themselves are
+  /// lock-free atomics.
   ServerOptions Opts;
   std::unique_ptr<ThreadPool> Pool;
   obs::OpsRegistry Registry;
   Instruments Ops;
-  mutable std::mutex Mutex; ///< Guards Sessions, Stats and ArenaBySession.
-  std::unordered_map<std::string, std::shared_ptr<Session>> Sessions;
+  mutable sync::Mutex Mutex{sync::LockRank::ServerEngine, "server.engine"};
+  std::unordered_map<std::string, std::shared_ptr<Session>> Sessions
+      SEMINAL_GUARDED_BY(Mutex);
   /// Last reported retained arena bytes per session, so the process-wide
   /// seminal_arena_bytes gauge can track the sum incrementally.
-  std::unordered_map<std::string, uint64_t> ArenaBySession;
-  uint64_t TotalArenaBytes = 0;
-  ServerStats Stats;
+  std::unordered_map<std::string, uint64_t> ArenaBySession
+      SEMINAL_GUARDED_BY(Mutex);
+  uint64_t TotalArenaBytes SEMINAL_GUARDED_BY(Mutex) = 0;
+  ServerStats Stats SEMINAL_GUARDED_BY(Mutex);
   std::atomic<bool> Shutdown{false};
 };
 
@@ -220,12 +225,14 @@ private:
 
   ServerEngine &Engine;
   std::string Path;
+  /// Written by start()/stop() only (callers serialize those); read by
+  /// the accept thread, which both calls unblock through shutdown(2).
   int ListenFd = -1;
   std::atomic<bool> Stopping{false};
   std::thread Acceptor;
-  std::mutex ConnMutex; ///< Guards ConnThreads and LiveFds.
-  std::vector<std::thread> ConnThreads;
-  std::vector<int> LiveFds;
+  sync::Mutex ConnMutex{sync::LockRank::ServerConn, "server.conn"};
+  std::vector<std::thread> ConnThreads SEMINAL_GUARDED_BY(ConnMutex);
+  std::vector<int> LiveFds SEMINAL_GUARDED_BY(ConnMutex);
 };
 
 } // namespace server

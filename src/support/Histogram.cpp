@@ -31,9 +31,30 @@ uint64_t LogHistogram::bucketLowerBound(size_t Index) {
 }
 
 void LogHistogram::record(uint64_t Value) {
+  // Memory ordering: every atomic access in this file is relaxed, and
+  // that is deliberate. Each counter is an independent statistic -- no
+  // non-atomic payload is ever published "under" one of them, so there
+  // is nothing an acquire/release edge would order. What relaxed still
+  // guarantees is (a) per-counter atomicity: no increment is ever lost
+  // or torn, even with all shards recording at once (pinned by
+  // LogHistogramTest.ConcurrentRecordLosesNothing and
+  // MergeUnderConcurrentRecordStress, run under TSan in CI), and (b)
+  // per-counter coherence: repeated reads of one counter are monotone.
+  // What it does NOT give is a consistent *cross*-counter snapshot: a
+  // mid-record reader may see Count ahead of the bucket array or
+  // behind it, in either order. Readers own that slack by contract --
+  // quantile() degrades to the last populated bucket, summarize()
+  // snapshots the buckets once and derives Count from that snapshot --
+  // and the slack closes the moment writers quiesce, because whatever
+  // synchronizes the quiesce (thread join, ThreadPool drain) carries
+  // the release/acquire edge that publishes every counter exactly.
   Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
   Count.fetch_add(1, std::memory_order_relaxed);
   Sum.fetch_add(Value, std::memory_order_relaxed);
+  // Relaxed CAS loops: on failure the loop re-reads the fresh value the
+  // CAS wrote back into Seen; only the final extremum matters, and the
+  // loop exits as soon as the current extremum beats Value. No ABA
+  // hazard -- min only descends and max only ascends.
   uint64_t Seen = MinSeen.load(std::memory_order_relaxed);
   while (Value < Seen && !MinSeen.compare_exchange_weak(
                              Seen, Value, std::memory_order_relaxed))
@@ -101,6 +122,14 @@ HistogramSummary LogHistogram::summarize() const {
 }
 
 void LogHistogram::merge(const LogHistogram &Other) {
+  // Safe while Other is still being recorded into: each bucket is read
+  // atomically (relaxed suffices -- see record() for the rationale), so
+  // a mid-load merge folds in some prefix of each counter's history,
+  // never a torn value. The merged cross-counter view has the same
+  // slack as any concurrent read (Count may lag or lead the bucket
+  // sum); once Other's writers quiesce, merge is exact and bucket-wise
+  // identical to having recorded the union stream here (pinned by
+  // LogHistogramTest.MergedShardsEqualSingleStream).
   for (size_t I = 0; I < NumBuckets; ++I)
     if (uint64_t N = Other.bucketLoad(I))
       Buckets[I].fetch_add(N, std::memory_order_relaxed);

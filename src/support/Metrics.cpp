@@ -19,7 +19,7 @@ void Metrics::observe(const char *Name, double Value) {
   if (isHotSeries(Name)) {
     LogHistogram *H;
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      sync::MutexLock Lock(Mutex);
       auto &Slot = HotSeries[Name];
       if (!Slot)
         Slot = std::make_unique<LogHistogram>();
@@ -30,12 +30,12 @@ void Metrics::observe(const char *Name, double Value) {
     H->record(Value <= 0.0 ? 0 : uint64_t(Value + 0.5));
     return;
   }
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   Series[Name].add(Value);
 }
 
 std::vector<std::string> Metrics::names() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   std::vector<std::string> Out;
   Out.reserve(Series.size() + HotSeries.size());
   for (const auto &KV : Series)
@@ -49,7 +49,7 @@ std::vector<std::string> Metrics::names() const {
 MetricSummary Metrics::summary(const std::string &Name) const {
   Samples Copy;
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    sync::MutexLock Lock(Mutex);
     auto Hot = HotSeries.find(Name);
     if (Hot != HotSeries.end()) {
       HistogramSummary H = Hot->second->summarize();
@@ -114,12 +114,12 @@ void Metrics::writeJson(std::ostream &OS) const {
 }
 
 bool Metrics::empty() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   return Series.empty() && HotSeries.empty();
 }
 
 void Metrics::clear() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   Series.clear();
   HotSeries.clear();
 }

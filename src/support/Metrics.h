@@ -25,10 +25,10 @@
 
 #include "support/Histogram.h"
 #include "support/Stats.h"
+#include "support/Sync.h"
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -89,10 +89,13 @@ public:
   static bool isHotSeries(const std::string &Name);
 
 private:
-  mutable std::mutex Mutex;
-  std::map<std::string, Samples> Series;
+  mutable sync::Mutex Mutex{sync::LockRank::Metrics, "metrics"};
+  std::map<std::string, Samples> Series SEMINAL_GUARDED_BY(Mutex);
   /// unique_ptr: a LogHistogram is ~9 KiB of atomics and non-copyable.
-  std::map<std::string, std::unique_ptr<LogHistogram>> HotSeries;
+  /// The map is guarded; the histograms themselves are lock-free and
+  /// recorded into outside the registry lock (see observe()).
+  std::map<std::string, std::unique_ptr<LogHistogram>> HotSeries
+      SEMINAL_GUARDED_BY(Mutex);
 };
 
 } // namespace seminal

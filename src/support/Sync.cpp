@@ -1,0 +1,110 @@
+//===- Sync.cpp - Lock-rank runtime checker --------------------------------==//
+//
+// The debug-build half of support/Sync.h: a per-thread held-lock stack
+// and the strict-rank-increase check run on every acquisition attempt.
+// The check happens *before* blocking on the underlying mutex, so a
+// potential deadlock cycle is reported even on the interleaving that
+// would have won the race -- unlike TSan, which needs the losing
+// schedule to actually occur.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace seminal;
+using namespace seminal::sync;
+
+namespace {
+
+std::atomic<bool> ChecksEnabled{SEMINAL_SYNC_RANK_CHECKS != 0};
+
+#if SEMINAL_SYNC_RANK_CHECKS
+
+struct HeldLock {
+  const void *Addr;
+  uint16_t Rank;
+  const char *Name;
+};
+
+/// Acquisition-ordered stack of locks the calling thread holds. A plain
+/// vector: depth is O(nesting), in practice <= 3.
+thread_local std::vector<HeldLock> HeldLocks;
+
+[[noreturn]] void reportViolation(const char *What, const void *Addr,
+                                  uint16_t Rank, const char *Name,
+                                  const HeldLock &Conflict) {
+  // One stderr blob, assembled first so concurrent aborts do not shred
+  // each other's reports.
+  std::string Msg = "seminal: lock-rank violation: ";
+  Msg += What;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                ": acquiring \"%s\" (rank %u, %p) while holding \"%s\" "
+                "(rank %u, %p)\n  held locks, acquisition order:\n",
+                Name, unsigned(Rank), Addr, Conflict.Name,
+                unsigned(Conflict.Rank), Conflict.Addr);
+  Msg += Buf;
+  for (const HeldLock &H : HeldLocks) {
+    std::snprintf(Buf, sizeof(Buf), "    \"%s\" (rank %u, %p)\n", H.Name,
+                  unsigned(H.Rank), H.Addr);
+    Msg += Buf;
+  }
+  Msg += "  fix: acquire in strictly increasing LockRank order "
+         "(support/Sync.h; rank table in DESIGN.md section 15)\n";
+  std::fputs(Msg.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+#endif // SEMINAL_SYNC_RANK_CHECKS
+
+} // namespace
+
+bool sync::setRankChecksEnabled(bool Enabled) {
+  return ChecksEnabled.exchange(Enabled, std::memory_order_relaxed);
+}
+
+bool sync::rankChecksEnabled() {
+  return ChecksEnabled.load(std::memory_order_relaxed);
+}
+
+#if SEMINAL_SYNC_RANK_CHECKS
+
+void sync::sync_detail::checkRank(const void *Addr, uint16_t Rank,
+                                  const char *Name) {
+  if (!ChecksEnabled.load(std::memory_order_relaxed) || HeldLocks.empty())
+    return;
+  for (const HeldLock &H : HeldLocks) {
+    if (H.Addr == Addr)
+      reportViolation("recursive acquisition (self-deadlock; includes "
+                      "shared->exclusive upgrade)",
+                      Addr, Rank, Name, H);
+    if (H.Rank >= Rank)
+      reportViolation("rank not strictly increasing", Addr, Rank, Name, H);
+  }
+}
+
+void sync::sync_detail::pushHeld(const void *Addr, uint16_t Rank,
+                                 const char *Name) {
+  if (!ChecksEnabled.load(std::memory_order_relaxed))
+    return;
+  HeldLocks.push_back({Addr, Rank, Name});
+}
+
+void sync::sync_detail::popHeld(const void *Addr) {
+  // Scan from the top: releases are almost always LIFO. Tolerates a
+  // lock acquired while checking was disabled (not found -> no-op).
+  for (size_t I = HeldLocks.size(); I-- > 0;) {
+    if (HeldLocks[I].Addr == Addr) {
+      HeldLocks.erase(HeldLocks.begin() + long(I));
+      return;
+    }
+  }
+}
+
+#endif // SEMINAL_SYNC_RANK_CHECKS

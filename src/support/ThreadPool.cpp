@@ -5,6 +5,7 @@
 #include <algorithm>
 
 using namespace seminal;
+using sync::MutexLock;
 
 ThreadPool::ThreadPool(unsigned Threads) {
   if (Threads == 0)
@@ -17,7 +18,7 @@ ThreadPool::ThreadPool(unsigned Threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mutex);
     ShuttingDown = true;
   }
   WorkReady.notify_all();
@@ -29,20 +30,21 @@ void ThreadPool::parallelFor(size_t NumItems,
                              const std::function<void(unsigned, size_t)> &Fn) {
   if (NumItems == 0)
     return;
-  std::unique_lock<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   Job = &Fn;
   JobSize = NumItems;
   NextItem = 0;
   ItemsLeft = NumItems;
   ++Generation;
   WorkReady.notify_all();
-  WorkDone.wait(Lock, [this] { return ItemsLeft == 0; });
+  while (ItemsLeft != 0)
+    WorkDone.wait(Mutex);
   Job = nullptr;
 }
 
 void ThreadPool::post(size_t Shard, std::function<void()> Task) {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mutex);
     Queues[Shard % Queues.size()].push_back(std::move(Task));
     ++PostedPending;
   }
@@ -52,18 +54,18 @@ void ThreadPool::post(size_t Shard, std::function<void()> Task) {
 }
 
 void ThreadPool::drainPosted() {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  WorkDone.wait(Lock, [this] { return PostedPending == 0; });
+  MutexLock Lock(Mutex);
+  while (PostedPending != 0)
+    WorkDone.wait(Mutex);
 }
 
 void ThreadPool::workerMain(unsigned WorkerIndex) {
   uint64_t SeenGeneration = 0;
-  std::unique_lock<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   for (;;) {
-    WorkReady.wait(Lock, [&] {
-      return ShuttingDown || !Queues[WorkerIndex].empty() ||
-             (Job && Generation != SeenGeneration);
-    });
+    while (!(ShuttingDown || !Queues[WorkerIndex].empty() ||
+             (Job && Generation != SeenGeneration)))
+      WorkReady.wait(Mutex);
     // Shard queue first: posted tasks are interactive request handlers,
     // parallelFor items are batch work. On shutdown the queue is still
     // drained -- a posted task is a promise to the poster.

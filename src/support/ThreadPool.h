@@ -30,11 +30,11 @@
 #ifndef SEMINAL_SUPPORT_THREADPOOL_H
 #define SEMINAL_SUPPORT_THREADPOOL_H
 
-#include <condition_variable>
+#include "support/Sync.h"
+
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -80,23 +80,26 @@ public:
 private:
   void workerMain(unsigned WorkerIndex);
 
+  /// Immutable after construction (joined in the destructor only).
   std::vector<std::thread> Workers;
 
-  std::mutex Mutex;
-  std::condition_variable WorkReady;
-  std::condition_variable WorkDone;
-  const std::function<void(unsigned, size_t)> *Job = nullptr;
-  size_t JobSize = 0;
-  size_t NextItem = 0;
-  size_t ItemsLeft = 0;
-  uint64_t Generation = 0;
-  bool ShuttingDown = false;
+  sync::Mutex Mutex{sync::LockRank::ThreadPool, "threadpool"};
+  sync::CondVar WorkReady;
+  sync::CondVar WorkDone;
+  const std::function<void(unsigned, size_t)> *Job
+      SEMINAL_GUARDED_BY(Mutex) = nullptr;
+  size_t JobSize SEMINAL_GUARDED_BY(Mutex) = 0;
+  size_t NextItem SEMINAL_GUARDED_BY(Mutex) = 0;
+  size_t ItemsLeft SEMINAL_GUARDED_BY(Mutex) = 0;
+  uint64_t Generation SEMINAL_GUARDED_BY(Mutex) = 0;
+  bool ShuttingDown SEMINAL_GUARDED_BY(Mutex) = false;
 
-  /// One FIFO per worker; guarded by Mutex. PostedPending counts tasks
-  /// accepted but not yet finished (queued + running), so drainPosted
-  /// waits for completion, not merely dequeueing.
-  std::vector<std::deque<std::function<void()>>> Queues;
-  size_t PostedPending = 0;
+  /// One FIFO per worker. PostedPending counts tasks accepted but not
+  /// yet finished (queued + running), so drainPosted waits for
+  /// completion, not merely dequeueing.
+  std::vector<std::deque<std::function<void()>>> Queues
+      SEMINAL_GUARDED_BY(Mutex);
+  size_t PostedPending SEMINAL_GUARDED_BY(Mutex) = 0;
 };
 
 } // namespace seminal

@@ -74,12 +74,12 @@ uint64_t TraceSink::nowNs() const {
 }
 
 uint64_t TraceSink::nextId() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   return NextSpanId++;
 }
 
 uint32_t TraceSink::threadId() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   auto It = ThreadIds.find(std::this_thread::get_id());
   if (It != ThreadIds.end())
     return It->second;
@@ -89,23 +89,23 @@ uint32_t TraceSink::threadId() {
 }
 
 void TraceSink::record(TraceEvent E) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   E.Seq = NextSeq++;
   Events.push_back(std::move(E));
 }
 
 size_t TraceSink::eventCount() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   return Events.size();
 }
 
 std::vector<TraceEvent> TraceSink::snapshot() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   return Events;
 }
 
 void TraceSink::clear() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(Mutex);
   Events.clear();
 }
 

@@ -35,10 +35,11 @@
 #ifndef SEMINAL_SUPPORT_TRACE_H
 #define SEMINAL_SUPPORT_TRACE_H
 
+#include "support/Sync.h"
+
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -148,11 +149,12 @@ public:
   TraceSummary summarize() const;
 
 private:
-  mutable std::mutex Mutex;
-  std::vector<TraceEvent> Events;
-  uint64_t NextSeq = 1;
-  uint64_t NextSpanId = 1;
-  std::map<std::thread::id, uint32_t> ThreadIds;
+  mutable sync::Mutex Mutex{sync::LockRank::Trace, "trace.sink"};
+  std::vector<TraceEvent> Events SEMINAL_GUARDED_BY(Mutex);
+  uint64_t NextSeq SEMINAL_GUARDED_BY(Mutex) = 1;
+  uint64_t NextSpanId SEMINAL_GUARDED_BY(Mutex) = 1;
+  std::map<std::thread::id, uint32_t> ThreadIds SEMINAL_GUARDED_BY(Mutex);
+  /// Immutable after construction.
   std::chrono::steady_clock::time_point Epoch;
 };
 
