@@ -30,8 +30,10 @@
 #include "minicaml/Hash.h"
 #include "obs/Explorer.h"
 #include "support/Json.h"
+#include "support/Profiler.h"
 #include "support/Trace.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -91,7 +93,17 @@ void usage(const char *Prog) {
                "  --ops-snapshot=FILE\n"
                "                 with --explore: embed a saved metrics\n"
                "                 snapshot (JSON from --server-metrics or\n"
-               "                 GET /metrics.json) as a live-ops panel\n",
+               "                 GET /metrics.json) as a live-ops panel\n"
+               "  --profile=FILE one-shot profile of this run: sampled\n"
+               "                 span stacks + exact per-phase CPU.\n"
+               "                 FILE.json gets the snapshot object; any\n"
+               "                 other name gets flamegraph.pl collapsed\n"
+               "                 stacks (pipe into flamegraph.pl)\n"
+               "  --profile-snapshot=FILE\n"
+               "                 with --explore: embed a saved profile\n"
+               "                 (JSON from --profile=FILE.json or\n"
+               "                 /debug/profile?format=json) as a\n"
+               "                 flamegraph panel\n",
                Prog, Prog);
 }
 
@@ -290,6 +302,8 @@ int main(int Argc, char **Argv) {
   std::string ConnectPath;
   std::string SessionName = "default";
   std::string OpsSnapshotPath;
+  std::string ProfilePath;
+  std::string ProfileSnapshotPath;
   bool HaveSource = false;
   bool Quiet = false;
   bool Json = false;
@@ -376,6 +390,20 @@ int main(int Argc, char **Argv) {
         usage(Argv[0]);
         return 2;
       }
+    } else if (std::strncmp(Arg, "--profile=", 10) == 0) {
+      ProfilePath = Arg + 10;
+      if (ProfilePath.empty()) {
+        std::fprintf(stderr, "--profile needs a file path\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--profile-snapshot=", 19) == 0) {
+      ProfileSnapshotPath = Arg + 19;
+      if (ProfileSnapshotPath.empty()) {
+        std::fprintf(stderr, "--profile-snapshot needs a file path\n");
+        usage(Argv[0]);
+        return 2;
+      }
     } else if (std::strcmp(Arg, "--expr") == 0 && I + 1 < Argc) {
       Source = Argv[++I];
       HaveSource = true;
@@ -424,13 +452,37 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
+  std::string ProfileJson;
+  if (!ProfileSnapshotPath.empty()) {
+    std::ifstream In(ProfileSnapshotPath);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", ProfileSnapshotPath.c_str());
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    ProfileJson = Buf.str();
+    json::ParseResult P = json::parse(ProfileJson);
+    if (!P.ok()) {
+      std::fprintf(stderr, "--profile-snapshot: '%s' is not valid JSON: %s\n",
+                   ProfileSnapshotPath.c_str(), P.Error.c_str());
+      return 2;
+    }
+  }
   if (!HaveSource) {
     usage(Argv[0]);
     return 2;
   }
-  if (!ConnectPath.empty())
+  if (!ConnectPath.empty()) {
+    if (!ProfilePath.empty()) {
+      std::fprintf(stderr, "--profile profiles a local run; with --connect "
+                           "use the daemon's profile verb or "
+                           "/debug/profile instead\n");
+      return 2;
+    }
     return runConnected(ConnectPath, SessionName, Source, Opts.MaxSuggestions,
                         Quiet, Json);
+  }
 
   // Observability sinks outlive the run; they are attached by pointer and
   // exported after the report is in hand. Suggestions are byte-identical
@@ -446,7 +498,38 @@ int main(int Argc, char **Argv) {
   if (WantReport)
     Opts.Search.Telemetry = &Telemetry;
 
+  // One-shot profiling: the profiler starts empty in this process, so
+  // the cumulative snapshot after the run *is* the run's window.
+  if (!ProfilePath.empty())
+    prof::profiler().start(prof::Profiler::Options());
+
+  uint64_t CpuStart = prof::threadCpuNs();
+  auto WallStart = std::chrono::steady_clock::now();
   SeminalReport Report = runSeminalOnSource(Source, Opts);
+  double WallSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - WallStart)
+                           .count();
+  uint64_t CpuNs = prof::threadCpuNs() - CpuStart;
+
+  if (!ProfilePath.empty()) {
+    prof::ProfileSnapshot Snap = prof::profiler().snapshot();
+    prof::profiler().stop();
+    std::ofstream Out(ProfilePath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write profile to '%s'\n",
+                   ProfilePath.c_str());
+      return 2;
+    }
+    if (endsWith(ProfilePath, ".json"))
+      Snap.writeJson(Out);
+    else
+      Snap.writeCollapsed(Out);
+    if (!Quiet)
+      std::fprintf(stderr,
+                   "wrote profile (%llu samples, %zu stacks) to %s\n",
+                   static_cast<unsigned long long>(Snap.Samples),
+                   Snap.Stacks.size(), ProfilePath.c_str());
+  }
 
   if (!TracePath.empty() && !Report.SyntaxError) {
     std::ofstream Out(TracePath);
@@ -471,7 +554,8 @@ int main(int Argc, char **Argv) {
       if (PR.ok())
         Run.SourceHash = caml::hashProgram(*PR.Prog);
     }
-    fillRunReport(Run, Report, &Telemetry);
+    fillRunReport(Run, Report, &Telemetry, WallSeconds);
+    Run.Cost.CpuNs = CpuNs; // the measurer stamps the timing fields
 
     if (!TelemetryPath.empty()) {
       std::ofstream Out(TelemetryPath);
@@ -496,6 +580,7 @@ int main(int Argc, char **Argv) {
       obs::ExplorerOptions EO;
       EO.Title = "SEMINAL search explorer: " + SourceName;
       EO.OpsJson = OpsJson;
+      EO.ProfileJson = ProfileJson;
       obs::writeExplorerHtml(Out, Sink.snapshot(), Run, Source, EO);
       if (!Quiet)
         std::fprintf(stderr, "wrote search explorer to %s\n",

@@ -18,11 +18,18 @@
 // --trace-slow-ms captures Chrome traces of slow requests into a
 // bounded ring of files under --trace-dir.
 //
+// Continuous profiling (DESIGN.md section 16): the sampling profiler is
+// on by default at 99 Hz (--profile-hz=0 disables it); capture windows
+// via the "profile" verb or GET /debug/profile?seconds=N on the metrics
+// port. --slo-target-ms / --slo-objective configure the warm-latency
+// SLO whose burn-rate gauges /metrics exports.
+//
 // Usage:
 //   seminal_serverd [--stdio] [--socket=PATH] [--threads=N]
 //                   [--evict-bytes=N] [--max-suggestions=N]
 //                   [--metrics-port=N] [--log-level=LVL] [--log-json]
 //                   [--trace-slow-ms=N] [--trace-dir=PATH] [--trace-ring=N]
+//                   [--profile-hz=N] [--slo-target-ms=N] [--slo-objective=P]
 //
 // Try it (pipe a request line into --stdio mode):
 //   printf '%s\n' '{"method":"check","id":1,"source":"..."}' | seminal_serverd
@@ -33,6 +40,7 @@
 #include "obs/SlowTraceRing.h"
 #include "server/MetricsHttp.h"
 #include "server/Server.h"
+#include "support/Profiler.h"
 
 #include <chrono>
 #include <cstdio>
@@ -53,7 +61,8 @@ void usage(const char *Prog) {
                "          [--evict-bytes=N] [--max-suggestions=N]\n"
                "          [--metrics-port=N] [--log-level=LVL] [--log-json]\n"
                "          [--trace-slow-ms=N] [--trace-dir=PATH]\n"
-               "          [--trace-ring=N]\n"
+               "          [--trace-ring=N] [--profile-hz=N]\n"
+               "          [--slo-target-ms=N] [--slo-objective=P]\n"
                "  --stdio            serve JSONL requests on stdin/stdout\n"
                "                     (default when --socket is absent)\n"
                "  --socket=PATH      also accept connections on a Unix\n"
@@ -77,7 +86,14 @@ void usage(const char *Prog) {
                "  --trace-dir=PATH   slow-trace directory (default\n"
                "                     seminal-slow-traces)\n"
                "  --trace-ring=N     keep at most N slow-trace files\n"
-               "                     (default 8)\n",
+               "                     (default 8)\n"
+               "  --profile-hz=N     sampling-profiler frequency (default\n"
+               "                     99; 0 = off). Windows are served by\n"
+               "                     the \"profile\" verb and by\n"
+               "                     GET /debug/profile?seconds=N\n"
+               "  --slo-target-ms=N  warm-latency SLO target (default 50)\n"
+               "  --slo-objective=P  %% of warm checks that must meet the\n"
+               "                     target (default 99)\n",
                Prog);
 }
 
@@ -94,6 +110,7 @@ int main(int Argc, char **Argv) {
   double TraceSlowMs = -1.0;
   std::string TraceDir = "seminal-slow-traces";
   size_t TraceRing = 8;
+  int ProfileHz = 99;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -171,6 +188,30 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       TraceRing = size_t(N);
+    } else if (std::strncmp(Arg, "--profile-hz=", 13) == 0) {
+      ProfileHz = std::atoi(Arg + 13);
+      if (ProfileHz < 0 || ProfileHz > 1000) {
+        std::fprintf(stderr, "--profile-hz needs a frequency in 0..1000\n");
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--slo-target-ms=", 16) == 0) {
+      double Ms = std::atof(Arg + 16);
+      if (Ms <= 0) {
+        std::fprintf(stderr, "--slo-target-ms needs a threshold > 0\n");
+        usage(Argv[0]);
+        return 2;
+      }
+      Opts.Slo.TargetUs = uint64_t(Ms * 1000.0);
+    } else if (std::strncmp(Arg, "--slo-objective=", 16) == 0) {
+      double Pct = std::atof(Arg + 16);
+      if (Pct <= 0 || Pct >= 100) {
+        std::fprintf(stderr,
+                     "--slo-objective needs a percentage in (0, 100)\n");
+        usage(Argv[0]);
+        return 2;
+      }
+      Opts.Slo.ObjectivePct = Pct;
     } else if (std::strcmp(Arg, "--help") == 0) {
       usage(Argv[0]);
       return 0;
@@ -190,6 +231,12 @@ int main(int Argc, char **Argv) {
     SlowTraces = std::make_unique<obs::SlowTraceRing>(TraceDir, TraceRing);
     Opts.SlowTraces = SlowTraces.get();
     Opts.TraceSlowMs = TraceSlowMs;
+  }
+
+  if (ProfileHz > 0) {
+    prof::Profiler::Options PO;
+    PO.SampleHz = unsigned(ProfileHz);
+    prof::profiler().start(PO);
   }
 
   ServerEngine Engine(Opts);
@@ -229,5 +276,7 @@ int main(int Argc, char **Argv) {
   if (!SocketPath.empty())
     Socket.stop();
   Engine.drain();
+  if (ProfileHz > 0)
+    prof::profiler().stop();
   return 0;
 }

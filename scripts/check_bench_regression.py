@@ -47,6 +47,14 @@ server (bench_server):
     The fraction is looser than the others because warm requests are
     sub-millisecond and jitter accordingly.
 
+obs (bench_obs):
+  * The profiler's priced overhead (per-primitive micro-costs times the
+    measured spans-per-check of the warm workload, over the
+    registry-only CPU per check -- all within-run, so hardware cancels)
+    must stay within the DESIGN.md section 16 budget: <=1% with the
+    hooks compiled but idle, <=3% sampling at the default 99 Hz with
+    exact phase-CPU stamping.
+
 The quality-telemetry snapshot ("bench": "telemetry") has its own gate,
 scripts/compare_telemetry.py; both scripts share scripts/gate_common.py
 and its exit-code protocol: 0 = healthy, 1 = regression, 2 = bad
@@ -183,11 +191,41 @@ def check_server(base, fresh):
     return failures
 
 
+PROFILER_OFF_MAX_PCT = 1.0   # hooks compiled in, profiler not running
+PROFILER_99HZ_MAX_PCT = 3.0  # sampler at the default 99 Hz + CPU stamps
+
+
+def check_obs(base, fresh):
+    """Observability overhead budgets (bench_obs). Gates the *priced*
+    profiler overheads -- per-primitive micro-costs times the measured
+    spans-per-check, against the registry-only CPU per check -- because
+    the DESIGN.md section 16 budgets (1% / 3%) sit below the end-to-end
+    noise floor of a ~1ms workload on shared runners. The end-to-end
+    config rows are still checked for set drift so a silently dropped
+    measurement cannot pass."""
+    failures = []
+    config_rows(failures, base, fresh)  # flags config-set drift
+    for key, ceiling in (("profiler_off_overhead_pct",
+                          PROFILER_OFF_MAX_PCT),
+                         ("profiler_99hz_overhead_pct",
+                          PROFILER_99HZ_MAX_PCT)):
+        pct = fresh.get(key)
+        if pct is None:
+            failures.append(f"snapshot is missing {key}")
+            continue
+        if pct > ceiling:
+            failures.append(
+                f"{key} = {pct:.3f}% exceeds the {ceiling:.0f}% budget")
+        print(f"{key}: {pct:+.3f}% (budget {ceiling:.0f}%)")
+    return failures
+
+
 GATES = {
     "oracle_calls_accel": check_oracle_calls,
     "micro_allocs": check_micro_allocs,
     "slice_ablation": check_slice_ablation,
     "server": check_server,
+    "obs": check_obs,
 }
 
 

@@ -20,8 +20,11 @@ Three invariants, enforced fail-closed in CI (lint job) and as a ctest:
 
 Matching is token-ish: comments and string/char literals are stripped
 first, so prose mentioning std::mutex stays legal. Allowlists are
-narrow, per-rule, per-file, and live here so a reviewer sees every
-exemption in one place.
+narrow, per-rule, per-file, each entry carrying its justification, and
+live here so a reviewer sees every exemption in one place. The
+allowlists are themselves linted for minimality: an entry whose file no
+longer triggers its rule is reported as stale and fails the check, so
+exemptions cannot outlive the code that needed them.
 
 Exit 0 when clean; prints one "file:line: [rule] token" per finding and
 exits 1 otherwise. Run from anywhere: paths resolve relative to the
@@ -35,6 +38,9 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 
+# Allowlists map file -> the reason the exemption exists. The reason is
+# printed when the entry goes stale, so nobody has to archaeology a
+# removal.
 RULES = [
     (
         "sync-primitives",
@@ -45,8 +51,12 @@ RULES = [
             r"|std\s*::\s*(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
             r"|\bpthread_(?:mutex|rwlock|cond)_"
         ),
-        # The one home for raw primitives: the wrappers themselves.
-        {"support/Sync.h"},
+        {
+            "support/Sync.h": (
+                "the one home for raw primitives: the annotated wrappers "
+                "themselves hold the std types"
+            ),
+        },
     ),
     (
         "determinism",
@@ -56,11 +66,20 @@ RULES = [
             r"|system_clock\b"
             r"|\btime\s*\("
             r"|\b(?:gettimeofday|timespec_get)\s*\("
-            r"|clock_gettime\s*\(\s*CLOCK_REALTIME"
+            r"|\bclock_gettime\s*\("
         ),
-        # Log lines carry wall-clock timestamps by design; nothing from
-        # Log.cpp flows back into search results.
-        {"obs/Log.cpp"},
+        {
+            "obs/Log.cpp": (
+                "log lines carry wall-clock timestamps by design; nothing "
+                "from Log.cpp flows back into search results"
+            ),
+            "support/Profiler.cpp": (
+                "CPU-time clocks (CLOCK_THREAD_CPUTIME_ID / "
+                "CLOCK_PROCESS_CPUTIME_ID) have no std::chrono spelling; "
+                "profiling is observational and never feeds search results "
+                "(pinned by the ProfilerIdentityTest byte-identity test)"
+            ),
+        },
     ),
     (
         "stdout",
@@ -70,7 +89,7 @@ RULES = [
             r"|\bfprintf\s*\(\s*stdout"
             r"|\bf(?:puts|write)\s*\(\s*[^,)]*,\s*stdout\s*\)"
         ),
-        set(),
+        {},
     ),
 ]
 
@@ -97,19 +116,33 @@ def stripped_lines(text):
 
 def main():
     findings = []
+    # rule -> allowlisted files that actually matched; the difference
+    # against the allowlist is the set of stale entries.
+    used = {rule: set() for rule, _, _ in RULES}
     for path in sorted(SRC.rglob("*")):
         if path.suffix not in {".h", ".cpp", ".inc", ".def"}:
             continue
         rel = path.relative_to(SRC).as_posix()
         lines = stripped_lines(path.read_text(encoding="utf-8"))
         for rule, pattern, allow in RULES:
-            if rel in allow:
-                continue
             for lineno, line in enumerate(lines, 1):
                 for m in pattern.finditer(line):
+                    if rel in allow:
+                        used[rule].add(rel)
+                        continue
                     findings.append(
                         f"src/{rel}:{lineno}: [{rule}] {m.group(0).strip()}"
                     )
+    # Minimality: every exemption must still be earning its keep.
+    for rule, _, allow in RULES:
+        for rel, reason in sorted(allow.items()):
+            if rel not in used[rule]:
+                findings.append(
+                    f"src/{rel}: [{rule}] stale allowlist entry -- the file "
+                    f"no longer triggers this rule; remove it from "
+                    f"scripts/check_invariants.py (was exempted because: "
+                    f"{reason})"
+                )
     if findings:
         print(f"check_invariants: {len(findings)} violation(s):")
         for f in findings:

@@ -57,6 +57,20 @@ REQUIRED_FAMILIES = [
     "seminal_shard_busy_us_total",
     "seminal_shard_queue_depth",
     "seminal_shard_queue_wait_us",
+    # Cost ledger + SLO layer (this file gates the same registry the
+    # ledger reconciliation tests pin; see reconcile_ledger below).
+    "seminal_cost_cpu_us_total",
+    "seminal_cost_wall_us_total",
+    "seminal_cost_oracle_calls_total",
+    "seminal_cost_inference_runs_total",
+    "seminal_cost_verdict_cache_hits_total",
+    "seminal_cost_arena_nodes",
+    "seminal_cost_arena_bytes",
+    "seminal_request_cpu_us",
+    "seminal_shard_cpu_us_total",
+    "seminal_slo_burn_rate_milli",
+    "seminal_slowest_request_latency_us",
+    "seminal_slowest_request_info",
 ]
 
 failures = []
@@ -217,6 +231,58 @@ def reconcile(samples, stats):
         fail(f"shard requests {shards} do not sum to checks + resets")
 
 
+def reconcile_ledger(samples, stats):
+    """The per-request cost ledger must agree across its three views:
+    response "cost" objects roll into stats.cost (ns), which the scrape
+    re-exposes in microseconds (floored per request, so the ns->us
+    comparison carries at most one microsecond of slack per check)."""
+    cost = stats.get("cost")
+    if not isinstance(cost, dict):
+        fail(f"stats verb has no cost object: {cost!r}")
+        return
+    checks = stats.get("checks", 0)
+
+    for metric, key in [("seminal_cost_cpu_us_total", "cpu_ns"),
+                        ("seminal_cost_wall_us_total", "wall_ns")]:
+        got = single_value(samples, metric)
+        want_us = cost.get(key, 0) // 1000
+        if got is None or not (want_us - checks <= got <= want_us):
+            fail(f"{metric} = {got} but stats.cost.{key} = {cost.get(key)} "
+                 f"ns (floor-per-request slack is {checks})")
+
+    for metric, key in [
+        ("seminal_cost_oracle_calls_total", "oracle_calls"),
+        ("seminal_cost_inference_runs_total", "inference_runs"),
+        ("seminal_cost_verdict_cache_hits_total", "verdict_cache_hits"),
+        ("seminal_cost_arena_nodes", "arena_nodes"),
+        ("seminal_cost_arena_bytes", "arena_bytes"),
+    ]:
+        got = single_value(samples, metric)
+        if got != cost.get(key):
+            fail(f"{metric} = {got} but stats.cost.{key} = {cost.get(key)}")
+
+    # Every check lands one sample in the per-request CPU histogram,
+    # and the per-shard CPU split covers the whole scrape total.
+    cpu_count = sum(samples.get("seminal_request_cpu_us_count", {}).values())
+    if cpu_count != checks:
+        fail(f"seminal_request_cpu_us_count sums to {cpu_count}, expected "
+             f"stats.checks = {checks}")
+    shard_cpu = sum(samples.get("seminal_shard_cpu_us_total", {}).values())
+    total_cpu = single_value(samples, "seminal_cost_cpu_us_total")
+    if total_cpu is not None and shard_cpu != total_cpu:
+        fail(f"seminal_shard_cpu_us_total sums to {shard_cpu} but "
+             f"seminal_cost_cpu_us_total = {total_cpu}")
+
+    # Burn-rate gauges exist for both windows and are finite and
+    # non-negative; the actual value depends on live traffic.
+    burn = samples.get("seminal_slo_burn_rate_milli", {})
+    for window in ('{window="fast"}', '{window="slow"}'):
+        if window not in burn:
+            fail(f"seminal_slo_burn_rate_milli missing {window} series")
+        elif not (burn[window] >= 0):
+            fail(f"seminal_slo_burn_rate_milli{window} = {burn[window]}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--port", type=int, required=True,
@@ -244,6 +310,7 @@ def main():
 
     stats = stats_verb(args.socket)
     reconcile(samples, stats)
+    reconcile_ledger(samples, stats)
 
     if args.expect_checks is not None and \
             stats.get("checks") != args.expect_checks:

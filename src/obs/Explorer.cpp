@@ -453,6 +453,22 @@ const inflSet = new Set(R.slice.influence_paths);
     tile(`${state} p50 / p95 (ms)`,
          `${(inst.p50 / 1000).toFixed(1)} / ${(inst.p95 / 1000).toFixed(1)}`);
   }
+  // SLO burn rate: the gauges carry milli-burn (1000 = spending the
+  // error budget exactly at the sustainable rate). Tint the tile when a
+  // window is burning hot.
+  const burn = ops["seminal_slo_burn_rate_milli"];
+  if (burn) for (const inst of burn.values) {
+    const t = el("div", "tile");
+    const v = el("div", "v", (inst.value / 1000).toFixed(2) + "x");
+    if (inst.value > 1000) v.style.color = "#c0392b";
+    t.appendChild(v);
+    t.appendChild(el("div", "k",
+                     `${inst.labels.window || "?"}-window SLO burn`));
+    tiles.appendChild(t);
+  }
+  const cpu = ops["seminal_cost_cpu_us_total"];
+  if (cpu && cpu.values.length)
+    tile("total check CPU (s)", (cpu.values[0].value / 1e6).toFixed(2));
   box.appendChild(tiles);
   const tbl = el("table", "kinds");
   const hdr = el("tr");
@@ -481,6 +497,98 @@ const inflSet = new Set(R.slice.influence_paths);
     }
   }
   box.appendChild(tbl);
+})();
+
+// --- Flamegraph panel ---------------------------------------------------
+// Renders DATA.profile (a ProfileSnapshot: folded stacks + exact phase
+// CPU) as a classic bottom-up flamegraph -- a trie over the folded
+// stacks, each frame a box whose width is its subtree's sample share.
+// Absent when the page was built without --profile-snapshot.
+(() => {
+  const prof = DATA.profile;
+  const box = document.getElementById("flame");
+  if (!prof || !prof.samples) {
+    document.getElementById("flame-h").style.display = "none";
+    box.style.display = "none";
+    return;
+  }
+  // Fold the stack list into a trie of {name, total, kids}.
+  const root = { name: "all", total: 0, kids: new Map() };
+  for (const { stack, count } of prof.stacks) {
+    root.total += count;
+    let node = root;
+    for (const frame of stack.split(";")) {
+      if (!node.kids.has(frame))
+        node.kids.set(frame, { name: frame, total: 0, kids: new Map() });
+      node = node.kids.get(frame);
+      node.total += count;
+    }
+  }
+  const W = 940, ROW = 18;
+  let depthMax = 0;
+  (function measure(n, d) {
+    depthMax = Math.max(depthMax, d);
+    for (const k of n.kids.values()) measure(k, d + 1);
+  })(root, 0);
+  const svg = document.createElementNS("http://www.w3.org/2000/svg", "svg");
+  svg.setAttribute("width", W);
+  svg.setAttribute("height", (depthMax + 1) * ROW + 4);
+  const colors = ["#e8833a", "#d6616b", "#e7ba52", "#ad494a", "#e7969c"];
+  let ci = 0;
+  (function draw(n, d, x0, x1) {
+    if (d >= 0 && x1 - x0 >= 1) {
+      const g = document.createElementNS(svg.namespaceURI, "g");
+      const r = document.createElementNS(svg.namespaceURI, "rect");
+      r.setAttribute("x", x0); r.setAttribute("y", d * ROW + 2);
+      r.setAttribute("width", Math.max(x1 - x0 - 0.5, 0.5));
+      r.setAttribute("height", ROW - 2);
+      r.setAttribute("fill", colors[ci++ % colors.length]);
+      r.setAttribute("rx", 2);
+      const title = document.createElementNS(svg.namespaceURI, "title");
+      title.textContent = `${n.name}: ${n.total} samples ` +
+        `(${(100 * n.total / root.total).toFixed(1)}%)`;
+      g.appendChild(r);
+      if (x1 - x0 > 40) {
+        const t = document.createElementNS(svg.namespaceURI, "text");
+        t.setAttribute("x", x0 + 3);
+        t.setAttribute("y", d * ROW + ROW - 4);
+        t.setAttribute("font-size", "11");
+        t.setAttribute("fill", "#fff");
+        t.textContent = n.name.length > (x1 - x0) / 7
+          ? n.name.slice(0, Math.max((x1 - x0) / 7 - 1, 1)) + "…"
+          : n.name;
+        g.appendChild(t);
+      }
+      g.appendChild(title);
+      svg.appendChild(g);
+    }
+    let x = x0;
+    for (const k of [...n.kids.values()].sort((a, b) => b.total - a.total)) {
+      const w = (x1 - x0) * k.total / n.total;
+      draw(k, d + 1, x, x + w);
+      x += w;
+    }
+  })(root, -1, 0, W);
+  box.appendChild(svg);
+  box.appendChild(el("div", "meta",
+    `${prof.samples} samples over ${prof.threads} thread slots` +
+    (prof.truncated ? `, ${prof.truncated} truncated at max depth` : "")));
+  // Exact per-phase CPU table (the kind-masked stamped spans).
+  if (prof.cpu_self && prof.cpu_self.length) {
+    const tbl = el("table", "kinds");
+    const hdr = el("tr");
+    for (const h of ["phase", "exact self CPU (ms)", "enters"])
+      hdr.appendChild(el("th", null, h));
+    tbl.appendChild(hdr);
+    for (const e of [...prof.cpu_self].sort((a, b) => b.self_ns - a.self_ns)) {
+      const tr = el("tr");
+      tr.appendChild(el("td", null, e.name));
+      tr.appendChild(el("td", null, (e.self_ns / 1e6).toFixed(2)));
+      tr.appendChild(el("td", null, fmt(e.enters)));
+      tbl.appendChild(tr);
+    }
+    box.appendChild(tbl);
+  }
 })();
 
 // --- Source panel -------------------------------------------------------
@@ -512,6 +620,8 @@ void obs::writeExplorerHtml(std::ostream &OS,
   Data << ",\"source\":\"" << jsonEscape(Source) << "\",\"events\":";
   writeEventsJson(Data, Events);
   Data << ",\"ops\":" << (Opts.OpsJson.empty() ? "null" : Opts.OpsJson);
+  Data << ",\"profile\":"
+       << (Opts.ProfileJson.empty() ? "null" : Opts.ProfileJson);
   Data << "}";
 
   OS << PageHead;
@@ -533,6 +643,8 @@ void obs::writeExplorerHtml(std::ostream &OS,
         "<div id=\"slice\"></div>\n"
         "<h2 id=\"ops-h\">Live ops</h2>\n"
         "<div id=\"ops\"></div>\n"
+        "<h2 id=\"flame-h\">Profile flamegraph</h2>\n"
+        "<div id=\"flame\"></div>\n"
         "<h2>Source</h2>\n"
         "<pre class=\"src\" id=\"src\"></pre>\n";
   OS << "<script>const DATA = " << htmlSafe(Data.str()) << ";</script>\n";

@@ -34,6 +34,10 @@ struct ExplorerOptions {
   /// `GET /metrics.json`), embedded verbatim and rendered as a live-ops
   /// panel. Must be valid JSON text; empty = panel omitted.
   std::string OpsJson;
+  /// A ProfileSnapshot JSON (seminal_cli --profile=FILE.json or
+  /// `GET /debug/profile?format=json`), embedded verbatim and rendered
+  /// as a flamegraph panel. Must be valid JSON text; empty = omitted.
+  std::string ProfileJson;
 };
 
 /// Writes the explorer page for one run. \p Events is the run's span

@@ -97,6 +97,9 @@ OpsRegistry::Instrument &OpsRegistry::instrument(Kind K,
     case Kind::Histogram:
       I->H = std::make_unique<LogHistogram>();
       break;
+    case Kind::Info:
+      I->N = std::make_unique<OpsInfo>();
+      break;
     }
     return I;
   };
@@ -137,6 +140,12 @@ LogHistogram &OpsRegistry::histogram(const std::string &Name,
   return *instrument(Kind::Histogram, Name, Help, Labels).H;
 }
 
+OpsInfo &OpsRegistry::info(const std::string &Name, const std::string &Help) {
+  // One instrument per family: instance selection by (empty) static
+  // labels; the live labels are the OpsInfo payload.
+  return *instrument(Kind::Info, Name, Help, {}).N;
+}
+
 std::string OpsRegistry::renderPrometheus() const {
   sync::MutexLock Lock(Mutex);
   std::ostringstream OS;
@@ -145,9 +154,9 @@ std::string OpsRegistry::renderPrometheus() const {
     const Family &F = KV.second;
     if (!F.Help.empty())
       OS << "# HELP " << Name << " " << F.Help << "\n";
-    const char *Type = F.K == Kind::Counter  ? "counter"
-                       : F.K == Kind::Gauge  ? "gauge"
-                                             : "summary";
+    const char *Type = F.K == Kind::Counter ? "counter"
+                       : F.K == Kind::Histogram ? "summary"
+                                                : "gauge"; // Gauge + Info.
     OS << "# TYPE " << Name << " " << Type << "\n";
     for (const auto &I : F.Instruments) {
       switch (F.K) {
@@ -156,6 +165,9 @@ std::string OpsRegistry::renderPrometheus() const {
         break;
       case Kind::Gauge:
         OS << Name << labelBlock(I->Labels) << " " << I->G->value() << "\n";
+        break;
+      case Kind::Info:
+        OS << Name << labelBlock(I->N->labels()) << " 1\n";
         break;
       case Kind::Histogram: {
         HistogramSummary S = I->H->summarize();
@@ -187,9 +199,10 @@ void OpsRegistry::writeJson(std::ostream &OS) const {
     if (!FirstFamily)
       OS << ",";
     FirstFamily = false;
-    const char *Type = F.K == Kind::Counter  ? "counter"
-                       : F.K == Kind::Gauge  ? "gauge"
-                                             : "histogram";
+    const char *Type = F.K == Kind::Counter     ? "counter"
+                       : F.K == Kind::Gauge     ? "gauge"
+                       : F.K == Kind::Histogram ? "histogram"
+                                                : "info";
     OS << "\"" << jsonEscape(KV.first) << "\":{\"type\":\"" << Type
        << "\",\"help\":\"" << jsonEscape(F.Help) << "\",\"values\":[";
     bool FirstInstr = true;
@@ -197,9 +210,11 @@ void OpsRegistry::writeJson(std::ostream &OS) const {
       if (!FirstInstr)
         OS << ",";
       FirstInstr = false;
+      OpsLabels LiveLabels =
+          F.K == Kind::Info ? I->N->labels() : I->Labels;
       OS << "{\"labels\":{";
       bool FirstLabel = true;
-      for (const auto &L : I->Labels) {
+      for (const auto &L : LiveLabels) {
         if (!FirstLabel)
           OS << ",";
         FirstLabel = false;
@@ -213,6 +228,9 @@ void OpsRegistry::writeJson(std::ostream &OS) const {
         break;
       case Kind::Gauge:
         OS << ",\"value\":" << I->G->value();
+        break;
+      case Kind::Info:
+        OS << ",\"value\":1";
         break;
       case Kind::Histogram: {
         HistogramSummary S = I->H->summarize();

@@ -80,6 +80,29 @@ private:
 /// Order is preserved in the exposition.
 using OpsLabels = std::vector<std::pair<std::string, std::string>>;
 
+/// A Prometheus "info"-style series: constant value 1 whose *labels*
+/// carry the payload (the slowest-request exemplar: request id, session,
+/// latency). Unlike other instruments the labels are mutable -- there is
+/// one series per family and set() re-points it -- so a changing
+/// exemplar never accumulates dead label sets. Updates and reads go
+/// through an internal leaf-ranked lock; exemplars update rarely (only
+/// on a new maximum), so this is not a hot path.
+class OpsInfo {
+public:
+  void set(OpsLabels Labels) {
+    sync::MutexLock Lock(Mutex);
+    L = std::move(Labels);
+  }
+  OpsLabels labels() const {
+    sync::MutexLock Lock(Mutex);
+    return L;
+  }
+
+private:
+  mutable sync::Mutex Mutex{sync::LockRank::Leaf, "ops.info"};
+  OpsLabels L SEMINAL_GUARDED_BY(Mutex);
+};
+
 class OpsRegistry {
 public:
   OpsRegistry() = default;
@@ -98,6 +121,8 @@ public:
   LogHistogram &histogram(const std::string &Name,
                           const std::string &Help = "",
                           const OpsLabels &Labels = {});
+  /// One mutable-label info series per family (see OpsInfo).
+  OpsInfo &info(const std::string &Name, const std::string &Help = "");
 
   /// Prometheus text exposition format 0.0.4 (see file comment).
   std::string renderPrometheus() const;
@@ -113,13 +138,14 @@ public:
   static OpsRegistry &process();
 
 private:
-  enum class Kind { Counter, Gauge, Histogram };
+  enum class Kind { Counter, Gauge, Histogram, Info };
 
   struct Instrument {
     OpsLabels Labels;
     std::unique_ptr<OpsCounter> C;
     std::unique_ptr<OpsGauge> G;
     std::unique_ptr<LogHistogram> H;
+    std::unique_ptr<OpsInfo> N;
   };
   struct Family {
     Kind K = Kind::Counter;

@@ -176,6 +176,16 @@ void RunReport::writeJson(std::ostream &OS, bool Pretty) const {
   J.field("arena_nodes", Accel.ArenaNodes);
   J.field("arena_hits", Accel.ArenaHits);
   J.field("arena_bytes", Accel.ArenaBytes);
+  J.key("cost");
+  J.beginObject();
+  J.field("cpu_ns", Cost.CpuNs);
+  J.field("wall_ns", Cost.WallNs);
+  J.field("oracle_calls", Cost.OracleCalls);
+  J.field("inference_runs", Cost.InferenceRuns);
+  J.field("arena_nodes", Cost.ArenaNodes);
+  J.field("arena_bytes", Cost.ArenaBytes);
+  J.field("verdict_cache_hits", Cost.VerdictCacheHits);
+  J.endObject();
   J.key("layers");
   J.beginObject();
   for (const auto &KV : Layers) {

@@ -40,7 +40,13 @@ namespace obs {
 
 /// Bumped on any incompatible change to the RunReport JSON layout (see
 /// the file comment for the compatibility rule).
-inline constexpr int RunReportSchemaVersion = 1;
+///
+/// v2: effort gained a mandatory "cost" object -- the per-request cost
+/// ledger (cpu_ns / wall_ns / oracle_calls / inference_runs /
+/// arena_nodes / arena_bytes / verdict_cache_hits). Consumers that
+/// reconcile effort against the ledger must not read v1 records, hence
+/// the bump rather than a silent field addition.
+inline constexpr int RunReportSchemaVersion = 2;
 
 /// One ranked suggestion, flattened for reporting.
 struct SuggestionOutcome {
@@ -103,6 +109,10 @@ struct RunReport {
   uint64_t InferenceRuns = 0;
   uint64_t SlicePrunedCalls = 0;
   double WallSeconds = 0.0;
+  /// The request cost ledger (schema v2). The timing fields are
+  /// hardware-dependent and never gated; the logical fields mirror
+  /// Accel / OracleCalls by construction.
+  RequestCost Cost;
   /// Acceleration-layer counters for the run (cache hits, checkpoint
   /// reuse, batches).
   AccelCounters Accel;

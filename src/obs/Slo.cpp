@@ -1,0 +1,55 @@
+//===- Slo.cpp - Windowed SLO burn-rate over histogram deltas --------------==//
+
+#include "obs/Slo.h"
+
+#include <algorithm>
+
+using namespace seminal;
+using namespace seminal::obs;
+
+SloTracker::SloTracker(const SloConfig &Cfg)
+    : Cfg(Cfg),
+      SpacingNs(std::max<uint64_t>(1000000000ull, Cfg.FastWindowNs / 32)) {}
+
+SloTracker::Window SloTracker::windowAt(uint64_t NowNs, uint64_t WindowNs,
+                                        const HistogramSnapshot &Cur) const {
+  Window W;
+  if (Ring.empty())
+    return W;
+  // Newest snapshot at-or-before the window start; clamp to the oldest
+  // when uptime is shorter than the window.
+  uint64_t StartNs = NowNs > WindowNs ? NowNs - WindowNs : 0;
+  const Entry *Base = &Ring.front();
+  for (const Entry &E : Ring) {
+    if (E.TimeNs > StartNs)
+      break;
+    Base = &E;
+  }
+  HistogramSnapshot D = Cur.deltaFrom(Base->Snap);
+  W.Total = D.Count;
+  W.Bad = D.countAbove(Cfg.TargetUs);
+  W.SpanNs = NowNs > Base->TimeNs ? NowNs - Base->TimeNs : 0;
+  double Budget = 1.0 - Cfg.ObjectivePct / 100.0;
+  if (W.Total > 0 && Budget > 0.0)
+    W.Burn = (double(W.Bad) / double(W.Total)) / Budget;
+  return W;
+}
+
+SloTracker::Burn SloTracker::tick(uint64_t NowNs, const LogHistogram &Hist) {
+  sync::MutexLock Lock(Mutex);
+  HistogramSnapshot Cur = Hist.snapshot();
+  if (Ring.empty() || NowNs >= Ring.back().TimeNs + SpacingNs)
+    Ring.push_back(Entry{NowNs, Cur});
+  // Prune entries no window can reach: strictly older than the slow
+  // window start *and* shadowed by a successor that is also at-or-
+  // before it (the boundary entry itself must survive).
+  uint64_t SlowStart =
+      NowNs > Cfg.SlowWindowNs ? NowNs - Cfg.SlowWindowNs : 0;
+  while (Ring.size() >= 2 && Ring[1].TimeNs <= SlowStart)
+    Ring.pop_front();
+
+  Burn B;
+  B.Fast = windowAt(NowNs, Cfg.FastWindowNs, Cur);
+  B.Slow = windowAt(NowNs, Cfg.SlowWindowNs, Cur);
+  return B;
+}

@@ -1,0 +1,100 @@
+//===- Slo.h - Windowed SLO burn-rate over histogram deltas -----*- C++ -*-==//
+//
+// Part of the SEMINAL reproduction. See README.md for license information.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Burn-rate tracking for a latency SLO (DESIGN.md section 16). The SLO
+/// is "ObjectivePct % of requests complete within TargetUs"; the burn
+/// rate over a window is
+///
+///     burn = (bad / total) / (1 - ObjectivePct/100)
+///
+/// i.e. how many times faster than sustainable the error budget is
+/// being spent (1.0 = exactly on budget, 14.4 = the classic page-now
+/// threshold for a 5-minute window on a 30-day budget).
+///
+/// Windows are carved out of the live request-latency LogHistogram with
+/// HistogramSnapshot deltas: the tracker keeps a time-stamped ring of
+/// snapshots and subtracts the newest one at-or-before `now - window`
+/// from the current state. The live histogram is never reset, so any
+/// number of windows (and the cumulative scrape series) coexist on one
+/// instrument. When uptime is shorter than the window the delta clamps
+/// to the oldest snapshot and reports the covered span, so a young
+/// daemon shows its real (short-window) burn instead of zeros.
+///
+/// Time is caller-supplied monotonic nanoseconds: the engine passes
+/// steady-clock now, tests pass a hand-rolled clock and step it --
+/// deterministic burn-rate tests with no sleeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMINAL_OBS_SLO_H
+#define SEMINAL_OBS_SLO_H
+
+#include "support/Histogram.h"
+#include "support/Sync.h"
+
+#include <cstdint>
+#include <deque>
+
+namespace seminal {
+namespace obs {
+
+/// One latency SLO over one histogram (microsecond samples).
+struct SloConfig {
+  uint64_t TargetUs = 50000;  ///< Samples above this are "bad".
+  double ObjectivePct = 99.0; ///< % of samples that must be good.
+  /// Multiwindow burn (fast page / slow ticket), SRE-workbook style.
+  uint64_t FastWindowNs = 300ull * 1000000000ull;  ///< 5 min.
+  uint64_t SlowWindowNs = 3600ull * 1000000000ull; ///< 1 h.
+};
+
+class SloTracker {
+public:
+  /// Current burn state, one entry per window.
+  struct Window {
+    double Burn = 0.0;     ///< Error rate over budget; 0 when no traffic.
+    uint64_t Total = 0;    ///< Samples in the window delta.
+    uint64_t Bad = 0;      ///< Samples above target in the window delta.
+    uint64_t SpanNs = 0;   ///< Actual covered span (may be < window).
+  };
+  struct Burn {
+    Window Fast;
+    Window Slow;
+  };
+
+  explicit SloTracker(const SloConfig &Cfg);
+
+  /// Advances the snapshot ring to \p NowNs over \p Hist and computes
+  /// the burn for both windows. Thread-safe; O(buckets) per call --
+  /// meant for scrape/stats paths, not per-request.
+  Burn tick(uint64_t NowNs, const LogHistogram &Hist);
+
+  const SloConfig &config() const { return Cfg; }
+
+private:
+  struct Entry {
+    uint64_t TimeNs = 0;
+    HistogramSnapshot Snap;
+  };
+
+  Window windowAt(uint64_t NowNs, uint64_t WindowNs,
+                  const HistogramSnapshot &Cur) const
+      SEMINAL_REQUIRES(Mutex);
+
+  /// Immutable after construction.
+  const SloConfig Cfg;
+  /// Snapshot spacing: fast-window/32 (floor 1s) bounds both the ring
+  /// size and the window-boundary error at ~3% of the fast window.
+  const uint64_t SpacingNs;
+
+  mutable sync::Mutex Mutex{sync::LockRank::Leaf, "slo.tracker"};
+  std::deque<Entry> Ring SEMINAL_GUARDED_BY(Mutex); ///< Oldest first.
+};
+
+} // namespace obs
+} // namespace seminal
+
+#endif // SEMINAL_OBS_SLO_H

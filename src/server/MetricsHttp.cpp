@@ -4,7 +4,9 @@
 
 #include "server/Server.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -97,6 +99,37 @@ void sendAll(int Fd, const std::string &Data) {
   }
 }
 
+/// Value of \p Key in an (unescaped) "k=v&k2=v2" query string; "" when
+/// absent. The operator endpoints only take small integers and enum
+/// words, so percent-decoding is deliberately not implemented.
+std::string queryParam(const std::string &Query, const std::string &Key) {
+  size_t Pos = 0;
+  while (Pos < Query.size()) {
+    size_t End = Query.find('&', Pos);
+    if (End == std::string::npos)
+      End = Query.size();
+    size_t Eq = Query.find('=', Pos);
+    if (Eq != std::string::npos && Eq < End &&
+        Query.compare(Pos, Eq - Pos, Key) == 0)
+      return Query.substr(Eq + 1, End - Eq - 1);
+    Pos = End + 1;
+  }
+  return "";
+}
+
+int64_t queryParamInt(const std::string &Query, const std::string &Key,
+                      int64_t Default) {
+  std::string V = queryParam(Query, Key);
+  if (V.empty())
+    return Default;
+  errno = 0;
+  char *End = nullptr;
+  long long N = std::strtoll(V.c_str(), &End, 10);
+  if (errno || End == V.c_str() || *End)
+    return Default;
+  return N;
+}
+
 std::string httpResponse(const char *Status, const char *ContentType,
                          const std::string &Body) {
   std::ostringstream OS;
@@ -126,10 +159,14 @@ void MetricsHttpServer::serveConnection(int Fd) {
   std::istringstream RL(RequestLine);
   std::string Method, Path;
   RL >> Method >> Path;
-  // Ignore a query string; scrapers sometimes append cache busters.
+  // Split off the query string before routing (scrapers append cache
+  // busters); /debug/profile reads its parameters from it.
+  std::string QueryString;
   size_t Query = Path.find('?');
-  if (Query != std::string::npos)
+  if (Query != std::string::npos) {
+    QueryString = Path.substr(Query + 1);
     Path.resize(Query);
+  }
 
   std::string Response;
   if (Method != "GET") {
@@ -142,11 +179,27 @@ void MetricsHttpServer::serveConnection(int Fd) {
   } else if (Path == "/metrics.json") {
     Response =
         httpResponse("200 OK", "application/json", Engine.metricsJson());
+  } else if (Path == "/debug/profile") {
+    // ?seconds=N (1-30, default 1) picks the window; &format=json swaps
+    // the collapsed-stack text for the snapshot object. The capture
+    // blocks this (single-threaded) listener for the window -- the
+    // operator asked for it, and scrapers retry.
+    unsigned Seconds =
+        unsigned(std::min(std::max(queryParamInt(QueryString, "seconds", 1),
+                                   int64_t(1)),
+                          int64_t(30)));
+    if (queryParam(QueryString, "format") == "json")
+      Response = httpResponse("200 OK", "application/json",
+                              Engine.profileJson(Seconds));
+    else
+      Response = httpResponse("200 OK", "text/plain; charset=utf-8",
+                              Engine.profileCollapsed(Seconds));
   } else if (Path == "/healthz") {
     Response = httpResponse("200 OK", "application/json", "{\"ok\":true}\n");
   } else {
-    Response = httpResponse("404 Not Found", "text/plain",
-                            "routes: /metrics /metrics.json /healthz\n");
+    Response = httpResponse(
+        "404 Not Found", "text/plain",
+        "routes: /metrics /metrics.json /debug/profile /healthz\n");
   }
   sendAll(Fd, Response);
   ::close(Fd);

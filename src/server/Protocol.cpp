@@ -4,6 +4,7 @@
 
 #include "support/Trace.h" // jsonEscape
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -114,6 +115,19 @@ Request server::parseRequest(const std::string &Line) {
       R.Error = "malformed request: unknown metrics format \"" + R.Format +
                 "\" (expected \"json\" or \"prometheus\")";
     }
+  } else if (Method == "profile") {
+    R.TheMethod = Request::Method::Profile;
+    R.Format = Doc.getString("format");
+    if (!R.Format.empty() && R.Format != "collapsed" && R.Format != "json") {
+      R.TheMethod = Request::Method::Invalid;
+      R.Error = "malformed request: unknown profile format \"" + R.Format +
+                "\" (expected \"collapsed\" or \"json\")";
+      return R;
+    }
+    // Clamp rather than reject: the window blocks one connection reader,
+    // so an over-eager client gets a bounded capture, not an error loop.
+    int64_t Seconds = Doc.getInt("seconds", 1);
+    R.ProfileSeconds = unsigned(std::min<int64_t>(std::max<int64_t>(Seconds, 1), 30));
   } else if (Method == "ping") {
     R.TheMethod = Request::Method::Ping;
   } else if (Method == "shutdown") {

@@ -23,6 +23,11 @@
 ///   metrics  live ops snapshot from the OpsRegistry; default JSON,
 ///            {"format":"prometheus"} returns the text exposition as an
 ///            "exposition" string member
+///   profile  capture a sampling-profiler window: {"seconds":N} (1-30,
+///            default 1) blocks the submitting connection for the
+///            window and returns the delta; default format "collapsed"
+///            (flamegraph.pl text in a "collapsed" member),
+///            {"format":"json"} embeds the snapshot object instead
 ///   ping     liveness probe
 ///   shutdown ask the daemon to exit after draining in-flight requests
 ///
@@ -45,7 +50,16 @@ namespace server {
 
 /// One parsed request line.
 struct Request {
-  enum class Method { Check, Reset, Stats, Metrics, Ping, Shutdown, Invalid };
+  enum class Method {
+    Check,
+    Reset,
+    Stats,
+    Metrics,
+    Profile,
+    Ping,
+    Shutdown,
+    Invalid
+  };
 
   Method TheMethod = Method::Invalid;
   /// The request id re-rendered as JSON text ("1", "\"abc\"", "null"),
@@ -58,8 +72,11 @@ struct Request {
   size_t MaxOracleCalls = 0;
   /// Embed the full RunReport JSON in the check response.
   bool WantReport = false;
-  /// "metrics" only: "" (JSON snapshot) or "prometheus".
+  /// "metrics": "" (JSON snapshot) or "prometheus".
+  /// "profile": "" / "collapsed" (folded stacks) or "json".
   std::string Format;
+  /// "profile" only: capture window, clamped to [1, 30] at parse time.
+  unsigned ProfileSeconds = 1;
   /// Why the line failed to parse (set iff TheMethod == Invalid).
   std::string Error;
 };

@@ -2,7 +2,9 @@
 
 #include "server/Server.h"
 
+#include "obs/SlowTraceRing.h" // sanitizeRequestId
 #include "server/Protocol.h"
+#include "support/Profiler.h"
 #include "support/Trace.h" // jsonEscape
 
 #include <algorithm>
@@ -34,6 +36,15 @@ std::string ServerStats::renderJsonMembers() const {
      << ",\"verdict_reuses\":" << Accel.SessionVerdictReuses
      << ",\"seed_adoptions\":" << Accel.SessionSeedAdoptions
      << ",\"conv_memo_hits\":" << Accel.SessionConvMemoHits << "}";
+  // The cost-ledger rollup, same field names as the RunReport's "cost"
+  // object so the reconciliation tooling compares them directly.
+  OS << ",\"cost\":{\"cpu_ns\":" << Cost.CpuNs
+     << ",\"wall_ns\":" << Cost.WallNs
+     << ",\"oracle_calls\":" << Cost.OracleCalls
+     << ",\"inference_runs\":" << Cost.InferenceRuns
+     << ",\"arena_nodes\":" << Cost.ArenaNodes
+     << ",\"arena_bytes\":" << Cost.ArenaBytes
+     << ",\"verdict_cache_hits\":" << Cost.VerdictCacheHits << "}";
   OS << ",\"shards\":[";
   for (size_t I = 0; I < Shards.size(); ++I) {
     if (I)
@@ -73,7 +84,14 @@ std::string server::renderCheckResponse(const std::string &Id,
     << ",\"seed_adoptions\":" << O.Accel.SessionSeedAdoptions
     << ",\"conv_memo_hits\":" << O.Accel.SessionConvMemoHits
     << "},\"wall_seconds\":" << O.WallSeconds
-    << ",\"evicted\":" << (O.Evicted ? "true" : "false");
+    << ",\"cost\":{\"cpu_ns\":" << O.Cost.CpuNs
+    << ",\"wall_ns\":" << O.Cost.WallNs
+    << ",\"oracle_calls\":" << O.Cost.OracleCalls
+    << ",\"inference_runs\":" << O.Cost.InferenceRuns
+    << ",\"arena_nodes\":" << O.Cost.ArenaNodes
+    << ",\"arena_bytes\":" << O.Cost.ArenaBytes
+    << ",\"verdict_cache_hits\":" << O.Cost.VerdictCacheHits
+    << "},\"evicted\":" << (O.Evicted ? "true" : "false");
   if (!O.SlowTracePath.empty())
     M << ",\"slow_trace\":\"" << jsonEscape(O.SlowTracePath) << "\"";
   if (!O.ReportJson.empty())
@@ -141,7 +159,8 @@ struct ConnWriter {
 
 } // namespace
 
-ServerEngine::ServerEngine(const ServerOptions &Opts) : Opts(Opts) {
+ServerEngine::ServerEngine(const ServerOptions &Opts)
+    : Opts(Opts), Slo(Opts.Slo) {
   Pool = std::make_unique<ThreadPool>(Opts.Threads);
   // Sessions do the actual slow-request capture; hand them the ring.
   this->Opts.Session.TraceSlowMs = Opts.TraceSlowMs;
@@ -174,12 +193,48 @@ ServerEngine::ServerEngine(const ServerOptions &Opts) : Opts(Opts) {
   Ops.Sessions = &Registry.gauge("seminal_sessions", "Live sessions");
   Ops.ArenaBytes = &Registry.gauge(
       "seminal_arena_bytes", "Retained arena bytes across all sessions");
+  Ops.CostCpuUs = &Registry.counter(
+      "seminal_cost_cpu_us_total",
+      "Ledger: request thread-CPU microseconds across checks");
+  Ops.CostWallUs = &Registry.counter(
+      "seminal_cost_wall_us_total",
+      "Ledger: request wall microseconds across checks");
+  Ops.CostOracleCalls = &Registry.counter(
+      "seminal_cost_oracle_calls_total",
+      "Ledger: logical oracle calls across checks");
+  Ops.CostInferenceRuns = &Registry.counter(
+      "seminal_cost_inference_runs_total",
+      "Ledger: inference runs across checks");
+  Ops.CostVerdictHits = &Registry.counter(
+      "seminal_cost_verdict_cache_hits_total",
+      "Ledger: verdict-cache hits across checks");
+  Ops.CostArenaNodes = &Registry.gauge(
+      "seminal_cost_arena_nodes",
+      "Ledger: arena nodes after the most recent check");
+  Ops.CostArenaBytes = &Registry.gauge(
+      "seminal_cost_arena_bytes",
+      "Ledger: arena bytes after the most recent check");
+  Ops.SloBurnFast = &Registry.gauge(
+      "seminal_slo_burn_rate_milli",
+      "Warm-latency SLO burn rate x1000 (1000 = on budget), by window",
+      {{"window", "fast"}});
+  Ops.SloBurnSlow = &Registry.gauge("seminal_slo_burn_rate_milli", "",
+                                    {{"window", "slow"}});
+  Ops.SlowestLatencyUs = &Registry.gauge(
+      "seminal_slowest_request_latency_us",
+      "Latency of the slowest check since start (exemplar gauge)");
+  Ops.SlowestInfo = &Registry.info(
+      "seminal_slowest_request_info",
+      "Identity of the slowest check since start (exemplar labels)");
   Ops.LatencyCold = &Registry.histogram(
       "seminal_request_latency_us",
       "Check latency submit-to-reply in microseconds, by warmth",
       {{"state", "cold"}});
   Ops.LatencyWarm = &Registry.histogram("seminal_request_latency_us", "",
                                         {{"state", "warm"}});
+  Ops.RequestCpuUs = &Registry.histogram(
+      "seminal_request_cpu_us",
+      "Thread-CPU microseconds one check consumed (ledger CpuNs/1000)");
   Ops.OracleCallsPerRequest =
       &Registry.histogram("seminal_oracle_calls_per_request",
                           "Logical oracle calls made by one check");
@@ -192,6 +247,9 @@ ServerEngine::ServerEngine(const ServerOptions &Opts) : Opts(Opts) {
     Ops.Shards[S].BusyUs = &Registry.counter(
         "seminal_shard_busy_us_total", "Microseconds spent running requests",
         L);
+    Ops.Shards[S].CpuUs = &Registry.counter(
+        "seminal_shard_cpu_us_total",
+        "Ledger: thread-CPU microseconds of checks run per shard", L);
     Ops.Shards[S].QueueDepth = &Registry.gauge(
         "seminal_shard_queue_depth", "Requests posted but not yet started",
         L);
@@ -226,14 +284,17 @@ std::shared_ptr<Session> ServerEngine::sessionFor(const std::string &Name) {
   return S;
 }
 
-void ServerEngine::finishCheck(const std::string &SessionName, size_t Shard,
+void ServerEngine::finishCheck(const std::string &Id,
+                               const std::string &SessionName, size_t Shard,
                                uint64_t LatencyUs, const CheckOutcome &Out) {
+  bool NewSlowest = false;
   {
     sync::MutexLock Lock(Mutex);
     ++Stats.Checks;
     Stats.OracleCalls += Out.OracleCalls;
     Stats.InferenceRuns += Out.InferenceRuns;
     Stats.Accel += Out.Accel;
+    Stats.Cost += Out.Cost;
     if (Out.Evicted)
       ++Stats.Evictions;
     // Process-wide retained-bytes gauge, tracked as a sum of per-session
@@ -242,10 +303,35 @@ void ServerEngine::finishCheck(const std::string &SessionName, size_t Shard,
     TotalArenaBytes += Out.ArenaBytes - Prev;
     Prev = Out.ArenaBytes;
     Ops.ArenaBytes->set(int64_t(TotalArenaBytes));
+    if (LatencyUs > SlowestLatencyUs) {
+      SlowestLatencyUs = LatencyUs;
+      NewSlowest = true;
+    }
+  }
+  if (NewSlowest) {
+    // Rank order holds: the OpsInfo label mutex is Leaf (> ServerEngine),
+    // but we set it outside the engine lock anyway; a racing pair of
+    // new-maxima may publish in either order, which only ever leaves the
+    // *other* near-maximum exemplar -- acceptable for a debugging aid.
+    Ops.SlowestLatencyUs->set(int64_t(LatencyUs));
+    Ops.SlowestInfo->set({{"id", obs::sanitizeRequestId(Id)},
+                          {"session", obs::sanitizeRequestId(SessionName)},
+                          {"shard", std::to_string(Shard)}});
   }
   Ops.Checks->inc();
   Ops.OracleCalls->inc(Out.OracleCalls);
   Ops.InferenceRuns->inc(Out.InferenceRuns);
+  // Ledger rollups: same numbers as Stats.Cost above, so the scrape and
+  // the stats verb reconcile by construction. Counters are in
+  // microseconds (ns counters overflow dashboards' rate() windows).
+  Ops.CostCpuUs->inc(Out.Cost.CpuNs / 1000);
+  Ops.CostWallUs->inc(Out.Cost.WallNs / 1000);
+  Ops.CostOracleCalls->inc(Out.Cost.OracleCalls);
+  Ops.CostInferenceRuns->inc(Out.Cost.InferenceRuns);
+  Ops.CostVerdictHits->inc(Out.Cost.VerdictCacheHits);
+  Ops.CostArenaNodes->set(int64_t(Out.Cost.ArenaNodes));
+  Ops.CostArenaBytes->set(int64_t(Out.Cost.ArenaBytes));
+  Ops.Shards[Shard].CpuUs->inc(Out.Cost.CpuNs / 1000);
   uint64_t Warm = warmTotal(Out.Accel);
   if (Warm)
     Ops.WarmHits->inc(Warm);
@@ -254,8 +340,8 @@ void ServerEngine::finishCheck(const std::string &SessionName, size_t Shard,
   if (!Out.SlowTracePath.empty())
     Ops.SlowTraces->inc();
   (Warm ? Ops.LatencyWarm : Ops.LatencyCold)->record(LatencyUs);
+  Ops.RequestCpuUs->record(Out.Cost.CpuNs / 1000);
   Ops.OracleCallsPerRequest->record(Out.OracleCalls);
-  (void)Shard;
 }
 
 void ServerEngine::logCheck(const std::string &Id,
@@ -268,6 +354,7 @@ void ServerEngine::logCheck(const std::string &Id,
       .str("session", SessionName)
       .num("shard", uint64_t(Shard))
       .real("latency_ms", double(LatencyUs) / 1000.0)
+      .real("cpu_ms", double(Out.Cost.CpuNs) / 1e6)
       .num("oracle_calls", Out.OracleCalls)
       .num("inference_runs", Out.InferenceRuns)
       .num("warm_hits", warmTotal(Out.Accel))
@@ -339,6 +426,25 @@ void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
     Reply(okResponse(R.Id, Extra));
     return;
   }
+  case Request::Method::Profile: {
+    // Synchronous by design: the capture *is* the request, and blocking
+    // this connection's reader for the window keeps the engine free of
+    // timer plumbing. Other connections (and all pool work) proceed.
+    std::ostringstream Extra;
+    Extra << ",\"seconds\":" << R.ProfileSeconds << ",\"profiler_running\":"
+          << (prof::profiler().running() ? "true" : "false");
+    if (R.Format == "json")
+      Extra << ",\"profile\":" << profileJson(R.ProfileSeconds);
+    else
+      Extra << ",\"collapsed\":\""
+            << jsonEscape(profileCollapsed(R.ProfileSeconds)) << "\"";
+    if (Opts.Log && Opts.Log->enabled(obs::LogLevel::Info))
+      Opts.Log->info(obs::LogEvent("profile")
+                         .str("id", R.Id)
+                         .num("seconds", uint64_t(R.ProfileSeconds)));
+    Reply(okResponse(R.Id, Extra.str()));
+    return;
+  }
   case Request::Method::Shutdown: {
     Shutdown.store(true);
     if (Opts.Log && Opts.Log->enabled(obs::LogLevel::Info))
@@ -398,7 +504,7 @@ void ServerEngine::submit(const std::string &Line, ReplyFn Reply) {
       // Latency is submit-to-reply: queue wait included, so a backed-up
       // shard shows up in the histogram, not just in queue_wait.
       uint64_t LatencyUs = microsSince(Submitted);
-      finishCheck(S->name(), Shard, LatencyUs, Out);
+      finishCheck(Id, S->name(), Shard, LatencyUs, Out);
       logCheck(Id, S->name(), Shard, LatencyUs, Out);
       Reply(renderCheckResponse(Id, Out));
     });
@@ -449,9 +555,44 @@ ServerStats ServerEngine::stats() const {
   return Out;
 }
 
+obs::SloTracker::Burn ServerEngine::tickSlo() {
+  uint64_t NowNs = uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now()
+                                    .time_since_epoch())
+                                .count());
+  obs::SloTracker::Burn B = Slo.tick(NowNs, *Ops.LatencyWarm);
+  // Gauges are integer; publish in milli-burn (1000 = on budget). A
+  // window with no traffic reads 0, matching "no budget being spent".
+  Ops.SloBurnFast->set(int64_t(B.Fast.Burn * 1000.0));
+  Ops.SloBurnSlow->set(int64_t(B.Slow.Burn * 1000.0));
+  return B;
+}
+
+std::string ServerEngine::metricsPrometheus() {
+  tickSlo();
+  return Registry.renderPrometheus();
+}
+
 std::string ServerEngine::metricsJson() {
+  tickSlo();
   std::ostringstream OS;
   Registry.writeJson(OS);
+  return OS.str();
+}
+
+std::string ServerEngine::profileCollapsed(unsigned Seconds) {
+  prof::ProfileSnapshot Snap =
+      prof::profiler().captureDelta(Seconds * 1000u, &Shutdown);
+  std::ostringstream OS;
+  Snap.writeCollapsed(OS);
+  return OS.str();
+}
+
+std::string ServerEngine::profileJson(unsigned Seconds) {
+  prof::ProfileSnapshot Snap =
+      prof::profiler().captureDelta(Seconds * 1000u, &Shutdown);
+  std::ostringstream OS;
+  Snap.writeJson(OS);
   return OS.str();
 }
 

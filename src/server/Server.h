@@ -37,6 +37,7 @@
 
 #include "obs/Log.h"
 #include "obs/OpsRegistry.h"
+#include "obs/Slo.h"
 #include "server/Session.h"
 #include "support/Sync.h"
 #include "support/ThreadPool.h"
@@ -70,6 +71,12 @@ struct ServerOptions {
   /// SessionConfig handed to every session.
   obs::SlowTraceRing *SlowTraces = nullptr;
   double TraceSlowMs = -1.0;
+  /// Latency SLO for the burn-rate gauges (DESIGN.md section 16): the
+  /// objective is evaluated against the *warm* request-latency
+  /// histogram (cold first-contact requests pay oracle warmup by
+  /// design and would drown the signal). Always on; the tracker only
+  /// runs on scrape/stats paths, so idle cost is zero.
+  obs::SloConfig Slo;
 };
 
 /// Server-wide rollup, updated after every request and served by the
@@ -88,6 +95,10 @@ struct ServerStats {
   /// session (per-request counters are scoped by runSeminalWithOracle;
   /// this is their sum, the satellite's "ServerStats rollup").
   AccelCounters Accel;
+  /// Cost-ledger rollup: the sum of every check's RequestCost, i.e. the
+  /// same numbers the seminal_cost_* instrument families carry (the
+  /// reconciliation CI gate pins scrape == stats == per-request sums).
+  RequestCost Cost;
 
   /// Per-shard breakdown, read from the same OpsRegistry instruments
   /// the /metrics exposition serves, so the two views reconcile by
@@ -137,10 +148,23 @@ public:
   /// The live instrument registry (the "metrics" verb, the HTTP
   /// endpoint and tests read it; the engine updates it per request).
   obs::OpsRegistry &registry() { return Registry; }
-  /// Prometheus text exposition of the registry.
-  std::string metricsPrometheus() { return Registry.renderPrometheus(); }
-  /// Compact JSON snapshot of the registry.
+  /// Prometheus text exposition of the registry. Ticks the SLO tracker
+  /// first, so scraped burn-rate gauges are current as of the scrape.
+  std::string metricsPrometheus();
+  /// Compact JSON snapshot of the registry (also ticks the tracker).
   std::string metricsJson();
+
+  /// Advances the SLO snapshot ring against the warm-latency histogram
+  /// and publishes the burn-rate gauges. Called by the render paths;
+  /// exposed for tests and for transports that scrape on a timer.
+  obs::SloTracker::Burn tickSlo();
+
+  /// Captures a profiler window of \p Seconds (blocking; aborts early
+  /// on shutdown) and renders it. Collapsed = flamegraph.pl folded
+  /// stacks; JSON = the full snapshot object. Works whether or not the
+  /// profiler is running (a stopped profiler yields an empty window).
+  std::string profileCollapsed(unsigned Seconds);
+  std::string profileJson(unsigned Seconds);
 
 private:
   /// Cached instrument pointers: resolved once at construction, so hot
@@ -148,6 +172,7 @@ private:
   struct ShardInstruments {
     obs::OpsCounter *Requests = nullptr;
     obs::OpsCounter *BusyUs = nullptr;
+    obs::OpsCounter *CpuUs = nullptr;
     obs::OpsGauge *QueueDepth = nullptr;
     LogHistogram *QueueWaitUs = nullptr;
   };
@@ -165,15 +190,34 @@ private:
     obs::OpsCounter *SlowTraces = nullptr;
     obs::OpsGauge *Sessions = nullptr;
     obs::OpsGauge *ArenaBytes = nullptr;
+    // Cost-ledger families (DESIGN.md section 16). Counters are flows
+    // summed across checks; the arena pair are levels (gauges).
+    obs::OpsCounter *CostCpuUs = nullptr;
+    obs::OpsCounter *CostWallUs = nullptr;
+    obs::OpsCounter *CostOracleCalls = nullptr;
+    obs::OpsCounter *CostInferenceRuns = nullptr;
+    obs::OpsCounter *CostVerdictHits = nullptr;
+    obs::OpsGauge *CostArenaNodes = nullptr;
+    obs::OpsGauge *CostArenaBytes = nullptr;
+    /// Burn rates in milli-units (gauges are int64; 1000 = burning the
+    /// error budget exactly at the sustainable rate).
+    obs::OpsGauge *SloBurnFast = nullptr;
+    obs::OpsGauge *SloBurnSlow = nullptr;
+    /// Slowest-request exemplar: the latency gauge pairs with an info
+    /// series whose labels name the request (sanitized id, session,
+    /// shard), so dashboards can link a spike to a concrete request.
+    obs::OpsGauge *SlowestLatencyUs = nullptr;
+    obs::OpsInfo *SlowestInfo = nullptr;
     LogHistogram *LatencyCold = nullptr;
     LogHistogram *LatencyWarm = nullptr;
+    LogHistogram *RequestCpuUs = nullptr;
     LogHistogram *OracleCallsPerRequest = nullptr;
     std::vector<ShardInstruments> Shards;
   };
 
   std::shared_ptr<Session> sessionFor(const std::string &Name);
-  void finishCheck(const std::string &SessionName, size_t Shard,
-                   uint64_t LatencyUs, const CheckOutcome &Out);
+  void finishCheck(const std::string &Id, const std::string &SessionName,
+                   size_t Shard, uint64_t LatencyUs, const CheckOutcome &Out);
   void logCheck(const std::string &Id, const std::string &SessionName,
                 size_t Shard, uint64_t LatencyUs, const CheckOutcome &Out);
 
@@ -183,6 +227,7 @@ private:
   ServerOptions Opts;
   std::unique_ptr<ThreadPool> Pool;
   obs::OpsRegistry Registry;
+  obs::SloTracker Slo;
   Instruments Ops;
   mutable sync::Mutex Mutex{sync::LockRank::ServerEngine, "server.engine"};
   std::unordered_map<std::string, std::shared_ptr<Session>> Sessions
@@ -192,6 +237,9 @@ private:
   std::unordered_map<std::string, uint64_t> ArenaBySession
       SEMINAL_GUARDED_BY(Mutex);
   uint64_t TotalArenaBytes SEMINAL_GUARDED_BY(Mutex) = 0;
+  /// High-water latency for the slowest-request exemplar; the gauge and
+  /// info labels are republished only when a check beats this.
+  uint64_t SlowestLatencyUs SEMINAL_GUARDED_BY(Mutex) = 0;
   ServerStats Stats SEMINAL_GUARDED_BY(Mutex);
   std::atomic<bool> Shutdown{false};
 };

@@ -6,6 +6,7 @@
 #include "core/Message.h"
 #include "minicaml/Hash.h"
 #include "minicaml/Parser.h"
+#include "support/Profiler.h"
 #include "support/Trace.h"
 
 #include <chrono>
@@ -54,6 +55,10 @@ void Session::reset() {
 CheckOutcome Session::check(const std::string &Source,
                             const CheckOptions &Opts) {
   auto Start = std::chrono::steady_clock::now();
+  // The ledger's CPU figure is a thread-CPU clock delta: the session is
+  // pinned to one shard worker, so everything the check burns lands on
+  // this thread and nothing else does (DESIGN.md section 16).
+  uint64_t CpuStart = prof::threadCpuNs();
   CheckOutcome Out;
   ++Requests;
   ++Checks;
@@ -115,17 +120,30 @@ CheckOutcome Session::check(const std::string &Source,
                         std::chrono::steady_clock::now() - Start)
                         .count();
 
+  // Ledger: measured here, where both clocks were stamped, so the
+  // RunReport, the outcome (-> protocol response, engine rollups) and
+  // the session total all carry the same numbers.
+  Out.Cost.CpuNs = prof::threadCpuNs() - CpuStart;
+  Out.Cost.WallNs = uint64_t(Out.WallSeconds * 1e9);
+  Out.Cost.OracleCalls = R.OracleCalls;
+  Out.Cost.InferenceRuns = R.InferenceRuns;
+  Out.Cost.ArenaNodes = R.Accel.ArenaNodes;
+  Out.Cost.ArenaBytes = R.Accel.ArenaBytes;
+  Out.Cost.VerdictCacheHits = R.Accel.CacheHits;
+
   if (Opts.WantReport) {
     obs::RunReport Run;
     Run.ProgramId = Name + "#" + std::to_string(Checks);
     Run.SourceHash = caml::hashProgram(*PR.Prog);
     fillRunReport(Run, R, /*Telemetry=*/nullptr, Out.WallSeconds);
+    Run.Cost = Out.Cost; // same ledger everywhere, by construction
     std::ostringstream OS;
     Run.writeJson(OS);
     Out.ReportJson = OS.str();
   }
 
   Accumulated += R.Accel;
+  AccumulatedCost += Out.Cost;
   TotalOracleCalls += R.OracleCalls;
   TotalInferenceRuns += R.InferenceRuns;
 

@@ -102,6 +102,11 @@ struct CheckOutcome {
   /// fields that the protocol surfaces as "warm").
   AccelCounters Accel;
   double WallSeconds = 0.0;
+  /// The request's cost ledger (DESIGN.md section 16). CpuNs is exact:
+  /// the session runs confined to one shard worker, so a thread-CPU
+  /// clock delta around the check is the request's CPU. The logical
+  /// fields mirror Accel / OracleCalls by construction.
+  RequestCost Cost;
   /// Compact RunReport JSON (empty unless CheckOptions::WantReport).
   std::string ReportJson;
   /// The arena watermark was crossed and the session went cold.
@@ -130,6 +135,8 @@ public:
 
   // Rollup (read by the server's stats method) -------------------------
   const AccelCounters &accumulated() const { return Accumulated; }
+  /// Sum of every check's ledger (operator+= keeps arena levels latest).
+  const RequestCost &accumulatedCost() const { return AccumulatedCost; }
   uint64_t requests() const { return Requests; }
   uint64_t checks() const { return Checks; }
   uint64_t evictions() const { return Evictions; }
@@ -150,6 +157,7 @@ private:
   Metrics SessionMetrics;
 
   AccelCounters Accumulated;
+  RequestCost AccumulatedCost;
   uint64_t Requests = 0;
   uint64_t Checks = 0;
   uint64_t Evictions = 0;

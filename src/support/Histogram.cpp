@@ -8,6 +8,9 @@
 
 using namespace seminal;
 
+static_assert(HistogramSnapshot::NumBuckets == LogHistogram::NumBuckets,
+              "snapshot bucket geometry must mirror the live histogram");
+
 size_t LogHistogram::bucketIndex(uint64_t Value) {
   if (Value < 2 * SubBucketCount)
     return size_t(Value); // Exact width-1 buckets for 0..63.
@@ -90,20 +93,19 @@ uint64_t LogHistogram::quantile(double Q) const {
   return 0;
 }
 
-HistogramSummary LogHistogram::summarize() const {
+/// Shared quantile walk over a plain bucket array (live summarize() and
+/// HistogramSnapshot::summarize() must agree bucket for bucket).
+static HistogramSummary
+summarizeBuckets(const uint64_t (&Local)[LogHistogram::NumBuckets],
+                 uint64_t Sum, uint64_t Min, uint64_t Max) {
   HistogramSummary S;
-  // Copy the buckets once so every quantile answers against the same
-  // snapshot even while shards keep recording.
-  uint64_t Local[NumBuckets];
   uint64_t Total = 0;
-  for (size_t I = 0; I < NumBuckets; ++I) {
-    Local[I] = bucketLoad(I);
-    Total += Local[I];
-  }
+  for (uint64_t B : Local)
+    Total += B;
   S.Count = Total;
-  S.Sum = sum();
-  S.Min = min();
-  S.Max = max();
+  S.Sum = Sum;
+  S.Min = Min;
+  S.Max = Max;
   if (Total == 0)
     return S;
   S.Mean = double(S.Sum) / double(Total);
@@ -114,11 +116,94 @@ HistogramSummary LogHistogram::summarize() const {
   for (int QI = 0; QI < 4; ++QI) {
     uint64_t Rank =
         std::max<uint64_t>(1, uint64_t(std::ceil(Qs[QI] * double(Total))));
-    while (Bucket < NumBuckets && Cum + Local[Bucket] < Rank)
+    while (Bucket < LogHistogram::NumBuckets && Cum + Local[Bucket] < Rank)
       Cum += Local[Bucket++];
-    *Out[QI] = bucketLowerBound(std::min(Bucket, NumBuckets - 1));
+    *Out[QI] = LogHistogram::bucketLowerBound(
+        std::min(Bucket, LogHistogram::NumBuckets - 1));
   }
   return S;
+}
+
+HistogramSummary LogHistogram::summarize() const {
+  // Copy the buckets once so every quantile answers against the same
+  // snapshot even while shards keep recording.
+  uint64_t Local[NumBuckets];
+  for (size_t I = 0; I < NumBuckets; ++I)
+    Local[I] = bucketLoad(I);
+  return summarizeBuckets(Local, sum(), min(), max());
+}
+
+HistogramSnapshot LogHistogram::snapshot() const {
+  HistogramSnapshot S;
+  // Same consistency contract as summarize(): one bucket walk, Count
+  // derived from the walked buckets (never the live Count, which can
+  // lead or lag mid-record).
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    S.Buckets[I] = bucketLoad(I);
+    S.Count += S.Buckets[I];
+  }
+  S.Sum = sum();
+  S.Min = min();
+  S.Max = max();
+  return S;
+}
+
+HistogramSnapshot
+LogHistogram::snapshotDelta(const HistogramSnapshot &Prev) const {
+  return snapshot().deltaFrom(Prev);
+}
+
+uint64_t HistogramSnapshot::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  uint64_t Rank = std::max<uint64_t>(1, uint64_t(std::ceil(Q * double(Count))));
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    Cum += Buckets[I];
+    if (Cum >= Rank)
+      return LogHistogram::bucketLowerBound(I);
+  }
+  return 0; // Unreachable: Count is the bucket sum by construction.
+}
+
+HistogramSummary HistogramSnapshot::summarize() const {
+  return summarizeBuckets(Buckets, Sum, Min, Max);
+}
+
+uint64_t HistogramSnapshot::countAbove(uint64_t Value) const {
+  uint64_t Bad = 0;
+  // First bucket entirely above Value: the one after Value's own.
+  for (size_t I = LogHistogram::bucketIndex(Value) + 1; I < NumBuckets; ++I)
+    Bad += Buckets[I];
+  return Bad;
+}
+
+HistogramSnapshot
+HistogramSnapshot::deltaFrom(const HistogramSnapshot &Prev) const {
+  HistogramSnapshot D;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    D.Buckets[I] = Buckets[I] >= Prev.Buckets[I]
+                       ? Buckets[I] - Prev.Buckets[I]
+                       : 0; // Saturate: a reset slipped between snapshots.
+    D.Count += D.Buckets[I];
+  }
+  D.Sum = Sum >= Prev.Sum ? Sum - Prev.Sum : 0;
+  // Min/Max are cumulative extremes with no interval meaning.
+  D.Min = 0;
+  D.Max = 0;
+  return D;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot &Other) {
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    Buckets[I] += Other.Buckets[I];
+    Count += Other.Buckets[I];
+  }
+  Sum += Other.Sum;
+  if (Other.Min != 0 && (Min == 0 || Other.Min < Min))
+    Min = Other.Min; // Best effort: 0 doubles as "empty" (as in min()).
+  Max = std::max(Max, Other.Max);
 }
 
 void LogHistogram::merge(const LogHistogram &Other) {

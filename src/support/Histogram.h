@@ -56,6 +56,47 @@ struct HistogramSummary {
   uint64_t P99 = 0;
 };
 
+/// A plain (non-atomic) copy of a LogHistogram's bucket array, taken in
+/// one walk. Snapshots subtract bucket-wise, which is what makes
+/// windowed views possible without ever resetting a live histogram:
+/// `Cur.deltaFrom(Prev)` is exactly the histogram of the samples
+/// recorded between the two snapshots (per-counter monotonicity -- see
+/// the ordering note in Histogram.cpp -- guarantees Cur >= Prev in
+/// every bucket while no reset intervenes). Min/Max/Sum are cumulative
+/// statistics and do not subtract exactly: a delta keeps the saturating
+/// Sum difference (exact once writers quiesce) and zeroes Min/Max,
+/// which have no interval meaning.
+struct HistogramSnapshot {
+  static constexpr size_t NumBuckets =
+      2 * (1u << 5) + (39 - 5) * (1u << 5) + 1; // Mirrors LogHistogram.
+  uint64_t Buckets[NumBuckets] = {};
+  /// Derived from the bucket walk, so quantiles always agree with it.
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = 0; ///< Raw minimum (0 in deltas and when empty).
+  uint64_t Max = 0; ///< Raw maximum (0 in deltas and when empty).
+
+  /// Nearest-rank quantile over the snapshot (same contract as
+  /// LogHistogram::quantile).
+  uint64_t quantile(double Q) const;
+
+  /// Count/sum/min/max plus p50/p90/p95/p99 over the snapshot.
+  HistogramSummary summarize() const;
+
+  /// Samples strictly above \p Value, up to bucket quantization: whole
+  /// buckets whose lower bound exceeds \p Value. A bucket straddling
+  /// \p Value counts as "not above", so the answer can be low by at
+  /// most one sub-bucket's population (values below 64 are exact).
+  uint64_t countAbove(uint64_t Value) const;
+
+  /// Bucket-wise `this - Prev`, saturating at zero per bucket (slack
+  /// only appears if a reset slipped between the snapshots).
+  HistogramSnapshot deltaFrom(const HistogramSnapshot &Prev) const;
+
+  /// Bucket-wise addition; delta(A,C) == delta(A,B) + delta(B,C).
+  void merge(const HistogramSnapshot &Other);
+};
+
 class LogHistogram {
 public:
   /// Sub-bucket resolution: each power of two splits into 2^SubBits
@@ -89,6 +130,14 @@ public:
 
   /// Count/sum/min/max plus p50/p90/p95/p99 from one bucket walk.
   HistogramSummary summarize() const;
+
+  /// One-walk plain copy of the buckets (see HistogramSnapshot).
+  HistogramSnapshot snapshot() const;
+
+  /// The interval histogram since \p Prev: snapshot().deltaFrom(Prev).
+  /// Never resets or perturbs the live histogram, so any number of
+  /// independent windows can be carved out of one instrument.
+  HistogramSnapshot snapshotDelta(const HistogramSnapshot &Prev) const;
 
   /// Adds \p Other's samples bucket-wise. Merging per-shard histograms
   /// equals recording the union stream into one histogram.

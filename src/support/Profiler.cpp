@@ -1,0 +1,439 @@
+//===- Profiler.cpp - Sampling profiler over trace-span stacks -------------==//
+
+#include "support/Profiler.h"
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <climits>
+#include <ctime>
+
+using namespace seminal;
+using namespace seminal::prof;
+
+//===----------------------------------------------------------------------===//
+// Clocks
+//===----------------------------------------------------------------------===//
+// The one sanctioned home for raw clock_gettime in src/ (the
+// determinism lint allowlists this file): CPU-time clocks have no
+// std::chrono spelling, and nothing read here ever flows into search
+// results -- profiling is observational by construction.
+
+static uint64_t readClockNs(clockid_t Clock) {
+  struct timespec TS;
+  if (clock_gettime(Clock, &TS) != 0)
+    return 0;
+  return uint64_t(TS.tv_sec) * 1000000000ull + uint64_t(TS.tv_nsec);
+}
+
+uint64_t prof::threadCpuNs() { return readClockNs(CLOCK_THREAD_CPUTIME_ID); }
+uint64_t prof::processCpuNs() { return readClockNs(CLOCK_PROCESS_CPUTIME_ID); }
+
+//===----------------------------------------------------------------------===//
+// Per-thread state
+//===----------------------------------------------------------------------===//
+
+namespace seminal {
+namespace prof {
+
+/// Written by its owning thread on span enter/exit; read by the sampler
+/// thread. The contract is single-writer: every non-atomic member is
+/// owner-only, and the atomics are safe to read torn-across-counters
+/// (one stale sample, never garbage -- frame slots only ever hold null
+/// or a string literal that lives forever).
+struct ThreadState {
+  // Sampled stack mirror. Depth counts *logical* depth and may exceed
+  // MaxDepth; only the first MaxDepth frames are stored. Push order is
+  // frame store (relaxed) then depth store (release), so a sampler that
+  // acquires Depth==d sees every frame below d.
+  std::atomic<const char *> Frames[Profiler::MaxDepth] = {};
+  std::atomic<uint32_t> Depth{0};
+  std::atomic<bool> Live{false};
+
+  // Exact-CPU table: open-addressed, fixed, allocation-free. Keys are
+  // claimed once by the owner (release store) and never removed;
+  // clear() zeroes only the counters.
+  std::atomic<const char *> CpuKey[Profiler::CpuSlots] = {};
+  std::atomic<uint64_t> CpuSelfNs[Profiler::CpuSlots] = {};
+  std::atomic<uint64_t> CpuEnters[Profiler::CpuSlots] = {};
+  std::atomic<uint64_t> OtherSelfNs{0}; ///< Table-overflow catch-all.
+  std::atomic<uint64_t> OtherEnters{0};
+
+  // Owner-only CPU stamp stack (the sampler never reads these).
+  static constexpr unsigned CpuStackMax = 64;
+  static constexpr uint16_t OverflowSlot = 0xFFFF;
+  uint16_t CpuStack[CpuStackMax] = {};
+  uint32_t CpuDepth = 0;
+  uint64_t LastStampNs = 0;
+};
+
+} // namespace prof
+} // namespace seminal
+
+namespace {
+
+/// Hands the thread's state back to the registry at thread exit.
+struct TlsHandle {
+  ThreadState *S = nullptr;
+  ~TlsHandle() {
+    if (S)
+      profiler().releaseThreadState(S);
+  }
+};
+
+thread_local TlsHandle Tls;
+
+unsigned cpuSlotFor(ThreadState &S, const char *Name) {
+  size_t H = (reinterpret_cast<uintptr_t>(Name) >> 3) * 0x9E3779B97F4A7C15ull;
+  for (unsigned P = 0; P < 16; ++P) {
+    unsigned I = unsigned((H + P) % Profiler::CpuSlots);
+    const char *K = S.CpuKey[I].load(std::memory_order_relaxed);
+    if (K == Name)
+      return I;
+    if (!K) {
+      // Single writer per state: a plain claim is race-free; release
+      // publishes the key before any counter the reader pairs with it.
+      S.CpuKey[I].store(Name, std::memory_order_release);
+      return I;
+    }
+  }
+  return UINT_MAX;
+}
+
+void chargeCpu(ThreadState &S, uint16_t Slot, uint64_t Ns) {
+  if (Slot == ThreadState::OverflowSlot)
+    S.OtherSelfNs.fetch_add(Ns, std::memory_order_relaxed);
+  else
+    S.CpuSelfNs[Slot].fetch_add(Ns, std::memory_order_relaxed);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Span hooks
+//===----------------------------------------------------------------------===//
+// Token layout (nonzero iff anything was recorded):
+//   bit 0      frame pushed
+//   bit 1      CPU stamp pushed
+//   bits 2-13  frame position (logical depth before the push)
+//   bits 14-20 CPU-stack position
+
+std::atomic<bool> prof::detail::Enabled{false};
+std::atomic<uint32_t> prof::detail::CpuKindMask{0};
+
+uint32_t Profiler::enterSpan(SpanKind Kind, const char *Name) {
+  ThreadState *S = acquireThreadState();
+  uint32_t D = S->Depth.load(std::memory_order_relaxed);
+  if (D >= 0xFFE)
+    return 0; // Beyond token range; skip rather than mis-account.
+  if (D < MaxDepth)
+    S->Frames[D].store(Name, std::memory_order_relaxed);
+  S->Depth.store(D + 1, std::memory_order_release);
+  uint32_t Token = 1u | (D << 2);
+
+  uint32_t Mask = detail::CpuKindMask.load(std::memory_order_relaxed);
+  if (((Mask >> unsigned(Kind)) & 1u) &&
+      S->CpuDepth < ThreadState::CpuStackMax) {
+    uint64_t Now = threadCpuNs();
+    // Self-time accounting: time since the last stamp belongs to the
+    // innermost stamped span that was running until now.
+    if (S->CpuDepth > 0)
+      chargeCpu(*S, S->CpuStack[S->CpuDepth - 1], Now - S->LastStampNs);
+    unsigned Slot = cpuSlotFor(*S, Name);
+    uint16_t Enc =
+        Slot == UINT_MAX ? ThreadState::OverflowSlot : uint16_t(Slot);
+    if (Enc == ThreadState::OverflowSlot)
+      S->OtherEnters.fetch_add(1, std::memory_order_relaxed);
+    else
+      S->CpuEnters[Slot].fetch_add(1, std::memory_order_relaxed);
+    Token |= 2u | (S->CpuDepth << 14);
+    S->CpuStack[S->CpuDepth++] = Enc;
+    S->LastStampNs = Now;
+  }
+  return Token;
+}
+
+void Profiler::exitSpan(uint32_t Token) {
+  if (!Token)
+    return;
+  ThreadState *S = acquireThreadState();
+  if (Token & 2u) {
+    uint32_t CPos = (Token >> 14) & 0x7Fu;
+    // Matched-pop guard: an out-of-order finish() (parent finished
+    // before a child) leaves the child to pop itself later instead of
+    // corrupting the stack -- mirrors the CurrentSpan rule in Trace.cpp.
+    if (S->CpuDepth == CPos + 1) {
+      uint64_t Now = threadCpuNs();
+      chargeCpu(*S, S->CpuStack[CPos], Now - S->LastStampNs);
+      S->CpuDepth = CPos;
+      S->LastStampNs = Now;
+    }
+  }
+  if (Token & 1u) {
+    uint32_t Pos = (Token >> 2) & 0xFFFu;
+    if (S->Depth.load(std::memory_order_relaxed) == Pos + 1)
+      S->Depth.store(Pos, std::memory_order_release);
+  }
+}
+
+uint32_t prof::spanEnter(SpanKind Kind, const char *Name) {
+  return profiler().enterSpan(Kind, Name);
+}
+
+void prof::spanExit(uint32_t Token) { profiler().exitSpan(Token); }
+
+//===----------------------------------------------------------------------===//
+// Registry and sampler
+//===----------------------------------------------------------------------===//
+
+Profiler &prof::profiler() {
+  // Leaked on purpose: thread_local TlsHandle destructors may run after
+  // static destructors, and a destroyed registry under a late-exiting
+  // thread would be a use-after-free. The allocation stays reachable
+  // through this pointer, so leak checkers stay quiet.
+  static Profiler *P = new Profiler();
+  return *P;
+}
+
+Profiler::Options::Options() : CpuKindMask(defaultCpuKindMask()) {}
+
+uint32_t Profiler::defaultCpuKindMask() {
+  auto Bit = [](SpanKind K) { return 1u << unsigned(K); };
+  // Phase-level kinds only: these fire a bounded number of times per
+  // request. The per-candidate / per-oracle-call leaves fire thousands
+  // of times and would pay ~240ns of thread-CPU-clock syscall per
+  // stamp; their CPU folds into the enclosing phase instead, and the
+  // sampled stacks still resolve them statistically.
+  return Bit(SpanKind::Search) | Bit(SpanKind::Localize) |
+         Bit(SpanKind::DeclChanges) | Bit(SpanKind::Triage) |
+         Bit(SpanKind::TriagePhase) | Bit(SpanKind::PatternFix) |
+         Bit(SpanKind::Slice) | Bit(SpanKind::Rank) |
+         Bit(SpanKind::CcSearch) | Bit(SpanKind::Other);
+}
+
+ThreadState *Profiler::acquireThreadState() {
+  if (Tls.S)
+    return Tls.S;
+  sync::MutexLock Lock(Mutex);
+  ThreadState *S;
+  if (!FreeStates.empty()) {
+    S = FreeStates.back();
+    FreeStates.pop_back();
+    // The previous owner exited with its stack unwound; counters are
+    // cumulative and stay. Reset only the owner-side stack state.
+    S->Depth.store(0, std::memory_order_relaxed);
+    S->CpuDepth = 0;
+    S->LastStampNs = 0;
+  } else {
+    S = new ThreadState();
+    Threads.push_back(S);
+  }
+  S->Live.store(true, std::memory_order_relaxed);
+  Tls.S = S;
+  return S;
+}
+
+void Profiler::releaseThreadState(ThreadState *State) {
+  sync::MutexLock Lock(Mutex);
+  State->Live.store(false, std::memory_order_relaxed);
+  FreeStates.push_back(State);
+}
+
+void Profiler::start(const Options &Opts) {
+  sync::MutexLock Lock(Mutex);
+  if (detail::Enabled.load(std::memory_order_relaxed))
+    return;
+  detail::CpuKindMask.store(Opts.CpuKindMask, std::memory_order_relaxed);
+  detail::Enabled.store(true, std::memory_order_relaxed);
+  Hz = Opts.SampleHz;
+  StopRequested = false;
+  if (Opts.SampleHz > 0) {
+    Sampler = std::thread([this] { samplerMain(); });
+    SamplerRunning = true;
+  }
+}
+
+void Profiler::stop() {
+  std::thread ToJoin;
+  {
+    sync::MutexLock Lock(Mutex);
+    detail::Enabled.store(false, std::memory_order_relaxed);
+    detail::CpuKindMask.store(0, std::memory_order_relaxed);
+    Hz = 0;
+    if (!SamplerRunning)
+      return;
+    StopRequested = true;
+    WakeCV.notify_all();
+    ToJoin = std::move(Sampler);
+    SamplerRunning = false;
+  }
+  ToJoin.join();
+}
+
+bool Profiler::running() const {
+  return detail::Enabled.load(std::memory_order_relaxed);
+}
+
+unsigned Profiler::sampleHz() const {
+  sync::MutexLock Lock(Mutex);
+  return Hz;
+}
+
+void Profiler::samplerMain() {
+  sync::MutexLock Lock(Mutex);
+  while (!StopRequested) {
+    unsigned LocalHz = std::max(1u, Hz);
+    auto Period = std::chrono::nanoseconds(1000000000ull / LocalHz);
+    // Timeout = one tick. Re-arming after each sample gives period +
+    // sampling time between ticks; sampling cares about statistical
+    // coverage, not metronome cadence, so the drift is fine.
+    if (WakeCV.wait_for(Mutex, Period) == std::cv_status::timeout &&
+        !StopRequested)
+      sampleLocked();
+  }
+}
+
+void Profiler::sampleLocked() {
+  std::string Key;
+  for (ThreadState *S : Threads) {
+    if (!S->Live.load(std::memory_order_relaxed))
+      continue;
+    uint32_t D = S->Depth.load(std::memory_order_acquire);
+    if (D == 0)
+      continue; // Idle thread: no sample.
+    uint32_t N = std::min(D, MaxDepth);
+    Key.clear();
+    for (uint32_t I = 0; I < N; ++I) {
+      const char *Name = S->Frames[I].load(std::memory_order_relaxed);
+      if (!Name)
+        continue; // Torn mid-push read; drop the frame, keep the stack.
+      if (!Key.empty())
+        Key += ';';
+      Key += Name;
+    }
+    if (Key.empty())
+      continue;
+    if (D > MaxDepth)
+      ++Truncated;
+    ++Stacks[Key];
+    ++Samples;
+  }
+}
+
+void Profiler::sampleOnce() {
+  sync::MutexLock Lock(Mutex);
+  sampleLocked();
+}
+
+ProfileSnapshot Profiler::snapshot() const {
+  sync::MutexLock Lock(Mutex);
+  ProfileSnapshot Snap;
+  Snap.Stacks = Stacks;
+  Snap.Samples = Samples;
+  Snap.Truncated = Truncated;
+  Snap.Threads = Threads.size();
+  for (const ThreadState *S : Threads) {
+    for (unsigned I = 0; I < CpuSlots; ++I) {
+      const char *K = S->CpuKey[I].load(std::memory_order_acquire);
+      if (!K)
+        continue;
+      CpuEntry &E = Snap.Cpu[K];
+      E.SelfNs += S->CpuSelfNs[I].load(std::memory_order_relaxed);
+      E.Enters += S->CpuEnters[I].load(std::memory_order_relaxed);
+    }
+    uint64_t ONs = S->OtherSelfNs.load(std::memory_order_relaxed);
+    uint64_t OEn = S->OtherEnters.load(std::memory_order_relaxed);
+    if (ONs || OEn) {
+      CpuEntry &E = Snap.Cpu["(other)"];
+      E.SelfNs += ONs;
+      E.Enters += OEn;
+    }
+  }
+  return Snap;
+}
+
+ProfileSnapshot Profiler::captureDelta(unsigned Ms,
+                                       const std::atomic<bool> *Abort) const {
+  ProfileSnapshot Before = snapshot();
+  auto End = std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+  while (std::chrono::steady_clock::now() < End) {
+    if (Abort && Abort->load(std::memory_order_relaxed))
+      break;
+    auto Left = End - std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(
+        std::min<std::chrono::steady_clock::duration>(
+            Left, std::chrono::milliseconds(50)));
+  }
+  return snapshot().deltaFrom(Before);
+}
+
+void Profiler::clear() {
+  sync::MutexLock Lock(Mutex);
+  Stacks.clear();
+  Samples = 0;
+  Truncated = 0;
+  for (ThreadState *S : Threads) {
+    // Counters only: keys may be mid-probe on their owner thread, and
+    // the owner-only stack fields are not ours to touch.
+    for (unsigned I = 0; I < CpuSlots; ++I) {
+      S->CpuSelfNs[I].store(0, std::memory_order_relaxed);
+      S->CpuEnters[I].store(0, std::memory_order_relaxed);
+    }
+    S->OtherSelfNs.store(0, std::memory_order_relaxed);
+    S->OtherEnters.store(0, std::memory_order_relaxed);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots and exporters
+//===----------------------------------------------------------------------===//
+
+static uint64_t satSub(uint64_t A, uint64_t B) { return A > B ? A - B : 0; }
+
+ProfileSnapshot ProfileSnapshot::deltaFrom(const ProfileSnapshot &Prev) const {
+  ProfileSnapshot D;
+  for (const auto &[K, V] : Stacks) {
+    auto It = Prev.Stacks.find(K);
+    uint64_t Base = It == Prev.Stacks.end() ? 0 : It->second;
+    if (uint64_t N = satSub(V, Base))
+      D.Stacks[K] = N;
+  }
+  for (const auto &[K, E] : Cpu) {
+    CpuEntry Base;
+    auto It = Prev.Cpu.find(K);
+    if (It != Prev.Cpu.end())
+      Base = It->second;
+    CpuEntry Out{satSub(E.SelfNs, Base.SelfNs), satSub(E.Enters, Base.Enters)};
+    if (Out.SelfNs || Out.Enters)
+      D.Cpu[K] = Out;
+  }
+  D.Samples = satSub(Samples, Prev.Samples);
+  D.Truncated = satSub(Truncated, Prev.Truncated);
+  D.Threads = Threads;
+  return D;
+}
+
+void ProfileSnapshot::writeCollapsed(std::ostream &OS) const {
+  for (const auto &[K, V] : Stacks)
+    OS << K << ' ' << V << '\n';
+}
+
+void ProfileSnapshot::writeJson(std::ostream &OS) const {
+  OS << "{\"samples\":" << Samples << ",\"truncated\":" << Truncated
+     << ",\"threads\":" << Threads << ",\"stacks\":[";
+  bool First = true;
+  for (const auto &[K, V] : Stacks) {
+    OS << (First ? "" : ",") << "{\"stack\":\"" << jsonEscape(K)
+       << "\",\"count\":" << V << '}';
+    First = false;
+  }
+  OS << "],\"cpu_self\":[";
+  First = true;
+  for (const auto &[K, E] : Cpu) {
+    OS << (First ? "" : ",") << "{\"name\":\"" << jsonEscape(K)
+       << "\",\"self_ns\":" << E.SelfNs << ",\"enters\":" << E.Enters << '}';
+    First = false;
+  }
+  OS << "]}";
+}

@@ -14,7 +14,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
+#include <type_traits>
 
 using namespace seminal;
 using namespace seminal::sync;
@@ -31,9 +31,26 @@ struct HeldLock {
   const char *Name;
 };
 
-/// Acquisition-ordered stack of locks the calling thread holds. A plain
-/// vector: depth is O(nesting), in practice <= 3.
-thread_local std::vector<HeldLock> HeldLocks;
+/// Acquisition-ordered stack of locks the calling thread holds.
+///
+/// Deliberately a fixed array, not a vector: a trivially-destructible
+/// thread_local is never registered with __cxa_thread_atexit, so it
+/// stays valid for TLS destructors that run after it would otherwise
+/// have been torn down. That matters in practice -- the profiler's
+/// per-thread handle releases its state from a TLS destructor, and
+/// that release takes a ranked mutex; with a vector here the order
+/// "handle constructed before first lock" made thread exit a
+/// use-after-free. Depth is O(lock nesting), in practice <= 3; the
+/// rank table has ~12 ranks, so 32 slots can never legitimately fill.
+struct HeldStack {
+  static constexpr size_t Max = 32;
+  HeldLock Locks[Max];
+  size_t Count = 0;
+};
+static_assert(std::is_trivially_destructible<HeldStack>::value,
+              "held-lock stack must not register a TLS destructor");
+
+thread_local HeldStack HeldLocks;
 
 [[noreturn]] void reportViolation(const char *What, const void *Addr,
                                   uint16_t Rank, const char *Name,
@@ -49,7 +66,8 @@ thread_local std::vector<HeldLock> HeldLocks;
                 Name, unsigned(Rank), Addr, Conflict.Name,
                 unsigned(Conflict.Rank), Conflict.Addr);
   Msg += Buf;
-  for (const HeldLock &H : HeldLocks) {
+  for (size_t I = 0; I < HeldLocks.Count; ++I) {
+    const HeldLock &H = HeldLocks.Locks[I];
     std::snprintf(Buf, sizeof(Buf), "    \"%s\" (rank %u, %p)\n", H.Name,
                   unsigned(H.Rank), H.Addr);
     Msg += Buf;
@@ -77,9 +95,10 @@ bool sync::rankChecksEnabled() {
 
 void sync::sync_detail::checkRank(const void *Addr, uint16_t Rank,
                                   const char *Name) {
-  if (!ChecksEnabled.load(std::memory_order_relaxed) || HeldLocks.empty())
+  if (!ChecksEnabled.load(std::memory_order_relaxed) || HeldLocks.Count == 0)
     return;
-  for (const HeldLock &H : HeldLocks) {
+  for (size_t I = 0; I < HeldLocks.Count; ++I) {
+    const HeldLock &H = HeldLocks.Locks[I];
     if (H.Addr == Addr)
       reportViolation("recursive acquisition (self-deadlock; includes "
                       "shared->exclusive upgrade)",
@@ -93,15 +112,22 @@ void sync::sync_detail::pushHeld(const void *Addr, uint16_t Rank,
                                  const char *Name) {
   if (!ChecksEnabled.load(std::memory_order_relaxed))
     return;
-  HeldLocks.push_back({Addr, Rank, Name});
+  // Overflow cannot happen under the rank discipline (checkRank caps
+  // nesting at the number of distinct ranks); if it somehow does, drop
+  // the entry rather than write out of bounds -- popHeld tolerates
+  // not-found.
+  if (HeldLocks.Count < HeldStack::Max)
+    HeldLocks.Locks[HeldLocks.Count++] = {Addr, Rank, Name};
 }
 
 void sync::sync_detail::popHeld(const void *Addr) {
   // Scan from the top: releases are almost always LIFO. Tolerates a
   // lock acquired while checking was disabled (not found -> no-op).
-  for (size_t I = HeldLocks.size(); I-- > 0;) {
-    if (HeldLocks[I].Addr == Addr) {
-      HeldLocks.erase(HeldLocks.begin() + long(I));
+  for (size_t I = HeldLocks.Count; I-- > 0;) {
+    if (HeldLocks.Locks[I].Addr == Addr) {
+      for (size_t J = I + 1; J < HeldLocks.Count; ++J)
+        HeldLocks.Locks[J - 1] = HeldLocks.Locks[J];
+      --HeldLocks.Count;
       return;
     }
   }

@@ -40,6 +40,7 @@
 #ifndef SEMINAL_SUPPORT_SYNC_H
 #define SEMINAL_SUPPORT_SYNC_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -123,6 +124,9 @@ enum class LockRank : uint16_t {
                       ///< while exporting through a TraceSink: must
                       ///< stay below Trace).
   Metrics = 60,       ///< support/Metrics series registry.
+  Profiler = 65,      ///< support/Profiler thread registry + aggregates
+                      ///< (sampler thread holds it while folding; span
+                      ///< hooks take it only on first-use registration).
   Trace = 70,         ///< support/TraceSink event stream.
   OpsRegistry = 80,   ///< obs/OpsRegistry instrument families.
   Log = 90,           ///< obs/Logger output stream (loggable from under
@@ -322,6 +326,16 @@ public:
   /// Atomically releases \p M and blocks; re-acquires before returning.
   /// Spurious wakeups happen: always wait in a predicate loop.
   void wait(Mutex &M) SEMINAL_REQUIRES(M) { CV.wait(M); }
+
+  /// Timed wait (same contract; periodic threads like the profiler's
+  /// sampler wake on the earlier of notify and deadline). Returns
+  /// std::cv_status::timeout when the duration elapsed.
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex &M,
+                          const std::chrono::duration<Rep, Period> &D)
+      SEMINAL_REQUIRES(M) {
+    return CV.wait_for(M, D);
+  }
 
   void notify_one() { CV.notify_one(); }
   void notify_all() { CV.notify_all(); }

@@ -2,6 +2,8 @@
 
 #include "support/Trace.h"
 
+#include "support/Profiler.h"
+
 #include <cinttypes>
 #include <cstdio>
 #include <sstream>
@@ -115,6 +117,10 @@ void TraceSink::clear() {
 
 TraceSpan::TraceSpan(TraceSink *Sink, SpanKind Kind, const char *Name)
     : Sink(Sink) {
+  // Profiler mirror first: it works with or without a sink, and with
+  // profiling off this is one relaxed load and branch.
+  if (prof::enabled())
+    ProfToken = prof::spanEnter(Kind, Name);
   if (!Sink)
     return;
   Event.Id = Sink->nextId();
@@ -180,6 +186,10 @@ void TraceSpan::attr(const char *Key, double Value) {
 }
 
 void TraceSpan::finish() {
+  if (ProfToken) {
+    prof::spanExit(ProfToken);
+    ProfToken = 0;
+  }
   if (!Sink)
     return;
   Event.DurNs = Sink->nowNs() - Event.StartNs;

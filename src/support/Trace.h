@@ -198,6 +198,10 @@ private:
   TraceSink *Sink;
   TraceEvent Event;
   TraceSpan *PrevTop = nullptr;
+  /// Profiler registration (support/Profiler.h); 0 when profiling was
+  /// off at construction. Present even with a null sink: the profiler
+  /// samples span stacks whether or not a trace is being recorded.
+  uint32_t ProfToken = 0;
 };
 
 /// Scoped thread-local label naming which search layer is issuing

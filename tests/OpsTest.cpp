@@ -12,6 +12,7 @@
 
 #include "obs/Log.h"
 #include "obs/OpsRegistry.h"
+#include "obs/Slo.h"
 #include "obs/SlowTraceRing.h"
 #include "support/Histogram.h"
 #include "support/Json.h"
@@ -250,6 +251,193 @@ TEST(LogHistogramTest, ResetDropsEverything) {
   EXPECT_EQ(H.min(), 0u);
   EXPECT_EQ(H.max(), 0u);
   EXPECT_EQ(H.quantile(0.99), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// HistogramSnapshot: windowed views without resetting the live histogram
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramSnapshotTest, SnapshotAgreesWithTheLiveHistogram) {
+  LogHistogram H;
+  std::mt19937_64 Rng(3);
+  for (int I = 0; I < 5000; ++I)
+    H.record(Rng() % 1000000);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, H.count());
+  EXPECT_EQ(S.Sum, H.sum());
+  EXPECT_EQ(S.Min, H.min());
+  EXPECT_EQ(S.Max, H.max());
+  for (double Q : {0.5, 0.9, 0.95, 0.99})
+    EXPECT_EQ(S.quantile(Q), H.quantile(Q));
+  for (size_t I = 0; I < LogHistogram::NumBuckets; ++I)
+    ASSERT_EQ(S.Buckets[I], H.bucketLoad(I)) << "bucket " << I;
+  HistogramSummary A = S.summarize(), B = H.summarize();
+  EXPECT_EQ(A.Count, B.Count);
+  EXPECT_EQ(A.P50, B.P50);
+  EXPECT_EQ(A.P99, B.P99);
+}
+
+TEST(HistogramSnapshotTest, DeltaIsExactlyTheIntervalHistogram) {
+  // The windowing contract the SLO tracker rides on: the delta between
+  // two snapshots equals a histogram of just the interval's samples.
+  LogHistogram H, IntervalOnly;
+  for (uint64_t V : {3u, 40u, 700u, 90000u})
+    H.record(V);
+  HistogramSnapshot Before = H.snapshot();
+  for (uint64_t V : {5u, 40u, 123456u}) {
+    H.record(V);
+    IntervalOnly.record(V);
+  }
+  HistogramSnapshot D = H.snapshotDelta(Before);
+  HistogramSnapshot Ref = IntervalOnly.snapshot();
+  EXPECT_EQ(D.Count, 3u);
+  EXPECT_EQ(D.Sum, Ref.Sum);
+  for (size_t I = 0; I < HistogramSnapshot::NumBuckets; ++I)
+    ASSERT_EQ(D.Buckets[I], Ref.Buckets[I]) << "bucket " << I;
+  // Min/Max are cumulative statistics with no interval meaning: a delta
+  // zeroes them rather than inventing values.
+  EXPECT_EQ(D.Min, 0u);
+  EXPECT_EQ(D.Max, 0u);
+  // An empty interval deltas to an all-zero snapshot.
+  HistogramSnapshot Z = H.snapshotDelta(H.snapshot());
+  EXPECT_EQ(Z.Count, 0u);
+  EXPECT_EQ(Z.Sum, 0u);
+  EXPECT_EQ(Z.quantile(0.99), 0u);
+  EXPECT_EQ(Z.countAbove(0), 0u);
+}
+
+TEST(HistogramSnapshotTest, MergeComposesAdjacentDeltas) {
+  // delta(A,C) == delta(A,B) + delta(B,C): a long window stitched from
+  // two short ones is exact, which lets the tracker keep a sparse ring.
+  LogHistogram H;
+  std::mt19937_64 Rng(17);
+  auto Burst = [&H, &Rng] {
+    for (int I = 0; I < 1000; ++I)
+      H.record(Rng() % (uint64_t(1) << 30));
+  };
+  HistogramSnapshot A = H.snapshot();
+  Burst();
+  HistogramSnapshot B = H.snapshot();
+  Burst();
+  HistogramSnapshot C = H.snapshot();
+  HistogramSnapshot Long = C.deltaFrom(A);
+  HistogramSnapshot Stitched = B.deltaFrom(A);
+  Stitched.merge(C.deltaFrom(B));
+  EXPECT_EQ(Stitched.Count, Long.Count);
+  EXPECT_EQ(Stitched.Sum, Long.Sum);
+  for (size_t I = 0; I < HistogramSnapshot::NumBuckets; ++I)
+    ASSERT_EQ(Stitched.Buckets[I], Long.Buckets[I]) << "bucket " << I;
+  for (double Q : {0.5, 0.99})
+    EXPECT_EQ(Stitched.quantile(Q), Long.quantile(Q));
+}
+
+TEST(HistogramSnapshotTest, CountAboveIsExactBelowSixtyFour) {
+  LogHistogram H;
+  for (uint64_t V = 0; V < 64; ++V)
+    H.record(V);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.countAbove(0), 63u);
+  EXPECT_EQ(S.countAbove(31), 32u);
+  EXPECT_EQ(S.countAbove(63), 0u);
+  EXPECT_EQ(S.countAbove(1000000), 0u);
+}
+
+TEST(HistogramSnapshotTest, CountAboveNeverOvercountsLargeValues) {
+  // Above 64 the answer is bucket-quantized: a bucket straddling the
+  // threshold counts as "not above", so an SLO target never accuses
+  // requests that sit exactly at the target.
+  LogHistogram H;
+  for (int I = 0; I < 100; ++I)
+    H.record(1000);
+  for (int I = 0; I < 7; ++I)
+    H.record(100000);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.countAbove(1000), 7u);
+  EXPECT_EQ(S.countAbove(99), 107u);
+  EXPECT_EQ(S.countAbove(100000), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// SloTracker: burn rates from histogram deltas, injected clock
+//===----------------------------------------------------------------------===//
+
+constexpr uint64_t SloSec = 1000000000ull; // 1s in the tracker's ns clock
+
+SloConfig sloTestConfig() {
+  SloConfig Cfg;
+  Cfg.TargetUs = 1000;      // 1ms target
+  Cfg.ObjectivePct = 90.0;  // error budget: 10% of checks may miss
+  Cfg.FastWindowNs = 32 * SloSec;
+  Cfg.SlowWindowNs = 320 * SloSec;
+  return Cfg;
+}
+
+TEST(SloTrackerTest, BurnMatchesTheHandComputedRatio) {
+  SloTracker T(sloTestConfig());
+  LogHistogram H;
+
+  // First tick seeds the ring; nothing recorded yet, nothing burns.
+  SloTracker::Burn B0 = T.tick(1 * SloSec, H);
+  EXPECT_EQ(B0.Fast.Total, 0u);
+  EXPECT_EQ(B0.Fast.Burn, 0.0);
+  EXPECT_EQ(B0.Slow.Burn, 0.0);
+
+  // 8 fast checks + 2 misses = 20% bad against a 10% budget: burn 2x.
+  for (int I = 0; I < 8; ++I)
+    H.record(10);
+  H.record(100000);
+  H.record(100000);
+  SloTracker::Burn B1 = T.tick(2 * SloSec, H);
+  EXPECT_EQ(B1.Fast.Total, 10u);
+  EXPECT_EQ(B1.Fast.Bad, 2u);
+  EXPECT_NEAR(B1.Fast.Burn, 2.0, 1e-12);
+  EXPECT_NEAR(B1.Slow.Burn, 2.0, 1e-12);
+  EXPECT_EQ(B1.Fast.SpanNs, 1 * SloSec);
+}
+
+TEST(SloTrackerTest, AllGoodTrafficBurnsZero) {
+  SloTracker T(sloTestConfig());
+  LogHistogram H;
+  T.tick(1 * SloSec, H);
+  for (int I = 0; I < 100; ++I)
+    H.record(50);
+  SloTracker::Burn B = T.tick(2 * SloSec, H);
+  EXPECT_EQ(B.Fast.Total, 100u);
+  EXPECT_EQ(B.Fast.Bad, 0u);
+  EXPECT_EQ(B.Fast.Burn, 0.0);
+}
+
+TEST(SloTrackerTest, QuietWindowDecaysToZero) {
+  SloTracker T(sloTestConfig());
+  LogHistogram H;
+  T.tick(1 * SloSec, H);
+  for (int I = 0; I < 4; ++I)
+    H.record(500000); // all bad: burn 10x
+  SloTracker::Burn Hot = T.tick(2 * SloSec, H);
+  EXPECT_NEAR(Hot.Fast.Burn, 10.0, 1e-12);
+  // Long idle stretch: the bad samples age out of both windows (the
+  // snapshot at the window boundary already contains them, so the
+  // delta is empty) and the burn returns to zero.
+  SloTracker::Burn Quiet = T.tick(400 * SloSec, H);
+  EXPECT_EQ(Quiet.Fast.Total, 0u);
+  EXPECT_EQ(Quiet.Fast.Burn, 0.0);
+  EXPECT_EQ(Quiet.Slow.Total, 0u);
+  EXPECT_EQ(Quiet.Slow.Burn, 0.0);
+}
+
+TEST(SloTrackerTest, SubSpacingTicksStillComputeAgainstTheLastEntry) {
+  // Ticks closer together than the ring spacing reuse the existing
+  // boundary entry instead of growing the ring; the burn is computed
+  // fresh each time from the live histogram.
+  SloTracker T(sloTestConfig());
+  LogHistogram H;
+  T.tick(1 * SloSec, H);
+  H.record(500000);
+  // 200ms later: below the 1s minimum spacing, but the miss shows up.
+  SloTracker::Burn B = T.tick(1 * SloSec + 200000000ull, H);
+  EXPECT_EQ(B.Fast.Total, 1u);
+  EXPECT_EQ(B.Fast.Bad, 1u);
+  EXPECT_NEAR(B.Fast.Burn, 10.0, 1e-12);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,335 @@
+//===- ProfilerTest.cpp - Sampling profiler tests ---------------------------==//
+//
+// Pins the profiling layer's contracts (DESIGN.md section 16): folded
+// stacks exactly mirror a synthetic span tree when the sampler ticks at
+// known points (SampleHz = 0 + manual sampleOnce gives full
+// determinism), exact CPU self-time lands on the innermost *stamped*
+// span with unstamped leaves folding into their enclosing phase,
+// snapshot deltas carve windows without resetting live state, the
+// matched-pop guard survives out-of-order exits, sampling under thread
+// churn never tears a count (the TSan CI job runs this file), and --
+// the property everything else depends on -- suggestions are
+// byte-identical with the profiler on and off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Profiler.h"
+
+#include "core/Message.h"
+#include "core/Seminal.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace seminal;
+
+namespace {
+
+/// Burns thread CPU until CLOCK_THREAD_CPUTIME_ID has advanced by
+/// \p Ns. Volatile sink so the loop cannot be optimized away.
+void spinCpuNs(uint64_t Ns) {
+  volatile uint64_t Sink = 0;
+  uint64_t Start = prof::threadCpuNs();
+  while (prof::threadCpuNs() - Start < Ns)
+    for (int I = 0; I < 1000; ++I)
+      Sink = Sink + uint64_t(I);
+}
+
+uint64_t stackSum(const prof::ProfileSnapshot &S) {
+  uint64_t Sum = 0;
+  for (const auto &[Key, Count] : S.Stacks)
+    Sum += Count;
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===//
+// Clocks and the hot-path gate
+//===----------------------------------------------------------------------===//
+
+TEST(ProfilerGateTest, StartStopTogglesTheHotPathGate) {
+  EXPECT_FALSE(prof::enabled());
+  prof::Profiler::Options PO;
+  PO.SampleHz = 0;
+  prof::profiler().start(PO);
+  EXPECT_TRUE(prof::enabled());
+  EXPECT_TRUE(prof::profiler().running());
+  prof::profiler().stop();
+  EXPECT_FALSE(prof::enabled());
+  EXPECT_FALSE(prof::profiler().running());
+}
+
+TEST(ProfilerClockTest, ThreadCpuAdvancesAndProcessCpuBoundsIt) {
+  uint64_t T0 = prof::threadCpuNs();
+  spinCpuNs(2000000); // 2ms of real CPU work
+  uint64_t T1 = prof::threadCpuNs();
+  EXPECT_GE(T1 - T0, 2000000u);
+  // The process clock counts every thread, so it upper-bounds any
+  // single thread's total -- the ledger reconciliation invariant.
+  EXPECT_GE(prof::processCpuNs(), T1);
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic sampling: SampleHz = 0, ticks injected via sampleOnce
+//===----------------------------------------------------------------------===//
+
+class ProfilerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    prof::Profiler::Options PO;
+    PO.SampleHz = 0; // no sampler thread: every tick is ours
+    prof::profiler().start(PO);
+    prof::profiler().clear();
+  }
+  void TearDown() override {
+    prof::profiler().stop();
+    prof::profiler().clear();
+  }
+};
+
+TEST_F(ProfilerTest, FoldedStacksMatchASyntheticSpanTree) {
+  prof::Profiler &P = prof::profiler();
+  uint32_t Root = P.enterSpan(SpanKind::Search, "search");
+  uint32_t Child = P.enterSpan(SpanKind::Localize, "localize");
+  P.sampleOnce();
+  P.sampleOnce();
+  P.sampleOnce();
+  P.exitSpan(Child);
+  P.sampleOnce();
+  uint32_t Leaf = P.enterSpan(SpanKind::Candidate, "candidate");
+  P.sampleOnce();
+  P.exitSpan(Leaf);
+  P.exitSpan(Root);
+  P.sampleOnce(); // stack empty: an idle thread contributes no sample
+
+  prof::ProfileSnapshot S = P.snapshot();
+  EXPECT_EQ(S.Stacks["search;localize"], 3u);
+  EXPECT_EQ(S.Stacks["search"], 1u);
+  EXPECT_EQ(S.Stacks["search;candidate"], 1u);
+  EXPECT_EQ(S.Samples, 5u);
+  EXPECT_EQ(stackSum(S), S.Samples);
+  EXPECT_EQ(S.Truncated, 0u);
+
+  // The collapsed export is flamegraph.pl's input format verbatim.
+  std::ostringstream OS;
+  S.writeCollapsed(OS);
+  EXPECT_NE(OS.str().find("search;localize 3\n"), std::string::npos)
+      << OS.str();
+  EXPECT_NE(OS.str().find("search;candidate 1\n"), std::string::npos)
+      << OS.str();
+}
+
+TEST_F(ProfilerTest, LeafCpuFoldsIntoTheEnclosingStampedPhase) {
+  // Candidate is outside the default CPU mask: its time must be charged
+  // to the innermost stamped span (the search phase), and no exact-CPU
+  // entry may appear for the leaf itself.
+  prof::Profiler &P = prof::profiler();
+  uint32_t Root = P.enterSpan(SpanKind::Search, "cpu_phase");
+  uint32_t Leaf = P.enterSpan(SpanKind::Candidate, "cpu_leaf");
+  spinCpuNs(3000000); // 3ms inside the unstamped leaf
+  P.exitSpan(Leaf);
+  P.exitSpan(Root);
+
+  prof::ProfileSnapshot S = P.snapshot();
+  ASSERT_EQ(S.Cpu.count("cpu_phase"), 1u);
+  EXPECT_EQ(S.Cpu.count("cpu_leaf"), 0u);
+  EXPECT_GE(S.Cpu["cpu_phase"].SelfNs, 3000000u);
+  EXPECT_EQ(S.Cpu["cpu_phase"].Enters, 1u);
+}
+
+TEST_F(ProfilerTest, NestedStampedSpansSplitSelfTime) {
+  // Self-time accounting: the outer phase is only charged for the time
+  // the inner stamped phase was *not* running.
+  prof::Profiler &P = prof::profiler();
+  uint32_t Outer = P.enterSpan(SpanKind::Search, "outer_phase");
+  spinCpuNs(2000000);
+  uint32_t Inner = P.enterSpan(SpanKind::Rank, "inner_phase");
+  spinCpuNs(2000000);
+  P.exitSpan(Inner);
+  P.exitSpan(Outer);
+
+  prof::ProfileSnapshot S = P.snapshot();
+  ASSERT_EQ(S.Cpu.count("outer_phase"), 1u);
+  ASSERT_EQ(S.Cpu.count("inner_phase"), 1u);
+  EXPECT_GE(S.Cpu["outer_phase"].SelfNs, 2000000u);
+  EXPECT_GE(S.Cpu["inner_phase"].SelfNs, 2000000u);
+  // Neither span absorbs the other's work: each self-time stays near
+  // its own 2ms (well under the 4ms total).
+  EXPECT_LT(S.Cpu["outer_phase"].SelfNs, 3500000u);
+  EXPECT_LT(S.Cpu["inner_phase"].SelfNs, 3500000u);
+}
+
+TEST_F(ProfilerTest, SnapshotDeltaIsolatesAWindow) {
+  prof::Profiler &P = prof::profiler();
+  uint32_t Span = P.enterSpan(SpanKind::Search, "window_span");
+  P.sampleOnce();
+  P.sampleOnce();
+  prof::ProfileSnapshot Before = P.snapshot();
+  P.sampleOnce();
+  P.sampleOnce();
+  P.sampleOnce();
+  prof::ProfileSnapshot D = P.snapshot().deltaFrom(Before);
+  P.exitSpan(Span);
+  EXPECT_EQ(D.Samples, 3u);
+  EXPECT_EQ(D.Stacks["window_span"], 3u);
+  EXPECT_EQ(D.Stacks.size(), 1u) << "unchanged entries must be dropped";
+  EXPECT_EQ(stackSum(D), D.Samples);
+}
+
+TEST_F(ProfilerTest, OutOfOrderExitDoesNotCorruptTheStack) {
+  // Run on a fresh thread so the deliberately unbalanced state is
+  // parked (and reset on reuse) instead of leaking into later tests.
+  std::thread([] {
+    prof::Profiler &P = prof::profiler();
+    uint32_t Parent = P.enterSpan(SpanKind::Search, "oo_parent");
+    uint32_t Child = P.enterSpan(SpanKind::Localize, "oo_child");
+    P.exitSpan(Parent); // out of order: must be a guarded no-op
+    P.sampleOnce();
+    P.exitSpan(Child); // the child pops itself to its own position
+    P.sampleOnce();
+  }).join();
+  prof::ProfileSnapshot S = prof::profiler().snapshot();
+  EXPECT_EQ(S.Stacks["oo_parent;oo_child"], 1u)
+      << "the early parent exit must not unwind the live child";
+  EXPECT_EQ(S.Stacks["oo_parent"], 1u);
+}
+
+TEST_F(ProfilerTest, ZeroTokensAreSafeToExit) {
+  prof::profiler().exitSpan(0); // "nothing recorded" token: no-op
+  EXPECT_EQ(prof::profiler().snapshot().Samples, 0u);
+}
+
+TEST_F(ProfilerTest, DeepStacksTruncateButKeepCounting) {
+  prof::Profiler &P = prof::profiler();
+  std::vector<uint32_t> Tokens;
+  for (unsigned I = 0; I < prof::Profiler::MaxDepth + 8; ++I)
+    Tokens.push_back(P.enterSpan(SpanKind::Candidate, "deep"));
+  P.sampleOnce();
+  for (auto It = Tokens.rbegin(); It != Tokens.rend(); ++It)
+    P.exitSpan(*It);
+
+  prof::ProfileSnapshot S = P.snapshot();
+  EXPECT_EQ(S.Samples, 1u);
+  EXPECT_EQ(S.Truncated, 1u);
+  ASSERT_EQ(S.Stacks.size(), 1u);
+  // The folded key keeps exactly MaxDepth frames; the tail is clipped.
+  const std::string &Key = S.Stacks.begin()->first;
+  EXPECT_EQ(std::count(Key.begin(), Key.end(), ';'),
+            long(prof::Profiler::MaxDepth - 1));
+}
+
+TEST_F(ProfilerTest, JsonExportCarriesStacksAndExactCpu) {
+  prof::Profiler &P = prof::profiler();
+  uint32_t Span = P.enterSpan(SpanKind::Search, "json_span");
+  spinCpuNs(1000000);
+  P.sampleOnce();
+  P.exitSpan(Span);
+  std::ostringstream OS;
+  P.snapshot().writeJson(OS);
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("\"samples\":1"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("\"stack\":\"json_span\",\"count\":1"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("\"name\":\"json_span\",\"self_ns\":"),
+            std::string::npos)
+      << Text;
+}
+
+TEST_F(ProfilerTest, CaptureDeltaHonorsTheAbortFlag) {
+  std::atomic<bool> Abort{true};
+  auto Start = std::chrono::steady_clock::now();
+  prof::ProfileSnapshot D = prof::profiler().captureDelta(30000, &Abort);
+  auto Elapsed = std::chrono::steady_clock::now() - Start;
+  EXPECT_LT(Elapsed, std::chrono::seconds(5))
+      << "an aborted capture must return immediately, not sleep 30s";
+  EXPECT_EQ(D.Samples, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sampling under thread churn (the TSan job runs this)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ProfilerTest, SamplingUnderThreadChurnNeverTearsACount) {
+  prof::Profiler &P = prof::profiler();
+  std::atomic<bool> Stop{false};
+  std::thread Sampler([&P, &Stop] {
+    while (!Stop.load(std::memory_order_relaxed))
+      P.sampleOnce();
+  });
+  // Threads are born, push spans, and die while the sampler free-runs;
+  // thread-state reuse (FreeStates) is exercised by the round structure.
+  for (int Round = 0; Round < 8; ++Round) {
+    std::vector<std::thread> Workers;
+    for (int T = 0; T < 4; ++T)
+      Workers.emplace_back([&P] {
+        for (int I = 0; I < 200; ++I) {
+          uint32_t A = P.enterSpan(SpanKind::Search, "churn_root");
+          uint32_t B = P.enterSpan(SpanKind::Candidate, "churn_leaf");
+          P.exitSpan(B);
+          P.exitSpan(A);
+        }
+      });
+    for (std::thread &W : Workers)
+      W.join();
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  Sampler.join();
+
+  prof::ProfileSnapshot S = P.snapshot();
+  // The torn-read contract: a racing sample may fold a stale or partial
+  // stack, but counts are never lost or invented and keys are always
+  // well-formed frame sequences.
+  EXPECT_EQ(stackSum(S), S.Samples);
+  for (const auto &[Key, Count] : S.Stacks) {
+    EXPECT_GT(Count, 0u);
+    ASSERT_FALSE(Key.empty());
+    EXPECT_NE(Key.front(), ';') << Key;
+    EXPECT_NE(Key.back(), ';') << Key;
+    EXPECT_EQ(Key.find(";;"), std::string::npos) << Key;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The observational guarantee: profiling never changes answers
+//===----------------------------------------------------------------------===//
+
+const char *IdentitySource = "let inc x = x + 1\n"
+                             "let twice f y = f (f y)\n"
+                             "let out = twice inc true\n";
+
+std::vector<std::string> runAndRender(const char *Source) {
+  SeminalOptions Opts;
+  SeminalReport R = runSeminalOnSource(Source, Opts);
+  std::vector<std::string> Out;
+  Out.push_back(R.conventionalMessage());
+  for (const Suggestion &S : R.Suggestions)
+    Out.push_back(renderSuggestion(S, Opts.Message));
+  Out.push_back("oracle_calls=" + std::to_string(R.OracleCalls));
+  Out.push_back("inference_runs=" + std::to_string(R.InferenceRuns));
+  return Out;
+}
+
+TEST(ProfilerIdentityTest, SuggestionsAreByteIdenticalWithProfilingOn) {
+  ASSERT_FALSE(prof::enabled());
+  std::vector<std::string> Off = runAndRender(IdentitySource);
+
+  // High sampling rate so the run is actually sampled mid-flight.
+  prof::Profiler::Options PO;
+  PO.SampleHz = 1000;
+  prof::profiler().start(PO);
+  std::vector<std::string> On = runAndRender(IdentitySource);
+  prof::profiler().stop();
+
+  EXPECT_EQ(On, Off)
+      << "the profiler observes the span stream; it must never steer it";
+}
+
+} // namespace

@@ -21,6 +21,7 @@
 #include "obs/Log.h"
 #include "obs/SlowTraceRing.h"
 #include "support/Json.h"
+#include "support/Profiler.h"
 #include "support/Trace.h" // jsonEscape
 
 #include <gtest/gtest.h>
@@ -30,6 +31,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -123,6 +125,30 @@ TEST(ServerProtocolTest, MalformedLinesComeBackAsInvalid) {
   EXPECT_EQ(R.TheMethod, Request::Method::Invalid);
   EXPECT_EQ(R.Id, "4");
   EXPECT_FALSE(R.Error.empty());
+}
+
+TEST(ServerProtocolTest, ProfileRequestsClampSecondsAndValidateFormat) {
+  Request R = parseRequest("{\"method\":\"profile\",\"id\":1}");
+  EXPECT_EQ(R.TheMethod, Request::Method::Profile);
+  EXPECT_EQ(R.ProfileSeconds, 1u) << "default window is one second";
+  // Seconds clamp into 1..30 instead of rejecting: an operator typo
+  // must not turn a diagnostic request into an error.
+  EXPECT_EQ(parseRequest("{\"method\":\"profile\",\"seconds\":999}")
+                .ProfileSeconds,
+            30u);
+  EXPECT_EQ(parseRequest("{\"method\":\"profile\",\"seconds\":-5}")
+                .ProfileSeconds,
+            1u);
+  EXPECT_EQ(parseRequest("{\"method\":\"profile\",\"seconds\":7}")
+                .ProfileSeconds,
+            7u);
+  EXPECT_EQ(parseRequest("{\"method\":\"profile\",\"format\":\"json\"}")
+                .Format,
+            "json");
+  // An unknown format is malformed, same rule as the metrics verb.
+  EXPECT_EQ(parseRequest("{\"method\":\"profile\",\"format\":\"xml\"}")
+                .TheMethod,
+            Request::Method::Invalid);
 }
 
 //===----------------------------------------------------------------------===//
@@ -719,6 +745,304 @@ TEST(ServerObsTest, HttpEndpointServesMetricsAndHealth) {
                        std::to_string(Stats.getInt("checks", -1));
   EXPECT_NE(Scrape.find(Needle), std::string::npos) << Scrape;
   Http.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Cost ledger: response == stats == scrape, by construction
+//===----------------------------------------------------------------------===//
+
+/// Reads the per-request "cost" object out of a check reply into a
+/// RequestCost (asserting the object and every field are present).
+RequestCost costOf(const json::Value &Reply) {
+  RequestCost C;
+  const json::Value *Cost = Reply.member("cost");
+  EXPECT_TRUE(Cost && Cost->isObject());
+  if (!Cost || !Cost->isObject())
+    return C;
+  C.CpuNs = uint64_t(Cost->getInt("cpu_ns", -1));
+  C.WallNs = uint64_t(Cost->getInt("wall_ns", -1));
+  C.OracleCalls = uint64_t(Cost->getInt("oracle_calls", -1));
+  C.InferenceRuns = uint64_t(Cost->getInt("inference_runs", -1));
+  C.ArenaNodes = uint64_t(Cost->getInt("arena_nodes", -1));
+  C.ArenaBytes = uint64_t(Cost->getInt("arena_bytes", -1));
+  C.VerdictCacheHits = uint64_t(Cost->getInt("verdict_cache_hits", -1));
+  return C;
+}
+
+TEST(ServerLedgerTest, SessionStampsTheLedgerFromTheRunItself) {
+  // One measurement site: the ledger fields must equal the run's own
+  // counters, not a parallel tally that could drift.
+  Session S("t", SessionConfig());
+  CheckOutcome Out = S.check(BaseSource, CheckOptions());
+  EXPECT_EQ(Out.Cost.OracleCalls, uint64_t(Out.OracleCalls));
+  EXPECT_EQ(Out.Cost.InferenceRuns, uint64_t(Out.InferenceRuns));
+  EXPECT_EQ(Out.Cost.ArenaNodes, Out.Accel.ArenaNodes);
+  EXPECT_EQ(Out.Cost.ArenaBytes, Out.Accel.ArenaBytes);
+  EXPECT_EQ(Out.Cost.VerdictCacheHits, Out.Accel.CacheHits);
+  EXPECT_GT(Out.Cost.CpuNs, 0u) << "a real check must consume CPU";
+  EXPECT_GT(Out.Cost.WallNs, 0u);
+
+  // The session rollup sums the flows across requests.
+  CheckOutcome Out2 = S.check(EditedSource, CheckOptions());
+  EXPECT_EQ(S.accumulatedCost().CpuNs, Out.Cost.CpuNs + Out2.Cost.CpuNs);
+  EXPECT_EQ(S.accumulatedCost().OracleCalls,
+            Out.Cost.OracleCalls + Out2.Cost.OracleCalls);
+  EXPECT_EQ(S.accumulatedCost().InferenceRuns,
+            Out.Cost.InferenceRuns + Out2.Cost.InferenceRuns);
+}
+
+TEST(ServerLedgerTest, ResponsesStatsAndScrapeReconcile) {
+  ServerOptions Opts;
+  Opts.Threads = 2;
+  ServerEngine Engine(Opts);
+  constexpr uint64_t Checks = 6;
+  RequestCost Sum;
+  for (int I = 1; I <= int(Checks); ++I) {
+    const char *Src = (I % 2) ? BaseSource : EditedSource;
+    const char *Sess = (I <= 3) ? "ledger_a" : "ledger_b";
+    json::Value Reply = parseReply(Engine.handle(checkLine(I, Sess, Src)));
+    RequestCost C = costOf(Reply);
+    EXPECT_GT(C.CpuNs, 0u);
+    EXPECT_GT(C.WallNs, 0u);
+    EXPECT_GT(C.OracleCalls, 0u);
+    Sum.CpuNs += C.CpuNs;
+    Sum.WallNs += C.WallNs;
+    Sum.OracleCalls += C.OracleCalls;
+    Sum.InferenceRuns += C.InferenceRuns;
+    Sum.VerdictCacheHits += C.VerdictCacheHits;
+  }
+  Engine.drain();
+
+  // The stats verb's rollup is the sum of the per-response ledgers --
+  // same numbers flow to both sinks from the one measurement site.
+  json::Value Stats =
+      parseReply(Engine.handle("{\"method\":\"stats\",\"id\":99}"));
+  const json::Value *SC = Stats.member("cost");
+  ASSERT_TRUE(SC && SC->isObject());
+  EXPECT_EQ(uint64_t(SC->getInt("cpu_ns", -1)), Sum.CpuNs);
+  EXPECT_EQ(uint64_t(SC->getInt("wall_ns", -1)), Sum.WallNs);
+  EXPECT_EQ(uint64_t(SC->getInt("oracle_calls", -1)), Sum.OracleCalls);
+  EXPECT_EQ(uint64_t(SC->getInt("inference_runs", -1)), Sum.InferenceRuns);
+  EXPECT_EQ(uint64_t(SC->getInt("verdict_cache_hits", -1)),
+            Sum.VerdictCacheHits);
+
+  // Scrape counters count microseconds, floored per request: they sit
+  // within `Checks` microseconds of the exact nanosecond sums.
+  obs::OpsRegistry &R = Engine.registry();
+  uint64_t CpuUs = R.counter("seminal_cost_cpu_us_total").value();
+  EXPECT_LE(CpuUs, Sum.CpuNs / 1000);
+  EXPECT_GE(CpuUs + Checks, Sum.CpuNs / 1000);
+  uint64_t WallUs = R.counter("seminal_cost_wall_us_total").value();
+  EXPECT_LE(WallUs, Sum.WallNs / 1000);
+  EXPECT_GE(WallUs + Checks, Sum.WallNs / 1000);
+  // Discrete flows carry no rounding: they reconcile exactly.
+  EXPECT_EQ(R.counter("seminal_cost_oracle_calls_total").value(),
+            Sum.OracleCalls);
+  EXPECT_EQ(R.counter("seminal_cost_inference_runs_total").value(),
+            Sum.InferenceRuns);
+  EXPECT_EQ(R.counter("seminal_cost_verdict_cache_hits_total").value(),
+            Sum.VerdictCacheHits);
+
+  // Every check lands one sample in the per-request CPU histogram, and
+  // the per-shard CPU split covers the whole total.
+  EXPECT_EQ(R.histogram("seminal_request_cpu_us").count(), Checks);
+  uint64_t ShardCpuUs = 0;
+  for (unsigned I = 0; I < Engine.shards(); ++I)
+    ShardCpuUs += R.counter("seminal_shard_cpu_us_total", "",
+                            {{"shard", std::to_string(I)}})
+                      .value();
+  EXPECT_EQ(ShardCpuUs, CpuUs);
+
+  // Sessions are pinned to one shard worker, so each request's CPU
+  // delta is real thread time: the process clock upper-bounds the sum.
+  EXPECT_LE(Sum.CpuNs, prof::processCpuNs());
+}
+
+TEST(ServerLedgerTest, RunReportEmbedsTheSameLedger) {
+  // report:true responses carry a RunReport whose "cost" object is the
+  // same ledger the response itself reports -- one source of truth.
+  ServerEngine Engine;
+  std::string Line = "{\"method\":\"check\",\"id\":1,\"session\":\"r\","
+                     "\"report\":true,\"source\":\"";
+  Line += jsonEscape(BaseSource);
+  Line += "\"}";
+  json::Value Reply = parseReply(Engine.handle(Line));
+  RequestCost Outer = costOf(Reply);
+  const json::Value *Report = Reply.member("report");
+  ASSERT_TRUE(Report && Report->isObject());
+  const json::Value *Effort = Report->member("effort");
+  ASSERT_TRUE(Effort && Effort->isObject());
+  const json::Value *RC = Effort->member("cost");
+  ASSERT_TRUE(RC && RC->isObject()) << "schema v2 makes the cost mandatory";
+  EXPECT_EQ(uint64_t(RC->getInt("cpu_ns", -1)), Outer.CpuNs);
+  EXPECT_EQ(uint64_t(RC->getInt("wall_ns", -1)), Outer.WallNs);
+  EXPECT_EQ(uint64_t(RC->getInt("oracle_calls", -1)), Outer.OracleCalls);
+  EXPECT_EQ(uint64_t(RC->getInt("inference_runs", -1)),
+            Outer.InferenceRuns);
+  EXPECT_EQ(uint64_t(RC->getInt("arena_nodes", -1)), Outer.ArenaNodes);
+  EXPECT_EQ(uint64_t(RC->getInt("arena_bytes", -1)), Outer.ArenaBytes);
+  EXPECT_EQ(uint64_t(RC->getInt("verdict_cache_hits", -1)),
+            Outer.VerdictCacheHits);
+}
+
+TEST(ServerLedgerTest, HostileRequestIdsAreSanitizedInTheExemplar) {
+  ServerEngine Engine;
+  std::string Line = "{\"method\":\"check\",\"id\":\"../../etc/passwd\","
+                     "\"session\":\"evil session\",\"source\":\"";
+  Line += jsonEscape(BaseSource);
+  Line += "\"}";
+  parseReply(Engine.handle(Line));
+  Engine.drain();
+
+  // The first check is by definition the slowest so far: the exemplar
+  // must be published, with both labels squeezed through the same
+  // sanitizer the slow-trace filenames use.
+  std::string Text = Engine.metricsPrometheus();
+  size_t At = Text.find("seminal_slowest_request_info{");
+  ASSERT_NE(At, std::string::npos) << Text;
+  std::string InfoLine = Text.substr(At, Text.find('\n', At) - At);
+  std::string WantId = obs::sanitizeRequestId("\"../../etc/passwd\"");
+  EXPECT_EQ(WantId.find('/'), std::string::npos);
+  EXPECT_NE(InfoLine.find("id=\"" + WantId + "\""), std::string::npos)
+      << InfoLine;
+  EXPECT_NE(InfoLine.find("session=\"evil_session\""), std::string::npos)
+      << InfoLine;
+  EXPECT_EQ(InfoLine.find('/'), std::string::npos)
+      << "no hostile byte may reach the exposition: " << InfoLine;
+  EXPECT_GT(
+      Engine.registry().gauge("seminal_slowest_request_latency_us").value(),
+      0);
+}
+
+//===----------------------------------------------------------------------===//
+// SLO burn gauges and the profile verb
+//===----------------------------------------------------------------------===//
+
+TEST(ServerObsTest, TickSloPublishesBurnGauges) {
+  ServerOptions Opts;
+  Opts.Slo.TargetUs = 1; // 1us: every real check misses the target
+  Opts.Slo.ObjectivePct = 50.0;
+  ServerEngine Engine(Opts);
+  obs::SloTracker::Burn Seed = Engine.tickSlo(); // seeds the ring
+  EXPECT_EQ(Seed.Fast.Total, 0u);
+  // The SLO watches *warm* latency (the editor-loop experience), so a
+  // cold check alone must not move it: resubmit to produce one warm hit.
+  Engine.handle(checkLine(1, "slo", BaseSource));
+  Engine.handle(checkLine(2, "slo", EditedSource));
+  Engine.drain();
+  obs::SloTracker::Burn B = Engine.tickSlo();
+  EXPECT_EQ(B.Fast.Total, 1u) << "only the warm resubmit counts";
+  EXPECT_EQ(B.Fast.Bad, 1u) << "a millisecond-scale check misses a 1us SLO";
+  EXPECT_NEAR(B.Fast.Burn, 2.0, 1e-12) << "100% bad on a 50% budget";
+
+  std::string Text = Engine.metricsPrometheus();
+  EXPECT_NE(Text.find("seminal_slo_burn_rate_milli{window=\"fast\"} 2000"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("seminal_slo_burn_rate_milli{window=\"slow\"} 2000"),
+            std::string::npos)
+      << Text;
+}
+
+TEST(ServerObsTest, ProfileVerbReturnsValidSnapshots) {
+  ServerEngine Engine;
+  Engine.handle(checkLine(1, "prof", BaseSource));
+
+  // JSON format: the snapshot embeds as a parseable object.
+  json::Value Reply = parseReply(Engine.handle(
+      "{\"method\":\"profile\",\"id\":2,\"seconds\":1,\"format\":\"json\"}"));
+  EXPECT_TRUE(Reply.getBool("ok", false));
+  EXPECT_EQ(Reply.getInt("seconds", -1), 1);
+  ASSERT_TRUE(Reply.member("profiler_running"));
+  const json::Value *Profile = Reply.member("profile");
+  ASSERT_TRUE(Profile && Profile->isObject());
+  EXPECT_GE(Profile->getInt("samples", -1), 0);
+  ASSERT_TRUE(Profile->member("stacks") &&
+              Profile->member("stacks")->isArray());
+  ASSERT_TRUE(Profile->member("cpu_self") &&
+              Profile->member("cpu_self")->isArray());
+
+  // Default format: collapsed stacks as an escaped string member.
+  json::Value Collapsed = parseReply(
+      Engine.handle("{\"method\":\"profile\",\"id\":3,\"seconds\":1}"));
+  EXPECT_TRUE(Collapsed.getBool("ok", false));
+  EXPECT_TRUE(Collapsed.member("collapsed"));
+}
+
+TEST(ServerObsTest, HttpDebugProfileServesBothFormats) {
+  ServerEngine Engine;
+  MetricsHttpServer Http(Engine, 0);
+  std::string Error;
+  ASSERT_TRUE(Http.start(Error)) << Error;
+
+  std::string Json =
+      httpGet(Http.port(), "/debug/profile?seconds=1&format=json");
+  EXPECT_NE(Json.find("200 OK"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("application/json"), std::string::npos);
+  size_t BodyAt = Json.find("\r\n\r\n");
+  ASSERT_NE(BodyAt, std::string::npos);
+  json::ParseResult P = json::parse(Json.substr(BodyAt + 4));
+  ASSERT_TRUE(P.ok()) << Json.substr(BodyAt + 4);
+  EXPECT_TRUE(P.Doc->member("samples"));
+  EXPECT_TRUE(P.Doc->member("stacks"));
+
+  // Bad parameters fall back to defaults instead of erroring, and the
+  // collapsed default comes back as plain text.
+  std::string Collapsed =
+      httpGet(Http.port(), "/debug/profile?seconds=abc");
+  EXPECT_NE(Collapsed.find("200 OK"), std::string::npos) << Collapsed;
+  EXPECT_NE(Collapsed.find("text/plain"), std::string::npos);
+  Http.stop();
+}
+
+TEST(ServerObsTest, SuggestionsIdenticalWithProfilerOnUnderConcurrency) {
+  // The acceptance bar for "always-on profiling": eight shard workers,
+  // sampler running hot, and every answer still byte-identical to a
+  // cold unprofiled one-shot run.
+  std::string ConvBase, ConvEdited;
+  std::vector<std::string> ExpectBase = oneShotMessages(BaseSource, &ConvBase);
+  std::vector<std::string> ExpectEdited =
+      oneShotMessages(EditedSource, &ConvEdited);
+
+  prof::Profiler::Options PO;
+  PO.SampleHz = 1000;
+  prof::profiler().start(PO);
+  {
+    ServerOptions Opts;
+    Opts.Threads = 8;
+    ServerEngine Engine(Opts);
+    std::vector<std::thread> Clients;
+    std::vector<std::string> BaseReplies(8), EditedReplies(8);
+    for (int T = 0; T < 8; ++T)
+      Clients.emplace_back([&Engine, &BaseReplies, &EditedReplies, T] {
+        std::string Sess = "ident_" + std::to_string(T);
+        BaseReplies[T] =
+            Engine.handle(checkLine(T * 2, Sess.c_str(), BaseSource));
+        EditedReplies[T] =
+            Engine.handle(checkLine(T * 2 + 1, Sess.c_str(), EditedSource));
+      });
+    for (std::thread &C : Clients)
+      C.join();
+    Engine.drain();
+    for (int T = 0; T < 8; ++T) {
+      json::Value Base = parseReply(BaseReplies[T]);
+      EXPECT_EQ(Base.getString("conventional"), ConvBase);
+      const json::Value *S = Base.member("suggestions");
+      ASSERT_TRUE(S && S->isArray());
+      ASSERT_EQ(S->arrayValue().size(), ExpectBase.size());
+      for (size_t I = 0; I < ExpectBase.size(); ++I)
+        EXPECT_EQ(S->arrayValue()[I].getString("message"), ExpectBase[I]);
+
+      json::Value Edited = parseReply(EditedReplies[T]);
+      EXPECT_EQ(Edited.getString("conventional"), ConvEdited);
+      const json::Value *E = Edited.member("suggestions");
+      ASSERT_TRUE(E && E->isArray());
+      ASSERT_EQ(E->arrayValue().size(), ExpectEdited.size());
+      for (size_t I = 0; I < ExpectEdited.size(); ++I)
+        EXPECT_EQ(E->arrayValue()[I].getString("message"), ExpectEdited[I]);
+    }
+  }
+  prof::profiler().stop();
 }
 
 } // namespace
